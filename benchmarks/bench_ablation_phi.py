@@ -1,0 +1,61 @@
+"""Ablation — node bit budget φ.
+
+§3.1: the tree has at most ``l = ceil(w/φ)`` levels, so φ trades node
+size (2^φ slots per node page) against search depth.  The paper fixes
+φ = 6 "to allow a fast build up of the number of directory levels"; this
+bench sweeps φ and reports directory size, height and search cost.
+"""
+
+import pytest
+
+from repro.analysis import max_tree_levels, measure_run
+from repro.bench.harness import experiment_scale
+from repro.core import BMEHTree
+from repro.core.hashtree import default_xi
+from repro.workloads import uniform_keys, unique
+
+PHIS = (4, 6, 8, 10)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    n = max(experiment_scale() // 4, 2000)
+    return unique(uniform_keys(n, dims=2, seed=77))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("phi", PHIS)
+def test_phi_cell(benchmark, keys, rows, phi):
+    def build():
+        index = BMEHTree(2, 8, widths=32, xi=default_xi(2, phi))
+        return measure_run(index, keys)[0], index
+
+    metrics, index = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows[phi] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+    # The balance guarantee must hold at every phi.
+    assert metrics.extra["height"] <= max_tree_levels(32, phi)
+
+
+def test_phi_report(benchmark, rows, capsys):
+    def render():
+        lines = ["phi ablation (BMEH-tree, 2-d uniform, b=8)",
+                 f"{'phi':>4} {'sigma':>10} {'height':>7} {'lambda':>8} {'rho':>8}"]
+        for phi, m in sorted(rows.items()):
+            lines.append(
+                f"{phi:>4} {m.directory_size:>10} {m.extra['height']:>7} "
+                f"{m.successful_search_reads:>8.3f} {m.insertion_accesses:>8.3f}"
+            )
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    if len(rows) == len(PHIS):
+        # Larger nodes => shallower trees (weakly) and cheaper searches.
+        heights = [rows[phi].extra["height"] for phi in PHIS]
+        assert heights == sorted(heights, reverse=True) or len(set(heights)) <= 2

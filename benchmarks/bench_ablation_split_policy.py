@@ -1,0 +1,76 @@
+"""Ablation — design-choice knobs DESIGN.md calls out.
+
+1. Node growth policy: the pseudocode's slot-budget test (``total``)
+   vs. the stricter per-axis ξ caps of §3.1 (``per_dim``).
+2. MDEH directory update accounting: per-element (the paper's
+   "resetting half the pointers" cost) vs. per-page.
+"""
+
+import pytest
+
+from repro.analysis import measure_run
+from repro.bench.harness import experiment_scale
+from repro.core import BMEHTree, MDEH
+from repro.workloads import normal_keys, unique
+
+
+@pytest.fixture(scope="module")
+def keys():
+    n = max(experiment_scale() // 4, 2000)
+    return unique(normal_keys(n, dims=2, seed=55))
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("policy", ("total", "per_dim"))
+def test_node_policy_cell(benchmark, keys, rows, policy):
+    def build():
+        index = BMEHTree(2, 8, widths=32, node_policy=policy)
+        return measure_run(index, keys)[0]
+
+    metrics = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows[f"bmeh/{policy}"] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+@pytest.mark.parametrize("granularity", ("element", "page"))
+def test_mdeh_accounting_cell(benchmark, keys, rows, granularity):
+    def build():
+        index = MDEH(
+            2, 8, widths=32,
+            element_granular_updates=(granularity == "element"),
+        )
+        return measure_run(index, keys)[0]
+
+    metrics = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows[f"mdeh/{granularity}"] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_split_policy_report(benchmark, rows, capsys):
+    def render():
+        lines = ["split/accounting ablation (2-d normal keys, b=8)",
+                 f"{'variant':>16} {'sigma':>10} {'rho':>10} {'lambda':>8}"]
+        for name, m in rows.items():
+            lines.append(
+                f"{name:>16} {m.directory_size:>10} "
+                f"{m.insertion_accesses:>10.3f} {m.successful_search_reads:>8.3f}"
+            )
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    if "mdeh/element" in rows and "mdeh/page" in rows:
+        # Accounting granularity changes costs, never the structure.
+        assert (
+            rows["mdeh/element"].directory_size
+            == rows["mdeh/page"].directory_size
+        )
+        assert (
+            rows["mdeh/element"].insertion_accesses
+            >= rows["mdeh/page"].insertion_accesses
+        )

@@ -1,0 +1,81 @@
+"""Ablation — splitting the node budget φ across dimensions (ξ shapes).
+
+The paper spreads φ evenly (ξ = (3,3) for d = 2).  Asymmetric budgets
+bias which dimension a node can refine before splitting; with ξ_j = 1
+everywhere the structure degenerates into the conclusion's balanced
+binary quadtree.  This bench compares shapes on a workload that is
+skewed on one dimension only.
+"""
+
+import pytest
+
+from repro.analysis import measure_run
+from repro.bench.harness import experiment_scale
+from repro.core import BMEHTree, BalancedBinaryTrie
+from repro.workloads import normal_keys, uniform_keys, unique
+
+SHAPES = {
+    "xi=(3,3)": (3, 3),
+    "xi=(4,2)": (4, 2),
+    "xi=(2,4)": (2, 4),
+    "xi=(5,1)": (5, 1),
+}
+
+
+@pytest.fixture(scope="module")
+def keys():
+    n = max(experiment_scale() // 4, 2000)
+    # Skew dimension 0 (normal), keep dimension 1 uniform.
+    skewed = normal_keys(n, dims=1, seed=31)
+    flat = uniform_keys(n, dims=1, seed=32)
+    return unique([(a[0], b[0]) for a, b in zip(skewed, flat)])
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("shape", sorted(SHAPES))
+def test_xi_cell(benchmark, keys, rows, shape):
+    def build():
+        # per_dim: the per-axis budgets must actually bind, otherwise
+        # the slot pool is fungible and every shape behaves identically.
+        index = BMEHTree(2, 8, widths=32, xi=SHAPES[shape],
+                         node_policy="per_dim")
+        return measure_run(index, keys)[0]
+
+    metrics = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows[shape] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_xi_quadtree_cell(benchmark, keys, rows):
+    """ξ = (1,1): the balanced binary quadtree of the conclusion."""
+
+    def build():
+        index = BalancedBinaryTrie(2, 8, widths=32)
+        return measure_run(index, keys)[0]
+
+    metrics = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows["quadtree"] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_xi_report(benchmark, rows, capsys):
+    def render():
+        lines = ["xi ablation (BMEH-tree, dim-0-skewed keys, b=8)",
+                 f"{'shape':>10} {'sigma':>10} {'height':>7} {'lambda':>8} {'rho':>8}"]
+        for shape, m in rows.items():
+            lines.append(
+                f"{shape:>10} {m.directory_size:>10} {m.extra['height']:>7} "
+                f"{m.successful_search_reads:>8.3f} {m.insertion_accesses:>8.3f}"
+            )
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    if "quadtree" in rows and "xi=(3,3)" in rows:
+        # One bit per axis per level => a much taller tree.
+        assert rows["quadtree"].extra["height"] > rows["xi=(3,3)"].extra["height"]

@@ -1,0 +1,73 @@
+"""Extension bench — bottom-up bulk loading vs incremental insertion.
+
+The loader computes the final partition directly (order-independent for
+pure insertions) and writes every page and directory node exactly once;
+this bench quantifies the I/O and wall-clock savings and verifies the
+structural equivalence at benchmark scale.
+"""
+
+import pytest
+
+from repro.bench.harness import TABLE_EXPERIMENTS, experiment_scale
+from repro.core import BMEHTree, bulk_load
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("workload", ("table2", "table3"))
+def test_incremental_build(benchmark, rows, workload):
+    keys = TABLE_EXPERIMENTS[workload].keys(max(experiment_scale() // 4, 2000))
+
+    def build():
+        index = BMEHTree(2, 8, widths=31)
+        for i, key in enumerate(keys):
+            index.insert(key, i)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows[("incremental", workload)] = (
+        index.store.stats.accesses,
+        index.node_count,
+        sorted((c.prefixes, c.depths) for c in index.leaf_regions()),
+    )
+    benchmark.extra_info["accesses"] = index.store.stats.accesses
+
+
+@pytest.mark.parametrize("workload", ("table2", "table3"))
+def test_bulk_build(benchmark, rows, workload):
+    keys = TABLE_EXPERIMENTS[workload].keys(max(experiment_scale() // 4, 2000))
+    items = [(key, i) for i, key in enumerate(keys)]
+
+    def build():
+        return bulk_load(BMEHTree(2, 8, widths=31), items)
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    index.check_invariants()
+    rows[("bulk", workload)] = (
+        index.store.stats.accesses,
+        index.node_count,
+        sorted((c.prefixes, c.depths) for c in index.leaf_regions()),
+    )
+    benchmark.extra_info["accesses"] = index.store.stats.accesses
+
+
+def test_bulk_report(benchmark, rows, capsys):
+    def render():
+        lines = ["bulk loading vs incremental insertion (BMEH-tree, b=8)",
+                 f"{'workload':>9} {'mode':>12} {'accesses':>10} {'nodes':>7}"]
+        for (mode, workload), (accesses, nodes, _) in sorted(rows.items()):
+            lines.append(f"{workload:>9} {mode:>12} {accesses:>10} {nodes:>7}")
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    for workload in ("table2", "table3"):
+        inc = rows.get(("incremental", workload))
+        blk = rows.get(("bulk", workload))
+        if inc and blk:
+            assert blk[2] == inc[2], "partitions diverged"
+            assert blk[0] * 3 < inc[0], "bulk loading saved too little I/O"

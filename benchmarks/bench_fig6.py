@@ -1,0 +1,55 @@
+"""Figure 6 — directory size vs. insertions, 2-d uniform keys (b = 8).
+
+The paper's graph shows the BMEH-tree's directory growing almost
+linearly and staying lowest, the one-level MDEH directory climbing in
+doubling staircases, and the MEH-tree in between (worst in the paper's
+run).  This bench prints the three series side by side and asserts the
+growth-shape criteria: BMEH lowest at full scale and close to linear
+(final size within a small factor of proportional growth from the
+half-way point).
+"""
+
+import pytest
+
+from repro.bench import format_series, growth_series
+from repro.bench.harness import FIGURE_EXPERIMENTS
+
+EXPERIMENT = FIGURE_EXPERIMENTS["fig6"]
+SCHEMES = ("MDEH", "MEHTree", "BMEHTree")
+
+
+@pytest.fixture(scope="module")
+def curves() -> dict:
+    return {}
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig6_series(benchmark, curves, scheme):
+    metrics, series = benchmark.pedantic(
+        growth_series,
+        args=(EXPERIMENT, scheme),
+        kwargs={"checkpoints": 20},
+        rounds=1,
+        iterations=1,
+    )
+    curves[scheme] = series
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_fig6_report(benchmark, curves, capsys):
+    series = [curves[s] for s in SCHEMES if s in curves]
+    report = benchmark(
+        format_series,
+        "Figure 6: directory growth, 2-d uniform keys, b = 8",
+        series,
+    )
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    if len(series) == len(SCHEMES):
+        final = {s.scheme: s.directory_sizes[-1] for s in series}
+        assert final["BMEHTree"] == min(final.values()), final
+        # near-linear growth: doubling the keys from the midpoint should
+        # not much more than double the BMEH directory.
+        bmeh = curves["BMEHTree"]
+        mid = bmeh.directory_sizes[len(bmeh.directory_sizes) // 2]
+        assert bmeh.directory_sizes[-1] <= 3 * mid, (mid, bmeh.directory_sizes[-1])

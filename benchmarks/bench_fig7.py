@@ -1,0 +1,52 @@
+"""Figure 7 — directory size vs. insertions, 2-d normal keys (b = 8).
+
+The skewed-workload growth curves: the one-level directory doubles away
+from the pack while the BMEH-tree keeps near-linear growth — the
+robustness claim in the paper's title.
+"""
+
+import pytest
+
+from repro.bench import format_series, growth_series
+from repro.bench.harness import FIGURE_EXPERIMENTS
+
+EXPERIMENT = FIGURE_EXPERIMENTS["fig7"]
+SCHEMES = ("MDEH", "MEHTree", "BMEHTree")
+
+
+@pytest.fixture(scope="module")
+def curves() -> dict:
+    return {}
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig7_series(benchmark, curves, scheme):
+    metrics, series = benchmark.pedantic(
+        growth_series,
+        args=(EXPERIMENT, scheme),
+        kwargs={"checkpoints": 20},
+        rounds=1,
+        iterations=1,
+    )
+    curves[scheme] = series
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_fig7_report(benchmark, curves, capsys):
+    series = [curves[s] for s in SCHEMES if s in curves]
+    report = benchmark(
+        format_series,
+        "Figure 7: directory growth, 2-d normal keys, b = 8",
+        series,
+    )
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    if len(series) == len(SCHEMES):
+        final = {s.scheme: s.directory_sizes[-1] for s in series}
+        assert final["BMEHTree"] == min(final.values()), final
+        # Skew must blow the one-level directory an order of magnitude
+        # past the balanced tree.
+        assert final["MDEH"] >= 10 * final["BMEHTree"], final
+        bmeh = curves["BMEHTree"]
+        mid = bmeh.directory_sizes[len(bmeh.directory_sizes) // 2]
+        assert bmeh.directory_sizes[-1] <= 3 * mid, (mid, bmeh.directory_sizes[-1])

@@ -1,0 +1,94 @@
+"""Theorem 4 — partial-range query cost.
+
+Runs boxes of increasing selectivity against the BMEH-tree, counts the
+covering cells ``n_R`` (from the induced partition), and checks the
+measured disk accesses stay within the theorem's ``l * n_R`` bound.
+Also exercises the partial-match special case (one dimension pinned).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import covering_cells, max_tree_levels, theorem4_range_bound
+from repro.bench.harness import experiment_scale
+from repro.core import BMEHTree, RangeQuery
+from repro.workloads import DOMAIN_MAX, uniform_keys, unique
+
+SELECTIVITIES = (0.001, 0.01, 0.05, 0.2)
+
+
+@pytest.fixture(scope="module")
+def built_index():
+    n = max(experiment_scale() // 4, 2000)
+    keys = unique(uniform_keys(n, dims=2, seed=99))
+    index = BMEHTree(2, 16, widths=32)
+    for key in keys:
+        index.insert(key)
+    return index, keys
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_range_query_cost(benchmark, built_index, rows, selectivity):
+    index, keys = built_index
+    rng = np.random.default_rng(int(selectivity * 1e6))
+    side = int(DOMAIN_MAX * selectivity**0.5)
+    lows = tuple(int(rng.integers(0, DOMAIN_MAX - side)) for _ in range(2))
+    highs = tuple(lo + side for lo in lows)
+
+    def query():
+        before = index.store.stats.snapshot()
+        hits = sum(1 for _ in index.range_search(lows, highs))
+        accesses = index.store.stats.delta(before).accesses
+        return hits, accesses
+
+    hits, accesses = benchmark.pedantic(query, rounds=1, iterations=1)
+    n_r = covering_cells(index, lows, highs)
+    bound = theorem4_range_bound(n_r, 32, index.phi)
+    rows[selectivity] = (hits, n_r, accesses, bound)
+    benchmark.extra_info.update(
+        {"hits": hits, "n_R": n_r, "accesses": accesses, "bound": bound}
+    )
+    assert accesses <= bound, (
+        f"range query cost {accesses} exceeds Theorem 4's l*n_R = {bound}"
+    )
+    want = sum(
+        1 for k in keys
+        if lows[0] <= k[0] <= highs[0] and lows[1] <= k[1] <= highs[1]
+    )
+    assert hits == want
+
+
+def test_partial_match_cost(benchmark, built_index, rows):
+    """Partial-match: dimension 0 pinned to a band, dimension 1 free."""
+    index, keys = built_index
+    band = (DOMAIN_MAX // 2, DOMAIN_MAX // 2 + DOMAIN_MAX // 512)
+    query = RangeQuery.box(index.widths, {0: band})
+
+    def run():
+        before = index.store.stats.snapshot()
+        hits = sum(1 for _ in query.run(index))
+        return hits, index.store.stats.delta(before).accesses
+
+    hits, accesses = benchmark.pedantic(run, rounds=1, iterations=1)
+    n_r = covering_cells(index, query.lows, query.highs)
+    assert accesses <= theorem4_range_bound(n_r, 32, index.phi)
+    want = sum(1 for k in keys if band[0] <= k[0] <= band[1])
+    assert hits == want
+
+
+def test_range_report(benchmark, rows, capsys):
+    def render():
+        lines = ["Theorem 4: range cost vs l*n_R (BMEH-tree, b=16)",
+                 f"{'selectivity':>12} {'hits':>8} {'n_R':>8} {'accesses':>9} {'bound':>8}"]
+        for sel, (hits, n_r, accesses, bound) in sorted(rows.items()):
+            lines.append(f"{sel:>12} {hits:>8} {n_r:>8} {accesses:>9} {bound:>8}")
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")

@@ -1,0 +1,46 @@
+"""Table 2 — 2-dimensional uniform keys.
+
+Regenerates every cell of the paper's Table 2: λ, λ′, ρ, α, σ for
+MDEH / MEH-tree / BMEH-tree at b ∈ {8, 16, 32, 64}, N = 40,000 uniform
+2-d keys, and prints them next to the published values.
+"""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLES,
+    format_table,
+    run_table_cell,
+    shape_assertions,
+)
+from repro.bench.harness import TABLE_EXPERIMENTS
+from repro.bench.paper_data import PAGE_CAPACITIES
+
+EXPERIMENT = TABLE_EXPERIMENTS["table2"]
+SCHEMES = ("MDEH", "MEHTree", "BMEHTree")
+
+
+@pytest.mark.parametrize("page_capacity", PAGE_CAPACITIES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_table2_cell(benchmark, results, scheme, page_capacity):
+    metrics = benchmark.pedantic(
+        run_table_cell,
+        args=(EXPERIMENT, scheme, page_capacity),
+        rounds=1,
+        iterations=1,
+    )
+    results[(scheme, page_capacity)] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_table2_report(benchmark, results, capsys):
+    report = benchmark(
+        format_table,
+        "Table 2: 2-dimensional uniform keys",
+        results,
+        PAPER_TABLES["table2"],
+    )
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    failures = shape_assertions("table2", results)
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,47 @@
+"""Table 3 — 2-dimensional normal (skewed) keys.
+
+The paper's centrepiece: order preservation makes skewed keys common,
+and the one-level directory's σ and ρ explode (σ = 524,288 elements,
+ρ = 229 accesses/insert at b = 8) while the BMEH-tree stays small and
+cheap.  This module regenerates all of Table 3.
+"""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLES,
+    format_table,
+    run_table_cell,
+    shape_assertions,
+)
+from repro.bench.harness import TABLE_EXPERIMENTS
+from repro.bench.paper_data import PAGE_CAPACITIES
+
+EXPERIMENT = TABLE_EXPERIMENTS["table3"]
+SCHEMES = ("MDEH", "MEHTree", "BMEHTree")
+
+
+@pytest.mark.parametrize("page_capacity", PAGE_CAPACITIES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_table3_cell(benchmark, results, scheme, page_capacity):
+    metrics = benchmark.pedantic(
+        run_table_cell,
+        args=(EXPERIMENT, scheme, page_capacity),
+        rounds=1,
+        iterations=1,
+    )
+    results[(scheme, page_capacity)] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_table3_report(benchmark, results, capsys):
+    report = benchmark(
+        format_table,
+        "Table 3: 2-dimensional normal distributed keys",
+        results,
+        PAPER_TABLES["table3"],
+    )
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    failures = shape_assertions("table3", results)
+    assert not failures, "\n".join(failures)

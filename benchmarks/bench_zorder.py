@@ -1,0 +1,97 @@
+"""Extension bench — z-order mapping vs native multidimensional schemes.
+
+The paper's §1 surveys the alternative of mapping multidimensional keys
+into one dimension (Orenstein-Merrett, its reference [13]).  Exact-match
+cost matches the one-level scheme (two accesses), but a range box
+shatters into many z-intervals, so range retrieval reads more pages than
+a native directory does.  This bench quantifies both sides.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BMEHTree, ZOrderIndex
+from repro.analysis import measure_search_cost
+from repro.bench.harness import experiment_scale
+from repro.workloads import DOMAIN_MAX, uniform_keys, unique
+
+
+@pytest.fixture(scope="module")
+def built():
+    n = max(experiment_scale() // 4, 2000)
+    keys = unique(uniform_keys(n, dims=2, seed=180))
+    indexes = {}
+    for name, cls in (("ZOrderIndex", ZOrderIndex), ("BMEHTree", BMEHTree)):
+        index = cls(2, 16, widths=31)
+        for key in keys:
+            index.insert(key)
+        indexes[name] = index
+    return keys, indexes
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {}
+
+
+def test_exact_match_costs(benchmark, built, rows):
+    keys, indexes = built
+
+    def probe():
+        return {
+            name: measure_search_cost(index, keys[:1000])
+            for name, index in indexes.items()
+        }
+
+    costs = benchmark.pedantic(probe, rounds=1, iterations=1)
+    rows["exact"] = costs
+    # The 1-d mapping keeps the two-access principle.
+    assert costs["ZOrderIndex"] == 2.0
+
+
+@pytest.mark.parametrize("selectivity", (0.01, 0.05))
+def test_range_costs(benchmark, built, rows, selectivity):
+    keys, indexes = built
+    rng = np.random.default_rng(int(selectivity * 1e6))
+    side = int(DOMAIN_MAX * selectivity**0.5)
+    lows = tuple(int(rng.integers(0, DOMAIN_MAX - side)) for _ in range(2))
+    highs = tuple(lo + side for lo in lows)
+
+    def run():
+        out = {}
+        for name, index in indexes.items():
+            before = index.store.stats.snapshot()
+            hits = sum(1 for _ in index.range_search(lows, highs))
+            out[name] = (hits, index.store.stats.delta(before).reads)
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows[f"range-{selectivity}"] = result
+    hits = {name: h for name, (h, _) in result.items()}
+    assert len(set(hits.values())) == 1, "schemes disagree on the answer"
+    # The shattered z-intervals cost at least as much as the native walk.
+    assert result["ZOrderIndex"][1] >= result["BMEHTree"][1]
+
+
+def test_zorder_report(benchmark, rows, capsys):
+    def render():
+        lines = ["z-order mapping vs BMEH-tree (uniform keys, b=16)"]
+        for query, data in sorted(rows.items()):
+            if query == "exact":
+                lines.append(
+                    f"  exact-match reads: "
+                    + ", ".join(f"{n}={c:.2f}" for n, c in data.items())
+                )
+            else:
+                lines.append(
+                    f"  {query}: "
+                    + ", ".join(
+                        f"{n}: {h} hits / {r} reads"
+                        for n, (h, r) in data.items()
+                    )
+                )
+        return "\n".join(lines)
+
+    report = benchmark(render)
+    with capsys.disabled():
+        print("\n" + report + "\n")

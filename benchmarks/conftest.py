@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Each table module accumulates its per-cell measurements into a
+module-scoped dict; a final report test renders the paper-vs-measured
+table and asserts the shape criteria.  ``REPRO_N`` scales the runs
+(default: the paper's 40,000 insertions per run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def results() -> dict:
+    """Accumulator mapping (scheme, b) -> RunMetrics within one module."""
+    return {}
+
+
+def pytest_report_header(config):
+    from repro.bench import experiment_scale
+
+    return [f"repro experiment scale: N = {experiment_scale()} insertions/run"]

@@ -1,0 +1,81 @@
+"""Six multidimensional access methods, one workload, one table.
+
+Runs the paper's three schemes plus the three related structures this
+library also implements (grid file, K-D-B-tree, z-order mapping) over
+the paper's skewed (normal) workload, prints a structural comparison,
+replays a mixed read/write trace differentially across all of them, and
+emits an SVG of each induced partition.  (For the one-level directory's
+full catastrophe on *clustered* data — minutes of pointer rewriting —
+see examples/geospatial_index.py, which feeds it only a sample.)
+
+Run:  python examples/comparative_study.py [output-dir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import BMEHTree, GridFile, KDBTree, MDEH, MEHTree, ZOrderIndex
+from repro.analysis import summarize, svg_partition
+from repro.workloads import normal_keys, unique
+from repro.workloads.trace import churn_trace, replay
+
+SCHEMES = {
+    "MDEH": MDEH,
+    "MEH-tree": MEHTree,
+    "BMEH-tree": BMEHTree,
+    "grid file": GridFile,
+    "K-D-B-tree": KDBTree,
+    "z-order": ZOrderIndex,
+}
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp()
+    os.makedirs(out_dir, exist_ok=True)
+    keys = unique(normal_keys(6_000, dims=2, seed=1986))
+    print(f"{len(keys)} normal (skewed) keys (b = 8, width 31)\n")
+
+    print(f"{'scheme':>12} {'sigma':>9} {'pages':>7} {'alpha':>7} "
+          f"{'depth range':>12} {'lambda':>7}")
+    indexes = {}
+    for name, cls in SCHEMES.items():
+        index = cls(2, 8, widths=31)
+        for key in keys:
+            index.insert(key)
+        indexes[name] = index
+        summary = summarize(index)
+        before = index.store.stats.snapshot()
+        for key in keys[:500]:
+            index.search(key)
+        lam = index.store.stats.delta(before).reads / 500
+        print(
+            f"{name:>12} {summary.directory_size:>9} {summary.data_pages:>7} "
+            f"{summary.load_factor:>7.3f} "
+            f"{summary.region_depth_min:>5}..{summary.region_depth_max:<5} "
+            f"{lam:>7.2f}"
+        )
+
+    print("\ndifferential trace replay (2,000 mixed operations):")
+    ops = churn_trace(2_000, dims=2, domain=1 << 31, seed=7)
+    answer_sets = {}
+    for name, index in indexes.items():
+        report = replay(index, ops)
+        answer_sets[name] = report.answers
+        index.check_invariants()
+    reference = next(iter(answer_sets.values()))
+    agree = all(answers == reference for answers in answer_sets.values())
+    print(f"  all {len(SCHEMES)} schemes agree on "
+          f"{len(reference)} lookups: {agree}")
+    assert agree
+
+    print(f"\npartition SVGs in {out_dir}:")
+    for name, index in indexes.items():
+        slug = name.replace(" ", "_").replace("-", "_")
+        path = f"{out_dir}/{slug}.svg"
+        rectangles = svg_partition(index, path)
+        print(f"  {path} ({rectangles} regions)")
+
+
+if __name__ == "__main__":
+    main()

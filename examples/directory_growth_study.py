@@ -1,0 +1,53 @@
+"""Directory growth under skew — Figures 6/7 in miniature, plus theory.
+
+Streams uniform and skewed keys into the three schemes, printing the
+directory size every few thousand insertions next to the analytic
+``N^(1+1/b)`` envelope the paper quotes for one-level directories.
+
+Run:  python examples/directory_growth_study.py        (quick, N=12k)
+      REPRO_N=40000 python examples/directory_growth_study.py
+"""
+
+import os
+
+from repro import BMEHTree, MDEH, MEHTree
+from repro.analysis import expected_onelevel_directory_size
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def study(title, keys, page_capacity=8):
+    schemes = {
+        "MDEH": MDEH(2, page_capacity, widths=31),
+        "MEH": MEHTree(2, page_capacity, widths=31),
+        "BMEH": BMEHTree(2, page_capacity, widths=31),
+    }
+    step = max(len(keys) // 10, 1)
+    print(f"\n{title} (b = {page_capacity})")
+    print(f"{'keys':>8} {'MDEH σ':>10} {'MEH σ':>10} {'BMEH σ':>10} "
+          f"{'~N^(1+1/b)':>12}")
+    for i, key in enumerate(keys, 1):
+        for index in schemes.values():
+            index.insert(key)
+        if i % step == 0:
+            envelope = expected_onelevel_directory_size(
+                i, page_capacity, constant=0.25
+            )
+            print(
+                f"{i:>8} {schemes['MDEH'].directory_size:>10} "
+                f"{schemes['MEH'].directory_size:>10} "
+                f"{schemes['BMEH'].directory_size:>10} {envelope:>12.0f}"
+            )
+    bmeh = schemes["BMEH"]
+    per_key = bmeh.directory_size / len(keys)
+    print(f"BMEH directory slots per key: {per_key:.2f}  (≈ constant "
+          "= the linear growth of the paper's title)")
+
+
+def main() -> None:
+    n = int(os.environ.get("REPRO_N", 12_000))
+    study("uniform keys (Figure 6)", unique(uniform_keys(n, 2, seed=3)))
+    study("normal keys (Figure 7)", unique(normal_keys(n, 2, seed=3)))
+
+
+if __name__ == "__main__":
+    main()

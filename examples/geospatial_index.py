@@ -1,0 +1,106 @@
+"""Geographic point indexing — the paper's motivating application.
+
+The introduction motivates the BMEH-tree with "relational, geographic,
+pictorial and geometric databases that require extensive associative and
+region searching".  This example builds a (longitude, latitude) index of
+synthetic points-of-interest clustered around city centres — exactly the
+non-uniform distribution that wrecks one-level directories — and runs
+bounding-box queries.
+
+Run:  python examples/geospatial_index.py
+"""
+
+import numpy as np
+
+from repro import BMEHTree, MDEH, KeyCodec, ScaledFloatEncoder
+from repro.core import MultiKeyFile
+from repro.errors import DuplicateKeyError
+
+CITIES = {
+    "Ottawa": (-75.70, 45.42),
+    "Zurich": (8.54, 47.37),
+    "Singapore": (103.82, 1.35),
+    "San Francisco": (-122.42, 37.77),
+    "Nairobi": (36.82, -1.29),
+    "Sydney": (151.21, -33.87),
+}
+
+
+def synthesize_pois(per_city: int = 1_200, seed: int = 1986):
+    """Points of interest scattered around each city centre."""
+    rng = np.random.default_rng(seed)
+    pois = []
+    for city, (lon, lat) in CITIES.items():
+        lons = rng.normal(lon, 0.5, per_city)
+        lats = rng.normal(lat, 0.35, per_city)
+        for i, (x, y) in enumerate(zip(lons, lats)):
+            pois.append(((float(x), float(y)), f"{city}/poi-{i}"))
+    rng.shuffle(pois)
+    return pois
+
+
+def build_file(scheme):
+    codec = KeyCodec(
+        [
+            ScaledFloatEncoder(-180.0, 180.0, width=22),
+            ScaledFloatEncoder(-90.0, 90.0, width=22),
+        ]
+    )
+    return MultiKeyFile(codec, page_capacity=16, scheme=scheme)
+
+
+def load(geo, pois):
+    for key, name in pois:
+        try:
+            geo.insert(key, name)
+        except DuplicateKeyError:  # a rare exact-coordinate collision
+            pass
+    return geo
+
+
+def main() -> None:
+    pois = synthesize_pois()
+    print(f"{len(pois)} points of interest around {len(CITIES)} cities\n")
+
+    # Directory comparison on a sample: city clusters are *far* more
+    # skewed than the paper's normal workload, and the one-level
+    # directory pays for it so brutally (hundreds of times the balanced
+    # tree's size, minutes of pointer rewriting at full scale) that we
+    # feed it only a sample to make the point.
+    sample = pois[: len(pois) // 6]
+    print(f"directory sizes after {len(sample)} clustered insertions:")
+    for scheme in (BMEHTree, MDEH):
+        index = load(build_file(scheme), sample).index
+        print(
+            f"{scheme.__name__:>9}: σ = {index.directory_size:>8} "
+            f"directory elements for {index.data_page_count} pages "
+            f"(α = {index.load_factor:.2f})"
+        )
+    print(
+        "\nThe clustered distribution blows the one-level directory up;"
+        "\nthe balanced tree grows with the data instead.\n"
+    )
+
+    geo = load(build_file(BMEHTree), pois)
+    # Bounding-box query: everything within ~0.25 degrees of Zurich.
+    lon, lat = CITIES["Zurich"]
+    box_lo = (lon - 0.25, lat - 0.25)
+    box_hi = (lon + 0.25, lat + 0.25)
+    before = geo.store.stats.snapshot()
+    hits = list(geo.range_search(box_lo, box_hi))
+    cost = geo.store.stats.delta(before)
+    print(
+        f"box around Zurich: {len(hits)} POIs in {cost.reads} page reads"
+    )
+    assert all(name.startswith("Zurich/") for _, name in hits)
+
+    # Partial-range: every POI in the western hemisphere, any latitude.
+    west = sum(1 for _ in geo.range_search((None, None), (0.0, None)))
+    print(f"western hemisphere: {west} POIs")
+
+    geo.index.check_invariants()
+    print("\nstructural invariants hold")
+
+
+if __name__ == "__main__":
+    main()

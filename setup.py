@@ -1,0 +1,7 @@
+"""Legacy entry point so `pip install -e .` works without the `wheel`
+package (this reproduction environment is offline); metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — reproduction of Otoo's Balanced Multidimensional Extendible
+Hash Tree (PODS 1986).
+
+Public API:
+
+* indexes — :class:`~repro.core.bmeh_tree.BMEHTree` (the paper's
+  contribution), :class:`~repro.core.mdeh.MDEH` and
+  :class:`~repro.core.meh_tree.MEHTree` (its baselines),
+  :class:`~repro.core.ehash.ExtendibleHashFile` (the 1-d variant of §2.1),
+  :class:`~repro.core.quadtree.BalancedBinaryTrie` (the conclusion's
+  ξ = 1 extension);
+* :class:`~repro.encoding.KeyCodec` and the attribute encoders;
+* :class:`~repro.storage.PageStore` — the simulated disk with I/O ledger;
+* ``repro.workloads`` / ``repro.analysis`` / ``repro.bench`` — the
+  experiment machinery behind the paper's §5.
+"""
+
+from repro.errors import (
+    ReproError,
+    EncodingError,
+    KeyDimensionError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    CapacityError,
+    StorageError,
+    SerializationError,
+)
+from repro.encoding import (
+    Encoder,
+    IdentityEncoder,
+    UIntEncoder,
+    IntEncoder,
+    FloatEncoder,
+    ScaledFloatEncoder,
+    StringEncoder,
+    DatetimeEncoder,
+    KeyCodec,
+)
+from repro.storage import PageStore, MemoryBackend, FileBackend, BufferPool, IOStats
+from repro.extarray import ExtendibleArray, theorem1_address, theorem1_index
+from repro.core import (
+    ExtendibleHashFile,
+    MDEH,
+    MEHTree,
+    BMEHTree,
+    BalancedBinaryTrie,
+    RangeQuery,
+)
+from repro.gridfile import GridFile
+from repro.kdb import KDBTree
+from repro.zorder import ZOrderIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "EncodingError",
+    "KeyDimensionError",
+    "DuplicateKeyError",
+    "KeyNotFoundError",
+    "CapacityError",
+    "StorageError",
+    "SerializationError",
+    "Encoder",
+    "IdentityEncoder",
+    "UIntEncoder",
+    "IntEncoder",
+    "FloatEncoder",
+    "ScaledFloatEncoder",
+    "StringEncoder",
+    "DatetimeEncoder",
+    "KeyCodec",
+    "PageStore",
+    "MemoryBackend",
+    "FileBackend",
+    "BufferPool",
+    "IOStats",
+    "ExtendibleArray",
+    "theorem1_address",
+    "theorem1_index",
+    "ExtendibleHashFile",
+    "MDEH",
+    "MEHTree",
+    "BMEHTree",
+    "BalancedBinaryTrie",
+    "RangeQuery",
+    "GridFile",
+    "KDBTree",
+    "ZOrderIndex",
+    "__version__",
+]

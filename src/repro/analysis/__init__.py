@@ -1,0 +1,58 @@
+"""Measurement, theory and attribute-space analysis for the experiments."""
+
+from repro.analysis.metrics import (
+    RunMetrics,
+    GrowthSeries,
+    measure_run,
+    measure_search_cost,
+    measure_unsuccessful_search_cost,
+)
+from repro.analysis.theory import (
+    max_tree_levels,
+    theorem2_worst_case_splits,
+    theorem3_access_bound,
+    theorem4_range_bound,
+    onelevel_directory_growth_exponent,
+    expected_onelevel_directory_size,
+)
+from repro.analysis.space import (
+    partition_cells,
+    assert_exact_tiling,
+    covering_cells,
+    occupancy_histogram,
+)
+from repro.analysis.stats import (
+    DirectorySummary,
+    summarize,
+    region_depth_histogram,
+    page_fill_histogram,
+    node_level_profile,
+    format_histogram,
+)
+from repro.analysis.visualize import ascii_partition, svg_partition
+
+__all__ = [
+    "RunMetrics",
+    "GrowthSeries",
+    "measure_run",
+    "measure_search_cost",
+    "measure_unsuccessful_search_cost",
+    "max_tree_levels",
+    "theorem2_worst_case_splits",
+    "theorem3_access_bound",
+    "theorem4_range_bound",
+    "onelevel_directory_growth_exponent",
+    "expected_onelevel_directory_size",
+    "partition_cells",
+    "assert_exact_tiling",
+    "covering_cells",
+    "occupancy_histogram",
+    "DirectorySummary",
+    "summarize",
+    "region_depth_histogram",
+    "page_fill_histogram",
+    "node_level_profile",
+    "format_histogram",
+    "ascii_partition",
+    "svg_partition",
+]

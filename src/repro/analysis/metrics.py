@@ -1,0 +1,183 @@
+"""The paper's §5 performance measures.
+
+Definitions, verbatim from the paper:
+
+* λ  — average disk reads per *successful* exact-match search;
+* λ′ — average disk reads per *unsuccessful* exact-match search;
+* ρ  — average disk accesses (reads + writes) per key insertion,
+       averaged over the last 10% of insertions (the paper: the last
+       4,000 of 40,000);
+* σ  — directory size in elements after all insertions (node count ×
+       2^φ reserved slots for the tree schemes);
+* α  — load factor: keys stored / (data pages × b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import KeyNotFoundError
+from repro.core.interface import KeyCodes, MultidimensionalIndex
+
+
+@dataclasses.dataclass
+class RunMetrics:
+    """Measured values of one (scheme, workload, b) experiment cell."""
+
+    scheme: str
+    page_capacity: int
+    keys_inserted: int
+    successful_search_reads: float  # λ
+    unsuccessful_search_reads: float  # λ′
+    insertion_accesses: float  # ρ
+    load_factor: float  # α
+    directory_size: int  # σ
+    data_pages: int
+    insert_seconds: float = 0.0
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "b": self.page_capacity,
+            "lambda": self.successful_search_reads,
+            "lambda_prime": self.unsuccessful_search_reads,
+            "rho": self.insertion_accesses,
+            "alpha": self.load_factor,
+            "sigma": self.directory_size,
+        }
+
+
+@dataclasses.dataclass
+class GrowthSeries:
+    """Directory size sampled while keys stream in (Figures 6 and 7)."""
+
+    scheme: str
+    checkpoints: list[int] = dataclasses.field(default_factory=list)
+    directory_sizes: list[int] = dataclasses.field(default_factory=list)
+
+    def record(self, inserted: int, sigma: int) -> None:
+        self.checkpoints.append(inserted)
+        self.directory_sizes.append(sigma)
+
+
+def measure_search_cost(
+    index: MultidimensionalIndex, probes: Sequence[KeyCodes]
+) -> float:
+    """λ: mean charged reads per successful search over ``probes``."""
+    if not probes:
+        return 0.0
+    before = index.store.stats.snapshot()
+    for key in probes:
+        index.search(key)
+    return index.store.stats.delta(before).reads / len(probes)
+
+
+def measure_unsuccessful_search_cost(
+    index: MultidimensionalIndex,
+    present: Iterable[KeyCodes],
+    count: int = 2000,
+    seed: int = 7,
+    candidates: Sequence[KeyCodes] | None = None,
+) -> float:
+    """λ′: mean charged reads per search for keys known to be absent.
+
+    With ``candidates`` the absent probes are drawn from that pool
+    (e.g. extra keys from the experiment's own workload generator, so
+    unsuccessful searches are distributed like the data — the natural
+    reading of the paper's protocol).  Otherwise probes are uniform over
+    the code domain.
+    """
+    rng = np.random.default_rng(seed)
+    present_set = set(present)
+    widths = index.widths
+    probes: list[KeyCodes] = []
+    if candidates is not None:
+        for key in candidates:
+            if key not in present_set:
+                probes.append(key)
+            if len(probes) >= count:
+                break
+        if not probes:
+            raise ValueError("no absent keys among the probe candidates")
+    while len(probes) < count:
+        key = tuple(int(rng.integers(0, 1 << w)) for w in widths)
+        if key not in present_set:
+            probes.append(key)
+    before = index.store.stats.snapshot()
+    for key in probes:
+        try:
+            index.search(key)
+        except KeyNotFoundError:
+            pass
+        else:  # pragma: no cover - would indicate a probe-generation bug
+            raise AssertionError("unsuccessful probe found a record")
+    return index.store.stats.delta(before).reads / len(probes)
+
+
+def measure_run(
+    index: MultidimensionalIndex,
+    keys: Sequence[KeyCodes],
+    tail_fraction: float = 0.1,
+    search_probes: int = 2000,
+    growth_checkpoints: int = 0,
+    values: Callable[[int], object] | None = None,
+    absent_candidates: Sequence[KeyCodes] | None = None,
+) -> tuple[RunMetrics, GrowthSeries]:
+    """Run the paper's experiment protocol on one index.
+
+    Inserts ``keys`` in order, measuring ρ over the final
+    ``tail_fraction`` of insertions, then probes λ and λ′ on the final
+    structure.  With ``growth_checkpoints > 0`` the directory size is
+    sampled that many times along the way (for Figures 6/7).
+    """
+    import time
+
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    store = index.store
+    n = len(keys)
+    tail_start = int(n * (1.0 - tail_fraction))
+    series = GrowthSeries(type(index).__name__)
+    step = max(n // growth_checkpoints, 1) if growth_checkpoints else 0
+    snapshot = store.stats.snapshot()
+    started = time.perf_counter()
+    for i, key in enumerate(keys):
+        if i == tail_start:
+            snapshot = store.stats.snapshot()
+        index.insert(key, values(i) if values else None)
+        if step and (i + 1) % step == 0:
+            series.record(i + 1, index.directory_size)
+    insert_seconds = time.perf_counter() - started
+    rho = store.stats.delta(snapshot).accesses / max(n - tail_start, 1)
+
+    rng = np.random.default_rng(1234)
+    sample_size = min(search_probes, n)
+    picks = rng.choice(n, size=sample_size, replace=False)
+    lam = measure_search_cost(index, [keys[i] for i in picks])
+    lam_prime = measure_unsuccessful_search_cost(
+        index, keys, count=sample_size, candidates=absent_candidates
+    )
+
+    extra: dict = {}
+    if hasattr(index, "height"):
+        extra["height"] = index.height()
+    if hasattr(index, "node_count"):
+        extra["nodes"] = index.node_count
+    metrics = RunMetrics(
+        scheme=type(index).__name__,
+        page_capacity=index.page_capacity,
+        keys_inserted=n,
+        successful_search_reads=lam,
+        unsuccessful_search_reads=lam_prime,
+        insertion_accesses=rho,
+        load_factor=index.load_factor,
+        directory_size=index.directory_size,
+        data_pages=index.data_page_count,
+        insert_seconds=insert_seconds,
+        extra=extra,
+    )
+    return metrics, series

@@ -1,0 +1,97 @@
+"""Attribute-space partition analysis (the paper's Figure 5 and
+Theorem 4's ``n_R``).
+
+Every scheme rectilinearly tiles the code hypercube into leaf regions;
+this module extracts the tiling, verifies it is exact (disjoint and
+covering — a strong global invariant over any index state), and counts
+the cells overlapping a query box.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.interface import KeyCodes, LeafRegion, MultidimensionalIndex
+
+
+def partition_cells(index: MultidimensionalIndex) -> list[LeafRegion]:
+    """The index's leaf regions as a list (uncharged reads)."""
+    return list(index.leaf_regions())
+
+
+def _dyadic_overlap(a: LeafRegion, b: LeafRegion) -> bool:
+    """Exact overlap test for bit-aligned regions: on each dimension the
+    intervals are dyadic, so they intersect iff the shorter prefix is a
+    prefix of the longer."""
+    for pa, da, pb, db in zip(a.prefixes, a.depths, b.prefixes, b.depths):
+        short, long_, shift = (
+            (pa, pb, db - da) if da <= db else (pb, pa, da - db)
+        )
+        if long_ >> shift != short:
+            return False
+    return True
+
+
+def assert_exact_tiling(
+    index: MultidimensionalIndex, pairwise_limit: int = 4000
+) -> list[LeafRegion]:
+    """Check the leaf regions tile the attribute space exactly.
+
+    Coverage is verified by an exact volume argument (rectangle volumes
+    must sum to the domain's point count) plus pairwise disjointness of
+    the dyadic rectangles.  The quadratic disjointness pass is skipped
+    above ``pairwise_limit`` cells; there the volume identity together
+    with region uniqueness is the (still very strong) check.
+    """
+    widths = index.widths
+    cells = partition_cells(index)
+    domain = 1
+    for width in widths:
+        domain <<= width
+    total = sum(cell.volume(widths) for cell in cells)
+    assert total == domain, (
+        f"partition volumes sum to {total}, domain has {domain} points"
+    )
+    seen: set[tuple] = set()
+    for cell in cells:
+        key = (cell.prefixes, cell.depths)
+        assert key not in seen, f"duplicate region {key}"
+        seen.add(key)
+    if len(cells) <= pairwise_limit:
+        for i, a in enumerate(cells):
+            for b in cells[i + 1 :]:
+                assert not _dyadic_overlap(a, b), (
+                    f"regions overlap: {a} and {b}"
+                )
+    return cells
+
+
+def covering_cells(
+    index: MultidimensionalIndex,
+    lows: Sequence[int],
+    highs: Sequence[int],
+) -> int:
+    """Theorem 4's ``n_R``: leaf regions intersecting the query box."""
+    widths = index.widths
+    count = 0
+    for cell in index.leaf_regions():
+        cell_lows, cell_highs = cell.bounds(widths)
+        if all(
+            cell_lows[j] <= highs[j] and cell_highs[j] >= lows[j]
+            for j in range(len(widths))
+        ):
+            count += 1
+    return count
+
+
+def occupancy_histogram(index: MultidimensionalIndex) -> dict[int, int]:
+    """Histogram of records per data page (0 counts NIL regions), a
+    quick view of the load balance behind the paper's α."""
+    histogram: dict[int, int] = {}
+    for cell in index.leaf_regions():
+        if cell.page is None:
+            histogram[0] = histogram.get(0, 0) + 1
+        else:
+            size = len(index.store.peek(cell.page))
+            histogram[size] = histogram.get(size, 0) + 1
+    return histogram

@@ -1,0 +1,131 @@
+"""Descriptive statistics over a built index.
+
+Complements the paper's five aggregate measures with distributions: how
+deep the regions sit, how full the pages and directory nodes are, and
+how region volumes spread — the raw material behind α, σ and the search
+costs.  Used by the CLI's ``stats`` command and the test suite.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Any
+
+from repro.core.interface import MultidimensionalIndex
+
+
+@dataclasses.dataclass
+class DirectorySummary:
+    """One-stop structural summary of an index."""
+
+    scheme: str
+    keys: int
+    dims: int
+    page_capacity: int
+    data_pages: int
+    load_factor: float
+    directory_size: int
+    regions: int
+    nil_regions: int
+    height: int | None
+    region_depth_min: int
+    region_depth_max: int
+    region_depth_mean: float
+
+    def as_lines(self) -> list[str]:
+        lines = [
+            f"scheme          : {self.scheme}",
+            f"keys            : {self.keys}",
+            f"data pages      : {self.data_pages} (b = {self.page_capacity},"
+            f" alpha = {self.load_factor:.3f})",
+            f"directory size  : {self.directory_size} elements",
+            f"leaf regions    : {self.regions} ({self.nil_regions} NIL)",
+            f"region depth    : {self.region_depth_min}"
+            f"..{self.region_depth_max}"
+            f" (mean {self.region_depth_mean:.2f} bits)",
+        ]
+        if self.height is not None:
+            lines.append(f"tree height     : {self.height}")
+        return lines
+
+
+def summarize(index: MultidimensionalIndex) -> DirectorySummary:
+    """Collect a :class:`DirectorySummary` (uncharged reads)."""
+    depths = []
+    nil = 0
+    for region in index.leaf_regions():
+        depths.append(sum(region.depths))
+        if region.page is None:
+            nil += 1
+    height = index.height() if hasattr(index, "height") else None
+    return DirectorySummary(
+        scheme=type(index).__name__,
+        keys=len(index),
+        dims=index.dims,
+        page_capacity=index.page_capacity,
+        data_pages=index.data_page_count,
+        load_factor=index.load_factor,
+        directory_size=index.directory_size,
+        regions=len(depths),
+        nil_regions=nil,
+        height=height,
+        region_depth_min=min(depths) if depths else 0,
+        region_depth_max=max(depths) if depths else 0,
+        region_depth_mean=sum(depths) / len(depths) if depths else 0.0,
+    )
+
+
+def region_depth_histogram(index: MultidimensionalIndex) -> dict[int, int]:
+    """Regions per total depth (bits) — the refinement profile; skewed
+    data shows a long deep tail here."""
+    histogram: Counter[int] = Counter()
+    for region in index.leaf_regions():
+        histogram[sum(region.depths)] += 1
+    return dict(sorted(histogram.items()))
+
+
+def page_fill_histogram(index: MultidimensionalIndex) -> dict[int, int]:
+    """Pages per record count; its mean/b is the paper's α."""
+    histogram: Counter[int] = Counter()
+    for region in index.leaf_regions():
+        if region.page is not None:
+            histogram[len(index.store.peek(region.page))] += 1
+    return dict(sorted(histogram.items()))
+
+
+def node_level_profile(tree: Any) -> dict[int, dict[str, float]]:
+    """Per-level directory statistics for the tree schemes: node count,
+    mean allocated cells, and mean distinct regions per node."""
+    profile: dict[int, list[tuple[int, int]]] = {}
+
+    def walk(node_id: int, depth: int) -> None:
+        node = tree.store.peek(node_id)
+        cells = len(node.array)
+        regions = len(list(node.entries()))
+        profile.setdefault(depth, []).append((cells, regions))
+        for entry in node.entries():
+            if entry.is_node:
+                walk(entry.ptr, depth + 1)
+
+    walk(tree.root_id, 1)
+    return {
+        depth: {
+            "nodes": len(rows),
+            "mean_cells": sum(c for c, _ in rows) / len(rows),
+            "mean_regions": sum(r for _, r in rows) / len(rows),
+        }
+        for depth, rows in sorted(profile.items())
+    }
+
+
+def format_histogram(histogram: dict[int, int], width: int = 40) -> str:
+    """Render a small ASCII bar chart of an int->count histogram."""
+    if not histogram:
+        return "(empty)"
+    peak = max(histogram.values())
+    lines = []
+    for bucket, count in histogram.items():
+        bar = "#" * max(1, round(count / peak * width))
+        lines.append(f"{bucket:>4} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Rendering the induced attribute-space partition (the paper's Fig. 5).
+
+Two renderers over any scheme's ``leaf_regions()``:
+
+* :func:`ascii_partition` — a character grid for small code domains
+  (used by ``examples/paper_walkthrough.py`` to reproduce Figure 5);
+* :func:`svg_partition` — a standalone SVG of the rectangles, shaded by
+  refinement depth, for real-sized domains.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.interface import MultidimensionalIndex
+
+
+def ascii_partition(
+    index: MultidimensionalIndex,
+    mark: Sequence[tuple[int, ...]] = (),
+    max_cells: int = 4096,
+) -> str:
+    """Render a 2-d index's partition as a letter grid.
+
+    Each page region gets a letter; ``mark`` positions (key tuples) are
+    flagged with ``*``.  Only practical for tiny domains — the worked
+    examples — so the code-point count is capped.
+    """
+    if index.dims != 2:
+        raise ValueError("ASCII rendering is two-dimensional")
+    w1, w2 = index.widths
+    if (1 << w1) * (1 << w2) > max_cells:
+        raise ValueError(
+            f"domain too large to draw ({1 << w1} x {1 << w2} points)"
+        )
+    grid = [[" "] * (1 << w2) for _ in range(1 << w1)]
+    labels: dict[int | None, str] = {}
+    for region in index.leaf_regions():
+        if region.page is None:
+            label = "."
+        else:
+            label = labels.setdefault(
+                region.page, chr(ord("a") + (len(labels) % 26))
+            )
+        lows, highs = region.bounds(index.widths)
+        for x in range(lows[0], highs[0] + 1):
+            for y in range(lows[1], highs[1] + 1):
+                grid[x][y] = label
+    marked = set(mark)
+    lines = []
+    for x in range(1 << w1):
+        row = []
+        for y in range(1 << w2):
+            flag = "*" if (x, y) in marked else " "
+            row.append(grid[x][y] + flag)
+        lines.append(format(x, f"0{w1}b") + "  " + " ".join(row))
+    header = "      " + " ".join(
+        format(y, f"0{w2}b") for y in range(1 << w2)
+    )
+    return header + "\n" + "\n".join(lines)
+
+
+def svg_partition(
+    index: MultidimensionalIndex,
+    path: str,
+    size: int = 640,
+    axes: tuple[int, int] = (0, 1),
+) -> int:
+    """Write the partition as an SVG file; returns the rectangle count.
+
+    For ``dims > 2`` the projection onto ``axes`` is drawn (overlapping
+    projected regions simply stack).  Rectangles are shaded by total
+    refinement depth: darker means more refined, so skew is visible as a
+    dark core — the visual content of the paper's Figures 5-7 story.
+    """
+    ax, ay = axes
+    if ax == ay or max(ax, ay) >= index.dims:
+        raise ValueError(f"bad projection axes {axes}")
+    wx, wy = index.widths[ax], index.widths[ay]
+    span_x, span_y = float(1 << wx), float(1 << wy)
+    regions = list(index.leaf_regions())
+    deepest = max((sum(r.depths) for r in regions), default=1) or 1
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+    ]
+    count = 0
+    for region in regions:
+        lows, highs = region.bounds(index.widths)
+        x = lows[ax] / span_x * size
+        y = lows[ay] / span_y * size
+        width = (highs[ax] - lows[ax] + 1) / span_x * size
+        height = (highs[ay] - lows[ay] + 1) / span_y * size
+        shade = 255 - int(200 * sum(region.depths) / deepest)
+        fill = (
+            "none" if region.page is None
+            else f"rgb({shade},{shade},255)"
+        )
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{width:.2f}" '
+            f'height="{height:.2f}" fill="{fill}" '
+            'stroke="black" stroke-width="0.5"/>'
+        )
+        count += 1
+    parts.append("</svg>")
+    with open(path, "w", encoding="utf-8") as out:
+        out.write("\n".join(parts))
+    return count

@@ -1,0 +1,26 @@
+"""Experiment harness behind the `benchmarks/` suite."""
+
+from repro.bench.paper_data import PAPER_TABLES, PaperCell
+from repro.bench.harness import (
+    TableExperiment,
+    run_table_cell,
+    growth_series,
+    experiment_scale,
+)
+from repro.bench.reporting import (
+    format_table,
+    format_series,
+    shape_assertions,
+)
+
+__all__ = [
+    "PAPER_TABLES",
+    "PaperCell",
+    "TableExperiment",
+    "run_table_cell",
+    "growth_series",
+    "experiment_scale",
+    "format_table",
+    "format_series",
+    "shape_assertions",
+]

@@ -1,0 +1,138 @@
+"""Paper-vs-measured reporting and the shape assertions.
+
+``format_table`` prints a table in the paper's layout with each measured
+value next to the published one.  ``shape_assertions`` encodes what
+"reproduced" means for this paper (see DESIGN.md §5): orderings,
+crossovers and factors rather than absolute digits.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.metrics import GrowthSeries, RunMetrics
+from repro.bench.paper_data import PAGE_CAPACITIES, PaperCell
+
+_MEASURES = (
+    ("λ  succ. search", "successful_search_reads", "{:.3f}"),
+    ("λ' unsucc. search", "unsuccessful_search_reads", "{:.3f}"),
+    ("ρ  per insertion", "insertion_accesses", "{:.3f}"),
+    ("α  load factor", "load_factor", "{:.3f}"),
+    ("σ  directory size", "directory_size", "{:d}"),
+)
+
+
+def format_table(
+    title: str,
+    measured: Mapping[tuple[str, int], RunMetrics],
+    paper: Mapping[str, Mapping[int, PaperCell]],
+    page_capacities: Sequence[int] = PAGE_CAPACITIES,
+) -> str:
+    """Render a paper table with measured-vs-paper cells."""
+    schemes = list(paper)
+    lines = [title, "=" * len(title), ""]
+    header = f"{'measure':<19} {'scheme':<10}" + "".join(
+        f"{'b=' + str(b):>22}" for b in page_capacities
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, attr, fmt in _MEASURES:
+        for scheme in schemes:
+            cells = []
+            for b in page_capacities:
+                run = measured.get((scheme, b))
+                got = "  --  " if run is None else fmt.format(getattr(run, attr))
+                want = fmt.format(getattr(paper[scheme][b], attr))
+                cells.append(f"{got:>10}/{want:<11}")
+            lines.append(f"{label:<19} {scheme:<10}" + "".join(cells))
+        lines.append("")
+    lines.append("cells are measured/paper")
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Sequence[GrowthSeries]
+) -> str:
+    """Render directory-growth curves (Figures 6/7) as aligned columns."""
+    lines = [title, "=" * len(title), ""]
+    header = f"{'keys inserted':>14}" + "".join(
+        f"{s.scheme:>12}" for s in series
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    checkpoints = series[0].checkpoints
+    for i, n in enumerate(checkpoints):
+        row = f"{n:>14}"
+        for s in series:
+            row += f"{s.directory_sizes[i]:>12}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def shape_assertions(
+    table: str, measured: Mapping[tuple[str, int], RunMetrics]
+) -> list[str]:
+    """Check the qualitative claims of a table; returns failure strings.
+
+    The criteria (DESIGN.md §5):
+
+    * MDEH searches in exactly 2 reads at every b; tree schemes need
+      2-4 (bounded by the tree height, root pinned);
+    * all schemes share the data-page organization, so α (and page
+      counts) agree across schemes at each b;
+    * at b = 8 the BMEH directory is the smallest of the three;
+    * under the skewed workload (table 3) the one-level directory is at
+      least an order of magnitude larger than the BMEH-tree's, and its
+      insertion cost ρ is the largest of the three schemes.
+
+    The directory-size orderings are claims about *scale* — below
+    ~10,000 insertions the trees' fixed 2^φ-slot node reservation can
+    dominate — so they are only asserted at sufficient N (quick
+    ``REPRO_N`` smoke runs still check the search-cost shapes).
+    """
+    failures: list[str] = []
+    at_scale = any(run.keys_inserted >= 10_000 for run in measured.values())
+
+    def get(scheme: str, b: int) -> RunMetrics | None:
+        return measured.get((scheme, b))
+
+    for b in PAGE_CAPACITIES:
+        mdeh, meh, bmeh = (get(s, b) for s in ("MDEH", "MEHTree", "BMEHTree"))
+        if not all((mdeh, meh, bmeh)):
+            continue
+        if abs(mdeh.successful_search_reads - 2.0) > 1e-9:
+            failures.append(f"b={b}: MDEH λ is {mdeh.successful_search_reads}, not 2")
+        for run in (meh, bmeh):
+            if not 2.0 <= run.successful_search_reads <= 4.5:
+                failures.append(
+                    f"b={b}: {run.scheme} λ = {run.successful_search_reads} "
+                    "outside the 2-4 band"
+                )
+        if abs(mdeh.load_factor - bmeh.load_factor) > 0.02:
+            failures.append(f"b={b}: load factors diverge across schemes")
+        # At large b the paper's own Table 2 has BMEH slightly above
+        # MDEH (1,088 vs 1,024 at b=64): node pages reserve 2^phi slots.
+        # The claim is "never much worse, much better under pressure".
+        if at_scale and bmeh.directory_size > 1.25 * mdeh.directory_size:
+            failures.append(
+                f"b={b}: BMEH directory ({bmeh.directory_size}) is well "
+                f"above MDEH's ({mdeh.directory_size})"
+            )
+    b8 = [get(s, 8) for s in ("MDEH", "MEHTree", "BMEHTree")]
+    if all(b8) and at_scale:
+        mdeh, meh, bmeh = b8
+        if not bmeh.directory_size == min(r.directory_size for r in b8):
+            failures.append("b=8: BMEH directory is not the smallest")
+        if table == "table3":
+            if mdeh.directory_size < 10 * bmeh.directory_size:
+                failures.append(
+                    "table3: skew did not blow the one-level directory up "
+                    f"(MDEH {mdeh.directory_size} vs BMEH {bmeh.directory_size})"
+                )
+            if mdeh.insertion_accesses <= max(
+                meh.insertion_accesses, bmeh.insertion_accesses
+            ):
+                failures.append(
+                    "table3: MDEH ρ is not the largest under skew"
+                )
+    return failures

@@ -1,0 +1,176 @@
+"""Bit-level pseudo-key machinery.
+
+The paper treats every key component as an (effectively infinite) sequence
+of 0/1 bits consumed most-significant-bit first: a directory with global
+depth ``H`` addresses a component by its first ``H`` bits via
+
+    i = g(K, H) = sum_{1<=r<=H} x_r * 2^(H-r)
+
+and descending through a directory entry *strips* the entry's local-depth
+bits off the front (the paper's ``Left_Shift``).  We represent a component
+as an unsigned integer of a known bit ``width`` (MSB first), so both
+operations are plain shifts.
+
+All functions here are pure and operate on ``(value, width)`` pairs; the
+index implementations keep the pair in parallel variables for speed.  The
+:class:`BitView` convenience wrapper bundles the pair for tests, examples
+and debugging output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "g",
+    "prefix",
+    "strip",
+    "bit_at",
+    "low_mask",
+    "to_bitstring",
+    "from_bitstring",
+    "interleave",
+    "deinterleave",
+    "BitView",
+]
+
+
+def low_mask(n: int) -> int:
+    """Return an ``n``-bit mask of ones (``n >= 0``)."""
+    return (1 << n) - 1
+
+
+def g(value: int, width: int, depth: int) -> int:
+    """The paper's address function ``g(K, H)``: the top ``depth`` bits.
+
+    ``value`` is a ``width``-bit unsigned integer read MSB first.  With
+    ``depth == 0`` the result is 0 (a directory of a single element).
+
+    Raises:
+        ValueError: if ``depth`` exceeds ``width`` (the key has run out of
+            addressing bits) or any argument is negative.
+    """
+    if depth < 0 or width < 0:
+        raise ValueError("width and depth must be non-negative")
+    if depth > width:
+        raise ValueError(f"cannot take {depth} prefix bits of a {width}-bit value")
+    return value >> (width - depth)
+
+
+# ``prefix`` is the natural name for g outside the paper's notation.
+prefix = g
+
+
+def strip(value: int, width: int, n: int) -> tuple[int, int]:
+    """Remove the first ``n`` bits of a ``width``-bit value.
+
+    Returns the remaining ``(value, width)`` pair.  This is the paper's
+    ``Left_Shift(v, n)`` applied to a finite-width register: the consumed
+    prefix disappears and the remaining suffix keeps its MSB-first reading.
+    """
+    if n < 0:
+        raise ValueError("cannot strip a negative number of bits")
+    if n > width:
+        raise ValueError(f"cannot strip {n} bits from a {width}-bit value")
+    remaining = width - n
+    return value & low_mask(remaining), remaining
+
+
+def bit_at(value: int, width: int, position: int) -> int:
+    """Return bit number ``position`` (1-indexed from the MSB).
+
+    ``bit_at(v, w, 1)`` is the most significant bit.  Splitting a page on
+    "the h-th bit" of a component uses exactly this accessor.
+    """
+    if not 1 <= position <= width:
+        raise ValueError(f"bit position {position} outside 1..{width}")
+    return (value >> (width - position)) & 1
+
+
+def to_bitstring(value: int, width: int) -> str:
+    """Render a ``width``-bit value as an MSB-first '0'/'1' string."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or value > low_mask(width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return format(value, f"0{width}b") if width else ""
+
+
+def from_bitstring(bits: str) -> tuple[int, int]:
+    """Parse an MSB-first '0'/'1' string into a ``(value, width)`` pair.
+
+    This is how the paper's literal examples (e.g. the keys of Table 1,
+    given as strings like ``"1110"``) enter the library.
+    """
+    if bits and set(bits) - {"0", "1"}:
+        raise ValueError(f"not a bit string: {bits!r}")
+    return (int(bits, 2) if bits else 0), len(bits)
+
+
+def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
+    """Bit-interleave key components into one z-order value.
+
+    The shuffle order follows the multidimensional splitting sequence:
+    bit 1 of dimension 1, bit 1 of dimension 2, ..., bit 2 of dimension
+    1, ... (dimensions whose width is exhausted drop out, mirroring the
+    exhausted-axis skipping of the split rule).  Records sorted by this
+    value visit the index's regions in contiguous runs — the locality
+    order of Orenstein and Merrett, which the paper cites — making it
+    the natural input order for streaming loads.
+    """
+    if len(codes) != len(widths):
+        raise ValueError("one code per width required")
+    result = 0
+    for position in range(1, max(widths) + 1):
+        for code, width in zip(codes, widths):
+            if position <= width:
+                result = (result << 1) | bit_at(code, width, position)
+    return result
+
+
+def deinterleave(value: int, widths: "tuple[int, ...]") -> "tuple[int, ...]":
+    """Invert :func:`interleave`."""
+    total = sum(widths)
+    codes = [0] * len(widths)
+    consumed = 0
+    for position in range(1, max(widths) + 1):
+        for j, width in enumerate(widths):
+            if position <= width:
+                consumed += 1
+                bit = (value >> (total - consumed)) & 1
+                codes[j] |= bit << (width - position)
+    return tuple(codes)
+
+
+@dataclass(frozen=True)
+class BitView:
+    """An immutable ``(value, width)`` pair with the operations above.
+
+    Used by tests, examples and pretty-printers; the hot index code paths
+    use the module-level functions directly on unpacked ints.
+    """
+
+    value: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0:
+            raise ValueError("width must be non-negative")
+        if not 0 <= self.value <= low_mask(self.width):
+            raise ValueError(f"{self.value} does not fit in {self.width} bits")
+
+    @classmethod
+    def from_string(cls, bits: str) -> "BitView":
+        return cls(*from_bitstring(bits))
+
+    def g(self, depth: int) -> int:
+        return g(self.value, self.width, depth)
+
+    def strip(self, n: int) -> "BitView":
+        return BitView(*strip(self.value, self.width, n))
+
+    def bit(self, position: int) -> int:
+        return bit_at(self.value, self.width, position)
+
+    def __str__(self) -> str:
+        return to_bitstring(self.value, self.width)

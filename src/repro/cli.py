@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables [--table 2|3|4] [--n N] [--schemes ...]`` — regenerate the
+  paper's evaluation tables (measured next to published values);
+* ``figures [--figure 6|7] [--n N]`` — the directory-growth series;
+* ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
+  print its structural profile;
+* ``demo`` — a 30-second guided tour of the API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.stats import (
+    format_histogram,
+    node_level_profile,
+    page_fill_histogram,
+    region_depth_histogram,
+    summarize,
+)
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import PAPER_TABLES, format_table, run_table_cell
+    from repro.bench.harness import TABLE_EXPERIMENTS
+    from repro.bench.paper_data import PAGE_CAPACITIES
+
+    wanted = [f"table{t}" for t in args.table] if args.table else list(
+        TABLE_EXPERIMENTS
+    )
+    for name in wanted:
+        experiment = TABLE_EXPERIMENTS[name]
+        measured = {}
+        for scheme in args.schemes:
+            for b in PAGE_CAPACITIES:
+                print(
+                    f"running {name} {scheme} b={b} ...",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                measured[(scheme, b)] = run_table_cell(
+                    experiment, scheme, b, n=args.n
+                )
+        print()
+        print(format_table(name, measured, PAPER_TABLES[name]))
+        print()
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import format_series, growth_series
+    from repro.bench.harness import FIGURE_EXPERIMENTS
+
+    wanted = [f"fig{f}" for f in args.figure] if args.figure else list(
+        FIGURE_EXPERIMENTS
+    )
+    for name in wanted:
+        experiment = FIGURE_EXPERIMENTS[name]
+        series = []
+        for scheme in args.schemes:
+            print(f"running {name} {scheme} ...", file=sys.stderr, flush=True)
+            _, curve = growth_series(experiment, scheme, n=args.n)
+            series.append(curve)
+        print()
+        print(format_series(name, series))
+        print()
+    return 0
+
+
+def _build_for_stats(args: argparse.Namespace):
+    from repro import (
+        BMEHTree,
+        BalancedBinaryTrie,
+        GridFile,
+        KDBTree,
+        MDEH,
+        MEHTree,
+    )
+    from repro.workloads import (
+        clustered_keys,
+        normal_keys,
+        uniform_keys,
+        unique,
+    )
+
+    schemes = {
+        "mdeh": MDEH,
+        "meh": MEHTree,
+        "bmeh": BMEHTree,
+        "quadtree": BalancedBinaryTrie,
+        "gridfile": GridFile,
+        "kdb": KDBTree,
+    }
+    workloads = {
+        "uniform": uniform_keys,
+        "normal": normal_keys,
+        "clustered": clustered_keys,
+    }
+    keys = unique(workloads[args.workload](args.n, dims=args.dims))
+    index = schemes[args.scheme](args.dims, args.page_capacity, widths=31)
+    for key in keys:
+        index.insert(key)
+    return index
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    index = _build_for_stats(args)
+    summary = summarize(index)
+    print("\n".join(summary.as_lines()))
+    print("\nregion depth histogram (bits):")
+    print(format_histogram(region_depth_histogram(index)))
+    print("\npage fill histogram (records/page):")
+    print(format_histogram(page_fill_histogram(index)))
+    from repro.core.hashtree import HashTreeBase
+
+    if isinstance(index, HashTreeBase):
+        print("\nper-level directory profile:")
+        for level, row in node_level_profile(index).items():
+            print(
+                f"  level {level}: {row['nodes']:>5.0f} nodes, "
+                f"{row['mean_cells']:.1f} cells, "
+                f"{row['mean_regions']:.1f} regions each"
+            )
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import BMEHTree
+    from repro.workloads import uniform_keys, unique
+
+    print("Building a BMEH-tree over 2,000 uniform 2-d keys ...")
+    index = BMEHTree(2, 8, widths=16)
+    keys = unique(uniform_keys(2_000, 2, seed=1, domain=1 << 16))
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    print("\n".join(summarize(index).as_lines()))
+    probe = keys[77]
+    before = index.store.stats.snapshot()
+    index.search(probe)
+    print(
+        f"\nexact-match search: {index.store.stats.delta(before).reads} "
+        "disk reads (root pinned)"
+    )
+    hits = sum(1 for _ in index.range_search((0, 0), (9999, 9999)))
+    print(f"range query over one corner: {hits} records")
+    index.check_invariants()
+    print("invariants: OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BMEH-tree (PODS 1986) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tables = commands.add_parser("tables", help="regenerate Tables 2-4")
+    tables.add_argument("--table", type=int, action="append",
+                        choices=(2, 3, 4))
+    tables.add_argument("--n", type=int, default=None,
+                        help="insertions per run (default: REPRO_N or 40000)")
+    tables.add_argument("--schemes", nargs="+",
+                        default=["MDEH", "MEHTree", "BMEHTree"])
+    tables.set_defaults(handler=_cmd_tables)
+
+    figures = commands.add_parser("figures", help="regenerate Figures 6-7")
+    figures.add_argument("--figure", type=int, action="append",
+                         choices=(6, 7))
+    figures.add_argument("--n", type=int, default=None)
+    figures.add_argument("--schemes", nargs="+",
+                         default=["MDEH", "MEHTree", "BMEHTree"])
+    figures.set_defaults(handler=_cmd_figures)
+
+    stats = commands.add_parser("stats", help="profile one built index")
+    stats.add_argument(
+        "--scheme", default="bmeh",
+        choices=["mdeh", "meh", "bmeh", "quadtree", "gridfile", "kdb"],
+    )
+    stats.add_argument("--workload", default="uniform",
+                       choices=["uniform", "normal", "clustered"])
+    stats.add_argument("--n", type=int, default=10_000)
+    stats.add_argument("--dims", type=int, default=2)
+    stats.add_argument("-b", "--page-capacity", type=int, default=8)
+    stats.set_defaults(handler=_cmd_stats)
+
+    demo = commands.add_parser("demo", help="a quick guided tour")
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

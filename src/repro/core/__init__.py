@@ -1,0 +1,33 @@
+"""The index schemes: the paper's contribution and its baselines."""
+
+from repro.core.interface import MultidimensionalIndex
+from repro.core.directory import DirEntry, region_indices, region_size
+from repro.core.node import Node, NodeCodec
+from repro.core.ehash import ExtendibleHashFile
+from repro.core.mdeh import MDEH
+from repro.core.hashtree import HashTreeBase, default_xi
+from repro.core.meh_tree import MEHTree
+from repro.core.bmeh_tree import BMEHTree
+from repro.core.quadtree import BalancedBinaryTrie
+from repro.core.rangequery import RangeQuery
+from repro.core.facade import MultiKeyFile
+from repro.core.bulk import bulk_load
+
+__all__ = [
+    "MultidimensionalIndex",
+    "DirEntry",
+    "region_indices",
+    "region_size",
+    "Node",
+    "NodeCodec",
+    "ExtendibleHashFile",
+    "MDEH",
+    "HashTreeBase",
+    "default_xi",
+    "MEHTree",
+    "BMEHTree",
+    "BalancedBinaryTrie",
+    "RangeQuery",
+    "MultiKeyFile",
+    "bulk_load",
+]

@@ -1,0 +1,245 @@
+"""BMEH-tree: the paper's contribution — the balanced hash tree.
+
+The directory is a height-balanced tree of bounded nodes.  When a region
+needs a depth its node cannot provide, the *node* splits on the top bit
+of the needed axis and the two halves are registered one level up; if
+that level cannot absorb them its node splits first, and a root split
+adds a level at the top.  Every data page therefore stays at the same
+distance from the root — the property behind the paper's "at most three
+disk accesses for directories up to 2^27 entries" guarantee.
+
+The upward walk is implemented as one structural step per insert retry
+(see ``HashTreeBase``): ``_grow_directory`` finds the shallowest ancestor
+whose parent can absorb a split, performs exactly that split, and lets
+the insert re-descend.  A full page is rehashed only once its leaf node
+is already refinable, so a node cut can never orphan an unregistered
+sibling page.
+"""
+
+from __future__ import annotations
+
+from repro.core.directory import DirEntry
+from repro.core.hashtree import HashTreeBase, _Step
+from repro.core.node import Node
+
+
+class BMEHTree(HashTreeBase):
+    """Balanced multidimensional extendible hash tree."""
+
+    def _grow_directory(self, path: list[_Step], m: int) -> None:
+        """One step of the paper's stack-driven split propagation.
+
+        Walking from the leaf toward the root, level ``i`` needs to
+        refine along ``axis[i]``; if it cannot, its node must split along
+        a cut axis and the requirement moves to level ``i-1``.  The first
+        level that *can* refine absorbs the split of the level below it;
+        if none can, the root splits and the tree gains a level.
+        """
+        axis = m
+        for i in range(len(path) - 1, -1, -1):
+            step = path[i]
+            if self._refinable(step.node, step.entry, axis):
+                assert i < len(path) - 1, (
+                    "leaf was refinable; _grow_directory should not run"
+                )
+                child = path[i + 1]
+                right_id = self._cut_node(child.node_id, axis, child.consumed)
+                self._refine_region(
+                    step.node, step.node_id, step.anchor, step.entry,
+                    axis, child.node_id, right_id, True,
+                )
+                return
+            axis = self._cut_axis(step.node, axis)
+        self._split_root(path[0], axis)
+
+    def _fill_nil_region(self, leaf) -> None:
+        """Balanced materialization of a NIL region: a pruned empty
+        subtree left its parent with a NIL entry above level 1, so the
+        new data page must hang from a fresh chain of single-cell nodes
+        reaching down to level 1 — keeping every page at the same depth."""
+        from repro.storage import DataPage
+
+        ptr = self._store.allocate(DataPage(self._page_capacity))
+        self._data_pages += 1
+        is_node = False
+        for level in range(1, leaf.node.level):
+            wrapper = Node(self._dims, self._xi, level)
+            wrapper.array.set_at(
+                0, DirEntry([0] * self._dims, self._dims - 1, ptr, is_node)
+            )
+            ptr = self._store.allocate(wrapper)
+            self._node_count += 1
+            is_node = True
+        leaf.entry.ptr = ptr
+        leaf.entry.is_node = is_node
+        self._store.write(leaf.node_id, leaf.node)
+
+    def _cut_axis(self, node: Node, axis: int) -> int:
+        """The axis a node split actually cuts on: the requested axis if
+        the node addresses it, else its deepest axis (a node that cannot
+        grow holds > 1 entry, so some axis has depth >= 1)."""
+        depths = node.array.depths
+        if depths[axis] >= 1:
+            return axis
+        deepest = max(range(self._dims), key=lambda j: depths[j])
+        assert depths[deepest] >= 1, "an unsplittable single-cell node"
+        return deepest
+
+    def _split_root(self, root_step: _Step, axis: int) -> None:
+        """Split the root and grow a new one above it (the tree's only
+        way to gain height, which keeps it perfectly balanced)."""
+        old_root_id = root_step.node_id
+        right_id = self._cut_node(old_root_id, axis, (0,) * self._dims)
+        old_level = root_step.node.level
+        new_root = Node(self._dims, self._xi, old_level + 1)
+        stub = DirEntry([0] * self._dims, axis, old_root_id, True)
+        new_root.array.set_at(0, stub)
+        new_root_id = self._store.allocate(new_root)
+        self._node_count += 1
+        self._refine_region(
+            new_root, new_root_id, (0,) * self._dims, stub,
+            axis, old_root_id, right_id, True,
+        )
+        self._store.unpin(old_root_id)
+        self._store.pin(new_root_id)
+        self._root_id = new_root_id
+
+    def _collapse(self, path: list[_Step]) -> None:
+        """Reverse the growth steps bottom-up (§4.2: deletion strictly
+        reverses insertion): first try to re-merge the traversed child
+        node with its buddy sibling at every level, then drop the root
+        once it routes everything to a single child."""
+        for i in range(len(path) - 1, 0, -1):
+            parent = path[i - 1]
+            self._prune_empty_child(parent.node, parent.node_id,
+                                    parent.entry)
+            self._merge_sibling_nodes(parent.node, parent.node_id,
+                                      parent.entry)
+        self._drop_trivial_root()
+
+    def _prune_empty_child(self, parent, parent_id, entry) -> None:
+        """Free a child subtree that holds no records at all: its parent
+        region becomes NIL (the generalized "immediate deletion of empty
+        pages"), after which buddy-region merging can continue."""
+        if not entry.is_node or entry.ptr is None:
+            return
+        child = self._store.peek(entry.ptr)
+        if any(e.ptr is not None for e in child.entries()):
+            return
+        self._store.free(entry.ptr)
+        self._node_count -= 1
+        entry.ptr = None
+        entry.is_node = False
+        self._store.write(parent_id, parent)
+        self._merge_in_leaf(parent, parent_id, entry)
+
+    def _merge_sibling_nodes(self, parent, parent_id, entry) -> None:
+        """Fold two sibling half-nodes back into one node — the inverse
+        of a node split — while their combined cells fit one node page.
+
+        The buddy region must mirror this one exactly (same depths, node
+        children, equal child shapes); the merged node re-absorbs the
+        parent-level bit: child cells keep their coordinates with the
+        buddy's shifted into the upper half, and every child entry's
+        local depth on the merge axis grows by one.
+        """
+        from repro.core.directory import region_indices
+
+        while entry.is_node and entry.ptr is not None:
+            m = entry.m
+            if entry.h[m] == 0:
+                return
+            depths = parent.array.depths
+            anchor = self._find_anchor(parent, entry)
+            buddy_cell = list(anchor)
+            buddy_cell[m] = anchor[m] ^ (1 << (depths[m] - entry.h[m]))
+            buddy = parent.array[tuple(buddy_cell)]
+            if (
+                buddy is entry
+                or not buddy.is_node
+                or buddy.ptr is None
+                or buddy.h != entry.h
+                or buddy.m != entry.m
+            ):
+                return
+            side = (anchor[m] >> (depths[m] - entry.h[m])) & 1
+            left_id, right_id = (
+                (buddy.ptr, entry.ptr) if side else (entry.ptr, buddy.ptr)
+            )
+            merged_id = self._try_rejoin(left_id, right_id, m)
+            if merged_id is None:
+                return
+            merged = DirEntry(entry.h, (m - 1) % self._dims, merged_id, True)
+            merged.h[m] -= 1
+            for cell in region_indices(depths, anchor, merged.h):
+                parent.array[cell] = merged
+            self._store.write(parent_id, parent)
+            self._shrink_node(parent, parent_id)
+            entry = merged
+
+    def _try_rejoin(self, left_id: int, right_id: int, axis: int) -> int | None:
+        """Concatenate two sibling nodes along ``axis`` if the result
+        fits a node page; returns the merged node id (reusing the left)."""
+        left = self._store.peek(left_id)
+        right = self._store.peek(right_id)
+        if left.level != right.level:
+            return None
+        if left.array.depths != right.array.depths:
+            return None
+        if 2 * len(left.array) > left.capacity:
+            return None
+        if self._node_policy == "per_dim" and (
+            left.array.depths[axis] >= self._xi[axis]
+        ):
+            return None
+        merged = self._blank_node(left.level, left.array.depths)
+        merged.array.grow(axis)
+        half = 1 << left.array.depths[axis]
+        rejoined: dict[int, DirEntry] = {}
+        for source, offset in ((left, 0), (right, half)):
+            for address in range(len(source.array)):
+                old = source.array.get_at(address)
+                entry = rejoined.get(id(old))
+                if entry is None:
+                    entry = old.clone()
+                    entry.h[axis] += 1
+                    rejoined[id(old)] = entry
+                cell = list(source.array.index_of(address))
+                cell[axis] += offset
+                merged.array[tuple(cell)] = entry
+        self._store.write(left_id, merged)
+        self._store.read(right_id)
+        self._store.free(right_id)
+        self._node_count -= 1
+        return left_id
+
+    def _drop_trivial_root(self) -> None:
+        while True:
+            root = self._store.peek(self._root_id)
+            entries = list(root.entries())
+            if all(e.ptr is None for e in entries) and (
+                root.level > 1 or len(root.array) > 1
+            ):
+                # An entirely empty tree resets to the initial state.
+                fresh = Node(self._dims, self._xi, level=1)
+                fresh.array.set_at(
+                    0, DirEntry([0] * self._dims, self._dims - 1, None)
+                )
+                self._store.write(self._root_id, fresh)
+                return
+            if len(entries) != 1 or not entries[0].is_node:
+                return
+            lone = entries[0]
+            if any(lone.h):
+                return
+            child_id = lone.ptr
+            self._store.unpin(self._root_id)
+            self._store.free(self._root_id)
+            self._node_count -= 1
+            self._store.pin(child_id)
+            self._root_id = child_id
+
+    def _check_child_level(self, parent: Node, child: Node) -> None:
+        assert child.level == parent.level - 1, (
+            f"BMEH child level {child.level} under parent {parent.level}"
+        )

@@ -1,0 +1,205 @@
+"""Bulk loading: build a BMEH-tree bottom-up from a key set.
+
+Incremental insertion pays a root-to-leaf traversal plus split I/O per
+record.  For an initially-known key set the final partition can be
+computed directly — with pure insertions it depends only on the final
+key set (a region is refined iff its parent holds more than ``b`` keys),
+not on arrival order — and the directory assembled bottom-up so every
+data page and directory node is written exactly once.
+
+The loader works in three stages:
+
+1. **split trie** — refine the record set with the exact incremental
+   rules (cyclic split dimension, exhausted-axis skipping, empty halves
+   as NIL), so the leaf partition is *identical* to what one-by-one
+   insertion would produce;
+2. **layer packing** — repeatedly absorb maximal packable subtries
+   (those whose per-dimension bit shapes fit one node's budget) into
+   directory nodes, bottom layer first.  Every packed unit of layer k
+   has height exactly k, so the result is perfectly balanced with no
+   padding;
+3. **materialization** — each packed subtrie expands into one node
+   through the same region-refinement moves the incremental path uses.
+
+Result: the same partition and height as incremental insertion, a
+similar node count, at a fraction of the I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.bits import bit_at
+from repro.errors import DuplicateKeyError
+from repro.storage import DataPage
+from repro.core.bmeh_tree import BMEHTree
+from repro.core.directory import DirEntry, region_indices
+from repro.core.node import Node
+
+
+class _Split:
+    """Interior split-trie node."""
+
+    __slots__ = ("dim", "low", "high")
+
+    def __init__(self, dim: int, low, high) -> None:
+        self.dim = dim
+        self.low = low
+        self.high = high
+
+
+class _Built:
+    """A finished unit: a data page, a directory node, or NIL."""
+
+    __slots__ = ("ptr", "is_node")
+
+    def __init__(self, ptr: int | None, is_node: bool) -> None:
+        self.ptr = ptr
+        self.is_node = is_node
+
+
+def bulk_load(
+    index: BMEHTree,
+    items: Iterable[tuple[Sequence[int], Any]],
+) -> BMEHTree:
+    """Populate an *empty* BMEH-tree from ``(key, value)`` pairs.
+
+    Raises:
+        ValueError: if the index already holds records.
+        DuplicateKeyError: on repeated keys in ``items``.
+        CapacityError: if more than ``b`` records share every
+            addressable pseudo-key bit.
+    """
+    if len(index) != 0:
+        raise ValueError("bulk_load needs an empty index")
+    records = []
+    seen: set[tuple[int, ...]] = set()
+    for key, value in items:
+        codes = index._check_key(key)
+        if codes in seen:
+            raise DuplicateKeyError(f"key {codes} appears twice")
+        seen.add(codes)
+        records.append((codes, value))
+    if not records:
+        return index
+
+    with index.store.operation():
+        trie = _build_trie(index, records, [0] * index.dims, index.dims - 1)
+        level = 1
+        while not (isinstance(trie, _Built) and trie.is_node):
+            trie = _pack_layer(index, trie, level)
+            level += 1
+        built = index.store.peek(trie.ptr)
+        index.store.write(index.root_id, built)
+        index.store.free(trie.ptr)
+        index._node_count -= 1
+    index._num_keys = len(records)
+    return index
+
+
+def _build_trie(index: BMEHTree, records, depths, m):
+    """Refine a record set with the index's split rules; pages are
+    allocated immediately (each is written exactly once)."""
+    if len(records) <= index.page_capacity:
+        if not records:
+            return _Built(None, False)
+        page = DataPage(index.page_capacity)
+        for codes, value in records:
+            page.put(codes, value)
+        ptr = index.store.allocate(page)
+        index._data_pages += 1
+        return _Built(ptr, False)
+    dim = index._next_split_dim(m, depths)
+    position = depths[dim] + 1
+    width = index.widths[dim]
+    low, high = [], []
+    for record in records:
+        (high if bit_at(record[0][dim], width, position) else low).append(
+            record
+        )
+    child_depths = list(depths)
+    child_depths[dim] += 1
+    return _Split(
+        dim,
+        _build_trie(index, low, child_depths, dim),
+        _build_trie(index, high, child_depths, dim),
+    )
+
+
+def _packable(index: BMEHTree, shape: Sequence[int]) -> bool:
+    if sum(shape) > index.phi:
+        return False
+    if index._node_policy == "per_dim":
+        return all(s <= x for s, x in zip(shape, index.xi))
+    return True
+
+
+def _pack_layer(index: BMEHTree, trie, level: int):
+    """Replace maximal packable subtries with height-``level`` nodes."""
+    if isinstance(trie, _Built):
+        if trie.ptr is None:
+            return trie  # NIL needs no node at any level
+        return _materialize(index, trie, level)
+    shape = _layer_shape(index, trie)
+    if _packable(index, shape):
+        return _materialize(index, trie, level)
+    return _Split(
+        trie.dim,
+        _pack_layer(index, trie.low, level),
+        _pack_layer(index, trie.high, level),
+    )
+
+
+def _layer_shape(index: BMEHTree, trie) -> tuple[int, ...]:
+    if isinstance(trie, _Built):
+        return (0,) * index.dims
+    low = _layer_shape(index, trie.low)
+    high = _layer_shape(index, trie.high)
+    merged = [max(a, b) for a, b in zip(low, high)]
+    merged[trie.dim] += 1
+    return tuple(merged)
+
+
+def _materialize(index: BMEHTree, trie, level: int) -> _Built:
+    """Expand one packable subtrie into a single directory node using
+    the same region-refinement moves as incremental insertion."""
+    node = Node(index.dims, index.xi, level)
+    root_entry = DirEntry([0] * index.dims, index.dims - 1, trie, True)
+    node.array.set_at(0, root_entry)
+    frontier = [root_entry]
+    while frontier:
+        next_frontier = []
+        for entry in frontier:
+            subtrie = entry.ptr
+            if isinstance(subtrie, _Built):
+                entry.ptr = subtrie.ptr
+                entry.is_node = subtrie.is_node
+                continue
+            m = subtrie.dim
+            new_depth = entry.h[m] + 1
+            if new_depth > node.array.depths[m]:
+                node.array.grow_rehash(m)
+            anchor = _anchor_of(node, entry)
+            depths = node.array.depths
+            shift = depths[m] - new_depth
+            sides = (
+                DirEntry(entry.h, m, subtrie.low, True),
+                DirEntry(entry.h, m, subtrie.high, True),
+            )
+            for side in sides:
+                side.h[m] = new_depth
+            for cell in region_indices(depths, anchor, entry.h):
+                bit = (cell[m] >> shift) & 1
+                node.array[cell] = sides[bit]
+            next_frontier.extend(sides)
+        frontier = next_frontier
+    node_id = index.store.allocate(node)
+    index._node_count += 1
+    return _Built(node_id, True)
+
+
+def _anchor_of(node: Node, entry: DirEntry) -> tuple[int, ...]:
+    for address in range(len(node.array)):
+        if node.array.get_at(address) is entry:
+            return node.array.index_of(address)
+    raise AssertionError("entry vanished from its node during assembly")

@@ -1,0 +1,81 @@
+"""Directory entries and region geometry shared by every scheme.
+
+A *directory element* (paper §2.1) carries d local depths ``h_j``, the
+dimension ``m`` of the most recent expansion, and a pointer.  All cells of
+one *region* — the rectangle of cells addressing the same child — share a
+single :class:`DirEntry` object; refining a region replaces the object in
+the affected cells.  Sharing makes the region structure explicit (two
+cells belong to the same region iff they hold the same entry object),
+which both the algorithms and the invariant checkers exploit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+__all__ = ["DirEntry", "region_indices", "region_size"]
+
+
+class DirEntry:
+    """One region's directory state.
+
+    Attributes:
+        h: local depths per dimension — how many of the addressing bits at
+            this directory level actually discriminate the region.
+        m: the dimension (0-based) along which the region last expanded;
+            the next split dimension is chosen cyclically after it.
+        ptr: page id of the child (a data page or a directory node), or
+            ``None`` for an unallocated region.
+        is_node: whether ``ptr`` names a directory node rather than a data
+            page.
+    """
+
+    __slots__ = ("h", "m", "ptr", "is_node")
+
+    def __init__(
+        self,
+        h: Sequence[int],
+        m: int,
+        ptr: int | None,
+        is_node: bool = False,
+    ) -> None:
+        self.h = list(h)
+        self.m = m
+        self.ptr = ptr
+        self.is_node = is_node
+
+    def clone(self) -> "DirEntry":
+        return DirEntry(self.h, self.m, self.ptr, self.is_node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "node" if self.is_node else "page"
+        return f"DirEntry(h={self.h}, m={self.m}, {kind}:{self.ptr})"
+
+
+def region_indices(
+    depths: Sequence[int], anchor: Sequence[int], h: Sequence[int]
+) -> Iterator[tuple[int, ...]]:
+    """All cell indices of the region containing ``anchor``.
+
+    A directory with global depths ``depths`` addresses cells by
+    ``depths[j]`` bits per dimension; a region of local depths ``h`` fixes
+    the top ``h[j]`` of them, so its cells form a contiguous per-dimension
+    block of ``2^(depths[j] - h[j])`` indices around the anchor.
+    """
+    spans = []
+    for j, (H_j, h_j) in enumerate(zip(depths, h)):
+        free = H_j - h_j
+        if free < 0:
+            raise ValueError(f"local depth {h_j} exceeds global {H_j} on axis {j}")
+        base = (anchor[j] >> free) << free
+        spans.append(range(base, base + (1 << free)))
+    return itertools.product(*spans)
+
+
+def region_size(depths: Sequence[int], h: Sequence[int]) -> int:
+    """Number of cells in a region of local depths ``h``."""
+    size = 1
+    for H_j, h_j in zip(depths, h):
+        size <<= H_j - h_j
+    return size

@@ -1,0 +1,93 @@
+"""Application-facing facade: a multikey file over typed attributes.
+
+The index classes speak pseudo-key code tuples; :class:`MultiKeyFile`
+pairs one of them with a :class:`~repro.encoding.KeyCodec` so callers
+insert and query with their own attribute values (floats, strings,
+datetimes, ...).  This is the class the examples use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence, Type
+
+from repro.encoding import KeyCodec
+from repro.storage import PageStore
+from repro.core.bmeh_tree import BMEHTree
+from repro.core.interface import MultidimensionalIndex
+
+
+class MultiKeyFile:
+    """A typed multidimensional file on top of an index scheme.
+
+    Args:
+        codec: per-dimension attribute encoders.
+        page_capacity: records per data page.
+        scheme: index class (default :class:`BMEHTree`, the paper's
+            contribution).
+        store: page store to build on (fresh in-memory one by default).
+        **scheme_options: forwarded to the scheme constructor
+            (``xi``, ``node_policy``, ``dir_page_entries``, ...).
+    """
+
+    def __init__(
+        self,
+        codec: KeyCodec,
+        page_capacity: int = 32,
+        scheme: Type[MultidimensionalIndex] = BMEHTree,
+        store: PageStore | None = None,
+        **scheme_options: Any,
+    ) -> None:
+        self._codec = codec
+        self._index = scheme(
+            dims=codec.dimensions,
+            page_capacity=page_capacity,
+            widths=codec.widths,
+            store=store,
+            **scheme_options,
+        )
+
+    @property
+    def codec(self) -> KeyCodec:
+        return self._codec
+
+    @property
+    def index(self) -> MultidimensionalIndex:
+        """The underlying index, for stats and invariant checks."""
+        return self._index
+
+    @property
+    def store(self) -> PageStore:
+        return self._index.store
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def insert(self, key: Sequence[Any], value: Any = None) -> None:
+        self._index.insert(self._codec.encode(key), value)
+
+    def search(self, key: Sequence[Any]) -> Any:
+        return self._index.search(self._codec.encode(key))
+
+    def delete(self, key: Sequence[Any]) -> Any:
+        return self._index.delete(self._codec.encode(key))
+
+    def __contains__(self, key: Sequence[Any]) -> bool:
+        return self._codec.encode(key) in self._index
+
+    def range_search(
+        self,
+        lows: Sequence[Any | None],
+        highs: Sequence[Any | None],
+    ) -> Iterator[tuple[tuple[Any, ...], Any]]:
+        """Partial-range retrieval over attribute values.
+
+        ``None`` bounds leave a side unconstrained.  Yields
+        ``(decoded key, value)`` pairs.
+        """
+        lo_codes, hi_codes = self._codec.encode_range(lows, highs)
+        for codes, value in self._index.range_search(lo_codes, hi_codes):
+            yield self._codec.decode(codes), value
+
+    def items(self) -> Iterator[tuple[tuple[Any, ...], Any]]:
+        for codes, value in self._index.items():
+            yield self._codec.decode(codes), value

@@ -1,0 +1,225 @@
+"""Common interface and shared mechanics of the multidimensional indexes.
+
+Every scheme stores records keyed by d-tuples of fixed-width pseudo-key
+codes (produced by a :class:`~repro.encoding.KeyCodec` or supplied raw, as
+in the paper's experiments) and supports exact-match search, insertion,
+deletion and partial-range retrieval.  The mechanics every scheme shares —
+validating keys, choosing the next split dimension cyclically, and
+physically splitting a data page on a pseudo-key bit — live here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from repro.bits import bit_at
+from repro.errors import CapacityError, KeyDimensionError
+from repro.storage import DataPage, PageStore
+
+KeyCodes = tuple[int, ...]
+Record = tuple[KeyCodes, Any]
+
+
+@dataclass(frozen=True)
+class LeafRegion:
+    """One rectangle of the rectilinear partition an index induces.
+
+    The region covers, on each dimension ``j``, the code interval whose
+    first ``depths[j]`` bits equal ``prefixes[j]``; ``page`` is the data
+    page storing its records (``None`` for an unallocated region).  The
+    set of leaf regions tiles the whole attribute space — the structure
+    the paper draws in Figure 5 and the unit of Theorem 4's range cost.
+    """
+
+    prefixes: KeyCodes
+    depths: tuple[int, ...]
+    page: int | None
+
+    def bounds(self, widths: Sequence[int]) -> tuple[KeyCodes, KeyCodes]:
+        """Inclusive (lows, highs) code bounds of the rectangle."""
+        lows = []
+        highs = []
+        for prefix, depth, width in zip(self.prefixes, self.depths, widths):
+            rest = width - depth
+            low = prefix << rest
+            lows.append(low)
+            highs.append(low | ((1 << rest) - 1))
+        return tuple(lows), tuple(highs)
+
+    def volume(self, widths: Sequence[int]) -> int:
+        """Number of code points the rectangle covers."""
+        size = 1
+        for depth, width in zip(self.depths, widths):
+            size <<= width - depth
+        return size
+
+
+class MultidimensionalIndex(ABC):
+    """Abstract base of MDEH, MEH-tree, BMEH-tree and the 1-d scheme."""
+
+    def __init__(
+        self,
+        dims: int,
+        page_capacity: int,
+        widths: Sequence[int] | int = 32,
+        store: PageStore | None = None,
+    ) -> None:
+        if dims < 1:
+            raise KeyDimensionError("an index needs at least one dimension")
+        if page_capacity < 1:
+            raise ValueError("page capacity must be at least 1")
+        if isinstance(widths, int):
+            widths = (widths,) * dims
+        if len(widths) != dims:
+            raise KeyDimensionError("one pseudo-key width per dimension required")
+        if any(not 1 <= w <= 64 for w in widths):
+            raise ValueError("pseudo-key widths must be in 1..64")
+        self._dims = dims
+        self._page_capacity = page_capacity
+        self._widths = tuple(widths)
+        self._store = store or PageStore()
+        self._num_keys = 0
+
+    # -- shape / state -------------------------------------------------------
+
+    @property
+    def dims(self) -> int:
+        return self._dims
+
+    @property
+    def page_capacity(self) -> int:
+        """The paper's ``b``: records per data page."""
+        return self._page_capacity
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        """Pseudo-key bits per dimension (the paper's ``w``)."""
+        return self._widths
+
+    @property
+    def store(self) -> PageStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return self._num_keys
+
+    @property
+    @abstractmethod
+    def directory_size(self) -> int:
+        """The paper's σ: directory elements for the one-level scheme,
+        node count × 2^φ reserved slots for the tree schemes."""
+
+    @property
+    @abstractmethod
+    def data_page_count(self) -> int:
+        """Number of allocated data pages."""
+
+    @property
+    def load_factor(self) -> float:
+        """The paper's α: keys stored / (data pages × b)."""
+        pages = self.data_page_count
+        return self._num_keys / (pages * self._page_capacity) if pages else 0.0
+
+    # -- operations ----------------------------------------------------------
+
+    @abstractmethod
+    def insert(self, key: Sequence[int], value: Any = None) -> None:
+        """Insert a record; duplicates raise
+        :class:`~repro.errors.DuplicateKeyError`."""
+
+    @abstractmethod
+    def search(self, key: Sequence[int]) -> Any:
+        """Exact-match search; raises
+        :class:`~repro.errors.KeyNotFoundError` when absent."""
+
+    @abstractmethod
+    def delete(self, key: Sequence[int]) -> Any:
+        """Remove a record and return its value."""
+
+    @abstractmethod
+    def range_search(
+        self, lows: Sequence[int], highs: Sequence[int]
+    ) -> Iterator[Record]:
+        """Partial-range retrieval: all records with
+        ``lows[j] <= key[j] <= highs[j]`` on every dimension."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Record]:
+        """Every stored record (directory order, charged like a scan)."""
+
+    @abstractmethod
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises AssertionError on breakage.
+        Uses uncharged reads so it never distorts the I/O ledger."""
+
+    @abstractmethod
+    def leaf_regions(self) -> Iterator[LeafRegion]:
+        """The rectilinear partition of the attribute space (uncharged);
+        regions tile the space exactly — ``repro.analysis.space`` checks
+        this as a global invariant."""
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        from repro.errors import KeyNotFoundError
+
+        try:
+            self.search(key)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    # -- shared mechanics -----------------------------------------------------
+
+    def _check_key(self, key: Sequence[int]) -> KeyCodes:
+        if len(key) != self._dims:
+            raise KeyDimensionError(
+                f"key has {len(key)} components, index has {self._dims}"
+            )
+        codes = []
+        for j, (code, width) in enumerate(zip(key, self._widths)):
+            if not isinstance(code, int) or isinstance(code, bool):
+                raise KeyDimensionError(f"component {j} is not an int: {code!r}")
+            if not 0 <= code < (1 << width):
+                raise KeyDimensionError(
+                    f"component {j} = {code} outside [0, 2^{width})"
+                )
+            codes.append(code)
+        return tuple(codes)
+
+    def _next_split_dim(self, after: int, total_depths: Sequence[int]) -> int:
+        """Cyclic split-dimension choice, skipping exhausted dimensions.
+
+        ``after`` is the region's stored ``m``; the successor is
+        ``(m+1) mod d`` (the paper updates ``m`` before using it), moving
+        on — as the paper prescribes for shorter key encodings — past any
+        dimension whose full ``w_j`` bits are already consumed.
+        """
+        for offset in range(1, self._dims + 1):
+            dim = (after + offset) % self._dims
+            if total_depths[dim] < self._widths[dim]:
+                return dim
+        raise CapacityError(
+            f"more than b={self._page_capacity} keys share all "
+            f"{sum(self._widths)} pseudo-key bits"
+        )
+
+    def _split_page(
+        self, page: DataPage, dim: int, overall_depth: int
+    ) -> DataPage:
+        """Rehash ``page`` on bit ``overall_depth`` of dimension ``dim``.
+
+        Keys whose bit is 1 move to the returned new page; keys with bit 0
+        stay.  ``overall_depth`` is 1-indexed from the MSB — it is the
+        region's *new* total depth along ``dim``.
+        """
+        sibling = DataPage(self._page_capacity)
+        width = self._widths[dim]
+        moving = [
+            key
+            for key in page.keys()
+            if bit_at(key[dim], width, overall_depth)
+        ]
+        for key in moving:
+            sibling.put(key, page.remove(key))
+        return sibling

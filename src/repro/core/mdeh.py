@@ -1,0 +1,428 @@
+"""MDEH: multidimensional extendible hashing with a one-level directory.
+
+The paper's first baseline (§2.1, from Otoo VLDB'84).  The directory is a
+d-dimensional extendible array addressed by Theorem 1's mapping; each
+element holds local depths, the cyclic split dimension ``m`` and a data
+page pointer.  Exact-match search is two disk accesses — one directory
+page (the element's address is computed, so exactly one directory page is
+touched) and one data page.
+
+Its weakness, which the BMEH-tree exists to fix, is on display in the
+insertion path: a page split rewrites the pointer of *every* directory
+element of the split region, and a directory doubling rewrites the whole
+directory.  Both costs are charged to the I/O ledger as virtual
+directory-page traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.bits import g
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.extarray import ExtendibleArray
+from repro.storage import DataPage, PageStore
+from repro.core.directory import DirEntry, region_indices
+from repro.core.interface import KeyCodes, MultidimensionalIndex, Record
+
+
+class MDEH(MultidimensionalIndex):
+    """One-level multidimensional extendible hashing.
+
+    Args:
+        dims: key dimensionality ``d``.
+        page_capacity: records per data page (the paper's ``b``).
+        widths: pseudo-key bits per dimension (default 32 each).
+        store: page store; a fresh in-memory one by default.
+        dir_page_entries: directory elements per directory page — the
+            granularity at which directory I/O is charged (64 by default,
+            the same page budget as a tree node).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        page_capacity: int,
+        widths: Sequence[int] | int = 32,
+        store: PageStore | None = None,
+        dir_page_entries: int = 64,
+        element_granular_updates: bool = True,
+    ) -> None:
+        super().__init__(dims, page_capacity, widths, store)
+        if dir_page_entries < 1:
+            raise ValueError("dir_page_entries must be positive")
+        self._epp = dir_page_entries
+        self._element_granular = element_granular_updates
+        self._dir = ExtendibleArray(dims, fill=None)
+        self._dir.set_at(0, DirEntry([0] * dims, dims - 1, None))
+        self._data_pages = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def global_depths(self) -> tuple[int, ...]:
+        """The directory header ``<H_1, ..., H_d>``."""
+        return self._dir.depths
+
+    @property
+    def directory_size(self) -> int:
+        return len(self._dir)
+
+    @property
+    def data_page_count(self) -> int:
+        return self._data_pages
+
+    @property
+    def directory_page_count(self) -> int:
+        """Directory pages occupied at ``dir_page_entries`` per page."""
+        return -(-len(self._dir) // self._epp)
+
+    # -- addressing ----------------------------------------------------------
+
+    def _anchor(self, codes: KeyCodes) -> tuple[int, ...]:
+        depths = self._dir.depths
+        return tuple(
+            g(codes[j], self._widths[j], depths[j]) for j in range(self._dims)
+        )
+
+    def _dir_token(self, address: int) -> int:
+        return address // self._epp
+
+    def _charge_cell_read(self, address: int) -> None:
+        """A *lookup* touches one directory page (λ = 2 comes from here)."""
+        self._store.count_virtual_read(("dir", self._dir_token(address)))
+
+    def _charge_update_read(self, address: int) -> None:
+        """A region *update* is charged at pointer granularity by default:
+        the paper's insertion costs ("resetting half the page pointers"
+        after a split, §3) count each directory element reset, which is
+        what makes the one-level scheme's ρ explode for skewed keys.
+        ``element_granular_updates=False`` switches to page granularity."""
+        token = address if self._element_granular else self._dir_token(address)
+        self._store.count_virtual_read(("dirupd", token))
+
+    def _charge_update_write(self, address: int) -> None:
+        token = address if self._element_granular else self._dir_token(address)
+        self._store.count_virtual_write(("dirupd", token))
+
+    # -- operations ----------------------------------------------------------
+
+    def search(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        with self._store.operation():
+            address = self._dir.address(self._anchor(codes))
+            self._charge_cell_read(address)
+            entry = self._dir.get_at(address)
+            if entry.ptr is None:
+                raise KeyNotFoundError(f"key {codes} not found")
+            page = self._store.read(entry.ptr)
+            return page.get(codes)
+
+    def insert(self, key: Sequence[int], value: Any = None) -> None:
+        codes = self._check_key(key)
+        with self._store.operation():
+            while True:
+                anchor = self._anchor(codes)
+                address = self._dir.address(anchor)
+                self._charge_cell_read(address)
+                entry = self._dir.get_at(address)
+                if entry.ptr is None:
+                    self._allocate_region_page(anchor, entry)
+                page = self._store.read(entry.ptr)
+                if codes in page:
+                    raise DuplicateKeyError(f"key {codes} already present")
+                if not page.is_full:
+                    page.put(codes, value)
+                    self._store.write(entry.ptr, page)
+                    self._num_keys += 1
+                    return
+                self._split_region(anchor, entry, page)
+
+    def delete(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        with self._store.operation():
+            anchor = self._anchor(codes)
+            address = self._dir.address(anchor)
+            self._charge_cell_read(address)
+            entry = self._dir.get_at(address)
+            if entry.ptr is None:
+                raise KeyNotFoundError(f"key {codes} not found")
+            page = self._store.read(entry.ptr)
+            value = page.remove(codes)  # raises KeyNotFoundError when absent
+            self._num_keys -= 1
+            if len(page) == 0:
+                # §2.1: directory-resident local depths let an emptied
+                # page be dropped without touching it again.
+                self._store.free(entry.ptr)
+                self._data_pages -= 1
+                entry.ptr = None
+                self._touch_region_cells(anchor, entry.h)
+            else:
+                self._store.write(entry.ptr, page)
+            if self._try_merge(anchor, entry):
+                # Local depths only decrease through merges, so the
+                # directory can only have become contractible after one.
+                self._try_contract()
+            return value
+
+    def range_search(
+        self, lows: Sequence[int], highs: Sequence[int]
+    ) -> Iterator[Record]:
+        lows = self._check_key(lows)
+        highs = self._check_key(highs)
+        if any(lo > hi for lo, hi in zip(lows, highs)):
+            return
+        with self._store.operation():
+            depths = self._dir.depths
+            spans = [
+                range(
+                    g(lows[j], self._widths[j], depths[j]),
+                    g(highs[j], self._widths[j], depths[j]) + 1,
+                )
+                for j in range(self._dims)
+            ]
+            import itertools
+
+            seen_regions: set[int] = set()
+            for cell in itertools.product(*spans):
+                address = self._dir.address(cell)
+                self._charge_cell_read(address)
+                entry = self._dir.get_at(address)
+                if id(entry) in seen_regions:
+                    continue
+                seen_regions.add(id(entry))
+                if entry.ptr is None:
+                    continue
+                page = self._store.read(entry.ptr)
+                for codes, value in page.items():
+                    if all(
+                        lows[j] <= codes[j] <= highs[j]
+                        for j in range(self._dims)
+                    ):
+                        yield codes, value
+
+    def items(self) -> Iterator[Record]:
+        with self._store.operation():
+            seen: set[int] = set()
+            for entry in self._regions():
+                if entry.ptr is not None and entry.ptr not in seen:
+                    seen.add(entry.ptr)
+                    page = self._store.read(entry.ptr)
+                    yield from page.items()
+
+    # -- splitting -----------------------------------------------------------
+
+    def _allocate_region_page(
+        self, anchor: tuple[int, ...], entry: DirEntry
+    ) -> None:
+        """Allocate a page for an empty region and repoint all its cells
+        (the paper's NIL-pointer branch of ``BMEH_Insert``)."""
+        entry.ptr = self._store.allocate(DataPage(self._page_capacity))
+        self._data_pages += 1
+        self._touch_region_cells(anchor, entry.h)
+
+    def _split_region(
+        self, anchor: tuple[int, ...], entry: DirEntry, page: DataPage
+    ) -> None:
+        m = self._next_split_dim(entry.m, entry.h)
+        new_depth = entry.h[m] + 1
+        if new_depth > self._dir.depths[m]:
+            self._double_directory(m)
+            anchor = tuple(
+                idx * 2 if j == m else idx for j, idx in enumerate(anchor)
+            )
+        sibling = self._split_page(page, m, new_depth)
+        left_ptr: int | None = entry.ptr
+        right_ptr: int | None = None
+        if len(page) == 0:
+            self._store.free(left_ptr)
+            self._data_pages -= 1
+            left_ptr = None
+        else:
+            self._store.write(left_ptr, page)
+        if len(sibling) > 0:
+            right_ptr = self._store.allocate(sibling)
+            self._data_pages += 1
+        self._refine_region(anchor, entry, m, new_depth, left_ptr, right_ptr)
+
+    def _double_directory(self, axis: int) -> None:
+        """Classic directory doubling: the whole directory is rewritten."""
+        pages_before = self.directory_page_count
+        for token in range(pages_before):
+            self._store.count_virtual_read(("dir", token))
+        self._dir.grow_rehash(axis)
+        for token in range(self.directory_page_count):
+            self._store.count_virtual_write(("dir", token))
+
+    def _refine_region(
+        self,
+        anchor: tuple[int, ...],
+        entry: DirEntry,
+        m: int,
+        new_depth: int,
+        left_ptr: int | None,
+        right_ptr: int | None,
+    ) -> None:
+        """Deepen a region along ``m``, dividing its cells between the two
+        pages; every reset directory element is charged (see
+        :meth:`_charge_update_read`)."""
+        depths = self._dir.depths
+        shift = depths[m] - new_depth
+        left = DirEntry(entry.h, m, left_ptr)
+        right = DirEntry(entry.h, m, right_ptr)
+        left.h[m] = right.h[m] = new_depth
+        for cell in region_indices(depths, anchor, entry.h):
+            address = self._dir.address(cell)
+            self._charge_update_read(address)
+            self._charge_update_write(address)
+            side = (cell[m] >> shift) & 1
+            self._dir.set_at(address, right if side else left)
+
+    def _touch_region_cells(
+        self, anchor: tuple[int, ...], h: Sequence[int]
+    ) -> None:
+        for cell in region_indices(self._dir.depths, anchor, h):
+            self._charge_update_write(self._dir.address(cell))
+
+    # -- merging / contraction -------------------------------------------------
+
+    def _try_merge(self, anchor: tuple[int, ...], entry: DirEntry) -> bool:
+        """Collapse buddy regions while their pages fit in one (§4.2:
+        deletion strictly reverses the splitting process).  Returns
+        whether any merge happened."""
+        merged_any = False
+        while True:
+            m = entry.m
+            depth = entry.h[m]
+            if depth == 0:
+                return merged_any
+            buddy_anchor = list(anchor)
+            buddy_anchor[m] = anchor[m] ^ (1 << (self._dir.depths[m] - depth))
+            buddy = self._dir.get_at(self._dir.address(buddy_anchor))
+            if buddy is entry or buddy.h != entry.h or buddy.m != entry.m:
+                return merged_any
+            load = 0
+            for ptr in (entry.ptr, buddy.ptr):
+                if ptr is not None:
+                    load += len(self._store.peek(ptr))
+            if load > self._page_capacity:
+                return merged_any
+            self._merge_pair(anchor, entry, tuple(buddy_anchor), buddy)
+            merged_any = True
+            entry = self._dir.get_at(self._dir.address(anchor))
+
+    def _merge_pair(
+        self,
+        anchor: tuple[int, ...],
+        entry: DirEntry,
+        buddy_anchor: tuple[int, ...],
+        buddy: DirEntry,
+    ) -> None:
+        keep_ptr = entry.ptr
+        if keep_ptr is None:
+            keep_ptr = buddy.ptr
+        elif buddy.ptr is not None:
+            keep_page = self._store.read(keep_ptr)
+            for codes, value in self._store.read(buddy.ptr).items():
+                keep_page.put(codes, value)
+            self._store.write(keep_ptr, keep_page)
+            self._store.free(buddy.ptr)
+            self._data_pages -= 1
+        m = entry.m
+        merged = DirEntry(entry.h, (m - 1) % self._dims, keep_ptr)
+        merged.h[m] -= 1
+        for cell in region_indices(self._dir.depths, anchor, merged.h):
+            address = self._dir.address(cell)
+            self._charge_update_write(address)
+            self._dir.set_at(address, merged)
+
+    def _try_contract(self) -> None:
+        """Halve the directory while no region uses its deepest bit."""
+        while self._dir.last_grown_axis() is not None:
+            axis = self._dir.last_grown_axis()
+            depth = self._dir.depths[axis]
+            if any(entry.h[axis] >= depth for entry in self._regions()):
+                return
+            pages_before = self.directory_page_count
+            for token in range(pages_before):
+                self._store.count_virtual_read(("dir", token))
+            self._dir.shrink_rehash()
+            for token in range(self.directory_page_count):
+                self._store.count_virtual_write(("dir", token))
+
+    # -- introspection ----------------------------------------------------------
+
+    def _regions(self) -> Iterator[DirEntry]:
+        seen: set[int] = set()
+        for cell in self._dir.cells():
+            if id(cell) not in seen:
+                seen.add(id(cell))
+                yield cell
+
+    def leaf_regions(self):
+        from repro.core.interface import LeafRegion
+
+        depths = self._dir.depths
+        seen: set[int] = set()
+        for address in range(len(self._dir)):
+            entry = self._dir.get_at(address)
+            if id(entry) in seen:
+                continue
+            seen.add(id(entry))
+            anchor = self._dir.index_of(address)
+            prefixes = tuple(
+                anchor[j] >> (depths[j] - entry.h[j])
+                for j in range(self._dims)
+            )
+            yield LeafRegion(prefixes, tuple(entry.h), entry.ptr)
+
+    def check_invariants(self) -> None:
+        depths = self._dir.depths
+        key_total = 0
+        pages_seen: set[int] = set()
+        regions_seen: set[int] = set()
+        region_of_page: dict[int, int] = {}
+        for address in range(len(self._dir)):
+            entry = self._dir.get_at(address)
+            assert entry is not None, f"hole at directory address {address}"
+            anchor = self._dir.index_of(address)
+            for j in range(self._dims):
+                assert 0 <= entry.h[j] <= depths[j], (
+                    f"local depth {entry.h[j]} vs global {depths[j]}"
+                )
+            assert not entry.is_node, "MDEH directory cannot point to nodes"
+            if id(entry) in regions_seen:
+                continue
+            regions_seen.add(id(entry))
+            # Every cell of the entry's region must hold this same object
+            # (verified once per region: the check is linear in the
+            # directory size overall, not quadratic in region size).
+            for cell in region_indices(depths, anchor, entry.h):
+                assert self._dir.get_at(self._dir.address(cell)) is entry, (
+                    f"region of {anchor} not uniform at {cell}"
+                )
+            if entry.ptr is None:
+                continue
+            owner = region_of_page.setdefault(entry.ptr, id(entry))
+            assert owner == id(entry), (
+                f"page {entry.ptr} shared by two regions"
+            )
+            pages_seen.add(entry.ptr)
+            page = self._store.peek(entry.ptr)
+            assert 0 < len(page) <= self._page_capacity, (
+                "page empty or overflowing"
+            )
+            key_total += len(page)
+            for codes in page.keys():
+                for j in range(self._dims):
+                    prefix = g(codes[j], self._widths[j], entry.h[j])
+                    cell_prefix = anchor[j] >> (depths[j] - entry.h[j])
+                    assert prefix == cell_prefix, (
+                        f"key {codes} violates region prefix on axis {j}"
+                    )
+        assert key_total == self._num_keys, (
+            f"counted {key_total} keys, recorded {self._num_keys}"
+        )
+        assert len(pages_seen) == self._data_pages, (
+            f"{len(pages_seen)} pages reachable, {self._data_pages} recorded"
+        )

@@ -1,0 +1,72 @@
+"""MEH-tree: the unbalanced, root-down multidimensional hash tree.
+
+The paper's second baseline (§4.3): the directory starts as a single
+bounded node; when a region needs a depth its node can no longer provide,
+a fresh child node is spawned *below* the region and refinement continues
+inside it.  Simple to implement, but the tree's depth follows the data
+density — skewed regions sit at the bottom of long chains — and, as the
+paper observes, the directory can come out *worse* than the flat scheme
+even for uniform keys, because every locally overflowing region pays for
+a whole node page of 2^φ reserved slots.
+"""
+
+from __future__ import annotations
+
+from repro.core.directory import DirEntry, region_indices
+from repro.core.hashtree import HashTreeBase, _Step
+from repro.core.node import Node
+
+
+class MEHTree(HashTreeBase):
+    """Multidimensional extendible hash tree (root-down growth)."""
+
+    def _grow_directory(self, path: list[_Step], m: int) -> None:
+        """Spawn a child node under the overflowing region.
+
+        The full data page moves down into the child's single cell; the
+        parent region's cells are repointed at the child.  The retried
+        insert descends into the child, which has a whole fresh bit
+        budget, and refines there.
+        """
+        leaf = path[-1]
+        node, entry = leaf.node, leaf.entry
+        child = Node(self._dims, self._xi, node.level + 1)
+        child.array.set_at(
+            0, DirEntry([0] * self._dims, entry.m, entry.ptr, entry.is_node)
+        )
+        child_id = self._store.allocate(child)
+        self._node_count += 1
+        parent_entry = DirEntry(entry.h, entry.m, child_id, True)
+        for cell in region_indices(node.array.depths, leaf.anchor, entry.h):
+            node.array[cell] = parent_entry
+        self._store.write(leaf.node_id, node)
+
+    def _collapse(self, path: list[_Step]) -> None:
+        """Reverse the spawn: a child that has shrunk back to a single
+        page cell is folded into its parent region."""
+        for idx in range(len(path) - 1, 0, -1):
+            step = path[idx]
+            node = self._store.peek(step.node_id)
+            if len(node.array) != 1:
+                return
+            lone = node.array.get_at(0)
+            if lone.is_node or any(lone.h):
+                return
+            parent = path[idx - 1]
+            restored = DirEntry(
+                parent.entry.h, lone.m, lone.ptr, lone.is_node
+            )
+            anchor = self._find_anchor(parent.node, parent.entry)
+            for cell in region_indices(
+                parent.node.array.depths, anchor, parent.entry.h
+            ):
+                parent.node.array[cell] = restored
+            self._store.write(parent.node_id, parent.node)
+            self._store.free(step.node_id)
+            self._node_count -= 1
+            self._merge_in_leaf(parent.node, parent.node_id, restored)
+
+    def _check_child_level(self, parent: Node, child: Node) -> None:
+        assert child.level == parent.level + 1, (
+            f"MEH child level {child.level} under parent {parent.level}"
+        )

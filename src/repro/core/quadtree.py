@@ -1,0 +1,45 @@
+"""Balanced binary quadtree / octtree — the conclusion's extension.
+
+Setting ξ_j = 1 for every dimension turns a BMEH-tree node into a single
+quadtree (d=2) or octtree (d=3) fan-out: each node holds at most 2^d
+cells, one addressing bit per dimension.  The paper notes that standard
+quadtrees are hard to balance and offers the BMEH-tree's root-up growth
+as the natural fix; this subclass is that structure, with the stricter
+per-dimension growth policy so a node really is one quadtree split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.storage import PageStore
+from repro.core.bmeh_tree import BMEHTree
+
+
+class BalancedBinaryTrie(BMEHTree):
+    """A height-balanced quadtree/octtree built from BMEH machinery.
+
+    For ``dims=2`` this is the paper's "Balanced Binary Quadtree", for
+    ``dims=3`` the balanced octtree; any dimensionality works.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        page_capacity: int,
+        widths: Sequence[int] | int = 32,
+        store: PageStore | None = None,
+    ) -> None:
+        super().__init__(
+            dims,
+            page_capacity,
+            widths,
+            store,
+            xi=(1,) * dims,
+            node_policy="per_dim",
+        )
+
+    @property
+    def fanout(self) -> int:
+        """Children per fully-expanded node (4 = quadtree, 8 = octtree)."""
+        return 1 << self._dims

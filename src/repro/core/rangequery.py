@@ -1,0 +1,87 @@
+"""Partial-range query descriptions (paper §1 and §4.4).
+
+A :class:`RangeQuery` is the predicate
+``F = AND_{j in S} (alpha_j <= k_j <= beta_j)`` — a box constraint over a
+subset ``S`` of the dimensions.  Unconstrained dimensions take the
+all-zeros / all-ones bounds, exactly the paper's substitution, so every
+query becomes a full box in pseudo-key space.  Exact-match and
+partial-match queries are the degenerate cases where intervals collapse
+to points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.bits import low_mask
+from repro.errors import KeyDimensionError
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A box predicate over pseudo-key codes.
+
+    Attributes:
+        lows: per-dimension inclusive lower code bounds.
+        highs: per-dimension inclusive upper code bounds.
+    """
+
+    lows: tuple[int, ...]
+    highs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise KeyDimensionError("bounds of different dimensionality")
+
+    @property
+    def dims(self) -> int:
+        return len(self.lows)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(lo > hi for lo, hi in zip(self.lows, self.highs))
+
+    @classmethod
+    def box(
+        cls,
+        widths: Sequence[int],
+        constraints: dict[int, tuple[int | None, int | None]],
+    ) -> "RangeQuery":
+        """Build a partial-range query from per-dimension constraints.
+
+        ``constraints`` maps a dimension index to ``(alpha, beta)``;
+        ``None`` on either side (or an absent dimension) leaves that side
+        unconstrained.
+        """
+        lows = []
+        highs = []
+        for j, width in enumerate(widths):
+            alpha, beta = constraints.get(j, (None, None))
+            lows.append(0 if alpha is None else alpha)
+            highs.append(low_mask(width) if beta is None else beta)
+        return cls(tuple(lows), tuple(highs))
+
+    @classmethod
+    def exact(cls, codes: Sequence[int]) -> "RangeQuery":
+        """The exact-match special case."""
+        return cls(tuple(codes), tuple(codes))
+
+    @classmethod
+    def partial_match(
+        cls, widths: Sequence[int], fixed: dict[int, int]
+    ) -> "RangeQuery":
+        """The partial-match special case: some dimensions pinned to a
+        value, the others free."""
+        return cls.box(widths, {j: (v, v) for j, v in fixed.items()})
+
+    def contains(self, codes: Sequence[int]) -> bool:
+        return all(
+            lo <= c <= hi for lo, c, hi in zip(self.lows, codes, self.highs)
+        )
+
+    def run(self, index: Any):
+        """Execute against any index exposing ``range_search``."""
+        if self.is_empty:
+            return iter(())
+        return index.range_search(self.lows, self.highs)

@@ -1,0 +1,32 @@
+"""Order-preserving pseudo-key encoders (the paper's functions ψ_j).
+
+The multidimensional hashing schemes address records by fixed-width binary
+pseudo-keys.  To support range and partial-range queries the encoding of
+every attribute must be *order preserving*: ``k1 <= k2`` implies
+``psi(k1) <= psi(k2)`` (paper, §1).  This subpackage supplies encoders for
+the common attribute types and a :class:`KeyCodec` that bundles one encoder
+per dimension into a composite-key codec.
+"""
+
+from repro.encoding.base import Encoder, IdentityEncoder
+from repro.encoding.numeric import (
+    UIntEncoder,
+    IntEncoder,
+    FloatEncoder,
+    ScaledFloatEncoder,
+)
+from repro.encoding.string import StringEncoder
+from repro.encoding.temporal import DatetimeEncoder
+from repro.encoding.vector import KeyCodec
+
+__all__ = [
+    "Encoder",
+    "IdentityEncoder",
+    "UIntEncoder",
+    "IntEncoder",
+    "FloatEncoder",
+    "ScaledFloatEncoder",
+    "StringEncoder",
+    "DatetimeEncoder",
+    "KeyCodec",
+]

@@ -1,0 +1,67 @@
+"""Encoder interface shared by all attribute encoders."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.bits import low_mask
+from repro.errors import EncodingError
+
+
+class Encoder(ABC):
+    """Maps attribute values to ``width``-bit order-preserving codes.
+
+    Subclasses must guarantee that for any two encodable values
+    ``a <= b  =>  encode(a) <= encode(b)`` — the ψ property the paper
+    requires for range searching.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise EncodingError("encoder width must be positive")
+        self._width = width
+
+    @property
+    def width(self) -> int:
+        """Number of pseudo-key bits this encoder produces."""
+        return self._width
+
+    @property
+    def max_code(self) -> int:
+        """Largest code this encoder can emit (all-ones)."""
+        return low_mask(self._width)
+
+    @abstractmethod
+    def encode(self, value: Any) -> int:
+        """Return the pseudo-key code for ``value``.
+
+        Raises:
+            EncodingError: if ``value`` is outside the encodable domain.
+        """
+
+    @abstractmethod
+    def decode(self, code: int) -> Any:
+        """Invert :meth:`encode` (exactly, or to the nearest domain value
+        for lossy encoders such as truncating string encoders)."""
+
+    def _check_code(self, code: int) -> int:
+        if not 0 <= code <= self.max_code:
+            raise EncodingError(f"code {code} outside [0, {self.max_code}]")
+        return code
+
+
+class IdentityEncoder(Encoder):
+    """Pass-through for values that already are ``width``-bit codes.
+
+    This is the encoder the paper's own experiments use: keys are drawn
+    directly as pseudo-random integers in ``[0, 2^31 - 1]``.
+    """
+
+    def encode(self, value: Any) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise EncodingError(f"identity encoder needs an int, got {value!r}")
+        return self._check_code(value)
+
+    def decode(self, code: int) -> int:
+        return self._check_code(code)

@@ -1,0 +1,111 @@
+"""Numeric attribute encoders: unsigned, signed, IEEE-754 and scaled."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.bits import low_mask
+from repro.encoding.base import Encoder
+from repro.errors import EncodingError
+
+
+class UIntEncoder(Encoder):
+    """Unsigned integers in ``[0, 2^width)`` map to themselves."""
+
+    def encode(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise EncodingError(f"expected an int, got {value!r}")
+        if value < 0:
+            raise EncodingError(f"unsigned encoder cannot encode {value}")
+        return self._check_code(value)
+
+    def decode(self, code: int) -> int:
+        return self._check_code(code)
+
+
+class IntEncoder(Encoder):
+    """Signed integers via offset-binary (excess-``2^(width-1)``) coding.
+
+    Adding the bias makes the usual two's-complement wraparound disappear,
+    so integer order and code order coincide.
+    """
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width)
+        self._bias = 1 << (width - 1)
+
+    def encode(self, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise EncodingError(f"expected an int, got {value!r}")
+        code = value + self._bias
+        if not 0 <= code <= self.max_code:
+            raise EncodingError(f"{value} outside signed {self.width}-bit range")
+        return code
+
+    def decode(self, code: int) -> int:
+        return self._check_code(code) - self._bias
+
+
+class FloatEncoder(Encoder):
+    """IEEE-754 doubles in total order, 64 pseudo-key bits.
+
+    The classic trick: reinterpret the double as a 64-bit integer; flip the
+    sign bit for non-negatives, flip *all* bits for negatives.  The result
+    orders exactly like the floats (NaN is rejected, -0.0 == +0.0 holds
+    only in float comparison — their codes differ but stay adjacent, which
+    preserves the ψ inequality).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(64)
+
+    def encode(self, value: float) -> int:
+        value = float(value)
+        if math.isnan(value):
+            raise EncodingError("NaN has no position in a total order")
+        (raw,) = struct.unpack("<Q", struct.pack("<d", value))
+        if raw & (1 << 63):
+            code = raw ^ low_mask(64)
+        else:
+            code = raw | (1 << 63)
+        return code
+
+    def decode(self, code: int) -> float:
+        self._check_code(code)
+        if code & (1 << 63):
+            raw = code ^ (1 << 63)
+        else:
+            raw = code ^ low_mask(64)
+        (value,) = struct.unpack("<d", struct.pack("<Q", raw))
+        return value
+
+
+class ScaledFloatEncoder(Encoder):
+    """Bounded reals linearly scaled into ``[0, 2^width)``.
+
+    The natural encoder for coordinates with a known domain (longitude,
+    latitude, sensor ranges): the attribute space really is the unit
+    hypercube the paper describes, and uniform data stays uniform in code
+    space.  Decoding returns the lower edge of the code's bucket.
+    """
+
+    def __init__(self, low: float, high: float, width: int = 32) -> None:
+        super().__init__(width)
+        if not low < high:
+            raise EncodingError(f"empty domain [{low}, {high}]")
+        self._low = float(low)
+        self._high = float(high)
+        self._buckets = 1 << width
+
+    def encode(self, value: float) -> int:
+        value = float(value)
+        if math.isnan(value) or not self._low <= value <= self._high:
+            raise EncodingError(f"{value} outside [{self._low}, {self._high}]")
+        fraction = (value - self._low) / (self._high - self._low)
+        return min(int(fraction * self._buckets), self.max_code)
+
+    def decode(self, code: int) -> float:
+        self._check_code(code)
+        span = self._high - self._low
+        return self._low + span * (code / self._buckets)

@@ -1,0 +1,34 @@
+"""Order-preserving string encoder (byte-prefix truncation)."""
+
+from __future__ import annotations
+
+from repro.encoding.base import Encoder
+from repro.errors import EncodingError
+
+
+class StringEncoder(Encoder):
+    """Encode strings by their first ``width // 8`` UTF-8 bytes.
+
+    UTF-8 byte order equals code-point order, so prefix truncation is an
+    order-preserving (but lossy) ψ: distinct strings sharing a long prefix
+    may collide, exactly the collision case the splitting schemes must cap
+    at depth ``w`` (see ``repro.errors.CapacityError``).
+    """
+
+    def __init__(self, width: int = 64) -> None:
+        if width % 8:
+            raise EncodingError("string encoder width must be a multiple of 8")
+        super().__init__(width)
+        self._nbytes = width // 8
+
+    def encode(self, value: str) -> int:
+        if not isinstance(value, str):
+            raise EncodingError(f"expected a str, got {value!r}")
+        raw = value.encode("utf-8")[: self._nbytes]
+        raw = raw.ljust(self._nbytes, b"\x00")
+        return int.from_bytes(raw, "big")
+
+    def decode(self, code: int) -> str:
+        self._check_code(code)
+        raw = code.to_bytes(self._nbytes, "big").rstrip(b"\x00")
+        return raw.decode("utf-8", errors="replace")

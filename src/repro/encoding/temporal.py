@@ -1,0 +1,41 @@
+"""Datetime attribute encoder."""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+from repro.encoding.base import Encoder
+from repro.errors import EncodingError
+
+_EPOCH = datetime(1970, 1, 1, tzinfo=timezone.utc)
+
+
+class DatetimeEncoder(Encoder):
+    """Timestamps as whole seconds since an epoch, offset to stay unsigned.
+
+    Covers 1901..2038 within 32 bits (the classic Unix window); pass a
+    larger ``width`` for wider ranges.  Naive datetimes are interpreted as
+    UTC.  Sub-second precision is truncated — adjacent codes therefore
+    still order correctly.
+    """
+
+    def __init__(self, width: int = 32) -> None:
+        super().__init__(width)
+        self._bias = 1 << (width - 1)
+
+    def encode(self, value: datetime) -> int:
+        if not isinstance(value, datetime):
+            raise EncodingError(f"expected a datetime, got {value!r}")
+        if value.tzinfo is None:
+            value = value.replace(tzinfo=timezone.utc)
+        seconds = int((value - _EPOCH).total_seconds())
+        code = seconds + self._bias
+        if not 0 <= code <= self.max_code:
+            raise EncodingError(f"{value} outside the {self.width}-bit window")
+        return code
+
+    def decode(self, code: int) -> datetime:
+        from datetime import timedelta
+
+        self._check_code(code)
+        return _EPOCH + timedelta(seconds=code - self._bias)

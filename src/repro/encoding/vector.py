@@ -1,0 +1,74 @@
+"""Composite-key codec: one encoder per dimension."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.encoding.base import Encoder
+from repro.errors import EncodingError, KeyDimensionError
+
+
+class KeyCodec:
+    """Bundles ``d`` attribute encoders into a d-dimensional key codec.
+
+    The indexes operate purely on tuples of pseudo-key integers; a codec
+    sits at the API boundary translating application values (floats,
+    strings, datetimes, ...) into those tuples and back.
+    """
+
+    def __init__(self, encoders: Sequence[Encoder]) -> None:
+        if not encoders:
+            raise EncodingError("a key codec needs at least one encoder")
+        self._encoders = tuple(encoders)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._encoders)
+
+    @property
+    def widths(self) -> tuple[int, ...]:
+        """Pseudo-key width per dimension (the paper's ``w_j``)."""
+        return tuple(e.width for e in self._encoders)
+
+    @property
+    def encoders(self) -> tuple[Encoder, ...]:
+        return self._encoders
+
+    def encode(self, values: Sequence[Any]) -> tuple[int, ...]:
+        """Encode one application key vector into pseudo-key codes."""
+        if len(values) != len(self._encoders):
+            raise KeyDimensionError(
+                f"key has {len(values)} components, codec expects "
+                f"{len(self._encoders)}"
+            )
+        return tuple(e.encode(v) for e, v in zip(self._encoders, values))
+
+    def decode(self, codes: Sequence[int]) -> tuple[Any, ...]:
+        """Best-effort inverse of :meth:`encode` (lossy encoders round)."""
+        if len(codes) != len(self._encoders):
+            raise KeyDimensionError(
+                f"code vector has {len(codes)} components, codec expects "
+                f"{len(self._encoders)}"
+            )
+        return tuple(e.decode(c) for e, c in zip(self._encoders, codes))
+
+    def encode_range(
+        self, lows: Sequence[Any | None], highs: Sequence[Any | None]
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Encode a partial-range predicate into code-space bounds.
+
+        ``None`` on either side leaves that dimension unconstrained: the
+        paper substitutes the all-zeros / all-ones bit strings, which is
+        exactly ``0`` / ``max_code`` here.
+        """
+        if len(lows) != len(self._encoders) or len(highs) != len(self._encoders):
+            raise KeyDimensionError("range bounds must match codec dimensions")
+        lo_codes = tuple(
+            0 if lo is None else e.encode(lo)
+            for e, lo in zip(self._encoders, lows)
+        )
+        hi_codes = tuple(
+            e.max_code if hi is None else e.encode(hi)
+            for e, hi in zip(self._encoders, highs)
+        )
+        return lo_codes, hi_codes

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  The split between key-level errors (duplicate keys,
+unencodable values) and structural errors (page-store misuse, exhausted
+split depth) mirrors the two failure surfaces of the paper's algorithms:
+``BMEH_Insert`` reports duplicate keys, and every splitting scheme has a
+hard floor once all ``w`` pseudo-key bits are consumed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be mapped to an order-preserving pseudo-key."""
+
+
+class KeyDimensionError(ReproError):
+    """A key vector's arity does not match the index's dimensionality."""
+
+
+class DuplicateKeyError(ReproError):
+    """An exact duplicate key was inserted.
+
+    The paper's insertion algorithm prints an error message and returns
+    when the target page already contains the key; we raise instead.
+    """
+
+
+class KeyNotFoundError(ReproError):
+    """A delete or update referenced a key that is not in the index."""
+
+
+class CapacityError(ReproError):
+    """Splitting cannot separate the colliding keys any further.
+
+    Raised when a region already at the maximal depth ``w`` on every
+    dimension still overflows, i.e. more than ``b`` keys share all
+    ``w``-bit pseudo-key components.  The paper assumes distinct 32-bit
+    keys and never hits this case.
+    """
+
+
+class StorageError(ReproError):
+    """Page-store misuse: bad page id, freed-page access, size overflow."""
+
+
+class SerializationError(StorageError):
+    """A page image cannot be encoded into / decoded from its byte form."""

@@ -1,0 +1,15 @@
+"""Extendible arrays of exponential varying order (paper §2.1, Theorem 1).
+
+A d-dimensional array that can double along any axis *without relocating
+existing cells*: every doubling appends one block of cells to the linear
+address space.  The closed-form mapping of Theorem 1
+(:func:`theorem1_address`) assumes the canonical cyclic doubling order
+(axis 1, 2, ..., d, 1, ...); :class:`ExtendibleArray` generalizes it to an
+arbitrary doubling history, which the hashing directories need because
+their doubling axis is driven by whichever region overflows.
+"""
+
+from repro.extarray.mapping import theorem1_address, theorem1_index
+from repro.extarray.array import ExtendibleArray
+
+__all__ = ["theorem1_address", "theorem1_index", "ExtendibleArray"]

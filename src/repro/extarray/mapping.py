@@ -1,0 +1,88 @@
+"""Theorem 1: the closed-form mapping function ``G``.
+
+For an array grown by doubling axes cyclically (axis 1 first), the address
+of cell ``<i_1, ..., i_d>`` depends only on the index tuple:
+
+* ``s`` — the largest ``floor(log2 i_j)`` over the non-zero components;
+* ``z`` — the highest axis attaining ``s``; the cell was created when
+  axis ``z`` doubled from extent ``2^s`` to ``2^{s+1}``;
+* at that moment axes before ``z`` had extent ``2^{s+1}`` and axes from
+  ``z`` on had ``2^s`` (the per-axis factors ``J_j``);
+* the cell's address is the size of the array before that doubling
+  (``i_z``'s slab base) plus a mixed-radix offset over the other axes.
+
+The paper's statement of the constants ``C_j`` omits that the product
+skips axis ``z`` (its extent is accounted for by the ``i_z`` term); the
+worked inverse in :func:`theorem1_index` and the round-trip property test
+pin the corrected form down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def theorem1_address(index: Sequence[int], dims: int | None = None) -> int:
+    """Map a d-tuple index to its linear address under cyclic doubling.
+
+    Args:
+        index: cell coordinates, each ``>= 0``.
+        dims: expected dimensionality (defaults to ``len(index)``).
+
+    Returns:
+        The unique linear address in ``[0, 2^t)`` where ``t`` is the
+        number of doublings needed for the cell to exist.
+    """
+    d = len(index) if dims is None else dims
+    if len(index) != d or d < 1:
+        raise ValueError(f"index {index!r} is not a {d}-tuple")
+    if any(i < 0 for i in index):
+        raise ValueError(f"negative coordinate in {index!r}")
+    if max(index) == 0:
+        return 0
+    # s = max floor(log2 i_j) over non-zero components; z = highest such axis.
+    s = max(i.bit_length() - 1 for i in index if i > 0)
+    z = max(j for j, i in enumerate(index) if i > 0 and i.bit_length() - 1 == s)
+    # Extents of the other axes at creation time.
+    factors = [(1 << (s + 1)) if j < z else (1 << s) for j in range(d)]
+    base = 1
+    for j in range(d):
+        if j != z:
+            base *= factors[j]
+    address = index[z] * base
+    stride = 1
+    for j in range(d - 1, -1, -1):
+        if j == z:
+            continue
+        address += index[j] * stride
+        stride *= factors[j]
+    return address
+
+
+def theorem1_index(address: int, dims: int) -> tuple[int, ...]:
+    """Invert :func:`theorem1_address`.
+
+    Every address ``>= 1`` falls in exactly one doubling slab: slab ``t``
+    covers ``[2^t, 2^{t+1})`` and corresponds to round ``t // d`` of axis
+    ``t % d`` doubling.
+    """
+    if dims < 1:
+        raise ValueError("dims must be positive")
+    if address < 0:
+        raise ValueError("address must be non-negative")
+    if address == 0:
+        return (0,) * dims
+    t = address.bit_length() - 1
+    s, z = divmod(t, dims)
+    factors = [(1 << (s + 1)) if j < z else (1 << s) for j in range(dims)]
+    remainder = address - (1 << t)
+    layer = 1 << t >> s  # product of the other axes' extents
+    index = [0] * dims
+    index[z] = (1 << s) + remainder // layer
+    remainder %= layer
+    for j in range(dims - 1, -1, -1):
+        if j == z:
+            continue
+        index[j] = remainder % factors[j]
+        remainder //= factors[j]
+    return tuple(index)

@@ -1,0 +1,14 @@
+"""The grid file of Nievergelt, Hinterberger and Sevcik (1984).
+
+The structure the paper measures itself against throughout ("like the
+grid file, the directory corresponds to a rectilinearly partitioned
+attribute space", §1; "improves upon ... the grid-file", §6).  This is
+the binary-buddy variant: linear scales split intervals at dyadic
+midpoints, so its regions live in the same prefix algebra as the hashing
+schemes and every analysis tool (partition extraction, Theorem 4 counts)
+applies unchanged.
+"""
+
+from repro.gridfile.gridfile import GridFile
+
+__all__ = ["GridFile"]

@@ -1,0 +1,430 @@
+"""A binary-buddy grid file.
+
+Structure (Nievergelt et al. 1984, §2 of that paper):
+
+* **linear scales** — per dimension, a sorted list of boundary values
+  partitioning that axis into intervals.  Scales refine only where data
+  demands it, unlike the one-level hashing directory whose axis
+  resolution is uniform.
+* **grid directory** — the full cross product of the scale intervals;
+  each grid block holds a page pointer, and a *region* (the paper's
+  terminology: the blocks sharing one page) is kept a dyadic box so the
+  two-disk-access principle and buddy merging work.
+
+Splitting policy: an overflowing region is cut at the dyadic midpoint of
+its box, cycling through the dimensions.  If the midpoint is not yet a
+scale boundary the scale gains it and the directory duplicates the
+corresponding slab — the grid file's own flavour of directory growth,
+charged to the I/O ledger like the hashing directory rewrites.
+
+The weakness the BMEH paper pounces on is visible in the shape: the
+directory is a *product* of per-axis refinements, so one dense corner
+refines entire hyperplanes and the directory grows superlinearly under
+skew even though the scales are adaptive.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Any, Iterator, Sequence
+
+from repro.bits import low_mask
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+from repro.storage import DataPage, PageStore
+from repro.core.interface import (
+    KeyCodes,
+    LeafRegion,
+    MultidimensionalIndex,
+    Record,
+)
+
+
+class _Region:
+    """One data-page region: a dyadic box plus the split cursor."""
+
+    __slots__ = ("lows", "highs", "m", "ptr")
+
+    def __init__(
+        self,
+        lows: tuple[int, ...],
+        highs: tuple[int, ...],
+        m: int,
+        ptr: int | None,
+    ) -> None:
+        self.lows = lows
+        self.highs = highs
+        self.m = m
+        self.ptr = ptr
+
+    def contains(self, codes: KeyCodes) -> bool:
+        return all(
+            lo <= c <= hi
+            for lo, c, hi in zip(self.lows, codes, self.highs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_Region({self.lows}..{self.highs} -> {self.ptr})"
+
+
+class GridFile(MultidimensionalIndex):
+    """Binary-buddy grid file over pseudo-key codes.
+
+    Args:
+        dims / page_capacity / widths / store: as for every scheme.
+        dir_page_entries: directory blocks per directory page for I/O
+            accounting (64 by default, like the one-level scheme).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        page_capacity: int,
+        widths: Sequence[int] | int = 32,
+        store: PageStore | None = None,
+        dir_page_entries: int = 64,
+    ) -> None:
+        super().__init__(dims, page_capacity, widths, store)
+        if dir_page_entries < 1:
+            raise ValueError("dir_page_entries must be positive")
+        self._epp = dir_page_entries
+        # Scale j holds the interior boundary values of axis j: interval
+        # i covers [boundary[i-1], boundary[i]) with virtual extremes.
+        self._scales: list[list[int]] = [[] for _ in range(dims)]
+        domain_high = tuple(low_mask(w) for w in self._widths)
+        whole = _Region((0,) * dims, domain_high, dims - 1, None)
+        self._grid: list[_Region] = [whole]
+        self._shape = [1] * dims
+        self._data_pages = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def scales(self) -> tuple[tuple[int, ...], ...]:
+        """The linear scales (interior boundaries per dimension)."""
+        return tuple(tuple(s) for s in self._scales)
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        """Intervals per dimension; their product is the directory size."""
+        return tuple(self._shape)
+
+    @property
+    def directory_size(self) -> int:
+        size = 1
+        for extent in self._shape:
+            size *= extent
+        return size
+
+    @property
+    def data_page_count(self) -> int:
+        return self._data_pages
+
+    # -- directory addressing ---------------------------------------------------
+
+    def _interval(self, dim: int, code: int) -> int:
+        return bisect.bisect_right(self._scales[dim], code)
+
+    def _block_address(self, cell: Sequence[int]) -> int:
+        address = 0
+        for extent, coordinate in zip(self._shape, cell):
+            address = address * extent + coordinate
+        return address
+
+    def _cell_of(self, codes: KeyCodes) -> tuple[int, ...]:
+        return tuple(
+            self._interval(j, codes[j]) for j in range(self._dims)
+        )
+
+    def _region_at(self, cell: Sequence[int]) -> _Region:
+        return self._grid[self._block_address(cell)]
+
+    def _charge_block_read(self, cell: Sequence[int]) -> None:
+        token = self._block_address(cell) // self._epp
+        self._store.count_virtual_read(("grid", token))
+
+    def _charge_block_write(self, address: int) -> None:
+        self._store.count_virtual_write(("grid", address // self._epp))
+
+    # -- operations ----------------------------------------------------------
+
+    def search(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        with self._store.operation():
+            cell = self._cell_of(codes)
+            self._charge_block_read(cell)
+            region = self._region_at(cell)
+            if region.ptr is None:
+                raise KeyNotFoundError(f"key {codes} not found")
+            return self._store.read(region.ptr).get(codes)
+
+    def insert(self, key: Sequence[int], value: Any = None) -> None:
+        codes = self._check_key(key)
+        with self._store.operation():
+            while True:
+                cell = self._cell_of(codes)
+                self._charge_block_read(cell)
+                region = self._region_at(cell)
+                if region.ptr is None:
+                    region.ptr = self._store.allocate(
+                        DataPage(self._page_capacity)
+                    )
+                    self._data_pages += 1
+                    self._touch_region_blocks(region)
+                page = self._store.read(region.ptr)
+                if codes in page:
+                    raise DuplicateKeyError(f"key {codes} already present")
+                if not page.is_full:
+                    page.put(codes, value)
+                    self._store.write(region.ptr, page)
+                    self._num_keys += 1
+                    return
+                self._split_region(region, page)
+
+    def delete(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        with self._store.operation():
+            cell = self._cell_of(codes)
+            self._charge_block_read(cell)
+            region = self._region_at(cell)
+            if region.ptr is None:
+                raise KeyNotFoundError(f"key {codes} not found")
+            page = self._store.read(region.ptr)
+            value = page.remove(codes)
+            self._num_keys -= 1
+            if len(page) == 0:
+                self._store.free(region.ptr)
+                self._data_pages -= 1
+                region.ptr = None
+                self._touch_region_blocks(region)
+            else:
+                self._store.write(region.ptr, page)
+            self._try_merge(region)
+            return value
+
+    def range_search(
+        self, lows: Sequence[int], highs: Sequence[int]
+    ) -> Iterator[Record]:
+        lows = self._check_key(lows)
+        highs = self._check_key(highs)
+        if any(lo > hi for lo, hi in zip(lows, highs)):
+            return
+        with self._store.operation():
+            spans = [
+                range(self._interval(j, lows[j]),
+                      self._interval(j, highs[j]) + 1)
+                for j in range(self._dims)
+            ]
+            seen: set[int] = set()
+            for cell in itertools.product(*spans):
+                self._charge_block_read(cell)
+                region = self._region_at(cell)
+                if id(region) in seen or region.ptr is None:
+                    seen.add(id(region))
+                    continue
+                seen.add(id(region))
+                for codes, value in self._store.read(region.ptr).items():
+                    if all(
+                        lows[j] <= codes[j] <= highs[j]
+                        for j in range(self._dims)
+                    ):
+                        yield codes, value
+
+    def items(self) -> Iterator[Record]:
+        with self._store.operation():
+            for region in self._regions():
+                if region.ptr is not None:
+                    yield from self._store.read(region.ptr).items()
+
+    # -- splitting -----------------------------------------------------------
+
+    def _split_region(self, region: _Region, page: DataPage) -> None:
+        """Cut the region's box at its dyadic midpoint on the next axis."""
+        total_depths = [
+            self._widths[j]
+            - (region.highs[j] - region.lows[j] + 1).bit_length() + 1
+            for j in range(self._dims)
+        ]
+        m = self._next_split_dim(region.m, total_depths)
+        midpoint = (region.lows[m] + region.highs[m] + 1) // 2
+        self._ensure_boundary(m, midpoint)
+        sibling = self._split_page(page, m, total_depths[m] + 1)
+        left_ptr: int | None = region.ptr
+        right_ptr: int | None = None
+        if len(page) == 0:
+            self._store.free(left_ptr)
+            self._data_pages -= 1
+            left_ptr = None
+        else:
+            self._store.write(left_ptr, page)
+        if len(sibling) > 0:
+            right_ptr = self._store.allocate(sibling)
+            self._data_pages += 1
+        left = _Region(region.lows, tuple(
+            midpoint - 1 if j == m else region.highs[j]
+            for j in range(self._dims)
+        ), m, left_ptr)
+        right = _Region(tuple(
+            midpoint if j == m else region.lows[j]
+            for j in range(self._dims)
+        ), region.highs, m, right_ptr)
+        for blocks, target in ((self._blocks_of(left), left),
+                               (self._blocks_of(right), right)):
+            for cell in blocks:
+                address = self._block_address(cell)
+                self._grid[address] = target
+                self._charge_block_write(address)
+
+    def _ensure_boundary(self, dim: int, boundary: int) -> None:
+        """Insert a boundary into a scale, duplicating the grid slab."""
+        scale = self._scales[dim]
+        position = bisect.bisect_left(scale, boundary)
+        if position < len(scale) and scale[position] == boundary:
+            return
+        scale.insert(position, boundary)
+        old_shape = list(self._shape)
+        self._shape[dim] += 1
+        new_grid: list[_Region] = [None] * self.directory_size  # type: ignore
+        for cell in itertools.product(*(range(e) for e in old_shape)):
+            region = self._grid[_address_in(old_shape, cell)]
+            images = [list(cell)]
+            if cell[dim] == position:
+                duplicated = list(cell)
+                duplicated[dim] += 1
+                images.append(duplicated)
+            elif cell[dim] > position:
+                images[0][dim] += 1
+            for image in images:
+                address = self._block_address(image)
+                new_grid[address] = region
+                self._charge_block_write(address)
+        self._grid = new_grid
+
+    def _blocks_of(self, region: _Region) -> Iterator[tuple[int, ...]]:
+        spans = [
+            range(self._interval(j, region.lows[j]),
+                  self._interval(j, region.highs[j]) + 1)
+            for j in range(self._dims)
+        ]
+        return itertools.product(*spans)
+
+    def _touch_region_blocks(self, region: _Region) -> None:
+        for cell in self._blocks_of(region):
+            self._charge_block_write(self._block_address(cell))
+
+    # -- merging ---------------------------------------------------------------
+
+    def _try_merge(self, region: _Region) -> None:
+        """Buddy merging: reunite a region with its dyadic buddy while
+        the surviving records fit one page.  Scales keep their
+        boundaries (the classic grid file does not shrink scales; the
+        deadlock-free merge the paper contrasts in §4.2)."""
+        while True:
+            m = region.m
+            span = region.highs[m] - region.lows[m] + 1
+            if span > low_mask(self._widths[m]):
+                return
+            buddy_low = list(region.lows)
+            buddy_is_upper = (region.lows[m] // span) % 2 == 1
+            buddy_low[m] = (
+                region.lows[m] - span if buddy_is_upper
+                else region.lows[m] + span
+            )
+            if not 0 <= buddy_low[m] <= low_mask(self._widths[m]):
+                return
+            buddy = self._region_at(self._cell_of(tuple(buddy_low)))
+            if (
+                buddy is region
+                or buddy.m != region.m
+                or buddy.highs[m] - buddy.lows[m] + 1 != span
+                or any(
+                    buddy.lows[j] != region.lows[j]
+                    or buddy.highs[j] != region.highs[j]
+                    for j in range(self._dims)
+                    if j != m
+                )
+            ):
+                return
+            load = sum(
+                len(self._store.peek(ptr))
+                for ptr in (region.ptr, buddy.ptr)
+                if ptr is not None
+            )
+            if load > self._page_capacity:
+                return
+            keep = region.ptr
+            if keep is None:
+                keep = buddy.ptr
+            elif buddy.ptr is not None:
+                merged_page = self._store.read(keep)
+                for record in self._store.read(buddy.ptr).items():
+                    merged_page.put(*record)
+                self._store.write(keep, merged_page)
+                self._store.free(buddy.ptr)
+                self._data_pages -= 1
+            lower, upper = (buddy, region) if buddy_is_upper else (region, buddy)
+            merged = _Region(
+                lower.lows, upper.highs, (m - 1) % self._dims, keep
+            )
+            for cell in self._blocks_of(merged):
+                address = self._block_address(cell)
+                self._grid[address] = merged
+                self._charge_block_write(address)
+            region = merged
+
+    # -- introspection -----------------------------------------------------------
+
+    def _regions(self) -> Iterator[_Region]:
+        seen: set[int] = set()
+        for region in self._grid:
+            if id(region) not in seen:
+                seen.add(id(region))
+                yield region
+
+    def leaf_regions(self) -> Iterator[LeafRegion]:
+        for region in self._regions():
+            prefixes = []
+            depths = []
+            for j in range(self._dims):
+                span = region.highs[j] - region.lows[j] + 1
+                depth = self._widths[j] - (span.bit_length() - 1)
+                depths.append(depth)
+                prefixes.append(region.lows[j] >> (self._widths[j] - depth))
+            yield LeafRegion(tuple(prefixes), tuple(depths), region.ptr)
+
+    def check_invariants(self) -> None:
+        key_total = 0
+        pages_seen: dict[int, int] = {}
+        for region in self._regions():
+            for j in range(self._dims):
+                span = region.highs[j] - region.lows[j] + 1
+                assert span & (span - 1) == 0, "region box is not dyadic"
+                assert region.lows[j] % span == 0, "region box misaligned"
+            # Every block of the region's box must map back to it.
+            for cell in self._blocks_of(region):
+                assert self._region_at(cell) is region, (
+                    f"grid block {cell} inconsistent with its region"
+                )
+            if region.ptr is None:
+                continue
+            owner = pages_seen.setdefault(region.ptr, id(region))
+            assert owner == id(region), "page shared by two regions"
+            page = self._store.peek(region.ptr)
+            assert 0 < len(page) <= self._page_capacity
+            key_total += len(page)
+            for codes in page.keys():
+                assert region.contains(codes), (
+                    f"key {codes} outside its region box"
+                )
+        assert key_total == self._num_keys
+        assert len(pages_seen) == self._data_pages
+        for dim, scale in enumerate(self._scales):
+            assert scale == sorted(set(scale)), f"scale {dim} corrupt"
+            assert len(scale) + 1 == self._shape[dim]
+
+
+def _address_in(shape: Sequence[int], cell: Sequence[int]) -> int:
+    address = 0
+    for extent, coordinate in zip(shape, cell):
+        address = address * extent + coordinate
+    return address

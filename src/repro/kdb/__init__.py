@@ -1,0 +1,13 @@
+"""The K-D-B-tree of Robinson (SIGMOD 1981).
+
+The paper's acknowledged structural ancestor: "The method integrates the
+concepts of MDEH and the K-D-B-tree of Robinson" (§1), and the BMEH
+node-split-with-downward-cuts is exactly Robinson's region splitting.
+This is the dyadic-midpoint variant — split planes bisect a region's
+box — so its regions live in the same prefix algebra as every other
+scheme here and the shared analysis tooling applies.
+"""
+
+from repro.kdb.kdbtree import KDBTree
+
+__all__ = ["KDBTree"]

@@ -1,0 +1,48 @@
+"""Simulated disk substrate with logical I/O accounting.
+
+The paper's performance figures (λ, λ′, ρ) are *logical disk access
+counts* measured on a simulator; this subpackage is that simulator.  A
+:class:`PageStore` hands out page ids, serves reads/writes, and charges
+each access to an :class:`~repro.storage.iostats.IOStats` ledger.  Within
+one index *operation* (a search, an insertion, ...) a page is charged at
+most one read and one write — the operation works on an in-memory copy —
+which is the accounting model under which the paper's λ = 2.000 for the
+one-level scheme comes out exact.
+
+Pinned pages (the paper: "the root node can always be retained in
+memory") are never charged.
+
+Two byte-level backends make the store a real storage manager rather than
+a dict with counters: :class:`MemoryBackend` (objects in RAM) and
+:class:`FileBackend` (fixed-size page slots in a file, via the codecs in
+``repro.storage.serializer``).  An optional LRU :class:`BufferPool` sits
+between an index and a backend when a workload wants caching.
+"""
+
+from repro.storage.iostats import IOStats, OperationCounter
+from repro.storage.page import DataPage
+from repro.storage.disk import PageStore, MemoryBackend, FileBackend
+from repro.storage.serializer import (
+    PageCodec,
+    DataPageCodec,
+    PickleValueCodec,
+    RawBytesValueCodec,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.snapshot import save_index, load_index
+
+__all__ = [
+    "save_index",
+    "load_index",
+    "IOStats",
+    "OperationCounter",
+    "DataPage",
+    "PageStore",
+    "MemoryBackend",
+    "FileBackend",
+    "PageCodec",
+    "DataPageCodec",
+    "PickleValueCodec",
+    "RawBytesValueCodec",
+    "BufferPool",
+]

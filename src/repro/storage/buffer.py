@@ -1,0 +1,82 @@
+"""A small LRU buffer pool.
+
+The paper's measurements assume no caching beyond the pinned root, so the
+benchmark harness never installs a pool.  Applications built on the
+library (see ``examples/``) can wrap a :class:`PageStore` in a
+:class:`BufferPool` to serve repeated reads from memory and batch the
+write-back; hit/miss counters make the caching effect observable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.disk import PageStore
+
+
+class BufferPool:
+    """LRU cache of page objects in front of a :class:`PageStore`.
+
+    Reads served from the pool are not charged to the store's I/O ledger —
+    that is the point of a buffer.  Dirty pages are written back on
+    eviction and on :meth:`flush`.
+    """
+
+    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise StorageError("buffer pool needs capacity >= 1")
+        self._store = store
+        self._capacity = capacity
+        self._frames: OrderedDict[int, Any] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def store(self) -> PageStore:
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def read(self, page_id: int) -> Any:
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        obj = self._store.read(page_id)
+        self._admit(page_id, obj)
+        return obj
+
+    def write(self, page_id: int, obj: Any) -> None:
+        """Buffer a dirty page; it reaches the store on eviction/flush."""
+        self._admit(page_id, obj)
+        self._dirty.add(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (keeps frames resident)."""
+        for page_id in sorted(self._dirty):
+            self._store.write(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    def drop(self, page_id: int) -> None:
+        """Forget a frame without write-back (caller freed the page)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def _admit(self, page_id: int, obj: Any) -> None:
+        self._frames[page_id] = obj
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self._capacity:
+            victim, victim_obj = self._frames.popitem(last=False)
+            if victim in self._dirty:
+                self._store.write(victim, victim_obj)
+                self._dirty.discard(victim)

@@ -1,0 +1,302 @@
+"""The page store: allocation, pinning and charged page access."""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterator
+
+from repro.errors import SerializationError, StorageError
+from repro.storage.iostats import IOStats, OperationCounter
+
+
+class Backend(ABC):
+    """Physical placement of page images; no accounting, no policy."""
+
+    @abstractmethod
+    def store(self, page_id: int, obj: Any) -> None: ...
+
+    @abstractmethod
+    def load(self, page_id: int) -> Any: ...
+
+    @abstractmethod
+    def discard(self, page_id: int) -> None: ...
+
+    @abstractmethod
+    def __contains__(self, page_id: int) -> bool: ...
+
+    @abstractmethod
+    def page_ids(self) -> Iterator[int]: ...
+
+    def close(self) -> None:
+        """Release any external resources (files)."""
+
+
+_MISSING = object()
+
+
+class MemoryBackend(Backend):
+    """Pages held as live Python objects — the benchmark configuration."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, Any] = {}
+
+    def store(self, page_id: int, obj: Any) -> None:
+        self._pages[page_id] = obj
+
+    def load(self, page_id: int) -> Any:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise StorageError(f"page {page_id} does not exist") from None
+
+    def discard(self, page_id: int) -> None:
+        if self._pages.pop(page_id, _MISSING) is _MISSING:
+            raise StorageError(f"page {page_id} does not exist")
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def page_ids(self) -> Iterator[int]:
+        return iter(list(self._pages))
+
+
+class FileBackend(Backend):
+    """Fixed-size page slots in a single file.
+
+    Slot ``i`` lives at byte offset ``header + i * page_size``; each slot
+    starts with ``u32`` image length (0 ⇒ free slot) followed by the coded
+    image from a :class:`~repro.storage.serializer.CodecRegistry`.  A page
+    image larger than its slot raises :class:`SerializationError` — the
+    fixed page size is the whole point of the paper's design space.
+    """
+
+    _MAGIC = b"BMEH"
+    _HEADER = struct.Struct("<4sI")  # magic, page_size
+    _SLOT = struct.Struct("<I")
+
+    def __init__(self, path: str, page_size: int = 4096, registry=None) -> None:
+        if page_size < 64:
+            raise StorageError("page size too small to hold any record")
+        if registry is None:
+            from repro.storage.serializer import default_registry
+
+            registry = default_registry()
+        self._registry = registry
+        self._path = path
+        self._page_size = page_size
+        exists = os.path.exists(path) and os.path.getsize(path) > 0
+        self._file = open(path, "r+b" if exists else "w+b")
+        if exists:
+            magic, stored_size = self._HEADER.unpack(
+                self._file.read(self._HEADER.size)
+            )
+            if magic != self._MAGIC:
+                raise StorageError(f"{path} is not a page file")
+            if stored_size != page_size:
+                raise StorageError(
+                    f"{path} was created with page size {stored_size}"
+                )
+        else:
+            self._file.write(self._HEADER.pack(self._MAGIC, page_size))
+            self._file.flush()
+
+    @property
+    def page_size(self) -> int:
+        return self._page_size
+
+    def _offset(self, page_id: int) -> int:
+        return self._HEADER.size + page_id * self._page_size
+
+    def _slot_count(self) -> int:
+        self._file.seek(0, os.SEEK_END)
+        payload = self._file.tell() - self._HEADER.size
+        return max(payload, 0) // self._page_size
+
+    def store(self, page_id: int, obj: Any) -> None:
+        image = self._registry.encode(obj)
+        if self._SLOT.size + len(image) > self._page_size:
+            raise SerializationError(
+                f"page image of {len(image)} bytes exceeds the "
+                f"{self._page_size}-byte slot"
+            )
+        self._file.seek(self._offset(page_id))
+        record = self._SLOT.pack(len(image)) + image
+        self._file.write(record.ljust(self._page_size, b"\x00"))
+
+    def load(self, page_id: int) -> Any:
+        if page_id >= self._slot_count() or page_id < 0:
+            raise StorageError(f"page {page_id} does not exist")
+        self._file.seek(self._offset(page_id))
+        slot = self._file.read(self._page_size)
+        (length,) = self._SLOT.unpack_from(slot, 0)
+        if length == 0:
+            raise StorageError(f"page {page_id} does not exist")
+        return self._registry.decode(slot[self._SLOT.size : self._SLOT.size + length])
+
+    def discard(self, page_id: int) -> None:
+        if page_id not in self:
+            raise StorageError(f"page {page_id} does not exist")
+        self._file.seek(self._offset(page_id))
+        self._file.write(self._SLOT.pack(0))
+
+    def __contains__(self, page_id: int) -> bool:
+        if page_id < 0 or page_id >= self._slot_count():
+            return False
+        self._file.seek(self._offset(page_id))
+        (length,) = self._SLOT.unpack(self._file.read(self._SLOT.size))
+        return length > 0
+
+    def page_ids(self) -> Iterator[int]:
+        return (pid for pid in range(self._slot_count()) if pid in self)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+
+
+class PageStore:
+    """Allocation + charged access on top of a backend.
+
+    Page ids are monotonically increasing and never recycled, so an id is
+    a valid dedup token for the lifetime of the store.  The paper's
+    accounting conventions live here:
+
+    * :meth:`operation` opens a scope in which each page costs at most one
+      read and one write;
+    * :meth:`pin` marks a page memory-resident (the root node) — pinned
+      pages are charged nothing;
+    * :meth:`count_virtual_read` / :meth:`count_virtual_write` charge
+      accesses to *virtual* pages (the one-level scheme's directory is an
+      addressing array, not a stored object, but its page traffic is real).
+    """
+
+    def __init__(self, backend: Backend | None = None) -> None:
+        self._backend = backend or MemoryBackend()
+        self.stats = IOStats()
+        self._pinned: set[int] = set()
+        self._op: OperationCounter | None = None
+        existing = list(self._backend.page_ids())
+        self._next_id = max(existing) + 1 if existing else 0
+        self._live = len(existing)
+        self._allocated_ever = self._next_id
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of live pages."""
+        return self._live
+
+    @property
+    def pages_allocated(self) -> int:
+        """Total pages ever allocated (frees do not decrement)."""
+        return self._allocated_ever
+
+    def allocate(self, obj: Any) -> int:
+        """Create a page holding ``obj``; charges one write."""
+        page_id = self._next_id
+        self._next_id += 1
+        self._allocated_ever += 1
+        self._live += 1
+        self._backend.store(page_id, obj)
+        self._charge_write(page_id)
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Drop a page.  Deallocation is a catalogue update; the paper
+        charges no data access for it."""
+        if page_id in self._pinned:
+            raise StorageError(f"cannot free pinned page {page_id}")
+        self._backend.discard(page_id)
+        self._live -= 1
+
+    # -- access ------------------------------------------------------------
+
+    def read(self, page_id: int) -> Any:
+        obj = self._backend.load(page_id)
+        self._charge_read(page_id)
+        return obj
+
+    def write(self, page_id: int, obj: Any | None = None) -> None:
+        """Mark a page dirty (and optionally replace its object).
+
+        With the in-memory backend, index code mutates the loaded object
+        directly and calls ``write(pid)`` to record the access; with a
+        byte backend the updated object must be passed so the image is
+        re-encoded.
+        """
+        if obj is not None:
+            self._backend.store(page_id, obj)
+        elif page_id not in self._backend:
+            raise StorageError(f"page {page_id} does not exist")
+        elif not isinstance(self._backend, MemoryBackend):
+            raise StorageError(
+                "byte backends need the page object passed to write()"
+            )
+        self._charge_write(page_id)
+
+    def peek(self, page_id: int) -> Any:
+        """Uncharged read, for invariant checks and analysis tooling."""
+        return self._backend.load(page_id)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._backend
+
+    def page_ids(self) -> Iterator[int]:
+        return self._backend.page_ids()
+
+    def close(self) -> None:
+        self._backend.close()
+
+    # -- accounting --------------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        if page_id not in self._backend:
+            raise StorageError(f"page {page_id} does not exist")
+        self._pinned.add(page_id)
+
+    def unpin(self, page_id: int) -> None:
+        self._pinned.discard(page_id)
+
+    def is_pinned(self, page_id: int) -> bool:
+        return page_id in self._pinned
+
+    @contextlib.contextmanager
+    def operation(self):
+        """Open a dedup scope; nested scopes join the outermost one."""
+        if self._op is not None:
+            yield self._op
+            return
+        self._op = OperationCounter(self.stats)
+        try:
+            yield self._op
+        finally:
+            self._op = None
+
+    def count_virtual_read(self, token: Hashable) -> None:
+        self._charge_read(("virtual", token))
+
+    def count_virtual_write(self, token: Hashable) -> None:
+        self._charge_write(("virtual", token))
+
+    def _charge_read(self, token: Hashable) -> None:
+        if token in self._pinned:
+            return
+        if self._op is not None:
+            self._op.count_read(token)
+        else:
+            self.stats.reads += 1
+
+    def _charge_write(self, token: Hashable) -> None:
+        if token in self._pinned:
+            return
+        if self._op is not None:
+            self._op.count_write(token)
+        else:
+            self.stats.writes += 1

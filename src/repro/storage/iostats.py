@@ -1,0 +1,71 @@
+"""Logical I/O ledgers.
+
+``IOStats`` is a plain counter pair; ``OperationCounter`` scopes the
+dedup-within-an-operation rule: the first read of a page during an
+operation costs one access, later touches of the same page are free (the
+page sits in the operation's workspace), and each dirtied page costs one
+write when the operation completes.  The paper counts accesses the same
+way — e.g. an exact-match search is "directory page + data page = 2".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+
+@dataclass
+class IOStats:
+    """Cumulative logical read/write counters."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses; the paper's ρ counts reads and writes alike."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Accesses since ``earlier`` (a prior :meth:`snapshot`)."""
+        return IOStats(self.reads - earlier.reads, self.writes - earlier.writes)
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        return IOStats(self.reads + other.reads, self.writes + other.writes)
+
+
+@dataclass
+class OperationCounter:
+    """Per-operation access dedup.
+
+    Tokens are arbitrary hashables — real page ids, or virtual tokens such
+    as ``("dir", 3)`` for the one-level scheme's directory pages, which
+    are an addressing structure rather than stored objects.
+    """
+
+    stats: IOStats
+    _seen_reads: set[Hashable] = field(default_factory=set)
+    _seen_writes: set[Hashable] = field(default_factory=set)
+
+    def count_read(self, token: Hashable) -> None:
+        if token not in self._seen_reads:
+            self._seen_reads.add(token)
+            self.stats.reads += 1
+
+    def count_write(self, token: Hashable) -> None:
+        if token not in self._seen_writes:
+            self._seen_writes.add(token)
+            self.stats.writes += 1
+
+    def forget(self, token: Hashable) -> None:
+        """Drop a token from the dedup sets (used when a page is freed and
+        its id may be recycled within the same operation)."""
+        self._seen_reads.discard(token)
+        self._seen_writes.discard(token)

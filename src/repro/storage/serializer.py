@@ -1,0 +1,155 @@
+"""Byte-level page codecs for the file-backed store.
+
+Each page image starts with a one-byte type tag so a heterogeneous file
+(data pages interleaved with directory nodes) can be decoded slot by
+slot.  Codecs self-register in a :class:`CodecRegistry`; the directory
+node codec lives with the node structure in ``repro.core.node`` and
+registers itself there, keeping the storage layer free of index
+knowledge.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.storage.page import DataPage
+
+
+class ValueCodec(ABC):
+    """Encodes record payloads (the opaque part of a data page)."""
+
+    @abstractmethod
+    def encode(self, value: Any) -> bytes: ...
+
+    @abstractmethod
+    def decode(self, data: bytes) -> Any: ...
+
+
+class PickleValueCodec(ValueCodec):
+    """Default payload codec: any picklable Python value."""
+
+    def encode(self, value: Any) -> bytes:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Any:
+        return pickle.loads(data)
+
+
+class RawBytesValueCodec(ValueCodec):
+    """Zero-copy payload codec for applications that store bytes."""
+
+    def encode(self, value: Any) -> bytes:
+        if not isinstance(value, (bytes, bytearray)):
+            raise SerializationError(f"raw codec needs bytes, got {type(value)}")
+        return bytes(value)
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class PageCodec(ABC):
+    """Encodes one page object type, identified by a unique tag byte."""
+
+    tag: int = 0
+
+    @abstractmethod
+    def handles(self, obj: Any) -> bool: ...
+
+    @abstractmethod
+    def encode_body(self, obj: Any) -> bytes: ...
+
+    @abstractmethod
+    def decode_body(self, data: bytes) -> Any: ...
+
+
+class DataPageCodec(PageCodec):
+    """Struct layout for :class:`~repro.storage.page.DataPage`.
+
+    ``u32 capacity | u32 count | u16 dims`` then per record
+    ``dims * u64`` pseudo-key codes, ``u32`` payload length, payload.
+    Pseudo-key widths are at most 64 bits throughout the library, so a
+    fixed u64 per component is exact.
+    """
+
+    tag = 0x01
+    _HEADER = struct.Struct("<IIH")
+
+    def __init__(self, value_codec: ValueCodec | None = None) -> None:
+        self._values = value_codec or PickleValueCodec()
+
+    def handles(self, obj: Any) -> bool:
+        return isinstance(obj, DataPage)
+
+    def encode_body(self, page: DataPage) -> bytes:
+        records = list(page.items())
+        dims = len(records[0][0]) if records else 0
+        parts = [self._HEADER.pack(page.capacity, len(records), dims)]
+        for codes, value in records:
+            if len(codes) != dims:
+                raise SerializationError("mixed key arity within one page")
+            parts.append(struct.pack(f"<{dims}Q", *codes) if dims else b"")
+            payload = self._values.encode(value)
+            parts.append(struct.pack("<I", len(payload)))
+            parts.append(payload)
+        return b"".join(parts)
+
+    def decode_body(self, data: bytes) -> DataPage:
+        try:
+            capacity, count, dims = self._HEADER.unpack_from(data, 0)
+            offset = self._HEADER.size
+            page = DataPage(capacity)
+            for _ in range(count):
+                codes = struct.unpack_from(f"<{dims}Q", data, offset)
+                offset += 8 * dims
+                (length,) = struct.unpack_from("<I", data, offset)
+                offset += 4
+                value = self._values.decode(data[offset : offset + length])
+                offset += length
+                page.put(tuple(codes), value)
+            return page
+        except (struct.error, pickle.UnpicklingError) as exc:
+            raise SerializationError(f"corrupt data page image: {exc}") from exc
+
+
+class CodecRegistry:
+    """Dispatches page objects to codecs by type, and images by tag."""
+
+    def __init__(self) -> None:
+        self._by_tag: dict[int, PageCodec] = {}
+
+    def register(self, codec: PageCodec) -> None:
+        if codec.tag in self._by_tag:
+            raise SerializationError(f"duplicate codec tag {codec.tag:#x}")
+        self._by_tag[codec.tag] = codec
+
+    def encode(self, obj: Any) -> bytes:
+        for codec in self._by_tag.values():
+            if codec.handles(obj):
+                return bytes([codec.tag]) + codec.encode_body(obj)
+        raise SerializationError(f"no codec for {type(obj).__name__}")
+
+    def decode(self, image: bytes) -> Any:
+        if not image:
+            raise SerializationError("empty page image")
+        codec = self._by_tag.get(image[0])
+        if codec is None:
+            raise SerializationError(f"unknown page tag {image[0]:#x}")
+        return codec.decode_body(image[1:])
+
+
+def default_registry(value_codec: ValueCodec | None = None) -> CodecRegistry:
+    """A registry with the data-page codec plus the directory-node codec
+    (imported lazily to keep storage independent of the index layer)."""
+    registry = CodecRegistry()
+    registry.register(DataPageCodec(value_codec))
+    # Late imports: the index layers depend on storage, not vice versa.
+    from repro.core.node import NodeCodec
+    from repro.kdb.kdbtree import RegionPageCodec
+
+    registry.register(NodeCodec())
+    registry.register(RegionPageCodec())
+    return registry

@@ -1,0 +1,40 @@
+"""Key-stream generators for the paper's experiments (§5) and beyond."""
+
+from repro.workloads.generators import (
+    uniform_keys,
+    normal_keys,
+    clustered_keys,
+    noise_burst_keys,
+    zipf_grid_keys,
+    adversarial_common_prefix_keys,
+    unique,
+    DOMAIN_MAX,
+)
+from repro.workloads.table1 import TABLE1_KEYS, table1_codes
+from repro.workloads.trace import (
+    churn_trace,
+    load_trace,
+    replay,
+    save_trace,
+    ReplayReport,
+    TraceError,
+)
+
+__all__ = [
+    "churn_trace",
+    "load_trace",
+    "replay",
+    "save_trace",
+    "ReplayReport",
+    "TraceError",
+    "uniform_keys",
+    "normal_keys",
+    "clustered_keys",
+    "noise_burst_keys",
+    "zipf_grid_keys",
+    "adversarial_common_prefix_keys",
+    "unique",
+    "DOMAIN_MAX",
+    "TABLE1_KEYS",
+    "table1_codes",
+]

@@ -1,0 +1,170 @@
+"""Synthetic key streams.
+
+The paper's two experimental distributions (§5):
+
+1. *uniform* — every key component a pseudo-random integer in
+   ``[0, 2^31 - 1]`` (d = 2 and d = 3);
+2. *(bivariate) normal* — every component a truncated discretized normal
+   over the same domain.  The paper gives no (μ, σ); we use
+   μ = 2^30, σ = 2^31/12 — calibrated so the one-level directory for
+   b = 8 lands exactly on the paper's reported 524,288 elements and the
+   BMEH-tree within 2% of its 20,800 (see EXPERIMENTS.md for the
+   sensitivity note).
+
+Plus the motivating pathologies: clustered data, the paper's §3 "noise"
+bursts (runs of keys differing only in low-order bits), a Zipf-weighted
+grid, and the adversarial common-prefix stream that realizes Theorem 2's
+worst case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+DOMAIN_MAX = 2**31  # keys live in [0, 2^31 - 1], the paper's domain
+
+KeyTuple = tuple[int, ...]
+
+
+def _as_tuples(array: np.ndarray) -> list[KeyTuple]:
+    return [tuple(int(x) for x in row) for row in array]
+
+
+def unique(keys: Iterable[KeyTuple]) -> list[KeyTuple]:
+    """Drop duplicate key vectors, keeping first occurrence order.
+
+    The paper's insert rejects exact duplicates, so experiment streams
+    are deduplicated up front.
+    """
+    return list(dict.fromkeys(keys))
+
+
+def uniform_keys(
+    n: int, dims: int = 2, seed: int = 1986, domain: int = DOMAIN_MAX
+) -> list[KeyTuple]:
+    """``n`` keys with independent uniform components in ``[0, domain)``."""
+    rng = np.random.default_rng(seed)
+    return _as_tuples(rng.integers(0, domain, size=(n, dims), dtype=np.int64))
+
+
+def normal_keys(
+    n: int,
+    dims: int = 2,
+    seed: int = 1986,
+    domain: int = DOMAIN_MAX,
+    mean: float | None = None,
+    spread: float | None = None,
+) -> list[KeyTuple]:
+    """``n`` truncated discretized normal keys (the paper's skewed load).
+
+    Out-of-domain draws are rejected and redrawn (truncation), then
+    floored to integers (discretization).
+    """
+    rng = np.random.default_rng(seed)
+    mu = domain / 2 if mean is None else mean
+    sd = domain / 12 if spread is None else spread
+    rows = np.empty((0, dims))
+    while len(rows) < n:
+        sample = rng.normal(mu, sd, size=(n, dims))
+        sample = sample[((sample >= 0) & (sample < domain)).all(axis=1)]
+        rows = np.vstack([rows, sample])
+    return _as_tuples(rows[:n].astype(np.int64))
+
+
+def clustered_keys(
+    n: int,
+    dims: int = 2,
+    clusters: int = 12,
+    cluster_radius: float = DOMAIN_MAX / 256,
+    seed: int = 1986,
+    domain: int = DOMAIN_MAX,
+) -> list[KeyTuple]:
+    """Keys concentrated around a few uniformly placed cluster centres —
+    the geographic / pictorial workload shape the introduction motivates."""
+    rng = np.random.default_rng(seed)
+    centres = rng.uniform(0, domain, size=(clusters, dims))
+    picks = rng.integers(0, clusters, size=n)
+    rows = centres[picks] + rng.normal(0, cluster_radius, size=(n, dims))
+    rows = np.clip(rows, 0, domain - 1)
+    return _as_tuples(rows.astype(np.int64))
+
+
+def noise_burst_keys(
+    n: int,
+    dims: int = 2,
+    burst: int = 32,
+    low_bits: int = 12,
+    seed: int = 1986,
+    domain: int = DOMAIN_MAX,
+) -> list[KeyTuple]:
+    """The paper's §3 "noise effect": bursts of consecutive keys that
+    agree on everything except their low-order bits, the pattern that
+    drives repeated splitting of one directory region."""
+    rng = np.random.default_rng(seed)
+    keys: list[KeyTuple] = []
+    while len(keys) < n:
+        base = rng.integers(0, domain, size=dims, dtype=np.int64)
+        base &= ~np.int64((1 << low_bits) - 1)
+        jitter = rng.integers(0, 1 << low_bits, size=(burst, dims), dtype=np.int64)
+        block = np.minimum(base + jitter, domain - 1)
+        keys.extend(_as_tuples(block))
+    return keys[:n]
+
+
+def zipf_grid_keys(
+    n: int,
+    dims: int = 2,
+    grid_bits: int = 8,
+    exponent: float = 1.2,
+    seed: int = 1986,
+    domain: int = DOMAIN_MAX,
+) -> list[KeyTuple]:
+    """Zipf-weighted coarse grid cells with uniform fill inside each cell
+    — heavier skew than the normal load, used by the ablations."""
+    rng = np.random.default_rng(seed)
+    cells = 1 << grid_bits
+    weights = 1.0 / np.arange(1, cells + 1) ** exponent
+    weights /= weights.sum()
+    cell_width = domain // cells
+    rows = np.empty((n, dims), dtype=np.int64)
+    for j in range(dims):
+        ranked = rng.permutation(cells)  # which cell gets which rank
+        picks = ranked[rng.choice(cells, size=n, p=weights)]
+        rows[:, j] = picks * cell_width + rng.integers(
+            0, cell_width, size=n, dtype=np.int64
+        )
+    return _as_tuples(rows)
+
+
+def adversarial_common_prefix_keys(
+    count: int, dims: int = 2, width: int = 32, seed: int = 1986
+) -> list[KeyTuple]:
+    """Keys agreeing on all but their lowest bits — Theorem 2's worst
+    case, which forces the deepest possible split cascade."""
+    rng = np.random.default_rng(seed)
+    base = [int(rng.integers(0, 1 << width)) & ~1 for _ in range(dims)]
+    tail_bits = max((count - 1).bit_length(), 1)
+    keys = []
+    for i in range(count):
+        key = []
+        for j in range(dims):
+            prefix = base[j] >> tail_bits << tail_bits
+            key.append(prefix | (i & ((1 << tail_bits) - 1)))
+        keys.append(tuple(key))
+    return unique(keys)
+
+
+def interleave(*streams: Iterable[KeyTuple]) -> Iterator[KeyTuple]:
+    """Round-robin merge of key streams (mixed workloads)."""
+    iterators = [iter(s) for s in streams]
+    while iterators:
+        alive = []
+        for it in iterators:
+            try:
+                yield next(it)
+                alive.append(it)
+            except StopIteration:
+                pass
+        iterators = alive

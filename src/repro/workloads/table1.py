@@ -1,0 +1,58 @@
+"""The paper's Table 1: the 22 binary-encoded example keys.
+
+Used by §4.3's worked example (Figures 4 and 5): 2-dimensional keys with
+a 4-bit first component and a 3-bit second component, inserted into a
+BMEH-tree with ξ = (2, 2) and page capacity b = 2.
+"""
+
+from __future__ import annotations
+
+from repro.bits import from_bitstring
+
+# (first component, second component) exactly as printed in Table 1.
+_TABLE1_BITSTRINGS: tuple[tuple[str, str], ...] = (
+    ("1110", "010"),  # K1
+    ("1011", "101"),  # K2
+    ("0101", "101"),  # K3
+    ("1100", "101"),  # K4
+    ("0001", "111"),  # K5
+    ("0010", "100"),  # K6
+    ("0100", "010"),  # K7
+    ("0111", "100"),  # K8
+    ("0001", "001"),  # K9
+    ("0110", "010"),  # K10
+    ("1000", "110"),  # K11
+    ("0111", "001"),  # K12
+    ("0011", "000"),  # K13
+    ("1100", "000"),  # K14
+    ("1001", "011"),  # K15
+    ("1101", "001"),  # K16
+    ("0011", "100"),  # K17
+    ("1110", "011"),  # K18
+    ("0111", "011"),  # K19
+    ("0001", "010"),  # K20
+    ("1001", "001"),  # K21
+    ("0110", "011"),  # K22
+)
+
+#: The example's pseudo-key widths: 4 bits and 3 bits.
+TABLE1_WIDTHS: tuple[int, int] = (4, 3)
+
+#: The paper's example parameters: ξ = (2, 2), b = 2.
+TABLE1_XI: tuple[int, int] = (2, 2)
+TABLE1_PAGE_CAPACITY: int = 2
+
+#: Table 1 as labelled bit strings, in insertion order.
+TABLE1_KEYS: tuple[tuple[str, str], ...] = _TABLE1_BITSTRINGS
+
+
+def table1_codes() -> list[tuple[int, ...]]:
+    """Table 1 as integer pseudo-key tuples, in insertion order."""
+    codes = []
+    for first, second in _TABLE1_BITSTRINGS:
+        v1, w1 = from_bitstring(first)
+        v2, w2 = from_bitstring(second)
+        if (w1, w2) != TABLE1_WIDTHS:
+            raise AssertionError("Table 1 entry with unexpected width")
+        codes.append((v1, v2))
+    return codes

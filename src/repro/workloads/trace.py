@@ -1,0 +1,149 @@
+"""Operation traces: record, persist, and replay index workloads.
+
+A trace is a list of operations — ``("insert", key, value)``,
+``("delete", key)``, ``("search", key)`` — stored as JSON lines.  Traces
+make experiments portable (ship the exact operation stream, not the
+generator), and the replay helper doubles as a differential-testing
+harness: replaying one trace against two schemes must produce identical
+answers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import KeyNotFoundError, ReproError
+
+Operation = tuple  # ("insert", key, value) | ("delete", key) | ("search", key)
+
+
+class TraceError(ReproError):
+    """A trace file is malformed or an operation is unknown."""
+
+
+@dataclass
+class ReplayReport:
+    """What happened during one replay."""
+
+    inserts: int = 0
+    deletes: int = 0
+    searches: int = 0
+    misses: int = 0  # searches/deletes of absent keys
+    answers: list = field(default_factory=list)  # search results in order
+
+    @property
+    def operations(self) -> int:
+        return self.inserts + self.deletes + self.searches
+
+
+def save_trace(operations: Iterable[Operation], path: str) -> int:
+    """Write operations as JSON lines; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as out:
+        for operation in operations:
+            out.write(json.dumps(list(operation)) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> list[Operation]:
+    """Read a JSON-lines trace; keys come back as tuples."""
+    operations: list[Operation] = []
+    with open(path, "r", encoding="utf-8") as inp:
+        for line_number, line in enumerate(inp, 1):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"line {line_number}: {exc}") from exc
+            if not row or row[0] not in ("insert", "delete", "search"):
+                raise TraceError(f"line {line_number}: unknown operation")
+            kind = row[0]
+            key = tuple(row[1])
+            if kind == "insert":
+                value = row[2] if len(row) > 2 else None
+                operations.append((kind, key, value))
+            else:
+                operations.append((kind, key))
+    return operations
+
+
+def replay(index: Any, operations: Iterable[Operation]) -> ReplayReport:
+    """Apply a trace to an index; absent-key deletes/searches count as
+    misses rather than failures (traces may be replayed onto indexes
+    with different starting contents)."""
+    report = ReplayReport()
+    for operation in operations:
+        kind = operation[0]
+        if kind == "insert":
+            index.insert(operation[1], operation[2])
+            report.inserts += 1
+        elif kind == "delete":
+            try:
+                index.delete(operation[1])
+            except KeyNotFoundError:
+                report.misses += 1
+            else:
+                report.deletes += 1
+        elif kind == "search":
+            try:
+                report.answers.append(index.search(operation[1]))
+            except KeyNotFoundError:
+                report.answers.append(KeyNotFoundError)
+                report.misses += 1
+            report.searches += 1
+        else:  # pragma: no cover - load_trace validates kinds
+            raise TraceError(f"unknown operation {kind!r}")
+    return report
+
+
+def churn_trace(
+    n_operations: int,
+    dims: int = 2,
+    domain: int = 256,
+    insert_bias: float = 0.6,
+    search_share: float = 0.2,
+    seed: int = 1986,
+) -> list[Operation]:
+    """A synthetic mixed read/write trace with a live-set model.
+
+    ``insert_bias`` steers the insert/delete mix among writes;
+    ``search_share`` of the operations are point lookups (half aimed at
+    live keys, half at random ones).
+    """
+    if not 0.0 <= insert_bias <= 1.0 or not 0.0 <= search_share < 1.0:
+        raise ValueError("bias parameters out of range")
+    rng = np.random.default_rng(seed)
+    live: list[tuple[int, ...]] = []
+    live_set: set[tuple[int, ...]] = set()
+    operations: list[Operation] = []
+    serial = 0
+    while len(operations) < n_operations:
+        roll = rng.random()
+        if roll < search_share:
+            if live and rng.random() < 0.5:
+                key = live[int(rng.integers(len(live)))]
+            else:
+                key = tuple(int(rng.integers(domain)) for _ in range(dims))
+            operations.append(("search", key))
+        elif rng.random() < insert_bias or not live:
+            key = tuple(int(rng.integers(domain)) for _ in range(dims))
+            if key in live_set:
+                continue
+            operations.append(("insert", key, serial))
+            serial += 1
+            live.append(key)
+            live_set.add(key)
+        else:
+            position = int(rng.integers(len(live)))
+            key = live[position]
+            live[position] = live[-1]
+            live.pop()
+            live_set.discard(key)
+            operations.append(("delete", key))
+    return operations

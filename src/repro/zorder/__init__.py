@@ -1,0 +1,14 @@
+"""Z-order (bit-interleaved) single-attribute indexing.
+
+The paper's reference [13] (Orenstein and Merrett, PODS 1984): shuffle
+the key components into one binary string and store it in an ordinary
+one-dimensional order-preserving structure — here the §2.1 extendible
+hash file.  Exact matches cost the 1-d structure's two accesses; range
+queries decompose the box into dyadic z-intervals.  Every z-prefix is a
+rectangular box, so this scheme, too, induces a rectilinear partition
+and plugs into the shared analysis tooling.
+"""
+
+from repro.zorder.zindex import ZOrderIndex
+
+__all__ = ["ZOrderIndex"]

@@ -1,0 +1,188 @@
+"""A multidimensional index as a z-ordered 1-d extendible hash file.
+
+Keys are bit-interleaved (``repro.bits.interleave``) and stored in the
+order-preserving one-dimensional file of §2.1.  The interleaving order
+matches the multidimensional split rule (round-robin over the
+dimensions, exhausted axes dropping out), so a z-prefix of any length is
+a dyadic *box* and the 1-d directory's regions map one-to-one onto a
+rectilinear partition of the attribute space.
+
+Range queries decompose the query box into z-intervals by recursive
+quadrant refinement: a quadrant fully inside the box contributes one
+contiguous z-interval; a partially covered quadrant is refined, down to
+a depth cap past which the interval is scanned and filtered.  This is
+the classic trade-off of the z-order approach — a box can shatter into
+many intervals — and exactly the comparison point against the native
+multidimensional directories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.bits import deinterleave, interleave, low_mask
+from repro.storage import PageStore
+from repro.core.ehash import ExtendibleHashFile
+from repro.core.interface import (
+    KeyCodes,
+    LeafRegion,
+    MultidimensionalIndex,
+    Record,
+)
+
+
+class ZOrderIndex(MultidimensionalIndex):
+    """Orenstein-Merrett style z-order indexing over §2.1's hash file.
+
+    Args:
+        refinement_cap: maximum quadrant-refinement depth (in interleaved
+            bits) used by the range-query decomposition before falling
+            back to scan-and-filter.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        page_capacity: int,
+        widths: Sequence[int] | int = 32,
+        store: PageStore | None = None,
+        refinement_cap: int = 20,
+    ) -> None:
+        super().__init__(dims, page_capacity, widths, store)
+        self._total_width = sum(self._widths)
+        if self._total_width > 64:
+            raise ValueError("interleaved width must fit 64 bits")
+        if refinement_cap < 1:
+            raise ValueError("refinement cap must be positive")
+        self._cap = refinement_cap
+        self._file = ExtendibleHashFile(
+            page_capacity, width=self._total_width, store=self._store
+        )
+        # Interleave slot order: which dimension owns each z bit.
+        self._slots: list[int] = []
+        for position in range(1, max(self._widths) + 1):
+            for j, width in enumerate(self._widths):
+                if position <= width:
+                    self._slots.append(j)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def directory_size(self) -> int:
+        return self._file.directory_size
+
+    @property
+    def data_page_count(self) -> int:
+        return self._file.data_page_count
+
+    @property
+    def file(self) -> ExtendibleHashFile:
+        """The underlying one-dimensional hash file."""
+        return self._file
+
+    def _z(self, codes: KeyCodes) -> int:
+        return interleave(codes, self._widths)
+
+    # -- operations ----------------------------------------------------------
+
+    def insert(self, key: Sequence[int], value: Any = None) -> None:
+        codes = self._check_key(key)
+        self._file.insert(self._z(codes), value)
+        self._num_keys += 1
+
+    def search(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        return self._file.search(self._z(codes))
+
+    def delete(self, key: Sequence[int]) -> Any:
+        codes = self._check_key(key)
+        value = self._file.delete(self._z(codes))
+        self._num_keys -= 1
+        return value
+
+    def range_search(
+        self, lows: Sequence[int], highs: Sequence[int]
+    ) -> Iterator[Record]:
+        lows = self._check_key(lows)
+        highs = self._check_key(highs)
+        if any(lo > hi for lo, hi in zip(lows, highs)):
+            return
+        with self._store.operation():
+            for z_low, z_high, exact in self.z_intervals(lows, highs):
+                for z_value, value in self._file.scan_range(z_low, z_high):
+                    codes = deinterleave(z_value, self._widths)
+                    if exact or all(
+                        lows[j] <= codes[j] <= highs[j]
+                        for j in range(self._dims)
+                    ):
+                        yield codes, value
+
+    def z_intervals(
+        self, lows: KeyCodes, highs: KeyCodes
+    ) -> Iterator[tuple[int, int, bool]]:
+        """Decompose a box into z-intervals ``(low, high, exact)``.
+
+        ``exact`` intervals lie fully inside the box; inexact ones (cut
+        off by the refinement cap) need per-record filtering.
+        """
+        yield from self._refine(0, 0, lows, highs)
+
+    def _refine(
+        self, prefix: int, depth: int, lows: KeyCodes, highs: KeyCodes
+    ) -> Iterator[tuple[int, int, bool]]:
+        rest = self._total_width - depth
+        z_low = prefix << rest
+        z_high = z_low | low_mask(rest)
+        box_low = deinterleave(z_low, self._widths)
+        box_high = deinterleave(z_high, self._widths)
+        if any(
+            box_high[j] < lows[j] or box_low[j] > highs[j]
+            for j in range(self._dims)
+        ):
+            return
+        inside = all(
+            lows[j] <= box_low[j] and box_high[j] <= highs[j]
+            for j in range(self._dims)
+        )
+        if inside:
+            yield z_low, z_high, True
+            return
+        if depth >= min(self._cap, self._total_width):
+            yield z_low, z_high, False
+            return
+        yield from self._refine(prefix << 1, depth + 1, lows, highs)
+        yield from self._refine((prefix << 1) | 1, depth + 1, lows, highs)
+
+    def items(self) -> Iterator[Record]:
+        for (z_value,), value in self._file.items():
+            yield deinterleave(z_value, self._widths), value
+
+    # -- introspection -----------------------------------------------------------
+
+    def leaf_regions(self) -> Iterator[LeafRegion]:
+        """Map the 1-d file's prefix regions onto attribute-space boxes:
+        a z-prefix of length L assigns its bits round-robin to the
+        dimensions, so each region is a dyadic box."""
+        for region in self._file.leaf_regions():
+            z_prefix = region.prefixes[0]
+            length = region.depths[0]
+            per_dim = [0] * self._dims
+            codes = [0] * self._dims
+            for i in range(length):
+                dim = self._slots[i]
+                bit = (z_prefix >> (length - 1 - i)) & 1
+                codes[dim] = (codes[dim] << 1) | bit
+                per_dim[dim] += 1
+            yield LeafRegion(tuple(codes), tuple(per_dim), region.page)
+
+    def check_invariants(self) -> None:
+        self._file.check_invariants()
+        assert len(self._file) == self._num_keys
+        # Round-trip: every stored z-value de-interleaves into a key
+        # whose re-interleaving is itself.
+        for region in self._file.leaf_regions():
+            if region.page is None:
+                continue
+            for (z_value,) in self._file.store.peek(region.page).keys():
+                codes = deinterleave(z_value, self._widths)
+                assert self._z(codes) == z_value

@@ -1,0 +1,66 @@
+"""Shared fixtures: schemes under test and small deterministic key sets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    MDEH,
+    MEHTree,
+    BMEHTree,
+    BalancedBinaryTrie,
+    GridFile,
+    KDBTree,
+    ZOrderIndex,
+)
+
+#: Every multidimensional scheme, with any non-default options.
+ALL_SCHEMES = [
+    pytest.param((MDEH, {}), id="mdeh"),
+    pytest.param((MEHTree, {}), id="meh"),
+    pytest.param((BMEHTree, {}), id="bmeh"),
+    pytest.param((BMEHTree, {"node_policy": "per_dim"}), id="bmeh-perdim"),
+    pytest.param((BalancedBinaryTrie, {}), id="quadtrie"),
+    pytest.param((GridFile, {}), id="gridfile"),
+    pytest.param((KDBTree, {}), id="kdb"),
+    pytest.param((ZOrderIndex, {}), id="zorder"),
+]
+
+#: The three paper schemes only (comparison tests).
+PAPER_SCHEMES = [
+    pytest.param((MDEH, {}), id="mdeh"),
+    pytest.param((MEHTree, {}), id="meh"),
+    pytest.param((BMEHTree, {}), id="bmeh"),
+]
+
+
+@pytest.fixture(params=ALL_SCHEMES)
+def scheme(request):
+    """(class, options) pairs covering every index variant."""
+    return request.param
+
+
+def make_index(cls, options, dims=2, b=4, widths=8):
+    return cls(dims=dims, page_capacity=b, widths=widths, **options)
+
+
+@pytest.fixture
+def small_keys():
+    """300 unique deterministic 2-d keys in an 8-bit domain."""
+    rng = random.Random(2024)
+    seen = {}
+    while len(seen) < 300:
+        seen[(rng.randrange(256), rng.randrange(256))] = None
+    return list(seen)
+
+
+@pytest.fixture
+def built(scheme, small_keys):
+    """An index of each variant loaded with ``small_keys``."""
+    cls, options = scheme
+    index = make_index(cls, options)
+    for i, key in enumerate(small_keys):
+        index.insert(key, i)
+    return index, dict((k, i) for i, k in enumerate(small_keys))

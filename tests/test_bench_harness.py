@@ -1,0 +1,105 @@
+"""The benchmark harness itself (small-scale end-to-end runs)."""
+
+import pytest
+
+from repro.analysis.metrics import GrowthSeries
+from repro.bench import (
+    PAPER_TABLES,
+    TableExperiment,
+    format_series,
+    format_table,
+    growth_series,
+    run_table_cell,
+    shape_assertions,
+)
+from repro.bench.harness import TABLE_EXPERIMENTS, make_index
+from repro.bench.paper_data import PAGE_CAPACITIES, PAPER_N
+
+
+class TestPaperData:
+    def test_all_tables_present(self):
+        assert set(PAPER_TABLES) == {"table2", "table3", "table4"}
+
+    def test_every_cell_complete(self):
+        for table in PAPER_TABLES.values():
+            assert set(table) == {"MDEH", "MEHTree", "BMEHTree"}
+            for scheme_rows in table.values():
+                assert set(scheme_rows) == set(PAGE_CAPACITIES)
+
+    def test_known_values_transcribed(self):
+        t3 = PAPER_TABLES["table3"]
+        assert t3["MDEH"][8].insertion_accesses == 229.34
+        assert t3["MDEH"][8].directory_size == 524_288
+        assert t3["BMEHTree"][8].directory_size == 20_800
+        assert PAPER_TABLES["table2"]["BMEHTree"][8].directory_size == 17_984
+        assert PAPER_N == 40_000
+
+
+class TestHarness:
+    def test_make_index(self):
+        index = make_index("BMEHTree", 2, 8)
+        assert index.page_capacity == 8 and index.dims == 2
+
+    def test_experiments_defined(self):
+        assert TABLE_EXPERIMENTS["table3"].workload == "normal"
+        assert TABLE_EXPERIMENTS["table4"].dims == 3
+
+    def test_keys_cached_and_unique(self):
+        exp = TABLE_EXPERIMENTS["table2"]
+        a = exp.keys(500)
+        b = exp.keys(500)
+        assert a is b
+        assert len(set(a)) == len(a)
+
+    def test_run_table_cell_small(self):
+        metrics = run_table_cell(TABLE_EXPERIMENTS["table2"], "MDEH", 8, n=800)
+        assert metrics.successful_search_reads == 2.0
+        assert metrics.directory_size >= 1
+
+    def test_growth_series_small(self):
+        metrics, series = growth_series(
+            TABLE_EXPERIMENTS["table2"], "BMEHTree", checkpoints=5, n=800
+        )
+        assert len(series.checkpoints) >= 5
+        assert series.directory_sizes == sorted(series.directory_sizes)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            TableExperiment("x", "pareto", 2).keys(10)
+
+
+class TestReporting:
+    def run_cells(self, n=1200):
+        exp = TABLE_EXPERIMENTS["table2"]
+        return {
+            (scheme, 8): run_table_cell(exp, scheme, 8, n=n)
+            for scheme in ("MDEH", "MEHTree", "BMEHTree")
+        }
+
+    def test_format_table_mentions_all_measures(self):
+        measured = self.run_cells()
+        text = format_table("T", measured, PAPER_TABLES["table2"])
+        for token in ("λ", "ρ", "α", "σ", "measured/paper", "MDEH"):
+            assert token in text
+
+    def test_format_table_handles_missing_cells(self):
+        text = format_table("T", {}, PAPER_TABLES["table2"])
+        assert "--" in text
+
+    def test_shape_assertions_small_scale_pass(self):
+        measured = self.run_cells()
+        assert shape_assertions("table2", measured) == []
+
+    def test_shape_assertions_flag_bad_lambda(self):
+        measured = self.run_cells()
+        broken = dict(measured)
+        cell = broken[("MDEH", 8)]
+        cell.successful_search_reads = 3.5
+        failures = shape_assertions("table2", broken)
+        assert any("MDEH λ" in f for f in failures)
+
+    def test_format_series(self):
+        series = [GrowthSeries("A", [10, 20], [1, 2]),
+                  GrowthSeries("B", [10, 20], [3, 4])]
+        text = format_series("S", series)
+        assert "A" in text and "B" in text and "20" in text

@@ -1,0 +1,150 @@
+"""Unit tests for the bit-level pseudo-key helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits import (
+    BitView,
+    bit_at,
+    from_bitstring,
+    g,
+    low_mask,
+    strip,
+    to_bitstring,
+)
+
+
+class TestLowMask:
+    def test_zero(self):
+        assert low_mask(0) == 0
+
+    def test_small(self):
+        assert low_mask(3) == 0b111
+
+    def test_word(self):
+        assert low_mask(32) == 2**32 - 1
+
+
+class TestG:
+    def test_full_depth_is_identity(self):
+        assert g(0b1011, 4, 4) == 0b1011
+
+    def test_zero_depth_is_zero(self):
+        assert g(0b1011, 4, 0) == 0
+
+    def test_prefix_msb_first(self):
+        # The paper's example: key "10101...", H = 2 -> address 2.
+        value, width = from_bitstring("10101")
+        assert g(value, width, 2) == 2
+
+    def test_prefix_of_key_01101(self):
+        value, width = from_bitstring("01101")
+        assert g(value, width, 2) == 1
+
+    def test_depth_beyond_width_rejected(self):
+        with pytest.raises(ValueError):
+            g(1, 4, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            g(1, 4, -1)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+    def test_prefix_matches_string_slice(self, value, depth):
+        text = to_bitstring(value, 32)
+        want = int(text[:depth], 2) if depth else 0
+        assert g(value, 32, depth) == want
+
+
+class TestStrip:
+    def test_strip_nothing(self):
+        assert strip(0b1011, 4, 0) == (0b1011, 4)
+
+    def test_strip_all(self):
+        assert strip(0b1011, 4, 4) == (0, 0)
+
+    def test_strip_prefix(self):
+        assert strip(0b1011, 4, 1) == (0b011, 3)
+
+    def test_strip_too_much_rejected(self):
+        with pytest.raises(ValueError):
+            strip(0b1011, 4, 5)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 16))
+    def test_strip_then_g_reads_continuation(self, value, n):
+        """g after stripping n bits equals bits n+1.. of the original."""
+        rest, width = strip(value, 16, n)
+        assert width == 16 - n
+        assert g(rest, width, width) == value & low_mask(16 - n)
+
+    @given(st.integers(0, 2**20 - 1), st.integers(0, 20), st.integers(0, 20))
+    def test_g_composes_with_strip(self, value, first, second):
+        """Reading H1 bits, stripping them, then reading H2 more equals
+        reading H1+H2 bits at once — the invariant tree descent relies on."""
+        if first + second > 20:
+            return
+        head = g(value, 20, first)
+        rest, width = strip(value, 20, first)
+        tail = g(rest, width, second)
+        assert (head << second) | tail == g(value, 20, first + second)
+
+
+class TestBitAt:
+    def test_msb_is_position_one(self):
+        assert bit_at(0b1000, 4, 1) == 1
+        assert bit_at(0b0111, 4, 1) == 0
+
+    def test_lsb(self):
+        assert bit_at(0b0001, 4, 4) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_at(1, 4, 0)
+        with pytest.raises(ValueError):
+            bit_at(1, 4, 5)
+
+    @given(st.integers(0, 2**12 - 1), st.integers(1, 12))
+    def test_matches_string(self, value, position):
+        assert bit_at(value, 12, position) == int(to_bitstring(value, 12)[position - 1])
+
+
+class TestBitStrings:
+    def test_roundtrip(self):
+        assert from_bitstring("01101") == (0b01101, 5)
+        assert to_bitstring(0b01101, 5) == "01101"
+
+    def test_empty(self):
+        assert from_bitstring("") == (0, 0)
+        assert to_bitstring(0, 0) == ""
+
+    def test_invalid_chars(self):
+        with pytest.raises(ValueError):
+            from_bitstring("01x1")
+
+    def test_value_too_wide(self):
+        with pytest.raises(ValueError):
+            to_bitstring(8, 3)
+
+    @given(st.integers(0, 2**24 - 1), st.integers(24, 32))
+    def test_roundtrip_property(self, value, width):
+        assert from_bitstring(to_bitstring(value, width)) == (value, width)
+
+
+class TestBitView:
+    def test_from_string_and_str(self):
+        view = BitView.from_string("1010")
+        assert str(view) == "1010"
+        assert view.g(2) == 0b10
+
+    def test_strip_returns_new_view(self):
+        view = BitView.from_string("1010").strip(1)
+        assert str(view) == "010"
+
+    def test_bit(self):
+        assert BitView.from_string("1010").bit(3) == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BitView(4, 2)
+        with pytest.raises(ValueError):
+            BitView(0, -1)

@@ -1,0 +1,234 @@
+"""Structural tests specific to the BMEH-tree (the paper's contribution)."""
+
+import random
+
+import pytest
+
+from repro import BMEHTree
+from repro.analysis import assert_exact_tiling, max_tree_levels
+from repro.workloads import (
+    adversarial_common_prefix_keys,
+    normal_keys,
+    uniform_keys,
+    unique,
+)
+
+
+def build(keys, b=4, widths=8, **kw):
+    index = BMEHTree(2, b, widths=widths, **kw)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+def leaf_depths(index):
+    """Distances from the root to every data-page region."""
+    depths = []
+
+    def walk(node_id, level):
+        node = index.store.peek(node_id)
+        for entry in node.entries():
+            if entry.is_node:
+                walk(entry.ptr, level + 1)
+            else:
+                depths.append(level)
+
+    walk(index.root_id, 1)
+    return depths
+
+
+class TestBalance:
+    def test_all_data_pages_at_same_level(self):
+        index = build(unique(uniform_keys(800, 2, seed=20, domain=256)), b=2)
+        assert len(set(leaf_depths(index))) == 1
+
+    def test_balance_under_heavy_skew(self):
+        index = build(unique(normal_keys(800, 2, seed=21, domain=256)), b=2)
+        assert len(set(leaf_depths(index))) == 1
+        index.check_invariants()
+
+    def test_balance_under_adversarial_prefixes(self):
+        keys = adversarial_common_prefix_keys(64, dims=2, width=8)
+        index = build(keys, b=2)
+        assert len(set(leaf_depths(index))) == 1
+
+    def test_level_numbers_decrease_towards_leaves(self):
+        index = build(unique(uniform_keys(800, 2, seed=22, domain=256)), b=2)
+        index.check_invariants()  # includes parent.level == child.level + 1
+
+    def test_height_bound(self):
+        index = build(unique(uniform_keys(800, 2, seed=23, domain=256)), b=2)
+        assert index.height() <= max_tree_levels(16, index.phi)
+
+
+class TestGrowth:
+    def test_root_split_increases_height(self):
+        index = BMEHTree(2, 1, widths=8, xi=(1, 1))
+        heights = set()
+        for key in unique(uniform_keys(120, 2, seed=24, domain=256)):
+            index.insert(key)
+            heights.add(index.height())
+        assert max(heights) >= 3
+        index.check_invariants()
+
+    def test_root_stays_pinned_across_splits(self):
+        index = build(unique(uniform_keys(600, 2, seed=25, domain=256)), b=2)
+        assert index.store.is_pinned(index.root_id)
+
+    def test_node_count_matches_sigma(self):
+        index = build(unique(uniform_keys(500, 2, seed=26, domain=256)))
+        assert index.directory_size == index.node_count * (1 << index.phi)
+
+    def test_small_xi_grows_taller(self):
+        keys = unique(uniform_keys(600, 2, seed=27, domain=256))
+        wide = build(keys, b=2, xi=(3, 3))
+        narrow = build(keys, b=2, xi=(1, 1))
+        assert narrow.height() >= wide.height()
+
+    def test_tiling_remains_exact_during_growth(self):
+        index = BMEHTree(2, 2, widths=8)
+        keys = unique(uniform_keys(400, 2, seed=28, domain=256))
+        for i, key in enumerate(keys):
+            index.insert(key)
+            if i % 80 == 0:
+                assert_exact_tiling(index)
+        assert_exact_tiling(index)
+
+
+class TestNodeCuts:
+    """Node splits cut crossing regions downward (DESIGN.md §4.2)."""
+
+    def test_skewed_single_axis_forces_crossing_cuts(self):
+        # Vary only axis 0 so axis-1 depths stay 0: node splits along
+        # axis 0 will cut h_1 = 0 regions... and vice versa when the
+        # split dimension cycles.  The invariant checker proves no page
+        # is shared and every key stays reachable.
+        keys = [(x, 0) for x in range(256)]
+        index = BMEHTree(2, 2, widths=8, xi=(2, 2))
+        for key in keys:
+            index.insert(key, key[0])
+        index.check_invariants()
+        for key in keys:
+            assert index.search(key) == key[0]
+        assert len(set(leaf_depths(index))) == 1
+
+    def test_axis_with_no_node_depth(self):
+        # All keys share the axis-1 prefix entirely: cut axes must fall
+        # back to the deepest axis when the requested one has depth 0.
+        keys = [(x, 5) for x in range(200)]
+        index = BMEHTree(2, 2, widths=8, xi=(2, 2), node_policy="per_dim")
+        for key in keys:
+            index.insert(key)
+        index.check_invariants()
+        for key in keys:
+            assert key in index
+
+    def test_random_interleaving_keeps_invariants(self):
+        rng = random.Random(4)
+        index = BMEHTree(2, 2, widths=8, xi=(2, 2))
+        model = {}
+        for step in range(700):
+            if model and rng.random() < 0.35:
+                key = rng.choice(list(model))
+                assert index.delete(key) == model.pop(key)
+            else:
+                key = (rng.randrange(256), rng.randrange(256))
+                if key in model:
+                    continue
+                index.insert(key, step)
+                model[key] = step
+            if step % 100 == 0:
+                index.check_invariants()
+        index.check_invariants()
+        assert dict(index.items()) == model
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["total", "per_dim"])
+    def test_policies_build_correctly(self, policy):
+        keys = unique(normal_keys(500, 2, seed=29, domain=256))
+        index = build(keys, node_policy=policy)
+        index.check_invariants()
+        for i, key in enumerate(keys):
+            assert index.search(key) == i
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BMEHTree(2, 4, widths=8, node_policy="both")
+
+    def test_bad_xi_rejected(self):
+        with pytest.raises(ValueError):
+            BMEHTree(2, 4, widths=8, xi=(0, 3))
+        with pytest.raises(ValueError):
+            BMEHTree(2, 4, widths=8, xi=(3,))
+
+
+class TestRootCollapse:
+    def test_delete_all_reduces_height(self):
+        keys = unique(uniform_keys(600, 2, seed=30, domain=256))
+        index = build(keys, b=2)
+        grown_height = index.height()
+        assert grown_height >= 2
+        for key in keys:
+            index.delete(key)
+        index.check_invariants()
+        assert len(index) == 0
+        assert index.height() <= grown_height
+        assert index.data_page_count == 0
+
+
+class TestDeletionReversal:
+    """§4.2: node splits are reversed by sibling-node merging."""
+
+    def test_delete_all_collapses_directory(self):
+        keys = unique(uniform_keys(1500, 2, seed=31, domain=256))
+        index = build(keys, b=2)
+        peak = index.node_count
+        assert peak > 20
+        for key in keys:
+            index.delete(key)
+        index.check_invariants()
+        # Full reversal along the deletion paths: the directory returns
+        # to (nearly) its initial single node.
+        assert index.node_count <= max(peak // 10, 2)
+
+    def test_directory_tracks_population_through_waves(self):
+        keys = unique(uniform_keys(1000, 2, seed=32, domain=256))
+        index = build(keys, b=2)
+        peak = index.node_count
+        for key in keys[: len(keys) * 3 // 4]:
+            index.delete(key)
+        shrunk = index.node_count
+        assert shrunk < peak
+        for key in keys[: len(keys) * 3 // 4]:
+            index.insert(key, "again")
+        index.check_invariants()
+        assert dict(index.items()) == {
+            **{k: "again" for k in keys[: len(keys) * 3 // 4]},
+            **{k: i for i, k in enumerate(keys) if i >= len(keys) * 3 // 4},
+        }
+
+    def test_balance_survives_prune_and_refill(self):
+        """Re-materializing a pruned region must keep every data page at
+        the same depth (the balanced chain of _fill_nil_region)."""
+        keys = unique(normal_keys(900, 2, seed=33, domain=256))
+        index = build(keys, b=2)
+        for key in keys[:700]:
+            index.delete(key)
+        for key in keys[:700]:
+            index.insert(key, "back")
+        index.check_invariants()
+        assert len(set(leaf_depths(index))) == 1
+
+    def test_merge_preserves_regions(self):
+        keys = unique(uniform_keys(800, 2, seed=34, domain=256))
+        index = build(keys, b=2)
+        for key in keys[::2]:
+            index.delete(key)
+        index.check_invariants()
+        from repro.analysis import assert_exact_tiling
+
+        assert_exact_tiling(index)
+        for i, key in enumerate(keys):
+            if i % 2 == 1:
+                assert index.search(key) == i

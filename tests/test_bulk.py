@@ -1,0 +1,129 @@
+"""Bulk loading and z-order interleaving."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import BMEHTree
+from repro.bits import deinterleave, interleave
+from repro.core import bulk_load
+from repro.errors import DuplicateKeyError
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def items_of(keys):
+    return [(k, i) for i, k in enumerate(keys)]
+
+
+class TestZOrder:
+    def test_known_interleaving(self):
+        # codes (0b10, 0b01) with widths (2, 2) -> bits 1,0,0,1.
+        assert interleave((0b10, 0b01), (2, 2)) == 0b1001
+
+    def test_unequal_widths(self):
+        # widths (2, 1): order is x1,y1,x2 (y exhausted after bit 1).
+        assert interleave((0b11, 0b0), (2, 1)) == 0b101
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            interleave((1,), (2, 2))
+
+    @given(
+        st.tuples(st.integers(0, 255), st.integers(0, 31), st.integers(0, 7))
+    )
+    def test_roundtrip(self, codes):
+        widths = (8, 5, 3)
+        assert deinterleave(interleave(codes, widths), widths) == codes
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                    min_size=2, max_size=40, unique=True))
+    def test_zorder_groups_prefix_siblings(self, keys):
+        """Sorting by z-order puts keys sharing deep prefixes adjacent:
+        consecutive interleaved values share at least as long a common
+        prefix as any pair that the sort separated."""
+        widths = (6, 6)
+        values = sorted(interleave(k, widths) for k in keys)
+        assert values == sorted(values)
+        assert len(set(values)) == len(keys)  # interleaving is injective
+
+
+class TestBulkLoad:
+    def test_partition_matches_incremental(self):
+        keys = unique(uniform_keys(1500, 2, seed=140, domain=65536))
+        incremental = BMEHTree(2, 8, widths=16)
+        for key, value in items_of(keys):
+            incremental.insert(key, value)
+        bulk = bulk_load(BMEHTree(2, 8, widths=16), items_of(keys))
+        bulk.check_invariants()
+        a = sorted((c.prefixes, c.depths) for c in incremental.leaf_regions())
+        b = sorted((c.prefixes, c.depths) for c in bulk.leaf_regions())
+        assert a == b
+
+    def test_same_height_and_similar_nodes(self):
+        keys = unique(normal_keys(1500, 2, seed=141, domain=65536))
+        incremental = BMEHTree(2, 8, widths=16)
+        for key, value in items_of(keys):
+            incremental.insert(key, value)
+        bulk = bulk_load(BMEHTree(2, 8, widths=16), items_of(keys))
+        assert bulk.height() == incremental.height()
+        assert bulk.node_count <= incremental.node_count + 2
+
+    def test_io_savings(self):
+        keys = unique(uniform_keys(1500, 2, seed=142, domain=65536))
+        incremental = BMEHTree(2, 8, widths=16)
+        for key, value in items_of(keys):
+            incremental.insert(key, value)
+        bulk = bulk_load(BMEHTree(2, 8, widths=16), items_of(keys))
+        assert bulk.store.stats.accesses * 3 < incremental.store.stats.accesses
+
+    def test_queries_after_bulk_load(self):
+        keys = unique(uniform_keys(800, 2, seed=143, domain=65536))
+        bulk = bulk_load(BMEHTree(2, 8, widths=16), items_of(keys))
+        for i, key in enumerate(keys):
+            assert bulk.search(key) == i
+        lo, hi = (1000, 1000), (40000, 30000)
+        got = sorted(k for k, _ in bulk.range_search(lo, hi))
+        want = sorted(
+            k for k in keys if lo[0] <= k[0] <= hi[0] and lo[1] <= k[1] <= hi[1]
+        )
+        assert got == want
+
+    def test_mutations_after_bulk_load(self):
+        keys = unique(uniform_keys(600, 2, seed=144, domain=65536))
+        bulk = bulk_load(BMEHTree(2, 8, widths=16), items_of(keys))
+        for key in keys[:200]:
+            bulk.delete(key)
+        extra = unique(uniform_keys(300, 2, seed=145, domain=65536))
+        for key in extra:
+            if key not in bulk:
+                bulk.insert(key, "post")
+        bulk.check_invariants()
+
+    def test_empty_and_tiny_loads(self):
+        empty = bulk_load(BMEHTree(2, 8, widths=16), [])
+        assert len(empty) == 0
+        empty.check_invariants()
+        one = bulk_load(BMEHTree(2, 8, widths=16), [((5, 5), "x")])
+        assert one.search((5, 5)) == "x"
+        one.check_invariants()
+
+    def test_rejects_non_empty_index(self):
+        index = BMEHTree(2, 8, widths=16)
+        index.insert((1, 1))
+        with pytest.raises(ValueError):
+            bulk_load(index, [((2, 2), None)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DuplicateKeyError):
+            bulk_load(
+                BMEHTree(2, 8, widths=16),
+                [((1, 1), "a"), ((1, 1), "b")],
+            )
+
+    def test_per_dim_policy(self):
+        keys = unique(uniform_keys(700, 2, seed=146, domain=65536))
+        bulk = bulk_load(
+            BMEHTree(2, 8, widths=16, node_policy="per_dim"), items_of(keys)
+        )
+        bulk.check_invariants()
+        for i, key in enumerate(keys):
+            assert bulk.search(key) == i

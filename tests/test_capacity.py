@@ -1,0 +1,66 @@
+"""Depth exhaustion and pseudo-key collision handling (DESIGN.md §4.4)."""
+
+import pytest
+
+from repro import BMEHTree, MDEH, MEHTree
+from repro.errors import CapacityError, DuplicateKeyError
+
+
+class TestCapacityExhaustion:
+    @pytest.mark.parametrize("cls", [MDEH, MEHTree, BMEHTree])
+    def test_colliding_prefixes_beyond_capacity(self, cls):
+        """More than b keys identical in every addressable bit cannot be
+        separated; the insert must fail loudly, not loop forever."""
+        index = cls(2, 2, widths=2)  # only 2 bits per dimension
+        index.insert((0, 0))
+        index.insert((0, 1))
+        index.insert((1, 0))  # fine: distinct codes
+        # Now exhaust one exact cell: (3,3) has a single code.
+        index = cls(2, 1, widths=1)
+        index.insert((0, 0))
+        index.insert((0, 1))
+        index.insert((1, 0))
+        index.insert((1, 1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert((1, 1))
+
+    @pytest.mark.parametrize("cls", [MDEH, MEHTree, BMEHTree])
+    def test_capacity_error_when_codes_collide(self, cls):
+        """Distinct *application* keys that encode to near-identical
+        codes exceed any page once all bits are consumed."""
+        index = cls(1, 2, widths=(2,))
+        index.insert((0,), "a")
+        index.insert((1,), "b")
+        index.insert((2,), "c")
+        index.insert((3,), "d")
+        # Page holding code 3 is full of... only one record; to overflow
+        # a fully-split cell we need b+1 records with the SAME code,
+        # which the duplicate check already rejects.  The capacity error
+        # therefore needs b >= 2 with two distinct codes in one cell at
+        # max depth — impossible at full split.  Exercise the guard via
+        # the split-dimension chooser instead:
+        from repro.errors import CapacityError as CE
+
+        with pytest.raises(CE):
+            index._next_split_dim(0, [2])
+
+    @pytest.mark.parametrize("cls", [MDEH, MEHTree, BMEHTree])
+    def test_full_domain_insertion(self, cls):
+        """Inserting every code of a tiny domain must terminate and keep
+        every record findable — the densest possible file."""
+        index = cls(2, 2, widths=3)
+        for a in range(8):
+            for b in range(8):
+                index.insert((a, b), a * 8 + b)
+        index.check_invariants()
+        assert len(index) == 64
+        for a in range(8):
+            for b in range(8):
+                assert index.search((a, b)) == a * 8 + b
+
+    def test_width_one_dimensions(self):
+        index = BMEHTree(2, 1, widths=1)
+        for key in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            index.insert(key)
+        index.check_invariants()
+        assert len(index) == 4

@@ -1,0 +1,104 @@
+"""Deletion (§4.2): reversal of the insertion process, on every scheme."""
+
+import random
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from tests.conftest import make_index
+
+
+class TestDeletion:
+    def test_delete_returns_value(self, built):
+        index, model = built
+        key = next(iter(model))
+        assert index.delete(key) == model[key]
+        assert key not in index
+        assert len(index) == len(model) - 1
+
+    def test_delete_missing_raises(self, built):
+        index, model = built
+        missing = next(
+            k for k in ((x, y) for x in range(256) for y in range(256))
+            if k not in model
+        )
+        with pytest.raises(KeyNotFoundError):
+            index.delete(missing)
+        assert len(index) == len(model)
+
+    def test_delete_twice_raises(self, built):
+        index, model = built
+        key = next(iter(model))
+        index.delete(key)
+        with pytest.raises(KeyNotFoundError):
+            index.delete(key)
+
+    def test_delete_all_empties_index(self, built):
+        index, model = built
+        for key in model:
+            index.delete(key)
+        index.check_invariants()
+        assert len(index) == 0
+        assert index.data_page_count == 0
+        assert list(index.items()) == []
+
+    def test_empty_pages_dropped_immediately(self, scheme):
+        """§2.1's selling point of directory-resident local depths."""
+        cls, options = scheme
+        index = make_index(cls, options, b=4)
+        index.insert((1, 1))
+        assert index.data_page_count == 1
+        index.delete((1, 1))
+        assert index.data_page_count == 0
+
+    def test_reinsert_after_delete(self, built):
+        index, model = built
+        keys = list(model)[:40]
+        for key in keys:
+            index.delete(key)
+        for key in keys:
+            index.insert(key, "back")
+        index.check_invariants()
+        for key in keys:
+            assert index.search(key) == "back"
+
+    def test_directory_shrinks_after_mass_deletion(self, scheme, small_keys):
+        cls, options = scheme
+        index = make_index(cls, options, b=2)
+        for key in small_keys:
+            index.insert(key)
+        peak = index.directory_size
+        for key in small_keys:
+            index.delete(key)
+        assert index.directory_size <= peak
+        index.check_invariants()
+
+    def test_random_churn_model_equivalence(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options, b=2)
+        rng = random.Random(8)
+        model = {}
+        for step in range(500):
+            if model and rng.random() < 0.45:
+                key = rng.choice(list(model))
+                assert index.delete(key) == model.pop(key)
+            else:
+                key = (rng.randrange(256), rng.randrange(256))
+                if key in model:
+                    continue
+                index.insert(key, step)
+                model[key] = step
+        index.check_invariants()
+        assert dict(index.items()) == model
+        for key, value in model.items():
+            assert index.search(key) == value
+
+    def test_delete_accounting_includes_writes(self, built):
+        index, model = built
+        stats = index.store.stats
+        key = next(iter(model))
+        before = stats.snapshot()
+        index.delete(key)
+        delta = stats.delta(before)
+        assert delta.reads >= 1
+        assert delta.writes >= 1

@@ -1,0 +1,51 @@
+"""Tests for directory entries and region geometry."""
+
+import pytest
+
+from repro.core.directory import DirEntry, region_indices, region_size
+
+
+class TestDirEntry:
+    def test_clone_is_deep_enough(self):
+        entry = DirEntry([1, 2], 0, 5, True)
+        copy = entry.clone()
+        copy.h[0] = 9
+        assert entry.h == [1, 2]
+        assert copy.ptr == 5 and copy.is_node
+
+    def test_repr_mentions_kind(self):
+        assert "node" in repr(DirEntry([0], 0, 1, True))
+        assert "page" in repr(DirEntry([0], 0, 1, False))
+
+
+class TestRegionGeometry:
+    def test_full_depth_region_is_single_cell(self):
+        cells = list(region_indices((2, 2), (1, 3), (2, 2)))
+        assert cells == [(1, 3)]
+
+    def test_zero_depth_region_is_whole_grid(self):
+        cells = set(region_indices((1, 1), (0, 0), (0, 0)))
+        assert cells == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_partial_depth(self):
+        # depths (2,1), region fixes 1 bit on axis 0, 0 bits on axis 1.
+        cells = set(region_indices((2, 1), (2, 0), (1, 0)))
+        assert cells == {(2, 0), (2, 1), (3, 0), (3, 1)}
+
+    def test_anchor_anywhere_in_region(self):
+        a = set(region_indices((3, 3), (4, 2), (1, 2)))
+        b = set(region_indices((3, 3), (7, 3), (1, 2)))
+        assert a == b  # both anchors share prefixes (1, 01)
+
+    def test_invalid_depths_rejected(self):
+        with pytest.raises(ValueError):
+            list(region_indices((1, 1), (0, 0), (2, 0)))
+
+    def test_region_size(self):
+        assert region_size((3, 3), (1, 2)) == 2**2 * 2**1
+        assert region_size((2,), (2,)) == 1
+        assert region_size((4, 4), (0, 0)) == 256
+
+    def test_size_matches_enumeration(self):
+        depths, h = (3, 2), (1, 0)
+        assert region_size(depths, h) == len(list(region_indices(depths, (0, 0), h)))

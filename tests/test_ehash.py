@@ -1,0 +1,118 @@
+"""The one-dimensional order-preserving extendible hash file (§2.1)."""
+
+import pytest
+
+from repro import ExtendibleHashFile
+from repro.bits import from_bitstring
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+
+
+def key(bits: str, width: int = 8) -> int:
+    value, length = from_bitstring(bits)
+    return value << (width - length)
+
+
+class TestFigure1Scenario:
+    """Recreates the paper's Figure 1a/1b walk-through with w = 8."""
+
+    def test_directory_doubles_when_local_exceeds_global(self):
+        # b=2 pages; fill the "01*" region until its split forces H: 2->3.
+        f = ExtendibleHashFile(page_capacity=2, width=8)
+        for bits in ("00000000", "01000000", "10000000", "11000000"):
+            f.insert(key(bits[:8].ljust(8, "0")) if False else int(bits, 2))
+        # Hand-built insertions driving prefix "01" deep:
+        f2 = ExtendibleHashFile(page_capacity=2, width=8)
+        for v in (0b01000000, 0b01100000, 0b01010000, 0b01110000, 0b01001000):
+            f2.insert(v)
+        f2.check_invariants()
+        assert f2.global_depth >= 3
+        for v in (0b01000000, 0b01100000, 0b01010000, 0b01110000, 0b01001000):
+            assert v in f2
+
+    def test_local_depth_lives_in_directory(self):
+        f = ExtendibleHashFile(page_capacity=2, width=8)
+        for v in (1, 2, 130, 131, 200):
+            f.insert(v, str(v))
+        for region in f.index_regions() if hasattr(f, "index_regions") else f.leaf_regions():
+            assert 0 <= region.depths[0] <= f.global_depth
+
+
+class TestScalarAPI:
+    def test_scalar_keys(self):
+        f = ExtendibleHashFile(page_capacity=4, width=16)
+        f.insert(1000, "low")
+        f.insert(60000, "high")
+        assert f.search(1000) == "low"
+        assert f.delete(60000) == "high"
+        assert 60000 not in f
+        assert 1000 in f
+
+    def test_duplicate(self):
+        f = ExtendibleHashFile(page_capacity=4, width=16)
+        f.insert(5)
+        with pytest.raises(DuplicateKeyError):
+            f.insert(5)
+
+    def test_missing(self):
+        f = ExtendibleHashFile(page_capacity=4, width=16)
+        with pytest.raises(KeyNotFoundError):
+            f.search(7)
+        with pytest.raises(KeyNotFoundError):
+            f.delete(7)
+
+    def test_tuple_keys_also_accepted(self):
+        f = ExtendibleHashFile(page_capacity=4, width=16)
+        f.insert((9,), "t")
+        assert f.search(9) == "t"
+
+
+class TestOrderPreservation:
+    def test_scan_range_returns_sorted_window(self):
+        f = ExtendibleHashFile(page_capacity=4, width=16)
+        values = [7, 100, 5000, 5001, 5002, 40000, 65535]
+        for v in values:
+            f.insert(v, v * 10)
+        got = sorted(f.scan_range(100, 5001))
+        assert got == [(100, 1000), (5000, 50000), (5001, 50010)]
+
+    def test_full_scan(self):
+        f = ExtendibleHashFile(page_capacity=2, width=12)
+        values = list(range(0, 4096, 37))
+        for v in values:
+            f.insert(v)
+        got = sorted(k for k, _ in f.scan_range(0, 4095))
+        assert got == values
+
+
+class TestGrowthAndShrink:
+    def test_directory_growth_monotone_under_inserts(self):
+        f = ExtendibleHashFile(page_capacity=2, width=12)
+        sizes = []
+        for v in range(0, 4096, 16):
+            f.insert(v)
+            sizes.append(f.directory_size)
+        assert sizes == sorted(sizes)
+        f.check_invariants()
+
+    def test_delete_everything_contracts_directory(self):
+        f = ExtendibleHashFile(page_capacity=2, width=12)
+        values = list(range(0, 4096, 16))
+        for v in values:
+            f.insert(v)
+        grown = f.directory_size
+        assert grown > 1
+        for v in values:
+            f.delete(v)
+        f.check_invariants()
+        assert len(f) == 0
+        assert f.directory_size < grown
+        assert f.data_page_count == 0
+
+    def test_worst_case_directory_size_bound(self):
+        """§3: worst case directory size is O(M/(b+1)) — dense low keys."""
+        f = ExtendibleHashFile(page_capacity=2, width=8)
+        for v in range(32):
+            f.insert(v)
+        f.check_invariants()
+        assert f.directory_size <= 256  # 2^w hard bound
+        assert f.global_depth <= 8

@@ -1,0 +1,230 @@
+"""Unit + property tests for the order-preserving encoders (ψ)."""
+
+import math
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import (
+    DatetimeEncoder,
+    FloatEncoder,
+    IdentityEncoder,
+    IntEncoder,
+    KeyCodec,
+    ScaledFloatEncoder,
+    StringEncoder,
+    UIntEncoder,
+)
+from repro.errors import EncodingError, KeyDimensionError
+
+
+class TestIdentityEncoder:
+    def test_passthrough(self):
+        enc = IdentityEncoder(8)
+        assert enc.encode(200) == 200
+        assert enc.decode(200) == 200
+
+    def test_rejects_out_of_range(self):
+        enc = IdentityEncoder(8)
+        with pytest.raises(EncodingError):
+            enc.encode(256)
+        with pytest.raises(EncodingError):
+            enc.encode(-1)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(EncodingError):
+            IdentityEncoder(8).encode("7")
+
+    def test_rejects_bool(self):
+        with pytest.raises(EncodingError):
+            IdentityEncoder(8).encode(True)
+
+    def test_width_validation(self):
+        with pytest.raises(EncodingError):
+            IdentityEncoder(0)
+
+
+class TestUIntEncoder:
+    def test_max_code(self):
+        assert UIntEncoder(4).max_code == 15
+
+    def test_roundtrip(self):
+        enc = UIntEncoder(16)
+        assert enc.decode(enc.encode(12345)) == 12345
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            UIntEncoder(16).encode(-3)
+
+
+class TestIntEncoder:
+    def test_roundtrip_negative(self):
+        enc = IntEncoder(16)
+        assert enc.decode(enc.encode(-1234)) == -1234
+
+    def test_range_limits(self):
+        enc = IntEncoder(8)
+        assert enc.encode(-128) == 0
+        assert enc.encode(127) == 255
+        with pytest.raises(EncodingError):
+            enc.encode(128)
+        with pytest.raises(EncodingError):
+            enc.encode(-129)
+
+    @given(st.integers(-2**31, 2**31 - 1), st.integers(-2**31, 2**31 - 1))
+    def test_order_preserving(self, a, b):
+        enc = IntEncoder(32)
+        assert (a <= b) == (enc.encode(a) <= enc.encode(b))
+
+
+class TestFloatEncoder:
+    @given(
+        st.floats(allow_nan=False, allow_infinity=True),
+        st.floats(allow_nan=False, allow_infinity=True),
+    )
+    def test_order_preserving(self, a, b):
+        enc = FloatEncoder()
+        if a < b:
+            assert enc.encode(a) < enc.encode(b)
+        elif a > b:
+            assert enc.encode(a) > enc.encode(b)
+
+    @given(st.floats(allow_nan=False, allow_infinity=True))
+    def test_roundtrip(self, x):
+        enc = FloatEncoder()
+        back = enc.decode(enc.encode(x))
+        assert back == x or (x == 0.0 and back == 0.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(EncodingError):
+            FloatEncoder().encode(float("nan"))
+
+    def test_width_is_64(self):
+        assert FloatEncoder().width == 64
+
+
+class TestScaledFloatEncoder:
+    def test_bounds(self):
+        enc = ScaledFloatEncoder(-90.0, 90.0, width=16)
+        assert enc.encode(-90.0) == 0
+        assert enc.encode(90.0) == enc.max_code
+
+    def test_out_of_domain(self):
+        enc = ScaledFloatEncoder(0.0, 1.0)
+        with pytest.raises(EncodingError):
+            enc.encode(1.5)
+        with pytest.raises(EncodingError):
+            enc.encode(float("nan"))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(EncodingError):
+            ScaledFloatEncoder(2.0, 2.0)
+
+    @given(
+        st.floats(0.0, 1000.0, allow_nan=False),
+        st.floats(0.0, 1000.0, allow_nan=False),
+    )
+    def test_order_preserving(self, a, b):
+        enc = ScaledFloatEncoder(0.0, 1000.0, width=32)
+        if a <= b:
+            assert enc.encode(a) <= enc.encode(b)
+
+    def test_decode_returns_bucket_floor(self):
+        enc = ScaledFloatEncoder(0.0, 256.0, width=8)
+        assert enc.decode(enc.encode(100.3)) == pytest.approx(100.0)
+
+
+class TestStringEncoder:
+    def test_roundtrip_short(self):
+        enc = StringEncoder(64)
+        assert enc.decode(enc.encode("otoo")) == "otoo"
+
+    def test_truncation_collides(self):
+        enc = StringEncoder(32)
+        assert enc.encode("abcdX") == enc.encode("abcdY")
+
+    def test_width_must_be_byte_aligned(self):
+        with pytest.raises(EncodingError):
+            StringEncoder(20)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(EncodingError):
+            StringEncoder(32).encode(42)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_order_preserving_on_ascii_range(self, a, b):
+        enc = StringEncoder(128)
+        ea, eb = enc.encode(a), enc.encode(b)
+        ba, bb = a.encode("utf-8")[:16], b.encode("utf-8")[:16]
+        if ba < bb:
+            assert ea <= eb
+        elif ba > bb:
+            assert ea >= eb
+
+
+class TestDatetimeEncoder:
+    def test_roundtrip(self):
+        enc = DatetimeEncoder()
+        moment = datetime(1986, 3, 24, 12, 30, tzinfo=timezone.utc)
+        assert enc.decode(enc.encode(moment)) == moment
+
+    def test_naive_treated_as_utc(self):
+        enc = DatetimeEncoder()
+        naive = datetime(2000, 1, 1)
+        aware = datetime(2000, 1, 1, tzinfo=timezone.utc)
+        assert enc.encode(naive) == enc.encode(aware)
+
+    def test_order_preserving(self):
+        enc = DatetimeEncoder()
+        a = datetime(1990, 6, 1, tzinfo=timezone.utc)
+        assert enc.encode(a) < enc.encode(a + timedelta(seconds=1))
+
+    def test_out_of_window(self):
+        with pytest.raises(EncodingError):
+            DatetimeEncoder(32).encode(datetime(2200, 1, 1, tzinfo=timezone.utc))
+
+    def test_rejects_non_datetime(self):
+        with pytest.raises(EncodingError):
+            DatetimeEncoder().encode("1986-03-24")
+
+
+class TestKeyCodec:
+    def codec(self):
+        return KeyCodec([UIntEncoder(16), IntEncoder(16)])
+
+    def test_dimensions_and_widths(self):
+        codec = self.codec()
+        assert codec.dimensions == 2
+        assert codec.widths == (16, 16)
+
+    def test_encode_decode(self):
+        codec = self.codec()
+        codes = codec.encode((500, -3))
+        assert codec.decode(codes) == (500, -3)
+
+    def test_arity_checked(self):
+        with pytest.raises(KeyDimensionError):
+            self.codec().encode((1,))
+        with pytest.raises(KeyDimensionError):
+            self.codec().decode((1, 2, 3))
+
+    def test_requires_an_encoder(self):
+        with pytest.raises(EncodingError):
+            KeyCodec([])
+
+    def test_encode_range_full_open(self):
+        codec = self.codec()
+        lows, highs = codec.encode_range((None, None), (None, None))
+        assert lows == (0, 0)
+        assert highs == (65535, 65535)
+
+    def test_encode_range_partial(self):
+        codec = self.codec()
+        lows, highs = codec.encode_range((10, None), (20, None))
+        assert lows[0] == 10 and highs[0] == 20
+        assert lows[1] == 0 and highs[1] == 65535
+
+    def test_encode_range_arity(self):
+        with pytest.raises(KeyDimensionError):
+            self.codec().encode_range((1,), (2,))

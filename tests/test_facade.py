@@ -1,0 +1,108 @@
+"""The typed multikey-file facade over real attribute encoders."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro import (
+    BMEHTree,
+    MDEH,
+    DatetimeEncoder,
+    IntEncoder,
+    KeyCodec,
+    ScaledFloatEncoder,
+    StringEncoder,
+    UIntEncoder,
+)
+from repro.core import MultiKeyFile
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+
+
+@pytest.fixture()
+def geo_file():
+    """(longitude, latitude) -> place name."""
+    codec = KeyCodec(
+        [ScaledFloatEncoder(-180.0, 180.0, 24), ScaledFloatEncoder(-90.0, 90.0, 24)]
+    )
+    f = MultiKeyFile(codec, page_capacity=4)
+    places = {
+        ("Ottawa", -75.69, 45.42),
+        ("Zurich", 8.54, 47.37),
+        ("Singapore", 103.82, 1.35),
+        ("Quito", -78.47, -0.18),
+        ("Sydney", 151.21, -33.87),
+    }
+    for name, lon, lat in places:
+        f.insert((lon, lat), name)
+    return f
+
+
+class TestMultiKeyFile:
+    def test_roundtrip(self, geo_file):
+        assert geo_file.search((8.54, 47.37)) == "Zurich"
+        assert len(geo_file) == 5
+
+    def test_contains(self, geo_file):
+        assert (103.82, 1.35) in geo_file
+        assert (0.0, 0.0) not in geo_file
+
+    def test_delete(self, geo_file):
+        assert geo_file.delete((151.21, -33.87)) == "Sydney"
+        assert (151.21, -33.87) not in geo_file
+
+    def test_duplicate(self, geo_file):
+        with pytest.raises(DuplicateKeyError):
+            geo_file.insert((8.54, 47.37), "Zurich again")
+
+    def test_missing(self, geo_file):
+        with pytest.raises(KeyNotFoundError):
+            geo_file.search((1.0, 1.0))
+
+    def test_range_search_with_open_sides(self, geo_file):
+        # Western hemisphere: longitude <= 0, latitude unconstrained.
+        names = {v for _, v in geo_file.range_search((None, None), (0.0, None))}
+        assert names == {"Ottawa", "Quito"}
+
+    def test_range_search_box(self, geo_file):
+        # Equatorial band.
+        names = {v for _, v in geo_file.range_search((None, -5.0), (None, 5.0))}
+        assert names == {"Singapore", "Quito"}
+
+    def test_items_decode_keys(self, geo_file):
+        for (lon, lat), name in geo_file.items():
+            assert -180.0 <= lon <= 180.0
+            assert -90.0 <= lat <= 90.0
+            assert isinstance(name, str)
+
+    def test_underlying_index_exposed(self, geo_file):
+        geo_file.index.check_invariants()
+        assert geo_file.store is geo_file.index.store
+
+
+class TestHeterogeneousKeys:
+    def test_string_int_datetime_key(self):
+        codec = KeyCodec([StringEncoder(32), IntEncoder(16), DatetimeEncoder(32)])
+        f = MultiKeyFile(codec, page_capacity=2)
+        rows = [
+            ("ab", -5, datetime(1999, 1, 1, tzinfo=timezone.utc)),
+            ("ab", -5, datetime(2001, 1, 1, tzinfo=timezone.utc)),
+            ("zz", 100, datetime(2010, 6, 1, tzinfo=timezone.utc)),
+            ("mm", 0, datetime(2005, 3, 1, tzinfo=timezone.utc)),
+        ]
+        for i, row in enumerate(rows):
+            f.insert(row, i)
+        for i, row in enumerate(rows):
+            assert f.search(row) == i
+        f.index.check_invariants()
+
+    def test_scheme_selection(self):
+        codec = KeyCodec([UIntEncoder(8), UIntEncoder(8)])
+        f = MultiKeyFile(codec, page_capacity=4, scheme=MDEH)
+        f.insert((1, 2), "x")
+        assert isinstance(f.index, MDEH)
+        assert f.search((1, 2)) == "x"
+
+    def test_scheme_options_forwarded(self):
+        codec = KeyCodec([UIntEncoder(8), UIntEncoder(8)])
+        f = MultiKeyFile(codec, scheme=BMEHTree, xi=(2, 2))
+        assert f.index.xi == (2, 2)

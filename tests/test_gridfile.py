@@ -1,0 +1,100 @@
+"""Structural tests specific to the grid-file baseline."""
+
+import pytest
+
+from repro import GridFile
+from repro.analysis import assert_exact_tiling
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def build(keys, b=4, widths=8):
+    index = GridFile(2, b, widths=widths)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+class TestScales:
+    def test_fresh_file_is_one_block(self):
+        g = GridFile(2, 4, widths=8)
+        assert g.grid_shape == (1, 1)
+        assert g.directory_size == 1
+        assert g.scales == ((), ())
+
+    def test_scales_are_dyadic_midpoints(self):
+        g = build(unique(uniform_keys(300, 2, seed=120, domain=256)))
+        for dim, scale in enumerate(g.scales):
+            for boundary in scale:
+                # Every boundary is a dyadic point: value * 2^k form.
+                assert boundary > 0
+                low_zeros = (boundary & -boundary).bit_length() - 1
+                assert boundary % (1 << low_zeros) == 0
+
+    def test_directory_is_scale_product(self):
+        g = build(unique(uniform_keys(400, 2, seed=121, domain=256)))
+        s1, s2 = g.grid_shape
+        assert g.directory_size == s1 * s2
+        assert s1 == len(g.scales[0]) + 1
+        assert s2 == len(g.scales[1]) + 1
+
+    def test_scales_refine_only_where_data_is(self):
+        """Keys confined to one quadrant: beyond the coarse cuts that
+        carve the quadrant out (128, 64), every boundary refines inside
+        the populated area."""
+        keys = [(x, y) for x in range(0, 64, 2) for y in range(0, 64, 5)]
+        g = build(keys, b=4)
+        for dim in range(2):
+            deep = [b for b in g.scales[dim] if b > 64]
+            assert deep in ([], [128]), deep
+
+
+class TestProductWeakness:
+    def test_skew_inflates_the_product(self):
+        """One dense corner refines whole hyperplanes: the directory
+        grows superlinearly under skew — the paper's §1 critique."""
+        skewed = unique(normal_keys(600, 2, seed=122, domain=256))
+        flat = unique(uniform_keys(600, 2, seed=122, domain=256))
+        dense = build(skewed, b=2)
+        sparse = build(flat, b=2)
+        # Equal page budgets, but the skewed grid needs a directory that
+        # is large relative to its page count.
+        assert dense.directory_size / dense.data_page_count >= 1.0
+
+    def test_tiling_exact_under_skew(self):
+        g = build(unique(normal_keys(500, 2, seed=123, domain=256)), b=2)
+        assert_exact_tiling(g)
+        g.check_invariants()
+
+
+class TestSearchCost:
+    def test_two_disk_accesses(self):
+        g = build(unique(uniform_keys(400, 2, seed=124, domain=256)))
+        keys = [k for k, _ in g.items()][:50]
+        before = g.store.stats.snapshot()
+        for key in keys:
+            g.search(key)
+        delta = g.store.stats.delta(before)
+        assert delta.reads == 2 * len(keys)
+        assert delta.writes == 0
+
+
+class TestMerging:
+    def test_delete_all_empties_pages(self):
+        keys = unique(uniform_keys(400, 2, seed=125, domain=256))
+        g = build(keys, b=2)
+        for key in keys:
+            g.delete(key)
+        g.check_invariants()
+        assert len(g) == 0
+        assert g.data_page_count == 0
+
+    def test_scales_survive_deletion(self):
+        """The classic grid file never removes scale boundaries; regions
+        merge but the directory shape persists (no deadlock, §4.2)."""
+        keys = unique(uniform_keys(400, 2, seed=126, domain=256))
+        g = build(keys, b=2)
+        shape = g.grid_shape
+        for key in keys[:200]:
+            g.delete(key)
+        g.check_invariants()
+        assert g.grid_shape == shape

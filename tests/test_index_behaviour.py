@@ -1,0 +1,140 @@
+"""Black-box behaviour common to every index scheme."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    KeyDimensionError,
+    KeyNotFoundError,
+)
+from tests.conftest import make_index
+
+
+class TestBasicOperations:
+    def test_fresh_index_is_empty(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options)
+        assert len(index) == 0
+        assert index.data_page_count == 0
+        assert index.load_factor == 0.0
+        index.check_invariants()
+
+    def test_insert_search_roundtrip(self, built, small_keys):
+        index, model = built
+        for key, value in model.items():
+            assert index.search(key) == value
+
+    def test_len_tracks_inserts(self, built):
+        index, model = built
+        assert len(index) == len(model)
+
+    def test_contains(self, built):
+        index, model = built
+        key = next(iter(model))
+        assert key in index
+        assert (255, 254) not in model or True
+        missing = next(
+            k for k in ((x, y) for x in range(256) for y in range(256))
+            if k not in model
+        )
+        assert missing not in index
+
+    def test_search_missing_raises(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options)
+        with pytest.raises(KeyNotFoundError):
+            index.search((1, 2))
+
+    def test_duplicate_insert_rejected(self, built):
+        index, model = built
+        key = next(iter(model))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(key, "again")
+        # Original value untouched, structure still sound.
+        assert index.search(key) == model[key]
+        index.check_invariants()
+
+    def test_none_values_allowed(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options)
+        index.insert((1, 2))
+        assert index.search((1, 2)) is None
+
+    def test_items_yields_everything(self, built):
+        index, model = built
+        got = dict(index.items())
+        assert got == model
+
+    def test_invariants_after_build(self, built):
+        index, _ = built
+        index.check_invariants()
+
+    def test_load_factor_in_meaningful_band(self, built):
+        index, _ = built
+        # ~ln 2 for random keys; generous band for a 300-key build.
+        assert 0.4 <= index.load_factor <= 1.0
+
+    def test_page_capacity_respected(self, built):
+        index, _ = built
+        for region in index.leaf_regions():
+            if region.page is not None:
+                assert len(index.store.peek(region.page)) <= index.page_capacity
+
+
+class TestKeyValidation:
+    def test_wrong_arity(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options)
+        with pytest.raises(KeyDimensionError):
+            index.insert((1,))
+        with pytest.raises(KeyDimensionError):
+            index.search((1, 2, 3))
+
+    def test_out_of_domain_component(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options, widths=8)
+        with pytest.raises(KeyDimensionError):
+            index.insert((256, 0))
+        with pytest.raises(KeyDimensionError):
+            index.insert((0, -1))
+
+    def test_non_int_component(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options)
+        with pytest.raises(KeyDimensionError):
+            index.insert(("a", 0))
+        with pytest.raises(KeyDimensionError):
+            index.insert((True, 0))
+
+    def test_constructor_validation(self, scheme):
+        cls, options = scheme
+        with pytest.raises(KeyDimensionError):
+            cls(dims=0, page_capacity=4, **options)
+        with pytest.raises(ValueError):
+            cls(dims=2, page_capacity=0, **options)
+        with pytest.raises(ValueError):
+            cls(dims=2, page_capacity=4, widths=(8, 128), **options)
+        with pytest.raises(KeyDimensionError):
+            cls(dims=2, page_capacity=4, widths=(8,), **options)
+
+
+class TestSearchCostAccounting:
+    def test_search_costs_are_bounded_and_pure_reads(self, built):
+        index, model = built
+        stats = index.store.stats
+        key = next(iter(model))
+        before = stats.snapshot()
+        index.search(key)
+        delta = stats.delta(before)
+        assert delta.writes == 0
+        assert 1 <= delta.reads <= 6
+
+    def test_mixed_width_keys(self, scheme):
+        cls, options = scheme
+        index = make_index(cls, options, widths=(4, 10))
+        keys = [(a, b) for a in range(16) for b in (0, 3, 700, 1023)]
+        for i, key in enumerate(keys):
+            index.insert(key, i)
+        index.check_invariants()
+        for i, key in enumerate(keys):
+            assert index.search(key) == i

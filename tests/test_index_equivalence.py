@@ -1,0 +1,100 @@
+"""Cross-scheme equivalences.
+
+All three paper schemes split data pages by the same cyclic-bit rule, so
+over the same insertion stream they must produce the *same* set of data
+pages — identical partitions, page counts and load factors.  Only the
+directory organization (and therefore its size and I/O costs) differs.
+This is also why the paper reports one α row per table.
+"""
+
+import pytest
+
+from repro import MDEH, MEHTree, BMEHTree
+from repro.analysis import partition_cells
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def build_all(keys, b=4, widths=8):
+    indexes = {}
+    for cls in (MDEH, MEHTree, BMEHTree):
+        index = cls(2, b, widths=widths)
+        for i, key in enumerate(keys):
+            index.insert(key, i)
+        indexes[cls.__name__] = index
+    return indexes
+
+
+@pytest.fixture(scope="module")
+def uniform_built():
+    return build_all(unique(uniform_keys(700, 2, seed=80, domain=256)), b=4)
+
+
+@pytest.fixture(scope="module")
+def skewed_built():
+    return build_all(unique(normal_keys(700, 2, seed=81, domain=256)), b=2)
+
+
+class TestPartitionEquivalence:
+    def test_same_page_count(self, uniform_built):
+        counts = {n: i.data_page_count for n, i in uniform_built.items()}
+        assert len(set(counts.values())) == 1, counts
+
+    def test_same_load_factor(self, uniform_built):
+        alphas = {n: i.load_factor for n, i in uniform_built.items()}
+        assert max(alphas.values()) - min(alphas.values()) < 1e-12
+
+    def test_same_partition_rectangles(self, uniform_built):
+        partitions = {
+            name: sorted(
+                (cell.prefixes, cell.depths)
+                for cell in partition_cells(index)
+            )
+            for name, index in uniform_built.items()
+        }
+        first = next(iter(partitions.values()))
+        for name, partition in partitions.items():
+            assert partition == first, f"{name} tiles the space differently"
+
+    def test_same_partition_under_skew(self, skewed_built):
+        partitions = {
+            name: sorted(
+                (cell.prefixes, cell.depths)
+                for cell in partition_cells(index)
+            )
+            for name, index in skewed_built.items()
+        }
+        first = next(iter(partitions.values()))
+        for partition in partitions.values():
+            assert partition == first
+
+    def test_same_query_answers(self, uniform_built):
+        boxes = [((0, 0), (255, 255)), ((32, 64), (96, 200)), ((200, 0), (255, 40))]
+        for lows, highs in boxes:
+            answers = {
+                name: sorted(k for k, _ in index.range_search(lows, highs))
+                for name, index in uniform_built.items()
+            }
+            first = next(iter(answers.values()))
+            for answer in answers.values():
+                assert answer == first
+
+
+class TestDirectoryDivergence:
+    def test_directory_sizes_differ_by_design(self, skewed_built):
+        """Same partition, different directory overheads — the paper's
+        whole point.  The balanced tree must not exceed the flat
+        directory under skew (at this scale it is far smaller)."""
+        sizes = {n: i.directory_size for n, i in skewed_built.items()}
+        assert sizes["BMEHTree"] <= sizes["MDEH"]
+
+    def test_search_costs_reflect_structures(self, uniform_built):
+        keys = [k for k, _ in uniform_built["MDEH"].items()][:100]
+        costs = {}
+        for name, index in uniform_built.items():
+            before = index.store.stats.snapshot()
+            for key in keys:
+                index.search(key)
+            costs[name] = index.store.stats.delta(before).reads / len(keys)
+        assert costs["MDEH"] == 2.0
+        assert costs["BMEHTree"] >= 2.0  # pays height, bounded by l
+        assert costs["BMEHTree"] <= 4.0

@@ -1,0 +1,108 @@
+"""Structural tests specific to the K-D-B-tree baseline."""
+
+import pytest
+
+from repro import BMEHTree, KDBTree
+from repro.analysis import assert_exact_tiling
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def build(keys, b=4, widths=8, fanout=16):
+    index = KDBTree(2, b, widths=widths, region_capacity=fanout)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+def point_page_depths(index):
+    depths = []
+
+    def walk(page_id, depth):
+        page = index.store.peek(page_id)
+        for entry in page.entries:
+            if entry.is_region:
+                walk(entry.ptr, depth + 1)
+            else:
+                depths.append(depth)
+
+    walk(index.root_id, 1)
+    return depths
+
+
+class TestStructure:
+    def test_fresh_tree(self):
+        t = KDBTree(2, 4, widths=8)
+        assert t.height() == 1
+        assert t.region_page_count == 1
+        t.check_invariants()
+
+    def test_region_capacity_validated(self):
+        with pytest.raises(ValueError):
+            KDBTree(2, 4, widths=8, region_capacity=1)
+
+    def test_point_pages_all_at_same_depth(self):
+        """Robinson's balance property: only root splits add levels."""
+        index = build(unique(uniform_keys(800, 2, seed=160, domain=256)), b=2)
+        assert len(set(point_page_depths(index))) == 1
+
+    def test_balance_under_skew(self):
+        index = build(unique(normal_keys(800, 2, seed=161, domain=256)), b=2)
+        assert len(set(point_page_depths(index))) == 1
+        index.check_invariants()
+
+    def test_boxes_tile_exactly(self):
+        index = build(unique(uniform_keys(600, 2, seed=162, domain=256)))
+        assert_exact_tiling(index)
+
+    def test_directory_size_counts_fanout_slots(self):
+        index = build(unique(uniform_keys(500, 2, seed=163, domain=256)))
+        assert index.directory_size == index.region_page_count * index.fanout
+
+    def test_search_cost_is_height_plus_page(self):
+        index = build(unique(uniform_keys(700, 2, seed=164, domain=256)), b=2)
+        keys = [k for k, _ in index.items()][:60]
+        before = index.store.stats.snapshot()
+        for key in keys:
+            index.search(key)
+        reads = index.store.stats.delta(before).reads / len(keys)
+        # Root pinned: (height - 1) region reads + 1 data page.
+        assert reads == pytest.approx(index.height() - 1 + 1)
+
+
+class TestDownwardSplits:
+    def test_crossing_children_are_cut(self):
+        """Axis-aligned stripes force region splits whose planes cross
+        child boxes — Robinson's defining case."""
+        keys = [(x, 0) for x in range(256)] + [(x, 255) for x in range(128)]
+        index = KDBTree(2, 2, widths=8, region_capacity=4)
+        for key in keys:
+            index.insert(key)
+        index.check_invariants()
+        for key in keys:
+            assert key in index
+        assert len(set(point_page_depths(index))) == 1
+
+    def test_small_fanout_deepens_tree(self):
+        keys = unique(uniform_keys(600, 2, seed=165, domain=256))
+        shallow = build(keys, b=2, fanout=32)
+        deep = build(keys, b=2, fanout=4)
+        assert deep.height() > shallow.height()
+        deep.check_invariants()
+
+
+class TestComparisonWithBMEH:
+    def test_same_record_set_same_answers(self):
+        keys = unique(normal_keys(600, 2, seed=166, domain=256))
+        kdb = build(keys, b=4)
+        bmeh = BMEHTree(2, 4, widths=8)
+        for i, key in enumerate(keys):
+            bmeh.insert(key, i)
+        box = ((64, 64), (192, 160))
+        a = sorted(k for k, _ in kdb.range_search(*box))
+        b = sorted(k for k, _ in bmeh.range_search(*box))
+        assert a == b
+
+    def test_both_balanced_under_skew(self):
+        keys = unique(normal_keys(700, 2, seed=167, domain=256))
+        kdb = build(keys, b=2)
+        assert len(set(point_page_depths(kdb))) == 1

@@ -1,0 +1,129 @@
+"""Structural tests specific to the one-level MDEH directory."""
+
+import pytest
+
+from repro import MDEH
+from repro.analysis import assert_exact_tiling
+from repro.workloads import uniform_keys, unique
+
+
+def build(keys, b=4, widths=8, **kw):
+    index = MDEH(2, b, widths=widths, **kw)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+class TestDirectoryStructure:
+    def test_directory_size_is_power_of_two_product(self):
+        index = build(unique(uniform_keys(400, 2, seed=1, domain=256)))
+        h1, h2 = index.global_depths
+        assert index.directory_size == 2 ** (h1 + h2)
+
+    def test_global_depths_bound_local_depths(self):
+        index = build(unique(uniform_keys(400, 2, seed=2, domain=256)))
+        for region in index.leaf_regions():
+            for h, H in zip(region.depths, index.global_depths):
+                assert h <= H
+
+    def test_cyclic_doubling_keeps_depths_balanced(self):
+        index = build(unique(uniform_keys(600, 2, seed=3, domain=256)))
+        h1, h2 = index.global_depths
+        assert abs(h1 - h2) <= 1
+
+    def test_directory_page_count(self):
+        index = build(unique(uniform_keys(400, 2, seed=4, domain=256)),
+                      dir_page_entries=16)
+        expected = -(-index.directory_size // 16)
+        assert index.directory_page_count == expected
+
+    def test_tiling_is_exact(self):
+        index = build(unique(uniform_keys(500, 2, seed=5, domain=256)))
+        assert_exact_tiling(index)
+
+
+class TestInsertionCosts:
+    def test_search_is_exactly_two_reads(self):
+        index = build(unique(uniform_keys(400, 2, seed=6, domain=256)))
+        stats = index.store.stats
+        keys = [k for k, _ in index.items()][:50]
+        before = stats.snapshot()
+        for key in keys:
+            index.search(key)
+        delta = stats.delta(before)
+        assert delta.reads == 2 * len(keys)
+        assert delta.writes == 0
+
+    def test_unsuccessful_search_at_most_two_reads(self):
+        index = build(unique(uniform_keys(400, 2, seed=7, domain=256)))
+        from repro.errors import KeyNotFoundError
+
+        stats = index.store.stats
+        probes = [(1, 2), (250, 250), (77, 200)]
+        probes = [p for p in probes if p not in index]
+        before = stats.snapshot()
+        for p in probes:
+            with pytest.raises(KeyNotFoundError):
+                index.search(p)
+        delta = stats.delta(before)
+        assert delta.reads <= 2 * len(probes)
+
+    def test_element_granularity_only_changes_costs(self):
+        keys = unique(uniform_keys(400, 2, seed=8, domain=256))
+        fine = build(keys, element_granular_updates=True)
+        coarse = build(keys, element_granular_updates=False)
+        assert fine.directory_size == coarse.directory_size
+        assert fine.data_page_count == coarse.data_page_count
+        assert fine.store.stats.accesses >= coarse.store.stats.accesses
+
+    def test_doubling_rewrites_whole_directory(self):
+        """Force one doubling and observe a directory-wide write burst."""
+        index = MDEH(1, 1, widths=(8,), dir_page_entries=4)
+        index.insert((0,))
+        index.insert((128,))  # splits the single region, H: 0 -> 1
+        before = index.store.stats.snapshot()
+        index.insert((64,))  # H: 1 -> 2 doubling
+        assert index.global_depths[0] >= 2
+        assert index.store.stats.delta(before).writes >= 2
+
+
+class TestMergingAndContraction:
+    def test_delete_all_returns_to_single_cell(self):
+        keys = unique(uniform_keys(300, 2, seed=9, domain=256))
+        index = build(keys)
+        for key in keys:
+            index.delete(key)
+        index.check_invariants()
+        assert len(index) == 0
+        assert index.directory_size == 1
+        assert index.data_page_count == 0
+
+    def test_partial_deletion_keeps_structure_sound(self):
+        keys = unique(uniform_keys(300, 2, seed=10, domain=256))
+        index = build(keys)
+        for key in keys[::2]:
+            index.delete(key)
+        index.check_invariants()
+        for key in keys[1::2]:
+            assert key in index
+
+    def test_sigma_shrinks_after_mass_deletion(self):
+        keys = unique(uniform_keys(500, 2, seed=11, domain=256))
+        index = build(keys, b=2)
+        grown = index.directory_size
+        for key in keys[:450]:
+            index.delete(key)
+        assert index.directory_size < grown
+        index.check_invariants()
+
+
+class TestDimensionality:
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_arbitrary_dimensions(self, dims):
+        keys = unique(uniform_keys(200, dims, seed=12, domain=64))
+        index = MDEH(dims, 4, widths=6)
+        for i, key in enumerate(keys):
+            index.insert(key, i)
+        index.check_invariants()
+        for i, key in enumerate(keys):
+            assert index.search(key) == i

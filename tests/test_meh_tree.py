@@ -1,0 +1,92 @@
+"""Structural tests specific to the root-down MEH-tree baseline."""
+
+import random
+
+from repro import MEHTree
+from repro.analysis import assert_exact_tiling
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def build(keys, b=4, widths=8, **kw):
+    index = MEHTree(2, b, widths=widths, **kw)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+def leaf_depths(index):
+    depths = []
+
+    def walk(node_id, level):
+        node = index.store.peek(node_id)
+        for entry in node.entries():
+            if entry.is_node:
+                walk(entry.ptr, level + 1)
+            else:
+                depths.append(level)
+
+    walk(index.root_id, 1)
+    return depths
+
+
+class TestUnbalancedGrowth:
+    def test_skew_produces_uneven_depths(self):
+        """The MEH-tree's defining weakness: dense areas sit deeper."""
+        keys = unique(normal_keys(900, 2, seed=40, domain=256))
+        index = build(keys, b=2)
+        depths = leaf_depths(index)
+        assert max(depths) > min(depths)
+        index.check_invariants()
+
+    def test_root_never_moves(self):
+        index = MEHTree(2, 2, widths=8)
+        root = index.root_id
+        for key in unique(uniform_keys(500, 2, seed=41, domain=256)):
+            index.insert(key)
+        assert index.root_id == root
+        assert index.store.is_pinned(root)
+
+    def test_child_levels_increase_downward(self):
+        keys = unique(uniform_keys(700, 2, seed=42, domain=256))
+        index = build(keys, b=2)
+        index.check_invariants()  # checks child.level == parent.level + 1
+
+    def test_sigma_counts_node_slots(self):
+        index = build(unique(uniform_keys(500, 2, seed=43, domain=256)))
+        assert index.directory_size == index.node_count * (1 << index.phi)
+
+    def test_tiling_is_exact(self):
+        index = build(unique(normal_keys(600, 2, seed=44, domain=256)), b=2)
+        assert_exact_tiling(index)
+
+
+class TestCollapse:
+    def test_delete_all_collapses_to_root(self):
+        keys = unique(uniform_keys(600, 2, seed=45, domain=256))
+        index = build(keys, b=2)
+        assert index.node_count > 1
+        for key in keys:
+            index.delete(key)
+        index.check_invariants()
+        assert len(index) == 0
+        assert index.node_count == 1
+        assert index.data_page_count == 0
+
+    def test_interleaved_operations(self):
+        rng = random.Random(46)
+        index = MEHTree(2, 2, widths=8)
+        model = {}
+        for step in range(700):
+            if model and rng.random() < 0.35:
+                key = rng.choice(list(model))
+                assert index.delete(key) == model.pop(key)
+            else:
+                key = (rng.randrange(256), rng.randrange(256))
+                if key in model:
+                    continue
+                index.insert(key, step)
+                model[key] = step
+            if step % 120 == 0:
+                index.check_invariants()
+        index.check_invariants()
+        assert dict(index.items()) == model

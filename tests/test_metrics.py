@@ -1,0 +1,99 @@
+"""The §5 measurement harness itself."""
+
+import pytest
+
+from repro import BMEHTree, MDEH
+from repro.analysis import (
+    measure_run,
+    measure_search_cost,
+    measure_unsuccessful_search_cost,
+)
+from repro.workloads import uniform_keys, unique
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return unique(uniform_keys(1200, 2, seed=90, domain=4096))
+
+
+class TestMeasureRun:
+    def test_fields_populated(self, keys):
+        metrics, series = measure_run(
+            BMEHTree(2, 8, widths=12), keys, growth_checkpoints=8
+        )
+        assert metrics.scheme == "BMEHTree"
+        assert metrics.keys_inserted == len(keys)
+        assert metrics.page_capacity == 8
+        assert metrics.data_pages > 0
+        assert 0 < metrics.load_factor <= 1
+        assert metrics.directory_size > 0
+        assert metrics.insert_seconds > 0
+        assert metrics.extra["height"] >= 1
+        assert len(series.checkpoints) >= 8
+        assert series.directory_sizes == sorted(series.directory_sizes)
+
+    def test_lambda_definitions(self, keys):
+        """λ counts reads only; MDEH must measure exactly 2.0."""
+        index = MDEH(2, 8, widths=12)
+        metrics, _ = measure_run(index, keys)
+        assert metrics.successful_search_reads == 2.0
+        assert metrics.unsuccessful_search_reads <= 2.0
+
+    def test_rho_measures_tail(self, keys):
+        index = BMEHTree(2, 8, widths=12)
+        metrics, _ = measure_run(index, keys, tail_fraction=0.5)
+        # An insert costs at least its traversal + one page write.
+        assert metrics.insertion_accesses >= 2.0
+
+    def test_tail_fraction_validated(self, keys):
+        with pytest.raises(ValueError):
+            measure_run(BMEHTree(2, 8, widths=12), keys, tail_fraction=0.0)
+
+    def test_values_callback(self, keys):
+        index = BMEHTree(2, 8, widths=12)
+        measure_run(index, keys[:100], values=lambda i: i * 2)
+        assert index.search(keys[3]) == 6
+
+
+class TestSearchCostHelpers:
+    def test_empty_probe_list(self):
+        assert measure_search_cost(BMEHTree(2, 4, widths=8), []) == 0.0
+
+    def test_successful_probe_cost(self, keys):
+        index = MDEH(2, 8, widths=12)
+        for key in keys[:200]:
+            index.insert(key)
+        assert measure_search_cost(index, keys[:50]) == 2.0
+
+    def test_unsuccessful_probes_avoid_present_keys(self, keys):
+        index = MDEH(2, 8, widths=12)
+        for key in keys[:200]:
+            index.insert(key)
+        cost = measure_unsuccessful_search_cost(index, keys[:200], count=50)
+        assert 1.0 <= cost <= 2.0
+
+    def test_as_row(self, keys):
+        metrics, _ = measure_run(BMEHTree(2, 8, widths=12), keys[:100])
+        row = metrics.as_row()
+        assert set(row) == {
+            "scheme", "b", "lambda", "lambda_prime", "rho", "alpha", "sigma"
+        }
+
+
+class TestAccountingModel:
+    def test_pinned_root_makes_height_visible(self, keys):
+        """BMEH λ equals (height - 1) + 1: the pinned root is free."""
+        index = BMEHTree(2, 2, widths=12)
+        for key in keys:
+            index.insert(key)
+        cost = measure_search_cost(index, keys[:100])
+        assert cost == pytest.approx(index.height() - 1 + 1)
+
+    def test_operation_scoping_keeps_searches_constant(self, keys):
+        """Repeating the same search must charge the same amount."""
+        index = BMEHTree(2, 8, widths=12)
+        for key in keys[:300]:
+            index.insert(key)
+        a = measure_search_cost(index, keys[:20])
+        b = measure_search_cost(index, keys[:20])
+        assert a == b

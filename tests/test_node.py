@@ -1,0 +1,57 @@
+"""Tests for directory nodes (bounded extendible arrays)."""
+
+import pytest
+
+from repro.core.directory import DirEntry
+from repro.core.node import Node
+
+
+class TestNode:
+    def test_capacity_is_two_to_phi(self):
+        node = Node(2, (3, 3), level=1)
+        assert node.phi == 6
+        assert node.capacity == 64
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            Node(2, (3, 3), level=0)
+
+    def test_xi_arity_validation(self):
+        with pytest.raises(ValueError):
+            Node(2, (3,), level=1)
+
+    def test_can_grow_total_until_full(self):
+        node = Node(2, (1, 1), level=1)  # capacity 4
+        assert node.can_grow_total()
+        node.array.grow(0)
+        assert node.can_grow_total()
+        node.array.grow(1)
+        assert not node.can_grow_total()
+
+    def test_can_grow_per_dim_respects_xi(self):
+        node = Node(2, (2, 1), level=1)  # capacity 8
+        node.array.grow(1)
+        assert not node.can_grow(1, "per_dim")  # axis 1 hit xi=1
+        assert node.can_grow(0, "per_dim")
+        assert node.can_grow(1, "total")  # slots still available
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Node(2, (1, 1), level=1).can_grow(0, "whatever")
+
+    def test_entries_dedupe_shared_objects(self):
+        node = Node(2, (2, 2), level=1)
+        node.array.grow(0)
+        shared = DirEntry([0, 0], 0, None)
+        node.array[(0, 0)] = shared
+        node.array[(1, 0)] = shared
+        assert len(list(node.entries())) == 1
+
+    def test_entries_skip_holes(self):
+        node = Node(2, (2, 2), level=1)
+        assert list(node.entries()) == []
+
+    def test_depths_follow_array(self):
+        node = Node(3, (2, 2, 2), level=1)
+        node.array.grow(2)
+        assert node.depths == (0, 0, 1)

@@ -1,0 +1,105 @@
+"""Whole-index snapshots: save, load, keep operating."""
+
+import pytest
+
+from repro import BMEHTree, ExtendibleHashFile, MDEH, MEHTree, BalancedBinaryTrie
+from repro.errors import StorageError
+from repro.storage import load_index, save_index
+from repro.workloads import uniform_keys, unique
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return unique(uniform_keys(400, 2, seed=110, domain=256))
+
+
+ALL = [MDEH, MEHTree, BMEHTree, BalancedBinaryTrie]
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestSnapshotRoundtrip:
+    def build(self, cls, keys):
+        index = cls(2, 4, widths=8)
+        for i, key in enumerate(keys):
+            index.insert(key, {"row": i})
+        return index
+
+    def test_records_survive(self, cls, keys, tmp_path):
+        index = self.build(cls, keys)
+        path = str(tmp_path / "index.snap")
+        save_index(index, path)
+        back = load_index(path)
+        assert type(back) is cls
+        assert len(back) == len(index)
+        for i, key in enumerate(keys):
+            assert back.search(key) == {"row": i}
+
+    def test_structure_survives(self, cls, keys, tmp_path):
+        index = self.build(cls, keys)
+        path = str(tmp_path / "index.snap")
+        save_index(index, path)
+        back = load_index(path)
+        back.check_invariants()
+        assert back.directory_size == index.directory_size
+        assert back.data_page_count == index.data_page_count
+        assert back.widths == index.widths
+        assert back.page_capacity == index.page_capacity
+
+    def test_loaded_index_keeps_working(self, cls, keys, tmp_path):
+        index = self.build(cls, keys)
+        path = str(tmp_path / "index.snap")
+        save_index(index, path)
+        back = load_index(path)
+        back.delete(keys[0])
+        assert keys[0] not in back
+        new_key = next(
+            k for k in ((x, y) for x in range(256) for y in range(256))
+            if k not in back
+        )
+        back.insert(new_key, "fresh")
+        assert back.search(new_key) == "fresh"
+        back.check_invariants()
+
+    def test_stats_reset_on_load(self, cls, keys, tmp_path):
+        index = self.build(cls, keys)
+        path = str(tmp_path / "index.snap")
+        save_index(index, path)
+        back = load_index(path)
+        assert back.store.stats.accesses == 0
+
+
+class TestSnapshotEdgeCases:
+    def test_one_dimensional_file(self, tmp_path):
+        f = ExtendibleHashFile(4, width=12)
+        for v in range(0, 4096, 31):
+            f.insert(v, v * 2)
+        path = str(tmp_path / "ehf.snap")
+        save_index(f, path)
+        back = load_index(path)
+        assert type(back) is ExtendibleHashFile
+        assert back.search(31) == 62
+        back.check_invariants()
+
+    def test_empty_index(self, tmp_path):
+        index = BMEHTree(2, 4, widths=8)
+        path = str(tmp_path / "empty.snap")
+        save_index(index, path)
+        back = load_index(path)
+        assert len(back) == 0
+        back.insert((1, 1), "first")
+        assert back.search((1, 1)) == "first"
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a snapshot at all......")
+        with pytest.raises(StorageError):
+            load_index(str(path))
+
+    def test_tree_options_survive(self, tmp_path):
+        index = BMEHTree(2, 4, widths=8, xi=(2, 4), node_policy="per_dim")
+        index.insert((3, 3))
+        path = str(tmp_path / "opts.snap")
+        save_index(index, path)
+        back = load_index(path)
+        assert back.xi == (2, 4)
+        assert back._node_policy == "per_dim"

@@ -1,0 +1,76 @@
+"""The conclusion's extension: the balanced binary quadtree / octtree."""
+
+import pytest
+
+from repro import BMEHTree, BalancedBinaryTrie
+from repro.workloads import uniform_keys, unique
+
+
+class TestBalancedBinaryTrie:
+    def test_fanout(self):
+        assert BalancedBinaryTrie(2, 4, widths=8).fanout == 4  # quadtree
+        assert BalancedBinaryTrie(3, 4, widths=8).fanout == 8  # octtree
+
+    def test_xi_is_all_ones(self):
+        trie = BalancedBinaryTrie(2, 4, widths=8)
+        assert trie.xi == (1, 1)
+        assert trie.phi == 2
+
+    def test_nodes_never_exceed_fanout(self):
+        trie = BalancedBinaryTrie(2, 2, widths=8)
+        for key in unique(uniform_keys(400, 2, seed=50, domain=256)):
+            trie.insert(key)
+        trie.check_invariants()
+        for node_id in trie.store.page_ids():
+            obj = trie.store.peek(node_id)
+            if hasattr(obj, "array"):
+                assert len(obj.array) <= trie.fanout
+
+    def test_quadtree_is_balanced(self):
+        trie = BalancedBinaryTrie(2, 2, widths=8)
+        for key in unique(uniform_keys(500, 2, seed=51, domain=256)):
+            trie.insert(key)
+        depths = set()
+
+        def walk(node_id, level):
+            node = trie.store.peek(node_id)
+            for entry in node.entries():
+                if entry.is_node:
+                    walk(entry.ptr, level + 1)
+                else:
+                    depths.add(level)
+
+        walk(trie.root_id, 1)
+        assert len(depths) == 1
+
+    def test_matches_bmeh_with_unit_xi(self):
+        keys = unique(uniform_keys(400, 2, seed=52, domain=256))
+        trie = BalancedBinaryTrie(2, 4, widths=8)
+        bmeh = BMEHTree(2, 4, widths=8, xi=(1, 1), node_policy="per_dim")
+        for i, key in enumerate(keys):
+            trie.insert(key, i)
+            bmeh.insert(key, i)
+        assert trie.directory_size == bmeh.directory_size
+        assert trie.height() == bmeh.height()
+        assert dict(trie.items()) == dict(bmeh.items())
+
+    def test_octtree_roundtrip(self):
+        trie = BalancedBinaryTrie(3, 4, widths=6)
+        keys = unique(uniform_keys(300, 3, seed=53, domain=64))
+        for i, key in enumerate(keys):
+            trie.insert(key, i)
+        trie.check_invariants()
+        for i, key in enumerate(keys):
+            assert trie.search(key) == i
+
+    def test_range_search(self):
+        trie = BalancedBinaryTrie(2, 4, widths=8)
+        keys = unique(uniform_keys(400, 2, seed=54, domain=256))
+        for key in keys:
+            trie.insert(key)
+        lo, hi = (40, 40), (200, 120)
+        got = sorted(k for k, _ in trie.range_search(lo, hi))
+        want = sorted(
+            k for k in keys if lo[0] <= k[0] <= hi[0] and lo[1] <= k[1] <= hi[1]
+        )
+        assert got == want

@@ -1,0 +1,166 @@
+"""Partial-range retrieval (§4.4) against brute force, on every scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import BMEHTree, RangeQuery
+from repro.workloads import uniform_keys, normal_keys, unique
+from tests.conftest import make_index
+
+
+def brute(model, lows, highs):
+    return sorted(
+        k for k in model
+        if all(lo <= c <= hi for lo, c, hi in zip(lows, k, highs))
+    )
+
+
+class TestRangeSearch:
+    def test_full_box_returns_everything(self, built):
+        index, model = built
+        got = sorted(k for k, _ in index.range_search((0, 0), (255, 255)))
+        assert got == sorted(model)
+
+    def test_point_query(self, built):
+        index, model = built
+        key = next(iter(model))
+        got = list(index.range_search(key, key))
+        assert got == [(key, model[key])]
+
+    def test_empty_box(self, built):
+        index, _ = built
+        assert list(index.range_search((10, 10), (5, 20))) == []
+
+    def test_miss_box(self, built):
+        index, model = built
+        # A 1-point box on a missing key.
+        missing = next(
+            k for k in ((x, y) for x in range(256) for y in range(256))
+            if k not in model
+        )
+        assert list(index.range_search(missing, missing)) == []
+
+    def test_random_boxes_match_brute_force(self, built):
+        index, model = built
+        rng = random.Random(99)
+        for _ in range(25):
+            lows = (rng.randrange(256), rng.randrange(256))
+            highs = tuple(min(255, lo + rng.randrange(128)) for lo in lows)
+            got = sorted(k for k, _ in index.range_search(lows, highs))
+            assert got == brute(model, lows, highs)
+
+    def test_partial_range_one_side_open(self, built):
+        index, model = built
+        got = sorted(k for k, _ in index.range_search((100, 0), (255, 255)))
+        assert got == brute(model, (100, 0), (255, 255))
+
+    def test_boundary_values(self, built):
+        index, model = built
+        got = sorted(k for k, _ in index.range_search((0, 255), (255, 255)))
+        assert got == brute(model, (0, 255), (255, 255))
+
+    def test_range_validates_keys(self, built):
+        index, _ = built
+        from repro.errors import KeyDimensionError
+
+        with pytest.raises(KeyDimensionError):
+            list(index.range_search((0,), (255, 255)))
+        with pytest.raises(KeyDimensionError):
+            list(index.range_search((0, 0), (999, 0)))
+
+
+class TestRangeQueryObject:
+    WIDTHS = (8, 8)
+
+    def test_box_defaults_open(self):
+        q = RangeQuery.box(self.WIDTHS, {})
+        assert q.lows == (0, 0)
+        assert q.highs == (255, 255)
+
+    def test_box_partial(self):
+        q = RangeQuery.box(self.WIDTHS, {1: (10, 20)})
+        assert q.lows == (0, 10)
+        assert q.highs == (255, 20)
+
+    def test_box_half_open(self):
+        q = RangeQuery.box(self.WIDTHS, {0: (5, None)})
+        assert q.lows[0] == 5 and q.highs[0] == 255
+
+    def test_exact(self):
+        q = RangeQuery.exact((3, 4))
+        assert q.lows == q.highs == (3, 4)
+        assert not q.is_empty
+
+    def test_partial_match(self):
+        q = RangeQuery.partial_match(self.WIDTHS, {0: 42})
+        assert q.lows == (42, 0)
+        assert q.highs == (42, 255)
+
+    def test_contains(self):
+        q = RangeQuery((0, 10), (5, 20))
+        assert q.contains((3, 15))
+        assert not q.contains((6, 15))
+
+    def test_empty_detection_and_run(self):
+        q = RangeQuery((5, 0), (4, 255))
+        assert q.is_empty
+        index = BMEHTree(2, 4, widths=8)
+        assert list(q.run(index)) == []
+
+    def test_dimension_mismatch(self):
+        from repro.errors import KeyDimensionError
+
+        with pytest.raises(KeyDimensionError):
+            RangeQuery((1, 2), (3,))
+
+    def test_run_against_index(self, built):
+        index, model = built
+        q = RangeQuery.partial_match((8, 8), {0: next(iter(model))[0]})
+        got = sorted(k for k, _ in q.run(index))
+        assert got == brute(model, q.lows, q.highs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(
+        st.tuples(st.integers(0, 255), st.integers(0, 255)),
+        min_size=1, max_size=120, unique=True,
+    ),
+    box=st.tuples(
+        st.integers(0, 255), st.integers(0, 255),
+        st.integers(0, 255), st.integers(0, 255),
+    ),
+    b=st.sampled_from([1, 2, 4]),
+)
+def test_bmeh_range_property(keys, box, b):
+    """Hypothesis: BMEH range results always equal brute force."""
+    index = BMEHTree(2, b, widths=8)
+    for key in keys:
+        index.insert(key)
+    lows = (min(box[0], box[2]), min(box[1], box[3]))
+    highs = (max(box[0], box[2]), max(box[1], box[3]))
+    got = sorted(k for k, _ in index.range_search(lows, highs))
+    assert got == brute(keys, lows, highs)
+
+
+def test_three_dimensional_partial_match():
+    keys = unique(uniform_keys(400, 3, seed=70, domain=64))
+    index = BMEHTree(3, 4, widths=6)
+    for key in keys:
+        index.insert(key)
+    q = RangeQuery.partial_match((6, 6, 6), {1: keys[0][1]})
+    got = sorted(k for k, _ in q.run(index))
+    assert got == sorted(k for k in keys if k[1] == keys[0][1])
+
+
+def test_skewed_data_range_queries():
+    keys = unique(normal_keys(600, 2, seed=71, domain=256))
+    index = BMEHTree(2, 4, widths=8)
+    for key in keys:
+        index.insert(key)
+    lows, highs = (100, 100), (160, 160)  # the dense centre
+    got = sorted(k for k, _ in index.range_search(lows, highs))
+    assert got == brute(keys, lows, highs)
+    assert len(got) > 10  # the centre really is dense

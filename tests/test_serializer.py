@@ -1,0 +1,140 @@
+"""Round-trip tests for the page codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.directory import DirEntry
+from repro.core.node import Node, NodeCodec
+from repro.errors import SerializationError
+from repro.storage import DataPage
+from repro.storage.serializer import (
+    CodecRegistry,
+    DataPageCodec,
+    PickleValueCodec,
+    RawBytesValueCodec,
+    default_registry,
+)
+
+
+class TestValueCodecs:
+    def test_pickle_roundtrip(self):
+        codec = PickleValueCodec()
+        value = {"a": [1, 2, (3, 4)], "b": None}
+        assert codec.decode(codec.encode(value)) == value
+
+    def test_raw_bytes_roundtrip(self):
+        codec = RawBytesValueCodec()
+        assert codec.decode(codec.encode(b"\x00\xff")) == b"\x00\xff"
+
+    def test_raw_bytes_rejects_non_bytes(self):
+        with pytest.raises(SerializationError):
+            RawBytesValueCodec().encode("text")
+
+
+class TestDataPageCodec:
+    def roundtrip(self, page):
+        codec = DataPageCodec()
+        return codec.decode_body(codec.encode_body(page))
+
+    def test_empty_page(self):
+        back = self.roundtrip(DataPage(8))
+        assert len(back) == 0 and back.capacity == 8
+
+    def test_records_roundtrip(self):
+        page = DataPage(4)
+        page.put((1, 2**40), "hello")
+        page.put((3, 4), [1, 2])
+        back = self.roundtrip(page)
+        assert back.get((1, 2**40)) == "hello"
+        assert back.get((3, 4)) == [1, 2]
+
+    def test_handles(self):
+        codec = DataPageCodec()
+        assert codec.handles(DataPage(1))
+        assert not codec.handles(object())
+
+    def test_corrupt_image(self):
+        with pytest.raises(SerializationError):
+            DataPageCodec().decode_body(b"\x01\x02")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+                st.integers(-1000, 1000),
+            ),
+            max_size=16,
+            unique_by=lambda kv: kv[0],
+        )
+    )
+    def test_roundtrip_property(self, records):
+        page = DataPage(max(len(records), 1))
+        for codes, value in records:
+            page.put(codes, value)
+        back = self.roundtrip(page)
+        assert dict(back.items()) == dict(page.items())
+
+
+def build_node():
+    node = Node(2, (3, 3), level=2)
+    node.array.grow(0)
+    node.array.grow(1)
+    shared = DirEntry([1, 0], 0, 17, True)
+    lone = DirEntry([1, 1], 1, None, False)
+    node.array[(0, 0)] = shared
+    node.array[(0, 1)] = shared
+    node.array[(1, 0)] = DirEntry([1, 1], 1, 23, False)
+    node.array[(1, 1)] = lone
+    return node
+
+
+class TestNodeCodec:
+    def test_roundtrip_structure(self):
+        node = build_node()
+        codec = NodeCodec()
+        back = codec.decode_body(codec.encode_body(node))
+        assert back.level == 2
+        assert back.xi == (3, 3)
+        assert back.array.depths == (1, 1)
+        assert back.array[(0, 0)] is back.array[(0, 1)]  # sharing preserved
+        assert back.array[(0, 0)].ptr == 17
+        assert back.array[(0, 0)].is_node
+        assert back.array[(1, 0)].ptr == 23
+        assert back.array[(1, 1)].ptr is None
+
+    def test_hole_rejected(self):
+        node = Node(2, (3, 3), level=1)  # single None cell
+        with pytest.raises(SerializationError):
+            NodeCodec().encode_body(node)
+
+    def test_corrupt_image(self):
+        with pytest.raises(SerializationError):
+            NodeCodec().decode_body(b"\x05")
+
+
+class TestCodecRegistry:
+    def test_default_registry_dispatch(self):
+        registry = default_registry()
+        page = DataPage(2)
+        page.put((5,), "v")
+        assert registry.decode(registry.encode(page)).get((5,)) == "v"
+        node = build_node()
+        assert registry.decode(registry.encode(node)).level == 2
+
+    def test_unknown_object(self):
+        with pytest.raises(SerializationError):
+            CodecRegistry().encode(object())
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            default_registry().decode(b"\x7fxyz")
+
+    def test_empty_image(self):
+        with pytest.raises(SerializationError):
+            default_registry().decode(b"")
+
+    def test_duplicate_tag_rejected(self):
+        registry = CodecRegistry()
+        registry.register(DataPageCodec())
+        with pytest.raises(SerializationError):
+            registry.register(DataPageCodec())

@@ -1,0 +1,112 @@
+"""Attribute-space partition analysis (Figure 5 machinery)."""
+
+import pytest
+
+from repro import BMEHTree, MDEH
+from repro.analysis import (
+    assert_exact_tiling,
+    covering_cells,
+    occupancy_histogram,
+    partition_cells,
+)
+from repro.analysis.space import _dyadic_overlap
+from repro.core.interface import LeafRegion
+from repro.workloads import uniform_keys, unique
+
+
+@pytest.fixture(scope="module")
+def tree():
+    index = BMEHTree(2, 4, widths=8)
+    for i, key in enumerate(unique(uniform_keys(500, 2, seed=100, domain=256))):
+        index.insert(key, i)
+    return index
+
+
+class TestLeafRegion:
+    def test_bounds(self):
+        region = LeafRegion((0b10, 0b1), (2, 1), page=3)
+        lows, highs = region.bounds((4, 4))
+        assert lows == (0b1000, 0b1000)
+        assert highs == (0b1011, 0b1111)
+
+    def test_volume(self):
+        region = LeafRegion((0, 0), (2, 1), page=None)
+        assert region.volume((4, 4)) == 4 * 8
+
+    def test_zero_depth_covers_domain(self):
+        region = LeafRegion((0, 0), (0, 0), page=None)
+        assert region.volume((8, 8)) == 65536
+
+
+class TestDyadicOverlap:
+    def test_identical_regions_overlap(self):
+        a = LeafRegion((1, 2), (2, 3), None)
+        assert _dyadic_overlap(a, a)
+
+    def test_nested_regions_overlap(self):
+        outer = LeafRegion((1,), (1,), None)
+        inner = LeafRegion((0b10,), (2,), None)
+        assert _dyadic_overlap(outer, inner)
+        assert _dyadic_overlap(inner, outer)
+
+    def test_disjoint_regions(self):
+        a = LeafRegion((0b10,), (2,), None)
+        b = LeafRegion((0b11,), (2,), None)
+        assert not _dyadic_overlap(a, b)
+
+    def test_mixed_dimensions(self):
+        a = LeafRegion((0, 0), (1, 1), None)
+        b = LeafRegion((0, 1), (1, 1), None)  # same axis 0, other axis 1
+        assert not _dyadic_overlap(a, b)
+
+
+class TestTiling:
+    def test_fresh_index_is_one_region(self):
+        index = BMEHTree(2, 4, widths=8)
+        cells = assert_exact_tiling(index)
+        assert len(cells) == 1
+        assert cells[0].page is None
+
+    def test_built_index_tiles_exactly(self, tree):
+        cells = assert_exact_tiling(tree)
+        assert len(cells) == len(partition_cells(tree))
+        assert len(cells) > 10
+
+    def test_tiling_detects_breakage(self, tree):
+        cells = partition_cells(tree)
+        volume = sum(c.volume(tree.widths) for c in cells)
+        assert volume == 1 << 16
+
+
+class TestCoveringCells:
+    def test_whole_domain_covers_everything(self, tree):
+        assert covering_cells(tree, (0, 0), (255, 255)) == len(
+            partition_cells(tree)
+        )
+
+    def test_point_covers_one_cell(self, tree):
+        assert covering_cells(tree, (7, 7), (7, 7)) == 1
+
+    def test_monotone_in_box_size(self, tree):
+        small = covering_cells(tree, (10, 10), (50, 50))
+        large = covering_cells(tree, (10, 10), (200, 200))
+        assert small <= large
+
+
+class TestOccupancy:
+    def test_histogram_sums_to_key_count(self, tree):
+        histogram = occupancy_histogram(tree)
+        total = sum(size * count for size, count in histogram.items())
+        assert total == len(tree)
+
+    def test_no_page_exceeds_capacity(self, tree):
+        histogram = occupancy_histogram(tree)
+        assert max(histogram) <= tree.page_capacity
+
+    def test_mdeh_histogram_matches(self):
+        keys = unique(uniform_keys(300, 2, seed=101, domain=256))
+        index = MDEH(2, 4, widths=8)
+        for key in keys:
+            index.insert(key)
+        histogram = occupancy_histogram(index)
+        assert sum(s * c for s, c in histogram.items()) == len(keys)

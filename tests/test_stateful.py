@@ -1,0 +1,136 @@
+"""Hypothesis stateful testing: every scheme against a dict model.
+
+The state machine drives an index through arbitrary interleavings of
+inserts, deletes, searches and range queries, continuously checking the
+answers against a plain dictionary and periodically re-verifying the
+structural invariants.  This is the strongest correctness artillery in
+the suite — shrinking produces minimal failing operation sequences.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import BMEHTree, GridFile, KDBTree, MDEH, MEHTree, ZOrderIndex
+from repro.errors import DuplicateKeyError, KeyNotFoundError
+
+KEY = st.tuples(st.integers(0, 63), st.integers(0, 63))
+
+
+class IndexMachine(RuleBasedStateMachine):
+    scheme = None
+    options: dict = {}
+
+    def __init__(self):
+        super().__init__()
+        self.index = self.scheme(2, 2, widths=6, **self.options)
+        self.model = {}
+        self.steps = 0
+
+    @rule(key=KEY, value=st.integers())
+    def insert(self, key, value):
+        self.steps += 1
+        if key in self.model:
+            with pytest.raises(DuplicateKeyError):
+                self.index.insert(key, value)
+        else:
+            self.index.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=KEY)
+    def delete(self, key):
+        self.steps += 1
+        if key in self.model:
+            assert self.index.delete(key) == self.model.pop(key)
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.index.delete(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.index.delete(key) == self.model.pop(key)
+
+    @rule(key=KEY)
+    def search(self, key):
+        if key in self.model:
+            assert self.index.search(key) == self.model[key]
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.index.search(key)
+
+    @rule(corner_a=KEY, corner_b=KEY)
+    def range_query(self, corner_a, corner_b):
+        lows = tuple(min(a, b) for a, b in zip(corner_a, corner_b))
+        highs = tuple(max(a, b) for a, b in zip(corner_a, corner_b))
+        got = sorted(k for k, _ in self.index.range_search(lows, highs))
+        want = sorted(
+            k for k in self.model
+            if all(lo <= c <= hi for lo, c, hi in zip(lows, k, highs))
+        )
+        assert got == want
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.index) == len(self.model)
+
+    @invariant()
+    def structure_sound_periodically(self):
+        if self.steps % 7 == 0:
+            self.index.check_invariants()
+
+
+class MDEHMachine(IndexMachine):
+    scheme = MDEH
+
+
+class MEHMachine(IndexMachine):
+    scheme = MEHTree
+
+
+class BMEHMachine(IndexMachine):
+    scheme = BMEHTree
+
+
+class BMEHPerDimMachine(IndexMachine):
+    scheme = BMEHTree
+    options = {"node_policy": "per_dim"}
+
+
+class GridFileMachine(IndexMachine):
+    scheme = GridFile
+
+
+class KDBMachine(IndexMachine):
+    scheme = KDBTree
+    options = {"region_capacity": 8}
+
+
+class ZOrderMachine(IndexMachine):
+    scheme = ZOrderIndex
+
+
+_settings = settings(max_examples=15, stateful_step_count=40, deadline=None)
+
+TestMDEHStateful = MDEHMachine.TestCase
+TestMDEHStateful.settings = _settings
+TestMEHStateful = MEHMachine.TestCase
+TestMEHStateful.settings = _settings
+TestBMEHStateful = BMEHMachine.TestCase
+TestBMEHStateful.settings = _settings
+TestBMEHPerDimStateful = BMEHPerDimMachine.TestCase
+TestBMEHPerDimStateful.settings = _settings
+TestGridFileStateful = GridFileMachine.TestCase
+TestGridFileStateful.settings = _settings
+TestKDBStateful = KDBMachine.TestCase
+TestKDBStateful.settings = _settings
+TestZOrderStateful = ZOrderMachine.TestCase
+TestZOrderStateful.settings = _settings

@@ -1,0 +1,90 @@
+"""The descriptive-statistics module."""
+
+import pytest
+
+from repro import BMEHTree, MDEH
+from repro.analysis.stats import (
+    DirectorySummary,
+    format_histogram,
+    node_level_profile,
+    page_fill_histogram,
+    region_depth_histogram,
+    summarize,
+)
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+@pytest.fixture(scope="module")
+def tree():
+    index = BMEHTree(2, 8, widths=16)
+    for key in unique(uniform_keys(2000, 2, seed=150, domain=65536)):
+        index.insert(key)
+    return index
+
+
+class TestSummarize:
+    def test_fields(self, tree):
+        summary = summarize(tree)
+        assert summary.scheme == "BMEHTree"
+        assert summary.keys == len(tree)
+        assert summary.data_pages == tree.data_page_count
+        assert summary.directory_size == tree.directory_size
+        assert summary.height == tree.height()
+        assert summary.region_depth_min <= summary.region_depth_mean
+        assert summary.region_depth_mean <= summary.region_depth_max
+
+    def test_as_lines_mentions_everything(self, tree):
+        text = "\n".join(summarize(tree).as_lines())
+        for token in ("BMEHTree", "alpha", "directory", "height"):
+            assert token in text
+
+    def test_empty_index(self):
+        summary = summarize(BMEHTree(2, 8, widths=16))
+        assert summary.keys == 0
+        assert summary.regions == 1
+        assert summary.nil_regions == 1
+
+    def test_mdeh_has_no_height(self):
+        index = MDEH(2, 8, widths=16)
+        index.insert((1, 1))
+        assert summarize(index).height is None
+
+
+class TestHistograms:
+    def test_depth_histogram_counts_regions(self, tree):
+        histogram = region_depth_histogram(tree)
+        assert sum(histogram.values()) == summarize(tree).regions
+        assert list(histogram) == sorted(histogram)
+
+    def test_fill_histogram_counts_keys(self, tree):
+        histogram = page_fill_histogram(tree)
+        assert sum(k * v for k, v in histogram.items()) == len(tree)
+        assert max(histogram) <= tree.page_capacity
+
+    def test_skew_shows_in_depth_spread(self):
+        flat = BMEHTree(2, 8, widths=16)
+        for key in unique(uniform_keys(1500, 2, seed=151, domain=65536)):
+            flat.insert(key)
+        dense = BMEHTree(2, 8, widths=16)
+        for key in unique(normal_keys(1500, 2, seed=151, domain=65536)):
+            dense.insert(key)
+        spread = lambda ix: (
+            summarize(ix).region_depth_max - summarize(ix).region_depth_min
+        )
+        assert spread(dense) >= spread(flat)
+
+    def test_format_histogram(self):
+        text = format_histogram({1: 10, 2: 5})
+        assert "10" in text and "#" in text
+        assert format_histogram({}) == "(empty)"
+
+
+class TestNodeProfile:
+    def test_levels_cover_height(self, tree):
+        profile = node_level_profile(tree)
+        assert set(profile) == set(range(1, tree.height() + 1))
+        assert profile[1]["nodes"] == 1  # the root
+
+    def test_node_totals(self, tree):
+        profile = node_level_profile(tree)
+        assert sum(row["nodes"] for row in profile.values()) == tree.node_count

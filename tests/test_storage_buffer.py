@@ -1,0 +1,83 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import BufferPool, DataPage, PageStore
+
+
+def make_store_with_pages(n):
+    store = PageStore()
+    pids = [store.allocate(DataPage(2)) for _ in range(n)]
+    return store, pids
+
+
+class TestBufferPool:
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool(PageStore(), capacity=0)
+
+    def test_hit_after_miss(self):
+        store, (pid,) = make_store_with_pages(1)
+        pool = BufferPool(store, capacity=4)
+        pool.read(pid)
+        pool.read(pid)
+        assert pool.misses == 1 and pool.hits == 1
+        assert pool.hit_rate == 0.5
+
+    def test_hits_are_uncharged(self):
+        store, (pid,) = make_store_with_pages(1)
+        pool = BufferPool(store, capacity=4)
+        pool.read(pid)
+        before = store.stats.snapshot()
+        pool.read(pid)
+        assert store.stats.delta(before).accesses == 0
+
+    def test_lru_eviction_order(self):
+        store, pids = make_store_with_pages(3)
+        pool = BufferPool(store, capacity=2)
+        pool.read(pids[0])
+        pool.read(pids[1])
+        pool.read(pids[0])  # freshen 0; victim should be 1
+        pool.read(pids[2])
+        assert len(pool) == 2
+        before = store.stats.snapshot()
+        pool.read(pids[1])  # evicted -> miss
+        assert store.stats.delta(before).reads == 1
+
+    def test_dirty_eviction_writes_back(self):
+        store, pids = make_store_with_pages(2)
+        pool = BufferPool(store, capacity=1)
+        page = DataPage(2)
+        pool.write(pids[0], page)
+        before = store.stats.snapshot()
+        pool.read(pids[1])  # evicts dirty frame 0
+        assert store.stats.delta(before).writes == 1
+        assert store.peek(pids[0]) is page
+
+    def test_flush_writes_all_dirty(self):
+        store, pids = make_store_with_pages(3)
+        pool = BufferPool(store, capacity=8)
+        pool.write(pids[0], DataPage(2))
+        pool.write(pids[2], DataPage(2))
+        before = store.stats.snapshot()
+        pool.flush()
+        assert store.stats.delta(before).writes == 2
+        pool.flush()  # nothing left
+        assert store.stats.delta(before).writes == 2
+
+    def test_drop_discards_without_writeback(self):
+        store, pids = make_store_with_pages(1)
+        pool = BufferPool(store, capacity=2)
+        pool.write(pids[0], DataPage(2))
+        before = store.stats.snapshot()
+        pool.drop(pids[0])
+        pool.flush()
+        assert store.stats.delta(before).writes == 0
+
+    def test_hit_rate_empty(self):
+        assert BufferPool(PageStore(), capacity=1).hit_rate == 0.0
+
+    def test_store_property(self):
+        store = PageStore()
+        assert BufferPool(store).store is store

@@ -1,0 +1,250 @@
+"""Unit tests for the page store, its backends and I/O accounting."""
+
+import pytest
+
+from repro.errors import SerializationError, StorageError
+from repro.storage import DataPage, FileBackend, MemoryBackend, PageStore
+from repro.storage.iostats import IOStats, OperationCounter
+
+
+class TestIOStats:
+    def test_accesses_sums(self):
+        stats = IOStats(3, 4)
+        assert stats.accesses == 7
+
+    def test_snapshot_delta(self):
+        stats = IOStats()
+        before = stats.snapshot()
+        stats.reads += 2
+        stats.writes += 1
+        delta = stats.delta(before)
+        assert (delta.reads, delta.writes) == (2, 1)
+
+    def test_snapshot_is_independent(self):
+        stats = IOStats()
+        snap = stats.snapshot()
+        stats.reads += 5
+        assert snap.reads == 0
+
+    def test_add(self):
+        total = IOStats(1, 2) + IOStats(3, 4)
+        assert (total.reads, total.writes) == (4, 6)
+
+    def test_reset(self):
+        stats = IOStats(9, 9)
+        stats.reset()
+        assert stats.accesses == 0
+
+
+class TestOperationCounter:
+    def test_dedups_reads(self):
+        stats = IOStats()
+        op = OperationCounter(stats)
+        op.count_read("a")
+        op.count_read("a")
+        op.count_read("b")
+        assert stats.reads == 2
+
+    def test_reads_and_writes_independent(self):
+        stats = IOStats()
+        op = OperationCounter(stats)
+        op.count_read("a")
+        op.count_write("a")
+        op.count_write("a")
+        assert (stats.reads, stats.writes) == (1, 1)
+
+    def test_forget_allows_recount(self):
+        stats = IOStats()
+        op = OperationCounter(stats)
+        op.count_read("a")
+        op.forget("a")
+        op.count_read("a")
+        assert stats.reads == 2
+
+
+class TestPageStore:
+    def test_allocate_counts_one_write(self):
+        store = PageStore()
+        store.allocate(DataPage(2))
+        assert store.stats.writes == 1
+        assert store.page_count == 1
+
+    def test_ids_monotonic_even_after_free(self):
+        store = PageStore()
+        a = store.allocate(DataPage(2))
+        store.free(a)
+        b = store.allocate(DataPage(2))
+        assert b == a + 1
+        assert store.pages_allocated == 2
+        assert store.page_count == 1
+
+    def test_read_write_roundtrip(self):
+        store = PageStore()
+        page = DataPage(2)
+        pid = store.allocate(page)
+        assert store.read(pid) is page
+        store.write(pid)
+        assert store.stats == IOStats(1, 2) or store.stats.reads == 1
+
+    def test_read_missing(self):
+        with pytest.raises(StorageError):
+            PageStore().read(0)
+
+    def test_write_missing(self):
+        with pytest.raises(StorageError):
+            PageStore().write(42)
+
+    def test_free_missing(self):
+        with pytest.raises(StorageError):
+            PageStore().free(3)
+
+    def test_peek_is_uncharged(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        before = store.stats.snapshot()
+        store.peek(pid)
+        assert store.stats.delta(before).accesses == 0
+
+    def test_operation_dedup(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        before = store.stats.snapshot()
+        with store.operation():
+            store.read(pid)
+            store.read(pid)
+            store.write(pid)
+            store.write(pid)
+        delta = store.stats.delta(before)
+        assert (delta.reads, delta.writes) == (1, 1)
+
+    def test_nested_operations_share_scope(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        before = store.stats.snapshot()
+        with store.operation():
+            store.read(pid)
+            with store.operation():
+                store.read(pid)
+        assert store.stats.delta(before).reads == 1
+
+    def test_without_operation_every_access_counts(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        before = store.stats.snapshot()
+        store.read(pid)
+        store.read(pid)
+        assert store.stats.delta(before).reads == 2
+
+    def test_pinned_pages_are_free(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        store.pin(pid)
+        before = store.stats.snapshot()
+        store.read(pid)
+        store.write(pid)
+        assert store.stats.delta(before).accesses == 0
+        store.unpin(pid)
+        store.read(pid)
+        assert store.stats.delta(before).reads == 1
+
+    def test_pin_missing_page(self):
+        with pytest.raises(StorageError):
+            PageStore().pin(0)
+
+    def test_cannot_free_pinned(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        store.pin(pid)
+        with pytest.raises(StorageError):
+            store.free(pid)
+
+    def test_virtual_tokens(self):
+        store = PageStore()
+        before = store.stats.snapshot()
+        with store.operation():
+            store.count_virtual_read("dirpage-1")
+            store.count_virtual_read("dirpage-1")
+            store.count_virtual_write("dirpage-1")
+        delta = store.stats.delta(before)
+        assert (delta.reads, delta.writes) == (1, 1)
+
+    def test_contains_and_page_ids(self):
+        store = PageStore()
+        a = store.allocate(DataPage(2))
+        b = store.allocate(DataPage(2))
+        store.free(a)
+        assert a not in store and b in store
+        assert list(store.page_ids()) == [b]
+
+
+class TestFileBackend:
+    def test_roundtrip(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "pages.db"))
+        store = PageStore(backend)
+        page = DataPage(4)
+        page.put((7, 9), {"payload": [1, 2, 3]})
+        pid = store.allocate(page)
+        loaded = store.read(pid)
+        assert loaded.get((7, 9)) == {"payload": [1, 2, 3]}
+        assert loaded.capacity == 4
+        store.close()
+
+    def test_write_requires_object(self, tmp_path):
+        store = PageStore(FileBackend(str(tmp_path / "pages.db")))
+        pid = store.allocate(DataPage(2))
+        with pytest.raises(StorageError):
+            store.write(pid)  # byte backends need the object
+        store.write(pid, DataPage(2))
+        store.close()
+
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        backend = FileBackend(path)
+        store = PageStore(backend)
+        page = DataPage(4)
+        page.put((1, 2), b"x" * 100)
+        pid = store.allocate(page)
+        backend.flush()
+        store.close()
+
+        reopened = PageStore(FileBackend(path))
+        assert reopened.read(pid).get((1, 2)) == b"x" * 100
+        # New allocations continue after the existing ids.
+        assert reopened.allocate(DataPage(2)) == pid + 1
+        reopened.close()
+
+    def test_discard_marks_slot_free(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "pages.db"))
+        pid = 0
+        backend.store(pid, DataPage(2))
+        assert pid in backend
+        backend.discard(pid)
+        assert pid not in backend
+        with pytest.raises(StorageError):
+            backend.load(pid)
+        backend.close()
+
+    def test_oversized_page_rejected(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "pages.db"), page_size=128)
+        big = DataPage(64)
+        for i in range(30):
+            big.put((i,), b"y" * 32)
+        with pytest.raises(SerializationError):
+            backend.store(0, big)
+        backend.close()
+
+    def test_page_size_mismatch_on_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        FileBackend(path, page_size=4096).close()
+        with pytest.raises(StorageError):
+            FileBackend(path, page_size=8192)
+
+    def test_not_a_page_file(self, tmp_path):
+        path = tmp_path / "junk.db"
+        path.write_bytes(b"this is not a page file header")
+        with pytest.raises(StorageError):
+            FileBackend(str(path))
+
+    def test_tiny_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            FileBackend(str(tmp_path / "pages.db"), page_size=16)

@@ -1,0 +1,97 @@
+"""The paper's theorems, as formulas and as measured bounds."""
+
+import pytest
+
+from repro import BMEHTree
+from repro.analysis import (
+    covering_cells,
+    max_tree_levels,
+    onelevel_directory_growth_exponent,
+    expected_onelevel_directory_size,
+    theorem2_worst_case_splits,
+    theorem3_access_bound,
+    theorem4_range_bound,
+)
+from repro.analysis.theory import doubling_count
+from repro.core.hashtree import default_xi
+from repro.workloads import adversarial_common_prefix_keys, uniform_keys, unique
+
+
+class TestFormulas:
+    def test_levels_paper_examples(self):
+        # §3.1: phi = 9 gives l <= 3 for w <= 27 and l <= 4 for w <= 36.
+        assert max_tree_levels(27, 9) == 3
+        assert max_tree_levels(36, 9) == 4
+        assert max_tree_levels(28, 9) == 4
+
+    def test_levels_validation(self):
+        with pytest.raises(ValueError):
+            max_tree_levels(0, 6)
+        with pytest.raises(ValueError):
+            max_tree_levels(32, 0)
+
+    def test_theorem2_formula(self):
+        # l(l-1)/2 * phi + l with l = ceil(w/phi).
+        assert theorem2_worst_case_splits(12, 6) == 1 * 6 + 2  # l=2
+        assert theorem2_worst_case_splits(18, 6) == 3 * 6 + 3  # l=3
+        assert theorem2_worst_case_splits(6, 6) == 0 + 1  # l=1
+
+    def test_theorem3_dominates_theorem2(self):
+        for w, phi in ((12, 4), (32, 6), (64, 9)):
+            assert theorem3_access_bound(w, phi) > theorem2_worst_case_splits(w, phi)
+
+    def test_theorem4_formula(self):
+        assert theorem4_range_bound(10, 32, 6) == max_tree_levels(32, 6) * 10
+        assert theorem4_range_bound(0, 32, 6) == max_tree_levels(32, 6)
+        with pytest.raises(ValueError):
+            theorem4_range_bound(-1, 32, 6)
+
+    def test_growth_exponent(self):
+        assert onelevel_directory_growth_exponent(8) == pytest.approx(1.125)
+        assert expected_onelevel_directory_size(1000, 8) == pytest.approx(
+            1000 ** 1.125
+        )
+        with pytest.raises(ValueError):
+            onelevel_directory_growth_exponent(0)
+        with pytest.raises(ValueError):
+            expected_onelevel_directory_size(-1, 8)
+
+    def test_doubling_count(self):
+        assert doubling_count(1) == 0
+        assert doubling_count(1024) == 10
+        with pytest.raises(ValueError):
+            doubling_count(3)  # not a power of two
+        with pytest.raises(ValueError):
+            doubling_count(0)
+
+
+class TestBoundsHoldInPractice:
+    def test_height_never_exceeds_levels_bound(self):
+        for phi in (2, 4, 6):
+            index = BMEHTree(2, 2, widths=8, xi=default_xi(2, phi))
+            for key in unique(uniform_keys(500, 2, seed=phi, domain=256)):
+                index.insert(key)
+            assert index.height() <= max_tree_levels(16, phi)
+
+    def test_theorem2_bound_on_adversarial_stream(self):
+        width, phi, b = 10, 4, 2
+        index = BMEHTree(2, b, widths=width, xi=default_xi(2, phi))
+        worst = 0
+        for key in adversarial_common_prefix_keys(4 * b, dims=2, width=width):
+            before = index.node_count
+            index.insert(key)
+            worst = max(worst, index.node_count - before)
+        assert worst <= theorem2_worst_case_splits(2 * width, phi)
+        index.check_invariants()
+
+    def test_theorem4_bound_on_random_queries(self):
+        index = BMEHTree(2, 4, widths=8)
+        keys = unique(uniform_keys(600, 2, seed=7, domain=256))
+        for key in keys:
+            index.insert(key)
+        for lows, highs in (((0, 0), (63, 63)), ((10, 200), (240, 230))):
+            before = index.store.stats.snapshot()
+            list(index.range_search(lows, highs))
+            accesses = index.store.stats.delta(before).accesses
+            n_r = covering_cells(index, lows, highs)
+            assert accesses <= theorem4_range_bound(n_r, 8, index.phi)

@@ -1,0 +1,102 @@
+"""Operation traces: persistence, replay, differential testing."""
+
+import pytest
+
+from repro import BMEHTree, GridFile, KDBTree, MDEH
+from repro.errors import KeyNotFoundError
+from repro.workloads.trace import (
+    ReplayReport,
+    TraceError,
+    churn_trace,
+    load_trace,
+    replay,
+    save_trace,
+)
+
+
+class TestChurnTrace:
+    def test_length_and_shape(self):
+        ops = churn_trace(500, dims=2, domain=64, seed=1)
+        assert len(ops) == 500
+        kinds = {op[0] for op in ops}
+        assert kinds <= {"insert", "delete", "search"}
+        assert "insert" in kinds
+
+    def test_deterministic(self):
+        assert churn_trace(200, seed=9) == churn_trace(200, seed=9)
+        assert churn_trace(200, seed=9) != churn_trace(200, seed=10)
+
+    def test_deletes_only_live_keys(self):
+        ops = churn_trace(800, domain=32, insert_bias=0.5, seed=2)
+        live = set()
+        for op in ops:
+            if op[0] == "insert":
+                assert op[1] not in live
+                live.add(op[1])
+            elif op[0] == "delete":
+                assert op[1] in live
+                live.discard(op[1])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            churn_trace(10, insert_bias=1.5)
+        with pytest.raises(ValueError):
+            churn_trace(10, search_share=1.0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        ops = churn_trace(300, seed=3)
+        path = str(tmp_path / "ops.trace")
+        assert save_trace(ops, path) == 300
+        assert load_trace(path) == ops
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('["insert", [1, 2], 0]\nnot json\n')
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_unknown_operation(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('["upsert", [1, 2]]\n')
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "ops.trace"
+        path.write_text('["insert", [1, 2], 7]\n\n["search", [1, 2]]\n')
+        assert len(load_trace(str(path))) == 2
+
+
+class TestReplay:
+    def test_counts(self):
+        ops = churn_trace(400, domain=64, seed=4)
+        index = BMEHTree(2, 4, widths=8)
+        report = replay(index, ops)
+        assert report.operations == 400
+        assert report.inserts - report.deletes == len(index)
+        assert len(report.answers) == report.searches
+        index.check_invariants()
+
+    def test_misses_counted_not_raised(self):
+        index = BMEHTree(2, 4, widths=8)
+        report = replay(index, [("delete", (1, 1)), ("search", (2, 2))])
+        assert report.misses == 2
+        assert report.answers == [KeyNotFoundError]
+
+    def test_differential_replay_across_schemes(self):
+        """One trace, four schemes, identical answers — the strongest
+        cross-implementation check in the suite."""
+        ops = churn_trace(700, domain=128, seed=5)
+        reports = {}
+        for cls in (MDEH, BMEHTree, GridFile, KDBTree):
+            index = cls(2, 4, widths=7)
+            reports[cls.__name__] = replay(index, ops)
+            index.check_invariants()
+        answer_sets = {
+            name: report.answers for name, report in reports.items()
+        }
+        first = next(iter(answer_sets.values()))
+        for name, answers in answer_sets.items():
+            assert answers == first, f"{name} diverged"

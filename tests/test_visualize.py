@@ -1,0 +1,77 @@
+"""Partition rendering (ASCII + SVG)."""
+
+import pytest
+
+from repro import BMEHTree, MDEH
+from repro.analysis.visualize import ascii_partition, svg_partition
+from repro.workloads import table1
+from repro.workloads.generators import uniform_keys, unique
+
+
+@pytest.fixture()
+def table1_tree():
+    index = BMEHTree(
+        2,
+        table1.TABLE1_PAGE_CAPACITY,
+        widths=table1.TABLE1_WIDTHS,
+        xi=table1.TABLE1_XI,
+        node_policy="per_dim",
+    )
+    for codes in table1.table1_codes():
+        index.insert(codes)
+    return index
+
+
+class TestAsciiPartition:
+    def test_renders_figure5(self, table1_tree):
+        art = ascii_partition(table1_tree, mark=table1.table1_codes())
+        assert "*" in art
+        lines = art.splitlines()
+        assert len(lines) == 1 + 16  # header + one row per k1 value
+        # Every page gets a distinct letter.
+        letters = {c for line in lines[1:] for c in line if c.isalpha()}
+        # row labels contribute no alphabetic characters (binary), so
+        # letters == page labels.
+        assert len(letters) == table1_tree.data_page_count
+
+    def test_requires_two_dimensions(self):
+        index = MDEH(3, 2, widths=3)
+        with pytest.raises(ValueError):
+            ascii_partition(index)
+
+    def test_domain_size_capped(self):
+        index = MDEH(2, 2, widths=16)
+        with pytest.raises(ValueError):
+            ascii_partition(index)
+
+    def test_nil_regions_drawn_as_dots(self):
+        index = BMEHTree(2, 2, widths=(3, 3))
+        index.insert((0, 0))
+        index.insert((0, 1))
+        index.insert((0, 2))  # forces a split; some halves may be NIL
+        art = ascii_partition(index)
+        assert set(art) & set("abcdefghijklmnopqrstuvwxyz.")
+
+
+class TestSvgPartition:
+    def test_writes_rectangles(self, table1_tree, tmp_path):
+        path = str(tmp_path / "fig5.svg")
+        count = svg_partition(table1_tree, path)
+        text = open(path).read()
+        assert text.startswith("<svg")
+        assert text.count("<rect") == count + 1  # + background
+        regions = sum(1 for _ in table1_tree.leaf_regions())
+        assert count == regions
+
+    def test_projection_axes_checked(self, table1_tree, tmp_path):
+        with pytest.raises(ValueError):
+            svg_partition(table1_tree, str(tmp_path / "x.svg"), axes=(0, 0))
+        with pytest.raises(ValueError):
+            svg_partition(table1_tree, str(tmp_path / "x.svg"), axes=(0, 5))
+
+    def test_three_dimensional_projection(self, tmp_path):
+        index = BMEHTree(3, 4, widths=6)
+        for key in unique(uniform_keys(200, 3, seed=190, domain=64)):
+            index.insert(key)
+        count = svg_partition(index, str(tmp_path / "proj.svg"), axes=(0, 2))
+        assert count == sum(1 for _ in index.leaf_regions())

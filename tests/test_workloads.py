@@ -1,0 +1,114 @@
+"""Key-stream generators: domains, determinism and distribution shape."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DOMAIN_MAX,
+    adversarial_common_prefix_keys,
+    clustered_keys,
+    noise_burst_keys,
+    normal_keys,
+    uniform_keys,
+    unique,
+    zipf_grid_keys,
+)
+from repro.workloads.generators import interleave
+
+
+def in_domain(keys, domain=DOMAIN_MAX):
+    return all(0 <= c < domain for key in keys for c in key)
+
+
+class TestUniform:
+    def test_count_and_dims(self):
+        keys = uniform_keys(500, dims=3)
+        assert len(keys) == 500
+        assert all(len(k) == 3 for k in keys)
+
+    def test_domain(self):
+        assert in_domain(uniform_keys(500))
+
+    def test_deterministic_per_seed(self):
+        assert uniform_keys(100, seed=5) == uniform_keys(100, seed=5)
+        assert uniform_keys(100, seed=5) != uniform_keys(100, seed=6)
+
+    def test_spread_is_roughly_uniform(self):
+        keys = uniform_keys(4000)
+        first = np.array([k[0] for k in keys], dtype=float)
+        assert abs(first.mean() / DOMAIN_MAX - 0.5) < 0.05
+
+
+class TestNormal:
+    def test_domain_truncation(self):
+        assert in_domain(normal_keys(2000))
+
+    def test_concentration(self):
+        keys = normal_keys(4000)
+        first = np.array([k[0] for k in keys], dtype=float)
+        # ~68% within one default sd of the mean.
+        sd = DOMAIN_MAX / 12
+        within = np.mean(np.abs(first - DOMAIN_MAX / 2) <= sd)
+        assert 0.6 < within < 0.76
+
+    def test_custom_parameters(self):
+        keys = normal_keys(500, mean=1000.0, spread=10.0, domain=4096)
+        first = np.array([k[0] for k in keys], dtype=float)
+        assert 900 < first.mean() < 1100
+
+    def test_deterministic(self):
+        assert normal_keys(100, seed=1) == normal_keys(100, seed=1)
+
+
+class TestClustered:
+    def test_domain(self):
+        assert in_domain(clustered_keys(1000))
+
+    def test_keys_cluster(self):
+        keys = clustered_keys(2000, clusters=4, cluster_radius=DOMAIN_MAX / 1000)
+        first = np.sort(np.array([k[0] for k in keys], dtype=float))
+        gaps = np.diff(first)
+        # A few giant inter-cluster gaps dominate the span.
+        assert gaps.max() > DOMAIN_MAX / 20
+
+
+class TestNoiseBursts:
+    def test_burst_structure(self):
+        keys = noise_burst_keys(64, burst=32, low_bits=12, seed=3)
+        first_block = keys[:32]
+        prefixes = {k[0] >> 12 for k in first_block}
+        assert len(prefixes) == 1  # whole burst shares the high bits
+
+    def test_length(self):
+        assert len(noise_burst_keys(100, burst=32)) == 100
+
+
+class TestZipf:
+    def test_domain(self):
+        assert in_domain(zipf_grid_keys(1000))
+
+    def test_skew(self):
+        keys = zipf_grid_keys(4000, grid_bits=6, exponent=1.4)
+        cells = np.array([k[0] >> (31 - 6) for k in keys])
+        _, counts = np.unique(cells, return_counts=True)
+        assert counts.max() > 6 * counts.mean()
+
+
+class TestAdversarial:
+    def test_common_prefix(self):
+        keys = adversarial_common_prefix_keys(16, dims=2, width=16)
+        prefixes = {(k[0] >> 6, k[1] >> 6) for k in keys}
+        assert len(prefixes) == 1
+
+    def test_unique(self):
+        keys = adversarial_common_prefix_keys(16, dims=2, width=16)
+        assert len(set(keys)) == len(keys)
+
+
+class TestHelpers:
+    def test_unique_preserves_order(self):
+        assert unique([(1, 1), (2, 2), (1, 1), (3, 3)]) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_interleave(self):
+        merged = list(interleave([(1,), (2,)], [(9,)]))
+        assert merged == [(1,), (9,), (2,)]

@@ -1,0 +1,125 @@
+"""Structural tests specific to the z-order index."""
+
+import pytest
+
+from repro import BMEHTree, ZOrderIndex
+from repro.analysis import assert_exact_tiling
+from repro.workloads import normal_keys, uniform_keys, unique
+
+
+def build(keys, b=4, widths=8, **kw):
+    index = ZOrderIndex(2, b, widths=widths, **kw)
+    for i, key in enumerate(keys):
+        index.insert(key, i)
+    return index
+
+
+class TestConstruction:
+    def test_total_width_capped(self):
+        with pytest.raises(ValueError):
+            ZOrderIndex(3, 4, widths=(32, 32, 32))
+
+    def test_refinement_cap_validated(self):
+        with pytest.raises(ValueError):
+            ZOrderIndex(2, 4, widths=8, refinement_cap=0)
+
+    def test_shares_the_store(self):
+        index = ZOrderIndex(2, 4, widths=8)
+        assert index.file.store is index.store
+
+
+class TestZIntervals:
+    def test_whole_domain_is_one_interval(self):
+        index = ZOrderIndex(2, 4, widths=4)
+        intervals = list(index.z_intervals((0, 0), (15, 15)))
+        assert intervals == [(0, 255, True)]
+
+    def test_quadrant_is_one_interval(self):
+        index = ZOrderIndex(2, 4, widths=4)
+        intervals = list(index.z_intervals((0, 0), (7, 7)))
+        assert intervals == [(0, 63, True)]
+
+    def test_off_grid_box_shatters(self):
+        index = ZOrderIndex(2, 4, widths=4)
+        intervals = list(index.z_intervals((3, 3), (12, 12)))
+        assert len(intervals) > 1
+        # Exact intervals lie fully inside; all are within the domain.
+        for low, high, _exact in intervals:
+            assert 0 <= low <= high <= 255
+
+    def test_intervals_cover_exactly_the_box(self):
+        from repro.bits import deinterleave
+
+        index = ZOrderIndex(2, 4, widths=4, refinement_cap=8)
+        lows, highs = (3, 5), (12, 9)
+        covered = set()
+        for low, high, exact in index.z_intervals(lows, highs):
+            for z in range(low, high + 1):
+                codes = deinterleave(z, (4, 4))
+                inside = all(
+                    lows[j] <= codes[j] <= highs[j] for j in range(2)
+                )
+                if exact:
+                    assert inside, (z, codes)
+                if inside:
+                    covered.add(codes)
+        want = {
+            (x, y)
+            for x in range(3, 13)
+            for y in range(5, 10)
+        }
+        assert covered == want
+
+    def test_refinement_cap_yields_inexact(self):
+        index = ZOrderIndex(2, 4, widths=8, refinement_cap=2)
+        intervals = list(index.z_intervals((3, 3), (200, 150)))
+        assert any(not exact for _, _, exact in intervals)
+
+
+class TestBehaviour:
+    def test_roundtrip_and_ranges(self):
+        keys = unique(uniform_keys(500, 2, seed=170, domain=256))
+        index = build(keys)
+        index.check_invariants()
+        for i, key in enumerate(keys):
+            assert index.search(key) == i
+        lo, hi = (40, 30), (190, 220)
+        got = sorted(k for k, _ in index.range_search(lo, hi))
+        want = sorted(
+            k for k in keys if lo[0] <= k[0] <= hi[0] and lo[1] <= k[1] <= hi[1]
+        )
+        assert got == want
+
+    def test_exact_match_is_two_accesses(self):
+        keys = unique(uniform_keys(400, 2, seed=171, domain=256))
+        index = build(keys)
+        before = index.store.stats.snapshot()
+        for key in keys[:50]:
+            index.search(key)
+        assert index.store.stats.delta(before).reads == 100
+
+    def test_regions_are_boxes(self):
+        keys = unique(normal_keys(400, 2, seed=172, domain=256))
+        index = build(keys, b=2)
+        assert_exact_tiling(index)
+
+    def test_same_answers_as_bmeh(self):
+        keys = unique(uniform_keys(400, 2, seed=173, domain=256))
+        z = build(keys)
+        bmeh = BMEHTree(2, 4, widths=8)
+        for i, key in enumerate(keys):
+            bmeh.insert(key, i)
+        box = ((10, 10), (200, 100))
+        assert sorted(z.range_search(*box)) == sorted(bmeh.range_search(*box))
+
+    def test_mixed_widths(self):
+        index = ZOrderIndex(2, 4, widths=(4, 10))
+        keys = [(a, b) for a in range(0, 16, 3) for b in range(0, 1024, 37)]
+        for i, key in enumerate(keys):
+            index.insert(key, i)
+        index.check_invariants()
+        got = sorted(k for k, _ in index.range_search((2, 100), (9, 700)))
+        want = sorted(
+            k for k in keys if 2 <= k[0] <= 9 and 100 <= k[1] <= 700
+        )
+        assert got == want
