@@ -49,8 +49,20 @@ from repro.core import (
 from repro.gridfile import GridFile
 from repro.kdb import KDBTree
 from repro.zorder import ZOrderIndex
+from repro.errors import InvariantViolation
+from repro.sanitize import (
+    check_structure,
+    enable_global_sanitizer,
+    sanitize_enabled,
+    sanitized,
+)
 
 __version__ = "1.0.0"
+
+# Opt-in debug mode: REPRO_SANITIZE=1 re-validates every index after each
+# mutation (sampling rate from REPRO_SANITIZE_RATE, default 1.0).
+if sanitize_enabled():  # pragma: no branch
+    enable_global_sanitizer()
 
 __all__ = [
     "ReproError",
@@ -87,5 +99,10 @@ __all__ = [
     "GridFile",
     "KDBTree",
     "ZOrderIndex",
+    "InvariantViolation",
+    "check_structure",
+    "enable_global_sanitizer",
+    "sanitize_enabled",
+    "sanitized",
     "__version__",
 ]

@@ -7,6 +7,10 @@ Commands:
 * ``figures [--figure 6|7] [--n N]`` — the directory-growth series;
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
+* ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
+  float equality, mutable defaults, missing core annotations);
+* ``check [--n N] [--seed S]`` — lint plus a sanitizer-instrumented
+  random workload over every index scheme (structural smoke test);
 * ``demo`` — a 30-second guided tour of the API.
 """
 
@@ -129,6 +133,81 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.sanitize import format_issues, lint_paths
+
+    issues = lint_paths(args.paths or None)
+    if issues:
+        print(format_issues(issues))
+        print(f"\n{len(issues)} issue(s) found", file=sys.stderr)
+        return 1
+    print("lint: OK")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Lint + a sanitized random workload over every index scheme."""
+    import random
+
+    from repro import (
+        BMEHTree,
+        GridFile,
+        InvariantViolation,
+        KDBTree,
+        MDEH,
+        MEHTree,
+    )
+    from repro.sanitize import format_issues, lint_paths, sanitized
+
+    status = 0
+    if not args.skip_lint:
+        issues = lint_paths(None)
+        if issues:
+            print(format_issues(issues))
+            status = 1
+        else:
+            print("lint: OK")
+    schemes = {
+        "mdeh": MDEH,
+        "meh": MEHTree,
+        "bmeh": BMEHTree,
+        "gridfile": GridFile,
+        "kdb": KDBTree,
+    }
+    for name, cls in schemes.items():
+        rng = random.Random(args.seed)
+        index = cls(2, 4, widths=12)
+        keys: list[tuple[int, int]] = []
+        inserted = 0
+        try:
+            with sanitized(index, rate=args.rate):
+                while len(index) < args.n:
+                    key = (rng.randrange(4096), rng.randrange(4096))
+                    if key in index:
+                        continue
+                    index.insert(key, inserted)
+                    inserted += 1
+                    keys.append(key)
+                    # Interleave deletions to exercise the merge paths.
+                    if inserted % 3 == 0:
+                        victim = keys.pop(rng.randrange(len(keys)))
+                        index.delete(victim)
+                for _ in range(5):
+                    low = rng.randrange(2048)
+                    sum(1 for _ in index.range_search(
+                        (low, low), (low + 512, low + 512)
+                    ))
+                while keys:
+                    index.delete(keys.pop())
+        except InvariantViolation as violation:
+            print(f"{name}: FAIL {violation}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{name}: OK ({args.n} keys inserted, all deleted, "
+              "invariants held throughout)")
+    return status
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro import BMEHTree
     from repro.workloads import uniform_keys, unique
@@ -188,6 +267,35 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dims", type=int, default=2)
     stats.add_argument("-b", "--page-capacity", type=int, default=8)
     stats.set_defaults(handler=_cmd_stats)
+
+    lint = commands.add_parser(
+        "lint", help="repo-specific static checks (exit 1 on findings)"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
+
+    check = commands.add_parser(
+        "check",
+        help="lint + sanitizer-instrumented random workload per scheme",
+    )
+    def rate(text: str) -> float:
+        value = float(text)
+        if not 0.0 <= value <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"sampling rate {value} outside [0, 1]"
+            )
+        return value
+
+    check.add_argument("--n", type=int, default=400,
+                       help="keys per scheme (default 400)")
+    check.add_argument("--seed", type=int, default=1986)
+    check.add_argument("--rate", type=rate, default=1.0,
+                       help="sanitizer sampling rate in [0, 1] (default 1.0)")
+    check.add_argument("--skip-lint", action="store_true")
+    check.set_defaults(handler=_cmd_check)
 
     demo = commands.add_parser("demo", help="a quick guided tour")
     demo.set_defaults(handler=_cmd_demo)

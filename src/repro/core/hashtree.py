@@ -36,7 +36,12 @@ from repro.bits import low_mask
 from repro.errors import DuplicateKeyError, KeyNotFoundError, StorageError
 from repro.storage import DataPage, PageStore
 from repro.core.directory import DirEntry, region_indices
-from repro.core.interface import KeyCodes, MultidimensionalIndex, Record
+from repro.core.interface import (
+    KeyCodes,
+    LeafRegion,
+    MultidimensionalIndex,
+    Record,
+)
 from repro.core.node import Node
 
 
@@ -604,7 +609,7 @@ class HashTreeBase(MultidimensionalIndex):
             else:
                 yield from self._store.read(entry.ptr).items()
 
-    def leaf_regions(self):
+    def leaf_regions(self) -> Iterator[LeafRegion]:
         yield from self._leaf_regions_under(
             self._root_id, (0,) * self._dims, (0,) * self._dims
         )
@@ -614,9 +619,7 @@ class HashTreeBase(MultidimensionalIndex):
         node_id: int,
         consumed: tuple[int, ...],
         prefix: tuple[int, ...],
-    ):
-        from repro.core.interface import LeafRegion
-
+    ) -> Iterator[LeafRegion]:
         node = self._store.peek(node_id)
         depths = node.array.depths
         seen: set[int] = set()

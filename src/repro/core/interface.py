@@ -79,6 +79,7 @@ class MultidimensionalIndex(ABC):
         self._dims = dims
         self._page_capacity = page_capacity
         self._widths = tuple(widths)
+        self._owns_store = store is None
         self._store = store or PageStore()
         self._num_keys = 0
 
@@ -101,6 +102,12 @@ class MultidimensionalIndex(ABC):
     @property
     def store(self) -> PageStore:
         return self._store
+
+    @property
+    def owns_store(self) -> bool:
+        """Whether the index created its store (nothing else allocates in
+        it) — the precondition for the sanitizer's page-leak check."""
+        return self._owns_store
 
     def __len__(self) -> int:
         return self._num_keys

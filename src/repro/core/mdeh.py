@@ -359,7 +359,7 @@ class MDEH(MultidimensionalIndex):
                 seen.add(id(cell))
                 yield cell
 
-    def leaf_regions(self):
+    def leaf_regions(self) -> Iterator[LeafRegion]:
         from repro.core.interface import LeafRegion
 
         depths = self._dir.depths

@@ -12,7 +12,7 @@ to points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.bits import low_mask
 from repro.errors import KeyDimensionError
@@ -80,7 +80,7 @@ class RangeQuery:
             lo <= c <= hi for lo, c, hi in zip(self.lows, codes, self.highs)
         )
 
-    def run(self, index: Any):
+    def run(self, index: Any) -> Iterator[Any]:
         """Execute against any index exposing ``range_search``."""
         if self.is_empty:
             return iter(())

@@ -49,5 +49,37 @@ class StorageError(ReproError):
     """Page-store misuse: bad page id, freed-page access, size overflow."""
 
 
+class InvariantViolation(ReproError):
+    """A structural invariant does not hold (raised by ``repro.sanitize``).
+
+    Unlike a bare ``AssertionError`` the violation is structured: it names
+    the broken invariant, the index scheme, and the path from the root to
+    the failing node, so a corrupted split deep in a tree is reported as
+    an addressable location rather than a stack trace.
+
+    Attributes:
+        invariant: short identifier of the broken invariant
+            (e.g. ``"balance"``, ``"depth-arithmetic"``).
+        scheme: class name of the index under check.
+        path: root-to-failure location steps, e.g.
+            ``("node 4", "cell (1, 0)", "page 17")``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "invariant",
+        scheme: str | None = None,
+        path: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        self.invariant = invariant
+        self.scheme = scheme
+        self.path = tuple(path)
+        where = " -> ".join(self.path) if self.path else "<root>"
+        prefix = f"{scheme}: " if scheme else ""
+        super().__init__(f"{prefix}[{invariant}] at {where}: {message}")
+
+
 class SerializationError(StorageError):
     """A page image cannot be encoded into / decoded from its byte form."""

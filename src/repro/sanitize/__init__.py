@@ -1,0 +1,66 @@
+"""Structural sanitizer: machine-checkable invariants for every index.
+
+The paper's claims are structural — the BMEH-tree is height-balanced, a
+region's overall depth is exactly ``consumed[j] + h[j]``, Theorem 1's
+mapping ``G`` is a bijection over the allocated directory — and a subtle
+split bug would silently corrupt every measurement built on top.  This
+subpackage makes those claims machine-checkable:
+
+* :mod:`repro.sanitize.invariants` — deep structural validators for each
+  index scheme plus the storage layer, raising a structured
+  :class:`~repro.errors.InvariantViolation` naming the failing node path;
+* :mod:`repro.sanitize.hooks` — an opt-in debug mode (``REPRO_SANITIZE=1``
+  or the :func:`sanitized` context manager) that re-validates the index
+  after every mutating operation, with a configurable sampling rate;
+* :mod:`repro.sanitize.lint` — a repo-specific static pass (AST-based)
+  enforcing the coding invariants no runtime check can see: no
+  ``Backend`` access outside the :class:`~repro.storage.PageStore`
+  accounting layer, no float equality on key codes, no mutable default
+  arguments, and full type annotations on the public ``core`` API.
+"""
+
+from repro.sanitize.invariants import (
+    check_extendible_array,
+    check_gridfile,
+    check_hashtree,
+    check_kdb,
+    check_mdeh,
+    check_storage,
+    check_structure,
+)
+from repro.sanitize.hooks import (
+    Sanitizer,
+    disable_global_sanitizer,
+    enable_global_sanitizer,
+    global_sanitizer,
+    sanitize_enabled,
+    sanitize_rate,
+    sanitized,
+)
+from repro.sanitize.lint import (
+    LintIssue,
+    format_issues,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "check_extendible_array",
+    "check_gridfile",
+    "check_hashtree",
+    "check_kdb",
+    "check_mdeh",
+    "check_storage",
+    "check_structure",
+    "Sanitizer",
+    "disable_global_sanitizer",
+    "enable_global_sanitizer",
+    "global_sanitizer",
+    "sanitize_enabled",
+    "sanitize_rate",
+    "sanitized",
+    "LintIssue",
+    "format_issues",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,243 @@
+"""Sanitizer hooks: re-validate an index after every mutating operation.
+
+Two opt-in surfaces, both zero-cost when off:
+
+* ``REPRO_SANITIZE=1`` in the environment installs class-level hooks for
+  every index scheme at ``import repro`` time (sampling rate from
+  ``REPRO_SANITIZE_RATE``, default 1.0) — the whole test suite, the CLI
+  and the benchmarks then run under continuous structural validation;
+* :func:`sanitized` wraps one index instance for the duration of a
+  ``with`` block and runs a final deep check on exit.
+
+Sampling is *deterministic* (a credit accumulator, not a coin flip) so a
+violation found at rate < 1 reproduces under the same seed.  Checks run
+only after operations that complete normally: a raised
+``DuplicateKeyError``/``KeyNotFoundError`` leaves the structure as it
+was, and a structural exception mid-split is the interesting artifact
+itself — re-walking a half-mutated tree would only bury it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+import os
+from typing import Any, Callable, Iterator
+
+from repro.sanitize.invariants import check_structure
+
+__all__ = [
+    "Sanitizer",
+    "disable_global_sanitizer",
+    "enable_global_sanitizer",
+    "sanitize_enabled",
+    "sanitize_rate",
+    "sanitized",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+_ENV_RATE = "REPRO_SANITIZE_RATE"
+#: Index methods that mutate structure and therefore trigger a check.
+_MUTATORS = ("insert", "delete")
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests the debug mode."""
+    value = os.environ.get(_ENV_FLAG, "")
+    return value.strip().lower() not in ("", "0", "false", "no", "off")
+
+
+def sanitize_rate(default: float = 1.0) -> float:
+    """Sampling rate from ``REPRO_SANITIZE_RATE``, clamped to [0, 1]."""
+    raw = os.environ.get(_ENV_RATE)
+    if raw is None:
+        return default
+    try:
+        rate = float(raw)
+    except ValueError:
+        return default
+    return min(max(rate, 0.0), 1.0)
+
+
+#: Amortization divisor: a structure of n keys is re-validated at most
+#: every ``n // _AMORTIZE_DIVISOR`` sampled mutations, bounding the
+#: sanitizer's total cost at a constant multiple of the workload's own.
+_AMORTIZE_DIVISOR = 48
+
+
+class Sanitizer:
+    """Post-mutation validation with deterministic sampling.
+
+    ``rate=1.0`` checks after every mutation, ``rate=0.25`` after every
+    fourth: after ``n`` mutations exactly ``floor(n * rate)`` checks have
+    fired, at evenly spaced positions.
+
+    With ``amortize=True`` (the global, whole-suite mode) a full check
+    additionally waits until the mutations since the last one cover the
+    structure's size: a deep walk is O(keys), so checking a k-key index
+    every ``k / 48`` mutations keeps the overhead a bounded constant
+    factor instead of turning n-insert loops into O(n^2).  Indexes under
+    48 keys — every hand-built unit-test fixture — are still checked
+    after each sampled mutation.
+    """
+
+    def __init__(self, rate: float = 1.0, *, amortize: bool = False) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.amortize = amortize
+        self.checks_run = 0
+        self.mutations_seen = 0
+        self._fired = 0
+        self._pending = 0
+        self._active = False
+
+    def should_check(self) -> bool:
+        """Advance the sampling credit by one mutation.
+
+        The fire count tracks ``floor(mutations * rate)`` exactly — a
+        running float accumulator would drift (fifty additions of 0.1 sum
+        to 4.999…), losing checks the rate promises.
+        """
+        self.mutations_seen += 1
+        due = int(self.mutations_seen * self.rate + 1e-9)
+        if due > self._fired:
+            self._fired = due
+            return True
+        return False
+
+    def run(self, index: Any) -> None:
+        """Validate ``index`` if this mutation is sampled.
+
+        Re-entrancy guarded: a checker that itself triggers wrapped
+        methods (or nested index mutations) cannot recurse.
+        """
+        if self._active or not self.should_check():
+            return
+        if self.amortize:
+            self._pending += 1
+            try:
+                size = len(index)
+            except TypeError:
+                size = 0
+            if self._pending < size // _AMORTIZE_DIVISOR:
+                return
+        self._pending = 0
+        self._active = True
+        try:
+            check_structure(index)
+            self.checks_run += 1
+        finally:
+            self._active = False
+
+
+# -- global (class-level) hooks ----------------------------------------------
+
+#: (defining class, method name) -> original function, for uninstall.
+_installed: dict[tuple[type, str], Callable[..., Any]] = {}
+_global_sanitizer: Sanitizer | None = None
+
+
+def _index_classes() -> list[type]:
+    from repro.core.hashtree import HashTreeBase
+    from repro.core.mdeh import MDEH
+    from repro.gridfile import GridFile
+    from repro.kdb import KDBTree
+    from repro.zorder import ZOrderIndex
+
+    return [HashTreeBase, MDEH, GridFile, KDBTree, ZOrderIndex]
+
+
+def _wrap(original: Callable[..., Any], sanitizer: Sanitizer):
+    @functools.wraps(original)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        result = original(self, *args, **kwargs)
+        sanitizer.run(self)
+        return result
+
+    wrapper.__repro_sanitized__ = True
+    return wrapper
+
+
+def enable_global_sanitizer(rate: float | None = None) -> Sanitizer:
+    """Install post-mutation hooks on every index class.
+
+    Idempotent: a second call returns the already-active sanitizer.  The
+    rate defaults to ``REPRO_SANITIZE_RATE`` (or 1.0).
+    """
+    global _global_sanitizer
+    if _global_sanitizer is not None:
+        return _global_sanitizer
+    sanitizer = Sanitizer(
+        sanitize_rate() if rate is None else rate, amortize=True
+    )
+    for cls in _index_classes():
+        for name in _MUTATORS:
+            for owner in cls.__mro__:
+                if name not in owner.__dict__:
+                    continue
+                if (owner, name) not in _installed:
+                    original = owner.__dict__[name]
+                    _installed[(owner, name)] = original
+                    setattr(owner, name, _wrap(original, sanitizer))
+                break
+    _global_sanitizer = sanitizer
+    return sanitizer
+
+
+def disable_global_sanitizer() -> None:
+    """Remove the class-level hooks and restore the original methods."""
+    global _global_sanitizer
+    for (owner, name), original in _installed.items():
+        setattr(owner, name, original)
+    _installed.clear()
+    _global_sanitizer = None
+
+
+def global_sanitizer() -> Sanitizer | None:
+    """The active global sanitizer, if any."""
+    return _global_sanitizer
+
+
+# -- per-instance hooks ------------------------------------------------------
+
+
+@contextlib.contextmanager
+def sanitized(index: Any, rate: float = 1.0) -> Iterator[Sanitizer]:
+    """Run a block with ``index`` validated after every mutation.
+
+    A final deep check runs on normal exit, so ``rate < 1`` still ends
+    with a fully validated structure::
+
+        with sanitized(tree) as sanitizer:
+            for key in keys:
+                tree.insert(key)
+        assert sanitizer.checks_run == len(keys)
+    """
+    sanitizer = Sanitizer(rate)
+    originals: list[str] = []
+    for name in _MUTATORS:
+        method = getattr(index, name, None)
+        if method is None:
+            continue
+
+        def wrapper(*args: Any, __method=method, **kwargs: Any) -> Any:
+            result = __method(*args, **kwargs)
+            sanitizer.run(index)
+            return result
+
+        functools.update_wrapper(wrapper, method)
+        setattr(index, name, wrapper)
+        originals.append(name)
+    completed = False
+    try:
+        yield sanitizer
+        completed = True
+    finally:
+        for name in originals:
+            try:
+                delattr(index, name)
+            except AttributeError:
+                pass
+        if completed:
+            check_structure(index)

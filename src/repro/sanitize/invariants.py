@@ -1,0 +1,668 @@
+"""Deep structural validators for every index scheme.
+
+Each checker walks the whole structure with *uncharged* reads
+(:meth:`~repro.storage.PageStore.peek`) so validation never distorts the
+I/O ledger, and raises :class:`~repro.errors.InvariantViolation` — naming
+the invariant and the root-to-failure path — at the first breakage.
+
+The checked invariants, with their paper anchors:
+
+=====================  =====================================================
+``balance``            every data page at the same distance from the root
+                       (BMEH Theorem 3 / K-D-B construction)
+``level-arithmetic``   child node level is parent − 1 (BMEH) or parent + 1
+                       (MEH): the level field mirrors the real height
+``depth-arithmetic``   a node never addresses past ``w_j``:
+                       ``consumed[j] + H_j <= w_j`` (§3.1)
+``local-depth``        ``0 <= h_j <= H_j`` for every directory element
+``region-uniform``     the ``2^(H_j - h_j)`` buddy cells of a region all
+                       share one directory element — and no cell outside
+                       the region does (§2.1's element sharing)
+``key-prefix``         every record's code agrees with its region's path
+                       prefix on all ``consumed[j] + h[j]`` bits
+``page-occupancy``     ``0 < len(page) <= b``: empty pages are dropped
+                       immediately (§2.1), full pages are split
+``mapping-bijective``  Theorem 1's ``G``: linear addresses and index
+                       tuples of the allocated extendible array round-trip
+``fan-in``             every node/page is referenced by exactly one region
+``dangling-pointer``   every referenced page id is live in the store
+``page-leak``          every live page in an index-owned store is
+                       reachable from the root
+``pinned-live``        no page is both pinned and discarded
+``counter``            cached totals (keys, pages, nodes) match a recount
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import InvariantViolation, ReproError, StorageError
+from repro.storage import DataPage
+
+__all__ = [
+    "check_extendible_array",
+    "check_gridfile",
+    "check_hashtree",
+    "check_kdb",
+    "check_mdeh",
+    "check_storage",
+    "check_structure",
+]
+
+
+class _Walk:
+    """Shared bookkeeping of one validation pass: the current path from
+    the root (for error reports) and the reachable-page census (for the
+    storage-layer checks)."""
+
+    def __init__(self, index: Any) -> None:
+        self.index = index
+        self.scheme = type(index).__name__
+        self.path: list[str] = []
+        #: page id -> number of referencing directory regions.
+        self.fan_in: dict[int, int] = {}
+        self.keys = 0
+        self.data_pages = 0
+
+    def fail(self, invariant: str, message: str) -> None:
+        raise InvariantViolation(
+            message,
+            invariant=invariant,
+            scheme=self.scheme,
+            path=tuple(self.path),
+        )
+
+    def enter(self, label: str) -> None:
+        self.path.append(label)
+
+    def leave(self) -> None:
+        self.path.pop()
+
+    def reference(self, page_id: int) -> None:
+        self.fan_in[page_id] = self.fan_in.get(page_id, 0) + 1
+
+    def load(self, page_id: int) -> Any:
+        """Uncharged load; a missing page is a dangling pointer."""
+        try:
+            return self.index.store.peek(page_id)
+        except StorageError:
+            self.fail(
+                "dangling-pointer",
+                f"page {page_id} is referenced but not in the store",
+            )
+
+    def check_page(self, page_id: int, label: str) -> DataPage:
+        """Occupancy + single-reference checks shared by every scheme."""
+        self.enter(label)
+        if self.fan_in.get(page_id):
+            self.fail("fan-in", f"data page {page_id} shared by two regions")
+        self.reference(page_id)
+        page = self.load(page_id)
+        if not isinstance(page, DataPage):
+            self.fail(
+                "dangling-pointer",
+                f"page {page_id} is a {type(page).__name__}, not a DataPage",
+            )
+        capacity = self.index.page_capacity
+        if not 0 < len(page) <= capacity:
+            self.fail(
+                "page-occupancy",
+                f"page {page_id} holds {len(page)} records "
+                f"(capacity {capacity}; empty pages must be freed)",
+            )
+        self.data_pages += 1
+        self.keys += len(page)
+        self.leave()
+        return page
+
+    def check_counters(self, **expected: tuple[int, int]) -> None:
+        """``name=(recorded, recounted)`` pairs; mismatch is a violation."""
+        for name, (recorded, counted) in expected.items():
+            if recorded != counted:
+                self.fail(
+                    "counter",
+                    f"{name}: recorded {recorded}, recounted {counted}",
+                )
+
+
+# -- extendible-array addressing (Theorem 1) ---------------------------------
+
+
+def check_extendible_array(array: Any, walk: _Walk | None = None) -> None:
+    """Verify the mapping ``G`` is a bijection over the allocated array.
+
+    Every linear address must decode to an in-shape index tuple that
+    encodes back to the same address (injectivity + surjectivity over
+    ``[0, 2^t)``), and the allocated size must be exactly ``2^t`` for the
+    recorded doubling history — Theorem 1 generalized to arbitrary
+    doubling orders.
+    """
+    if walk is None:
+        walk = _Walk.__new__(_Walk)
+        walk.index = array
+        walk.scheme = "ExtendibleArray"
+        walk.path = []
+        walk.fan_in = {}
+        walk.keys = 0
+        walk.data_pages = 0
+    depths = array.depths
+    if len(array) != 1 << sum(depths):
+        walk.fail(
+            "mapping-bijective",
+            f"array holds {len(array)} cells, depths {depths} "
+            f"imply {1 << sum(depths)}",
+        )
+    shape = array.shape
+    for address in range(len(array)):
+        index = array.index_of(address)
+        for j, (i, extent) in enumerate(zip(index, shape)):
+            if not 0 <= i < extent:
+                walk.fail(
+                    "mapping-bijective",
+                    f"address {address} decodes to {index}, coordinate "
+                    f"{i} outside [0, {extent}) on axis {j}",
+                )
+        back = array.address(index)
+        if back != address:
+            walk.fail(
+                "mapping-bijective",
+                f"G({index}) = {back} but index_of({address}) = {index}: "
+                "the mapping does not round-trip",
+            )
+
+
+# -- tree-structured schemes (MEH / BMEH) ------------------------------------
+
+
+def _region_census(walk: _Walk, node: Any) -> list[tuple]:
+    """Distinct regions of one directory node with uniformity checks.
+
+    Returns ``(entry, anchor, cell_count)`` triples.  Verifies the
+    buddy-cell sharing rule exactly: the cells holding a region's element
+    must be precisely the ``region_indices`` block around its anchor — no
+    hole inside, no stray cell outside.
+    """
+    from repro.core.directory import region_indices, region_size
+
+    depths = node.array.depths
+    occurrences: dict[int, int] = {}
+    firsts: dict[int, tuple] = {}
+    for address in range(len(node.array)):
+        entry = node.array.get_at(address)
+        if entry is None:
+            walk.fail("region-uniform", f"hole at address {address}")
+        occurrences[id(entry)] = occurrences.get(id(entry), 0) + 1
+        if id(entry) not in firsts:
+            firsts[id(entry)] = (entry, node.array.index_of(address))
+    regions = []
+    for entry, anchor in firsts.values():
+        for j in range(node.dims):
+            if not 0 <= entry.h[j] <= depths[j]:
+                walk.fail(
+                    "local-depth",
+                    f"cell {anchor}: local depth h[{j}]={entry.h[j]} "
+                    f"outside [0, {depths[j]}]",
+                )
+        expected = region_size(depths, entry.h)
+        if occurrences[id(entry)] != expected:
+            walk.fail(
+                "region-uniform",
+                f"region anchored at {anchor} (h={entry.h}) occupies "
+                f"{occurrences[id(entry)]} cells, local depths imply "
+                f"{expected}",
+            )
+        for cell in region_indices(depths, anchor, entry.h):
+            if node.array[cell] is not entry:
+                walk.fail(
+                    "region-uniform",
+                    f"buddy cell {cell} of region {anchor} holds a "
+                    "different element",
+                )
+        if entry.ptr is None and entry.is_node:
+            walk.fail(
+                "region-uniform",
+                f"cell {anchor}: NIL pointer flagged as a directory node",
+            )
+        regions.append((entry, anchor))
+    return regions
+
+
+def check_hashtree(index: Any) -> None:
+    """Validate a MEH-tree or BMEH-tree directory in depth.
+
+    BMEH specifics: child level = parent level − 1 and every data page
+    hangs from a level-1 node — together, the height-balance of Theorem 3.
+    MEH grows root-down, so levels *increase* and no balance is required.
+    """
+    from repro.core.bmeh_tree import BMEHTree
+    from repro.core.node import Node
+
+    walk = _Walk(index)
+    balanced = isinstance(index, BMEHTree)
+    nodes_seen = 0
+
+    def visit(node_id: int, consumed: tuple[int, ...],
+              prefix: tuple[int, ...], parent_level: int | None) -> None:
+        nonlocal nodes_seen
+        walk.enter(f"node {node_id}")
+        if walk.fan_in.get(node_id):
+            walk.fail("fan-in", f"directory node {node_id} reached twice")
+        walk.reference(node_id)
+        node = walk.load(node_id)
+        if not isinstance(node, Node):
+            walk.fail(
+                "dangling-pointer",
+                f"id {node_id} is a {type(node).__name__}, not a Node",
+            )
+        nodes_seen += 1
+        if parent_level is not None:
+            expected = parent_level - 1 if balanced else parent_level + 1
+            if node.level != expected:
+                walk.fail(
+                    "level-arithmetic",
+                    f"node level {node.level} under parent level "
+                    f"{parent_level} (expected {expected})",
+                )
+        if len(node.array) > node.capacity:
+            walk.fail(
+                "depth-arithmetic",
+                f"node holds {len(node.array)} cells, budget is "
+                f"2^phi = {node.capacity}",
+            )
+        check_extendible_array(node.array, walk)
+        depths = node.array.depths
+        for j in range(index.dims):
+            if consumed[j] + depths[j] > index.widths[j]:
+                walk.fail(
+                    "depth-arithmetic",
+                    f"axis {j}: consumed {consumed[j]} + node depth "
+                    f"{depths[j]} exceeds the {index.widths[j]}-bit code",
+                )
+        for entry, anchor in _region_census(walk, node):
+            child_consumed = tuple(
+                consumed[j] + entry.h[j] for j in range(index.dims)
+            )
+            child_prefix = tuple(
+                (prefix[j] << entry.h[j])
+                | (anchor[j] >> (depths[j] - entry.h[j]))
+                for j in range(index.dims)
+            )
+            if entry.ptr is None:
+                continue
+            if entry.is_node:
+                visit(entry.ptr, child_consumed, child_prefix, node.level)
+            else:
+                if balanced and node.level != 1:
+                    walk.fail(
+                        "balance",
+                        f"data page {entry.ptr} hangs from a level-"
+                        f"{node.level} node; balance requires level 1",
+                    )
+                page = walk.check_page(entry.ptr, f"cell {anchor}")
+                _check_key_prefixes(
+                    walk, index, page, entry.ptr, child_consumed, child_prefix
+                )
+        walk.leave()
+
+    visit(index.root_id, (0,) * index.dims, (0,) * index.dims, None)
+    if not index.store.is_pinned(index.root_id):
+        walk.fail("pinned-live", f"root node {index.root_id} is not pinned")
+    walk.check_counters(
+        keys=(len(index), walk.keys),
+        data_pages=(index.data_page_count, walk.data_pages),
+        nodes=(index.node_count, nodes_seen),
+    )
+    check_storage(index, walk)
+
+
+def _check_key_prefixes(
+    walk: _Walk,
+    index: Any,
+    page: DataPage,
+    page_id: int,
+    consumed: tuple[int, ...],
+    prefix: tuple[int, ...],
+) -> None:
+    """Every record's top ``consumed[j]`` bits must equal the region's
+    path prefix — the paper's depth arithmetic made testable."""
+    for codes in page.keys():
+        for j in range(index.dims):
+            got = codes[j] >> (index.widths[j] - consumed[j])
+            if got != prefix[j]:
+                walk.fail(
+                    "key-prefix",
+                    f"page {page_id}: key {codes} has prefix {got} on "
+                    f"axis {j}, region requires {prefix[j]} "
+                    f"(overall depth {consumed[j]})",
+                )
+
+
+# -- one-level scheme (MDEH) -------------------------------------------------
+
+
+def check_mdeh(index: Any) -> None:
+    """Validate the one-level directory: ``G`` bijectivity, region
+    uniformity over the flat extendible array, key prefixes, counters."""
+    from repro.bits import g
+    from repro.core.directory import region_indices, region_size
+
+    walk = _Walk(index)
+    directory = index._dir
+    check_extendible_array(directory, walk)
+    depths = directory.depths
+    occurrences: dict[int, int] = {}
+    firsts: dict[int, tuple] = {}
+    for address in range(len(directory)):
+        entry = directory.get_at(address)
+        if entry is None:
+            walk.fail("region-uniform", f"hole at directory address {address}")
+        if entry.is_node:
+            walk.fail(
+                "region-uniform",
+                f"directory address {address}: one-level scheme cannot "
+                "point to a node",
+            )
+        occurrences[id(entry)] = occurrences.get(id(entry), 0) + 1
+        firsts.setdefault(id(entry), (entry, directory.index_of(address)))
+    for entry, anchor in firsts.values():
+        walk.enter(f"region {anchor}")
+        for j in range(index.dims):
+            if not 0 <= entry.h[j] <= depths[j]:
+                walk.fail(
+                    "local-depth",
+                    f"local depth h[{j}]={entry.h[j]} outside "
+                    f"[0, {depths[j]}]",
+                )
+        expected = region_size(depths, entry.h)
+        if occurrences[id(entry)] != expected:
+            walk.fail(
+                "region-uniform",
+                f"region occupies {occurrences[id(entry)]} cells, local "
+                f"depths {entry.h} imply {expected}",
+            )
+        for cell in region_indices(depths, anchor, entry.h):
+            if directory.get_at(directory.address(cell)) is not entry:
+                walk.fail(
+                    "region-uniform",
+                    f"buddy cell {cell} holds a different element",
+                )
+        if entry.ptr is not None:
+            page = walk.check_page(entry.ptr, f"page {entry.ptr}")
+            for codes in page.keys():
+                for j in range(index.dims):
+                    got = g(codes[j], index.widths[j], entry.h[j])
+                    want = anchor[j] >> (depths[j] - entry.h[j])
+                    if got != want:
+                        walk.fail(
+                            "key-prefix",
+                            f"key {codes} has prefix {got} on axis {j}, "
+                            f"region requires {want}",
+                        )
+        walk.leave()
+    walk.check_counters(
+        keys=(len(index), walk.keys),
+        data_pages=(index.data_page_count, walk.data_pages),
+    )
+    check_storage(index, walk)
+
+
+# -- grid file ---------------------------------------------------------------
+
+
+def check_gridfile(index: Any) -> None:
+    """Validate the grid file: sorted scales, dyadic aligned region
+    boxes, exact block↔region agreement, page occupancy, counters."""
+    import itertools
+
+    walk = _Walk(index)
+    for dim, scale in enumerate(index.scales):
+        if list(scale) != sorted(set(scale)):
+            walk.fail(
+                "region-uniform",
+                f"scale {dim} is not strictly increasing: {scale}",
+            )
+        if len(scale) + 1 != index.grid_shape[dim]:
+            walk.fail(
+                "counter",
+                f"scale {dim} has {len(scale)} boundaries but the grid "
+                f"spans {index.grid_shape[dim]} intervals",
+            )
+    expected_cells = 1
+    for extent in index.grid_shape:
+        expected_cells *= extent
+    if expected_cells != len(index._grid):
+        walk.fail(
+            "counter",
+            f"grid holds {len(index._grid)} blocks, shape "
+            f"{index.grid_shape} implies {expected_cells}",
+        )
+    block_count: dict[int, int] = {}
+    regions: dict[int, Any] = {}
+    for region in index._grid:
+        block_count[id(region)] = block_count.get(id(region), 0) + 1
+        regions.setdefault(id(region), region)
+    for region in regions.values():
+        label = f"region {region.lows}..{region.highs}"
+        walk.enter(label)
+        for j in range(index.dims):
+            span = region.highs[j] - region.lows[j] + 1
+            if span & (span - 1):
+                walk.fail(
+                    "region-uniform",
+                    f"axis {j} spans {span} codes — not a power of two",
+                )
+            if region.lows[j] % span:
+                walk.fail(
+                    "region-uniform",
+                    f"axis {j} box [{region.lows[j]}, {region.highs[j]}] "
+                    "is not aligned to its own size",
+                )
+        blocks = list(index._blocks_of(region))
+        if len(blocks) != block_count[id(region)]:
+            walk.fail(
+                "region-uniform",
+                f"region covers {len(blocks)} grid blocks but "
+                f"{block_count[id(region)]} blocks point at it",
+            )
+        for cell in blocks:
+            if index._region_at(cell) is not region:
+                walk.fail(
+                    "region-uniform",
+                    f"grid block {cell} inside the region's box maps to "
+                    "a different region",
+                )
+        if region.ptr is not None:
+            page = walk.check_page(region.ptr, f"page {region.ptr}")
+            for codes in page.keys():
+                if not region.contains(codes):
+                    walk.fail(
+                        "key-prefix",
+                        f"key {codes} stored outside its region box",
+                    )
+        walk.leave()
+    walk.check_counters(
+        keys=(len(index), walk.keys),
+        data_pages=(index.data_page_count, walk.data_pages),
+    )
+    check_storage(index, walk)
+
+
+# -- K-D-B tree --------------------------------------------------------------
+
+
+def check_kdb(index: Any) -> None:
+    """Validate the K-D-B tree: child boxes tile each region page
+    exactly, all point pages at one depth, fanout respected, counters."""
+    walk = _Walk(index)
+    leaf_depths: set[int] = set()
+    region_pages = 0
+
+    def visit(page_id: int, box: Any, depth: int) -> None:
+        nonlocal region_pages
+        walk.enter(f"region-page {page_id}")
+        if walk.fan_in.get(page_id):
+            walk.fail("fan-in", f"region page {page_id} reached twice")
+        walk.reference(page_id)
+        page = walk.load(page_id)
+        if not hasattr(page, "entries"):
+            walk.fail(
+                "dangling-pointer",
+                f"id {page_id} is a {type(page).__name__}, not a region page",
+            )
+        region_pages += 1
+        if len(page.entries) > index.fanout:
+            walk.fail(
+                "depth-arithmetic",
+                f"region page holds {len(page.entries)} entries, "
+                f"fanout is {index.fanout}",
+            )
+        volume = 0
+        total = 1
+        for j in range(index.dims):
+            total *= box.highs[j] - box.lows[j] + 1
+        for entry in page.entries:
+            size = 1
+            for j in range(index.dims):
+                span = entry.box.highs[j] - entry.box.lows[j] + 1
+                if span & (span - 1):
+                    walk.fail(
+                        "region-uniform",
+                        f"child box spans {span} codes on axis {j} — "
+                        "not dyadic",
+                    )
+                if (entry.box.lows[j] < box.lows[j]
+                        or entry.box.highs[j] > box.highs[j]):
+                    walk.fail(
+                        "region-uniform",
+                        f"child box escapes its parent on axis {j}",
+                    )
+                size *= span
+            volume += size
+            if entry.is_region:
+                if entry.ptr is None:
+                    walk.fail(
+                        "dangling-pointer",
+                        "an internal entry with a NIL pointer",
+                    )
+                visit(entry.ptr, entry.box, depth + 1)
+            else:
+                leaf_depths.add(depth)
+                if entry.ptr is None:
+                    continue
+                page_obj = walk.check_page(entry.ptr, f"page {entry.ptr}")
+                for codes in page_obj.keys():
+                    if not entry.box.contains(codes):
+                        walk.fail(
+                            "key-prefix",
+                            f"key {codes} stored outside its box",
+                        )
+        if volume != total:
+            walk.fail(
+                "region-uniform",
+                f"child boxes cover {volume} of the region's {total} "
+                "code points — they must tile it exactly",
+            )
+        walk.leave()
+
+    visit(index.root_id, index._domain_box(), 1)
+    if len(leaf_depths) > 1:
+        walk.fail(
+            "balance",
+            f"point pages at depths {sorted(leaf_depths)} — the K-D-B "
+            "construction keeps all leaves at one depth",
+        )
+    if not index.store.is_pinned(index.root_id):
+        walk.fail("pinned-live", f"root page {index.root_id} is not pinned")
+    walk.check_counters(
+        keys=(len(index), walk.keys),
+        data_pages=(index.data_page_count, walk.data_pages),
+        region_pages=(index.region_page_count, region_pages),
+    )
+    check_storage(index, walk)
+
+
+# -- storage layer -----------------------------------------------------------
+
+
+def check_storage(index: Any, walk: _Walk) -> None:
+    """Storage-layer invariants, given the walk's reachability census:
+
+    * reference counts match directory fan-in (each page id referenced by
+      exactly one region / parent);
+    * no page is both pinned and discarded;
+    * when the index owns its store, every live page is reachable — a
+      failed split cannot strand an unregistered sibling page.
+    """
+    store = index.store
+    for page_id, count in walk.fan_in.items():
+        if count != 1:
+            walk.fail(
+                "fan-in",
+                f"page {page_id} referenced by {count} regions",
+            )
+    for page_id in store.pinned_ids():
+        if page_id not in store:
+            walk.fail(
+                "pinned-live",
+                f"page {page_id} is pinned but discarded from the backend",
+            )
+    if getattr(index, "owns_store", False):
+        live = set(store.page_ids())
+        leaked = live - set(walk.fan_in)
+        if leaked:
+            walk.fail(
+                "page-leak",
+                f"live pages {sorted(leaked)} are unreachable from the "
+                "root — an orphaned sibling or un-freed page",
+            )
+        missing = set(walk.fan_in) - live
+        if missing:
+            walk.fail(
+                "dangling-pointer",
+                f"referenced pages {sorted(missing)} are not live",
+            )
+
+
+# -- dispatch ----------------------------------------------------------------
+
+
+def check_structure(index: Any) -> None:
+    """Run the deep validator matching ``index``'s scheme.
+
+    Falls back to the scheme's own :meth:`check_invariants` (wrapping its
+    ``AssertionError`` in an :class:`InvariantViolation`) for schemes
+    without a dedicated deep checker.
+    """
+    from repro.core.hashtree import HashTreeBase
+    from repro.core.mdeh import MDEH
+    from repro.gridfile import GridFile
+    from repro.kdb import KDBTree
+
+    if isinstance(index, HashTreeBase):
+        check_hashtree(index)
+    elif isinstance(index, MDEH):
+        check_mdeh(index)
+    elif isinstance(index, GridFile):
+        check_gridfile(index)
+    elif isinstance(index, KDBTree):
+        check_kdb(index)
+    # The scheme's own (historical) checker must agree with the deep one,
+    # and is the only coverage for schemes without a dedicated validator.
+    try:
+        index.check_invariants()
+    except AssertionError as exc:
+        raise InvariantViolation(
+            str(exc) or "check_invariants failed",
+            invariant="scheme-specific",
+            scheme=type(index).__name__,
+        ) from exc
+
+
+def iter_violations(indexes: Iterator[Any]) -> Iterator[ReproError]:
+    """Check many indexes, yielding (not raising) each violation."""
+    for index in indexes:
+        try:
+            check_structure(index)
+        except InvariantViolation as violation:
+            yield violation

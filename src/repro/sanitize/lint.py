@@ -1,0 +1,257 @@
+"""A repo-specific static lint pass over ``src/repro``.
+
+Four rules, each guarding an invariant the runtime sanitizer cannot see:
+
+* **REP101 backend-bypass** — calling ``load`` / ``store`` / ``discard``
+  on a ``Backend`` outside ``storage/disk.py``.  Every page access must
+  go through :class:`~repro.storage.PageStore` so it is charged to the
+  :class:`~repro.storage.IOStats` ledger; a direct backend call silently
+  falsifies the paper's λ/ρ measurements.
+* **REP102 float-equality** — ``==`` / ``!=`` against a float literal.
+  Pseudo-key codes are exact integers; a float comparison anywhere near
+  key handling indicates a lossy encode step leaking into index logic.
+* **REP103 mutable-default** — a list/dict/set (display, comprehension
+  or constructor call) as a default argument: shared across calls, the
+  classic aliasing bug.
+* **REP104 missing-annotations** — a public function in ``core/``
+  without full parameter and return annotations.  The core API is the
+  contract every later layer builds on; annotations are load-bearing
+  documentation there.
+
+Run via ``repro lint`` (exit 1 on findings) or ``repro check``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["LintIssue", "lint_paths", "lint_source", "repo_source_root"]
+
+#: Files allowed to touch a Backend directly: the accounting layer itself.
+BACKEND_ALLOWED = ("storage/disk.py",)
+
+_BACKEND_METHODS = frozenset({"load", "store", "discard"})
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding of the static pass."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def repo_source_root() -> Path:
+    """The ``src/repro`` package directory this module is installed in."""
+    return Path(__file__).resolve().parent.parent
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, *, check_backend: bool,
+                 check_annotations: bool) -> None:
+        self.path = path
+        self.check_backend = check_backend
+        self.check_annotations = check_annotations
+        self.issues: list[LintIssue] = []
+        # Nesting stack of 'class' / 'function' scopes: REP104 applies to
+        # module-level functions and methods, not to nested helpers.
+        self._scopes: list[str] = []
+
+    def _issue(self, node: ast.AST, code: str, message: str) -> None:
+        self.issues.append(
+            LintIssue(self.path, node.lineno, node.col_offset, code, message)
+        )
+
+    # -- REP101: backend bypass ------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.check_backend
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _BACKEND_METHODS
+        ):
+            receiver = _terminal_name(node.func.value)
+            if receiver is not None and "backend" in receiver.lower():
+                self._issue(
+                    node,
+                    "REP101",
+                    f"direct Backend.{node.func.attr}() bypasses PageStore "
+                    "I/O accounting — route the access through the store",
+                )
+        self.generic_visit(node)
+
+    # -- REP102: float equality ------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and isinstance(
+                    side.value, float
+                ):
+                    self._issue(
+                        node,
+                        "REP102",
+                        f"equality comparison against float literal "
+                        f"{side.value!r}; key codes are exact integers — "
+                        "compare with a tolerance or restate in integers",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- REP103 / REP104: function definitions ----------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scopes.append("class")
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._check_annotations(node)
+        self._scopes.append("function")
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _check_mutable_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults = list(node.args.defaults)
+        defaults += [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set,
+                 ast.ListComp, ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CONSTRUCTORS
+            )
+            if mutable:
+                self._issue(
+                    default,
+                    "REP103",
+                    f"mutable default argument in {node.name}(); the "
+                    "object is shared across calls — default to None",
+                )
+
+    def _check_annotations(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        if not self.check_annotations or node.name.startswith("_"):
+            return
+        if "function" in self._scopes:
+            return  # nested helper, not public API
+        args = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        if node.args.vararg is not None:
+            args.append(node.args.vararg)
+        if node.args.kwarg is not None:
+            args.append(node.args.kwarg)
+        missing = [
+            a.arg
+            for a in args
+            if a.annotation is None and a.arg not in ("self", "cls")
+        ]
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            self._issue(
+                node,
+                "REP104",
+                f"public core function {node.name}() missing annotations "
+                f"for: {', '.join(missing)}",
+            )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    check_backend: bool = True,
+    check_annotations: bool = False,
+) -> list[LintIssue]:
+    """Lint one module's source text; returns findings (possibly empty)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintIssue(
+                path, exc.lineno or 0, exc.offset or 0,
+                "REP100", f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = _Linter(
+        path, check_backend=check_backend, check_annotations=check_annotations
+    )
+    linter.visit(tree)
+    return sorted(linter.issues, key=lambda i: (i.line, i.col, i.code))
+
+
+def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
+    """Lint files or directory trees (default: the installed ``repro``).
+
+    Rule scoping: REP101 everywhere except the accounting layer itself;
+    REP104 only under ``core/``; REP102/REP103 everywhere.
+    """
+    roots = [Path(p) for p in paths] if paths else [repo_source_root()]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        else:
+            files.append(root)
+    issues: list[LintIssue] = []
+    for file in files:
+        posix = file.as_posix()
+        check_backend = not any(posix.endswith(a) for a in BACKEND_ALLOWED)
+        check_annotations = "/core/" in posix or "\\core\\" in str(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            issues.append(
+                LintIssue(str(file), 0, 0, "REP100", f"unreadable: {exc}")
+            )
+            continue
+        issues.extend(
+            lint_source(
+                source,
+                str(file),
+                check_backend=check_backend,
+                check_annotations=check_annotations,
+            )
+        )
+    return issues
+
+
+def format_issues(issues: Iterable[LintIssue]) -> str:
+    """Render findings one per line, compiler style."""
+    return "\n".join(str(issue) for issue in issues)

@@ -267,6 +267,10 @@ class PageStore:
     def is_pinned(self, page_id: int) -> bool:
         return page_id in self._pinned
 
+    def pinned_ids(self) -> frozenset[int]:
+        """The pinned page ids (read-only view, for the sanitizer)."""
+        return frozenset(self._pinned)
+
     @contextlib.contextmanager
     def operation(self):
         """Open a dedup scope; nested scopes join the outermost one."""

@@ -57,3 +57,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig6" in out
         assert "BMEHTree" in out
+
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_lint_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(x=[]):\n    return x == 1.5\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP102" in out
+        assert "REP103" in out
+
+    def test_check_small(self, capsys):
+        assert main(["check", "--n", "60", "--skip-lint"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mdeh", "meh", "bmeh", "gridfile", "kdb"):
+            assert f"{name}: OK" in out
