@@ -42,10 +42,9 @@ def snapshot_roundtrip(workdir: str) -> None:
 def page_file_with_buffer(workdir: str) -> None:
     print("2. byte-level page file + LRU buffer pool")
     path = os.path.join(workdir, "pages.db")
-    store = PageStore(FileBackend(path, page_size=4096))
-    pool = BufferPool(store, capacity=8)
+    store = PageStore(FileBackend(path, page_size=4096), pool=BufferPool(8))
 
-    # Write 64 pages through the pool, then read with a hot working set.
+    # Write 64 pages through the store, then read with a hot working set.
     ids = []
     for i in range(64):
         page = DataPage(16)
@@ -53,12 +52,14 @@ def page_file_with_buffer(workdir: str) -> None:
         ids.append(store.allocate(page))
     for _ in range(4):
         for pid in ids[:6]:  # a working set smaller than the pool
-            pool.read(pid)
-    print(f"   buffer hit rate on hot set : {pool.hit_rate:.0%}")
+            store.read(pid)
+    print(f"   buffer hit rate on hot set : {store.pool.hit_rate:.0%}")
+    before = store.backend_stats.snapshot()
     for pid in ids:  # full scan: mostly misses
-        pool.read(pid)
-    print(f"   hit rate after a full scan: {pool.hit_rate:.0%}")
-    pool.flush()
+        store.read(pid)
+    print(f"   hit rate after a full scan: {store.pool.hit_rate:.0%}")
+    print(f"   physical reads in the scan: "
+          f"{store.backend_stats.delta(before).reads}/{len(ids)}")
     store.close()
 
     # Reopen the file: pages survive process boundaries.

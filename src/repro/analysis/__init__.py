@@ -1,6 +1,7 @@
 """Measurement, theory and attribute-space analysis for the experiments."""
 
 from repro.analysis.metrics import (
+    AbsentSearchCost,
     RunMetrics,
     GrowthSeries,
     measure_run,
@@ -32,6 +33,7 @@ from repro.analysis.stats import (
 from repro.analysis.visualize import ascii_partition, svg_partition
 
 __all__ = [
+    "AbsentSearchCost",
     "RunMetrics",
     "GrowthSeries",
     "measure_run",

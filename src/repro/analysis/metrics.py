@@ -76,13 +76,31 @@ def measure_search_cost(
     return index.store.stats.delta(before).reads / len(probes)
 
 
+class AbsentSearchCost(float):
+    """λ′ with the probe provenance attached.
+
+    Behaves as a plain float; :attr:`probe_mix` records how many probes
+    came from the workload-distributed candidate pool versus uniform
+    padding, so a report can state which distribution λ′ was measured
+    under.
+    """
+
+    probe_mix: dict
+
+    def __new__(cls, value: float, probe_mix: dict) -> "AbsentSearchCost":
+        cost = super().__new__(cls, value)
+        cost.probe_mix = dict(probe_mix)
+        return cost
+
+
 def measure_unsuccessful_search_cost(
     index: MultidimensionalIndex,
     present: Iterable[KeyCodes],
     count: int = 2000,
     seed: int = 7,
     candidates: Sequence[KeyCodes] | None = None,
-) -> float:
+    pad_uniform: bool = False,
+) -> AbsentSearchCost:
     """λ′: mean charged reads per search for keys known to be absent.
 
     With ``candidates`` the absent probes are drawn from that pool
@@ -90,6 +108,11 @@ def measure_unsuccessful_search_cost(
     unsuccessful searches are distributed like the data — the natural
     reading of the paper's protocol).  Otherwise probes are uniform over
     the code domain.
+
+    An exhausted candidate pool raises: silently topping up with uniform
+    probes would skew λ′ away from the workload distribution the caller
+    asked for.  Pass ``pad_uniform=True`` to accept mixed provenance —
+    the returned cost's ``probe_mix`` records the exact split either way.
     """
     rng = np.random.default_rng(seed)
     present_set = set(present)
@@ -101,12 +124,19 @@ def measure_unsuccessful_search_cost(
                 probes.append(key)
             if len(probes) >= count:
                 break
-        if not probes:
-            raise ValueError("no absent keys among the probe candidates")
+        if len(probes) < count and not pad_uniform:
+            raise ValueError(
+                f"absent-probe pool exhausted: {len(probes)} of {count} "
+                "requested probes available; pass pad_uniform=True to top "
+                "up with uniform probes (changes the probe distribution)"
+            )
+    from_candidates = len(probes)
     while len(probes) < count:
         key = tuple(int(rng.integers(0, 1 << w)) for w in widths)
         if key not in present_set:
             probes.append(key)
+    if not probes:
+        raise ValueError("no absent probes available")
     before = index.store.stats.snapshot()
     for key in probes:
         try:
@@ -115,7 +145,13 @@ def measure_unsuccessful_search_cost(
             pass
         else:  # pragma: no cover - would indicate a probe-generation bug
             raise AssertionError("unsuccessful probe found a record")
-    return index.store.stats.delta(before).reads / len(probes)
+    mix = {
+        "candidates": from_candidates,
+        "uniform": len(probes) - from_candidates,
+    }
+    return AbsentSearchCost(
+        index.store.stats.delta(before).reads / len(probes), mix
+    )
 
 
 def measure_run(
@@ -126,13 +162,16 @@ def measure_run(
     growth_checkpoints: int = 0,
     values: Callable[[int], object] | None = None,
     absent_candidates: Sequence[KeyCodes] | None = None,
+    absent_pad_uniform: bool = False,
 ) -> tuple[RunMetrics, GrowthSeries]:
     """Run the paper's experiment protocol on one index.
 
     Inserts ``keys`` in order, measuring ρ over the final
     ``tail_fraction`` of insertions, then probes λ and λ′ on the final
     structure.  With ``growth_checkpoints > 0`` the directory size is
-    sampled that many times along the way (for Figures 6/7).
+    sampled that many times along the way (for Figures 6/7), and the
+    terminal ``(n, σ)`` point is always recorded even when ``n`` is not
+    a multiple of the sampling step — the curves must end at ``n``.
     """
     import time
 
@@ -151,6 +190,8 @@ def measure_run(
         index.insert(key, values(i) if values else None)
         if step and (i + 1) % step == 0:
             series.record(i + 1, index.directory_size)
+    if step and (not series.checkpoints or series.checkpoints[-1] != n):
+        series.record(n, index.directory_size)
     insert_seconds = time.perf_counter() - started
     rho = store.stats.delta(snapshot).accesses / max(n - tail_start, 1)
 
@@ -159,10 +200,14 @@ def measure_run(
     picks = rng.choice(n, size=sample_size, replace=False)
     lam = measure_search_cost(index, [keys[i] for i in picks])
     lam_prime = measure_unsuccessful_search_cost(
-        index, keys, count=sample_size, candidates=absent_candidates
+        index,
+        keys,
+        count=sample_size,
+        candidates=absent_candidates,
+        pad_uniform=absent_pad_uniform,
     )
 
-    extra: dict = {}
+    extra: dict = {"absent_probe_mix": lam_prime.probe_mix}
     if hasattr(index, "height"):
         extra["height"] = index.height()
     if hasattr(index, "node_count"):
@@ -172,7 +217,7 @@ def measure_run(
         page_capacity=index.page_capacity,
         keys_inserted=n,
         successful_search_reads=lam,
-        unsuccessful_search_reads=lam_prime,
+        unsuccessful_search_reads=float(lam_prime),
         insertion_accesses=rho,
         load_factor=index.load_factor,
         directory_size=index.directory_size,

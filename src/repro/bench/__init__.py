@@ -12,6 +12,17 @@ from repro.bench.reporting import (
     format_series,
     shape_assertions,
 )
+from repro.bench.regression import (
+    BenchCell,
+    DEFAULT_CELLS,
+    compare_with_baseline,
+    format_results,
+    load_baseline,
+    pool_efficiency_failures,
+    run_cell,
+    run_cells,
+    write_baseline,
+)
 
 __all__ = [
     "PAPER_TABLES",
@@ -23,4 +34,13 @@ __all__ = [
     "format_table",
     "format_series",
     "shape_assertions",
+    "BenchCell",
+    "DEFAULT_CELLS",
+    "compare_with_baseline",
+    "format_results",
+    "load_baseline",
+    "pool_efficiency_failures",
+    "run_cell",
+    "run_cells",
+    "write_baseline",
 ]

@@ -1,0 +1,376 @@
+"""Benchmark baselines and the regression gate behind ``repro bench``.
+
+One *cell* is a fully-specified measurement: (experiment, scheme, b,
+backend).  Backends cover the storage configurations the paper's model
+assumes and the ones this library adds:
+
+* ``memory``     — :class:`MemoryBackend`, the paper's simulator setting;
+* ``file``       — :class:`FileBackend`, every access encodes/decodes a
+  byte image;
+* ``file+pool``  — :class:`FileBackend` behind a write-back
+  :class:`BufferPool`: the buffer-managed fast path.
+
+Each cell records the paper's measures (λ, λ′, ρ, α, σ), both I/O
+ledgers (logical accesses under the paper's accounting and physical
+backend calls), the pool hit rate, the λ′ probe mix, and wall time.
+``write_baseline`` persists the results as ``BENCH_<label>.json``;
+``compare_with_baseline`` re-runs a baseline's cells at its recorded
+scale and flags regressions beyond a relative tolerance.  Wall time is
+reported but never gated — it is machine noise; the gated metrics are
+deterministic given the seeded workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.bench.harness import (
+    FIGURE_EXPERIMENTS,
+    TABLE_EXPERIMENTS,
+    _split_stream,
+    experiment_scale,
+    make_index,
+)
+from repro.analysis.metrics import measure_run
+from repro.storage import BufferPool, FileBackend, PageStore
+
+BASELINE_VERSION = 1
+BACKENDS = ("memory", "file", "file+pool")
+
+#: Gated metrics where a *larger* current value is a regression.
+_WORSE_IF_HIGHER = (
+    "lambda",
+    "lambda_prime",
+    "rho",
+    "sigma",
+    "logical_reads",
+    "logical_writes",
+    "backend_reads",
+    "backend_writes",
+)
+#: Gated metrics where a *smaller* current value is a regression.
+_WORSE_IF_LOWER = ("alpha", "hit_rate")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCell:
+    """One benchmark configuration."""
+
+    experiment: str
+    scheme: str
+    page_capacity: int = 8
+    backend: str = "memory"
+
+    @property
+    def kind(self) -> str:
+        return "figure" if self.experiment in FIGURE_EXPERIMENTS else "table"
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.experiment}/{self.scheme}/"
+            f"b={self.page_capacity}/{self.backend}"
+        )
+
+
+#: The committed-baseline suite: the paper's table2 workload across all
+#: three schemes, plus the same workload driven through the byte backend
+#: with and without the buffer pool (the pool's physical-I/O win is a
+#: gated claim), plus one growth curve ending at the terminal checkpoint.
+DEFAULT_CELLS = (
+    BenchCell("table2", "MDEH"),
+    BenchCell("table2", "MEHTree"),
+    BenchCell("table2", "BMEHTree"),
+    BenchCell("table2", "BMEHTree", backend="file"),
+    BenchCell("table2", "BMEHTree", backend="file+pool"),
+    BenchCell("fig6", "BMEHTree"),
+)
+
+
+def _experiment(name: str):
+    try:
+        return {**TABLE_EXPERIMENTS, **FIGURE_EXPERIMENTS}[name]
+    except KeyError:
+        raise ValueError(f"unknown experiment {name!r}") from None
+
+
+def _make_store(
+    backend: str, workdir: str, page_size: int, pool_capacity: int
+) -> PageStore:
+    if backend == "memory":
+        return PageStore()
+    path = os.path.join(workdir, "bench_pages.db")
+    file_backend = FileBackend(path, page_size=page_size)
+    if backend == "file":
+        return PageStore(file_backend)
+    if backend == "file+pool":
+        return PageStore(file_backend, pool=BufferPool(pool_capacity))
+    raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+
+
+def run_cell(
+    cell: BenchCell,
+    n: int | None = None,
+    pool_capacity: int = 256,
+    page_size: int = 8192,
+    growth_checkpoints: int = 16,
+) -> dict:
+    """Measure one cell; returns a JSON-ready result record."""
+    experiment = _experiment(cell.experiment)
+    n = n or experiment_scale()
+    inserted, probes = _split_stream(experiment, n)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+        store = _make_store(cell.backend, workdir, page_size, pool_capacity)
+        try:
+            index = make_index(
+                cell.scheme, experiment.dims, cell.page_capacity, store=store
+            )
+            started = time.perf_counter()
+            metrics, series = measure_run(
+                index,
+                inserted,
+                growth_checkpoints=(
+                    growth_checkpoints if cell.kind == "figure" else 0
+                ),
+                absent_candidates=probes,
+            )
+            # Push buffered write-backs out so the physical ledger covers
+            # the full cost of persisting the run.
+            store.flush()
+            wall_seconds = time.perf_counter() - started
+            pool = store.pool
+            result = {
+                "experiment": cell.experiment,
+                "scheme": cell.scheme,
+                "b": cell.page_capacity,
+                "backend": cell.backend,
+                "kind": cell.kind,
+                "n": len(inserted),
+                "wall_seconds": round(wall_seconds, 4),
+                "probe_mix": metrics.extra.get("absent_probe_mix", {}),
+                "metrics": {
+                    "lambda": metrics.successful_search_reads,
+                    "lambda_prime": metrics.unsuccessful_search_reads,
+                    "rho": metrics.insertion_accesses,
+                    "alpha": metrics.load_factor,
+                    "sigma": metrics.directory_size,
+                    "data_pages": metrics.data_pages,
+                    "logical_reads": store.stats.reads,
+                    "logical_writes": store.stats.writes,
+                    "backend_reads": store.backend_stats.reads,
+                    "backend_writes": store.backend_stats.writes,
+                    "hit_rate": round(pool.hit_rate, 6) if pool else None,
+                },
+            }
+            if cell.kind == "figure":
+                result["series"] = {
+                    "checkpoints": series.checkpoints,
+                    "sigma": series.directory_sizes,
+                }
+            return result
+        finally:
+            store.close()
+
+
+def run_cells(
+    cells: Sequence[BenchCell],
+    n: int | None = None,
+    pool_capacity: int = 256,
+    page_size: int = 8192,
+    progress=None,
+) -> list[dict]:
+    """Measure every cell (``progress`` is called with each label)."""
+    results = []
+    for cell in cells:
+        if progress is not None:
+            progress(cell.label)
+        results.append(
+            run_cell(
+                cell, n=n, pool_capacity=pool_capacity, page_size=page_size
+            )
+        )
+    return results
+
+
+def pool_efficiency_failures(results: Sequence[Mapping]) -> list[str]:
+    """The buffer-managed fast path must beat the raw byte backend.
+
+    For every (experiment, scheme, b) measured under both ``file`` and
+    ``file+pool``, the pooled run must make *strictly fewer* physical
+    backend calls; equal-or-more means the pool is incoherent or inert.
+    """
+    by_key: dict[tuple, dict[str, Mapping]] = {}
+    for result in results:
+        key = (result["experiment"], result["scheme"], result["b"])
+        by_key.setdefault(key, {})[result["backend"]] = result
+    failures = []
+    for key, variants in by_key.items():
+        if "file" not in variants or "file+pool" not in variants:
+            continue
+        raw = variants["file"]["metrics"]
+        pooled = variants["file+pool"]["metrics"]
+        raw_io = raw["backend_reads"] + raw["backend_writes"]
+        pooled_io = pooled["backend_reads"] + pooled["backend_writes"]
+        if pooled_io >= raw_io:
+            failures.append(
+                f"{'/'.join(map(str, key))}: file+pool made {pooled_io} "
+                f"backend calls, file alone made {raw_io} — the pool "
+                "shows no physical I/O win"
+            )
+    return failures
+
+
+def write_baseline(
+    path: str,
+    results: Sequence[Mapping],
+    n: int,
+    pool_capacity: int = 256,
+    page_size: int = 8192,
+) -> None:
+    """Persist a bench run as a ``BENCH_*.json`` baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "n": n,
+        "pool_capacity": pool_capacity,
+        "page_size": page_size,
+        "results": list(results),
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(payload, out, indent=1, sort_keys=True)
+        out.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as inp:
+        payload = json.load(inp)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}"
+        )
+    return payload
+
+
+def _cell_of(result: Mapping) -> BenchCell:
+    return BenchCell(
+        experiment=result["experiment"],
+        scheme=result["scheme"],
+        page_capacity=result["b"],
+        backend=result["backend"],
+    )
+
+
+def _compare_metric(
+    label: str, name: str, base: Any, current: Any, tolerance: float
+) -> str | None:
+    if base is None or current is None:
+        return None
+    if name in _WORSE_IF_HIGHER:
+        limit = base * (1.0 + tolerance) if base else tolerance
+        if current > limit:
+            return (
+                f"{label}: {name} regressed {base} -> {current} "
+                f"(+{_relative(base, current):.1%}, tolerance "
+                f"{tolerance:.1%})"
+            )
+    elif name in _WORSE_IF_LOWER:
+        limit = base * (1.0 - tolerance)
+        if current < limit:
+            return (
+                f"{label}: {name} regressed {base} -> {current} "
+                f"(-{_relative(base, current):.1%}, tolerance "
+                f"{tolerance:.1%})"
+            )
+    return None
+
+
+def _relative(base: float, current: float) -> float:
+    return abs(current - base) / base if base else float("inf")
+
+
+def compare_with_baseline(
+    baseline: Mapping,
+    tolerance: float = 0.05,
+    progress=None,
+) -> tuple[list[str], list[dict]]:
+    """Re-run a baseline's cells at its recorded scale and diff.
+
+    Returns ``(failures, current_results)``.  A failure is a gated
+    metric that moved in its *worse* direction by more than
+    ``tolerance`` (relative), a growth series that no longer ends at the
+    terminal ``(n, σ)`` point, or a pooled run that lost its physical
+    I/O advantage.  Improvements never fail the gate.
+    """
+    failures: list[str] = []
+    current_results: list[dict] = []
+    for base in baseline["results"]:
+        cell = _cell_of(base)
+        if progress is not None:
+            progress(cell.label)
+        current = run_cell(
+            cell,
+            n=base["n"],
+            pool_capacity=baseline.get("pool_capacity", 256),
+            page_size=baseline.get("page_size", 8192),
+        )
+        current_results.append(current)
+        for name in (*_WORSE_IF_HIGHER, *_WORSE_IF_LOWER):
+            issue = _compare_metric(
+                cell.label,
+                name,
+                base["metrics"].get(name),
+                current["metrics"].get(name),
+                tolerance,
+            )
+            if issue:
+                failures.append(issue)
+        base_series = base.get("series")
+        if base_series:
+            series = current.get("series", {})
+            checkpoints = series.get("checkpoints", [])
+            if not checkpoints or checkpoints[-1] != base["n"]:
+                failures.append(
+                    f"{cell.label}: growth series ends at "
+                    f"{checkpoints[-1] if checkpoints else 'nothing'}, "
+                    f"must end at the terminal checkpoint n={base['n']}"
+                )
+            terminal = series.get("sigma", [0])[-1]
+            base_terminal = base_series["sigma"][-1]
+            if base_terminal and terminal > base_terminal * (1 + tolerance):
+                failures.append(
+                    f"{cell.label}: terminal σ regressed "
+                    f"{base_terminal} -> {terminal}"
+                )
+    failures.extend(pool_efficiency_failures(current_results))
+    return failures, current_results
+
+
+def format_results(results: Sequence[Mapping]) -> str:
+    """Render bench cells as an aligned summary table."""
+    header = (
+        f"{'cell':<38}{'λ':>7}{'λ′':>7}{'ρ':>8}{'σ':>9}"
+        f"{'log R/W':>14}{'phys R/W':>14}{'hit':>7}{'wall s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        m = result["metrics"]
+        label = (
+            f"{result['experiment']}/{result['scheme']}"
+            f"/b={result['b']}/{result['backend']}"
+        )
+        hit = f"{m['hit_rate']:.1%}" if m["hit_rate"] is not None else "--"
+        lines.append(
+            f"{label:<38}"
+            f"{m['lambda']:>7.3f}{m['lambda_prime']:>7.3f}{m['rho']:>8.3f}"
+            f"{m['sigma']:>9d}"
+            f"{m['logical_reads']:>7d}/{m['logical_writes']:<6d}"
+            f"{m['backend_reads']:>7d}/{m['backend_writes']:<6d}"
+            f"{hit:>7}{result['wall_seconds']:>9.3f}"
+        )
+    return "\n".join(lines)

@@ -7,6 +7,10 @@ Commands:
 * ``figures [--figure 6|7] [--n N]`` — the directory-growth series;
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
+* ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]`` —
+  run the benchmark suite over memory / file / file+pool storage
+  configurations, write a ``BENCH_*.json`` baseline, or gate against a
+  committed one (exit 1 on regressions);
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``check [--n N] [--seed S]`` — lint plus a sanitizer-instrumented
@@ -133,6 +137,83 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.regression import (
+        BenchCell,
+        DEFAULT_CELLS,
+        compare_with_baseline,
+        format_results,
+        load_baseline,
+        pool_efficiency_failures,
+        run_cells,
+        write_baseline,
+    )
+    from repro.bench.harness import experiment_scale
+
+    def progress(label: str) -> None:
+        print(f"running {label} ...", file=sys.stderr, flush=True)
+
+    if args.compare:
+        try:
+            baseline = load_baseline(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures, results = compare_with_baseline(
+            baseline, tolerance=args.tolerance, progress=progress
+        )
+        print()
+        print(format_results(results))
+        if args.out:
+            write_baseline(
+                args.out, results, baseline["n"],
+                pool_capacity=baseline.get("pool_capacity", 256),
+                page_size=baseline.get("page_size", 8192),
+            )
+            print(f"\nwrote {args.out}")
+        if failures:
+            print(
+                f"\n{len(failures)} regression(s) vs {args.compare}:",
+                file=sys.stderr,
+            )
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\ncompare vs {args.compare}: OK "
+              f"(tolerance {args.tolerance:.1%})")
+        return 0
+
+    if args.experiments or args.schemes or args.backends:
+        experiments = args.experiments or ["table2"]
+        schemes = args.schemes or ["MDEH", "MEHTree", "BMEHTree"]
+        backends = args.backends or ["memory"]
+        cells = tuple(
+            BenchCell(e, s, args.page_capacity, backend)
+            for e in experiments
+            for s in schemes
+            for backend in backends
+        )
+    else:
+        cells = DEFAULT_CELLS
+    n = args.n or experiment_scale()
+    results = run_cells(
+        cells, n=n, pool_capacity=args.pool_capacity, progress=progress
+    )
+    print()
+    print(format_results(results))
+    out = args.out or f"BENCH_{args.label}.json"
+    write_baseline(out, results, n, pool_capacity=args.pool_capacity)
+    print(f"\nwrote {out}")
+    failures = pool_efficiency_failures(results)
+    if failures:
+        print(f"\n{len(failures)} problem(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.sanitize import format_issues, lint_paths
 
@@ -255,6 +336,30 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--schemes", nargs="+",
                          default=["MDEH", "MEHTree", "BMEHTree"])
     figures.set_defaults(handler=_cmd_figures)
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark baselines + regression gate (BENCH_*.json)",
+    )
+    bench.add_argument("--n", type=int, default=None,
+                       help="insertions per cell (default: REPRO_N or 40000)")
+    bench.add_argument("--experiments", nargs="+", default=None,
+                       help="table2/table3/table4/fig6/fig7 "
+                            "(default: the committed-baseline suite)")
+    bench.add_argument("--schemes", nargs="+", default=None)
+    bench.add_argument("--backends", nargs="+", default=None,
+                       choices=["memory", "file", "file+pool"])
+    bench.add_argument("-b", "--page-capacity", type=int, default=8)
+    bench.add_argument("--pool-capacity", type=int, default=256)
+    bench.add_argument("--label", default="run",
+                       help="baseline name: writes BENCH_<label>.json")
+    bench.add_argument("--out", default=None,
+                       help="explicit output path (overrides --label)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="re-run a baseline's cells and flag regressions")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative regression tolerance (default 0.05)")
+    bench.set_defaults(handler=_cmd_bench)
 
     stats = commands.add_parser("stats", help="profile one built index")
     stats.add_argument(

@@ -29,6 +29,9 @@ The checked invariants, with their paper anchors:
 ``page-leak``          every live page in an index-owned store is
                        reachable from the root
 ``pinned-live``        no page is both pinned and discarded
+``pool-coherent``      every buffer frame (and dirty bit) belongs to a
+                       live page: a frame surviving ``free()`` would
+                       resurrect the page at the next flush/eviction
 ``counter``            cached totals (keys, pages, nodes) match a recount
 =====================  =====================================================
 """
@@ -591,6 +594,8 @@ def check_storage(index: Any, walk: _Walk) -> None:
     * reference counts match directory fan-in (each page id referenced by
       exactly one region / parent);
     * no page is both pinned and discarded;
+    * every buffer-pool frame belongs to a live page and every dirty bit
+      to a resident frame (a stale frame would resurrect a freed page);
     * when the index owns its store, every live page is reachable — a
       failed split cannot strand an unregistered sibling page.
     """
@@ -606,6 +611,22 @@ def check_storage(index: Any, walk: _Walk) -> None:
             walk.fail(
                 "pinned-live",
                 f"page {page_id} is pinned but discarded from the backend",
+            )
+    pool = getattr(store, "pool", None)
+    if pool is not None:
+        frames = pool.frame_ids()
+        for page_id in sorted(frames):
+            if page_id not in store:
+                walk.fail(
+                    "pool-coherent",
+                    f"buffer frame for page {page_id} outlives the page — "
+                    "a flush would resurrect it",
+                )
+        stray_dirty = pool.dirty_ids() - frames
+        if stray_dirty:
+            walk.fail(
+                "pool-coherent",
+                f"dirty bits {sorted(stray_dirty)} have no resident frame",
             )
     if getattr(index, "owns_store", False):
         live = set(store.page_ids())

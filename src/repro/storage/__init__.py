@@ -15,8 +15,13 @@ memory") are never charged.
 Two byte-level backends make the store a real storage manager rather than
 a dict with counters: :class:`MemoryBackend` (objects in RAM) and
 :class:`FileBackend` (fixed-size page slots in a file, via the codecs in
-``repro.storage.serializer``).  An optional LRU :class:`BufferPool` sits
-between an index and a backend when a workload wants caching.
+``repro.storage.serializer``).  An optional LRU :class:`BufferPool`
+attaches between the store and its backend
+(``PageStore(backend, pool=BufferPool(256))``): reads are served
+read-through, writes are buffered write-back, frees drop the frame so a
+flush can never resurrect a freed page, and pinned pages are never
+evicted.  The pool changes only the *physical* traffic — measured by
+``PageStore.backend_stats`` — never the paper's logical accounting.
 """
 
 from repro.storage.iostats import IOStats, OperationCounter

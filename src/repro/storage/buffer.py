@@ -1,82 +1,167 @@
-"""A small LRU buffer pool.
+"""An LRU buffer pool, integrated into the :class:`~repro.storage.PageStore`.
 
-The paper's measurements assume no caching beyond the pinned root, so the
-benchmark harness never installs a pool.  Applications built on the
-library (see ``examples/``) can wrap a :class:`PageStore` in a
-:class:`BufferPool` to serve repeated reads from memory and batch the
-write-back; hit/miss counters make the caching effect observable.
+The paper's root-pinned accounting model assumes a buffer-managed
+directory; this module is that buffer manager.  A pool is attached to a
+store (``PageStore(backend, pool=BufferPool(256))``) and from then on
+every data-path access is routed through it:
+
+* **read-through** — a miss loads from the backend and admits the frame,
+  a hit serves the cached object without touching the backend;
+* **write-back** — dirtied frames reach the backend on eviction and on
+  :meth:`flush`, so repeated updates of a hot page cost one physical
+  store instead of many;
+* **coherent frees** — :meth:`PageStore.free` drops the frame *and* its
+  dirty bit, so a flush can never resurrect a freed page;
+* **pinned pages are never evicted** — the paper: "the root node can
+  always be retained in memory".
+
+Logical I/O accounting (λ, λ′, ρ) is unaffected: charging happens in the
+store, above the pool.  What the pool changes is the *physical* backend
+traffic, measured by :attr:`PageStore.backend_stats`; hit/miss counters
+make the caching effect observable.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import StorageError
-from repro.storage.disk import PageStore
 
 
 class BufferPool:
-    """LRU cache of page objects in front of a :class:`PageStore`.
+    """LRU cache of page objects between a :class:`PageStore` and its
+    backend.
 
-    Reads served from the pool are not charged to the store's I/O ledger —
-    that is the point of a buffer.  Dirty pages are written back on
-    eviction and on :meth:`flush`.
+    The pool is inert until :meth:`bind` is called (the store does this
+    when the pool is attached); it never touches a backend directly —
+    the store passes in counted load/store callables so every physical
+    access is charged to the store's backend ledger.
     """
 
-    def __init__(self, store: PageStore, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:
             raise StorageError("buffer pool needs capacity >= 1")
-        self._store = store
         self._capacity = capacity
+        self._load: Callable[[int], Any] | None = None
+        self._store: Callable[[int, Any], None] | None = None
+        self._is_pinned: Callable[[int], bool] = lambda _pid: False
         self._frames: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
         self.hits = 0
         self.misses = 0
 
+    # -- wiring ------------------------------------------------------------
+
+    def bind(
+        self,
+        load: Callable[[int], Any],
+        store: Callable[[int, Any], None],
+        is_pinned: Callable[[int], bool],
+    ) -> None:
+        """Attach the pool to a store's physical access path.
+
+        Called by :meth:`PageStore.attach_pool`; a pool serves exactly
+        one store for its lifetime.
+        """
+        if self._load is not None:
+            raise StorageError("buffer pool is already bound to a store")
+        self._load = load
+        self._store = store
+        self._is_pinned = is_pinned
+
     @property
-    def store(self) -> PageStore:
-        return self._store
+    def capacity(self) -> int:
+        return self._capacity
 
     def __len__(self) -> int:
         return len(self._frames)
 
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    # -- data path ---------------------------------------------------------
+
     def read(self, page_id: int) -> Any:
+        """Read-through: serve a hit from the pool, admit on miss."""
         if page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
             return self._frames[page_id]
         self.misses += 1
-        obj = self._store.read(page_id)
+        if self._load is None:
+            raise StorageError("buffer pool is not bound to a store")
+        obj = self._load(page_id)
         self._admit(page_id, obj)
         return obj
 
     def write(self, page_id: int, obj: Any) -> None:
-        """Buffer a dirty page; it reaches the store on eviction/flush."""
+        """Buffer a dirty page; it reaches the backend on eviction/flush."""
         self._admit(page_id, obj)
         self._dirty.add(page_id)
 
-    def flush(self) -> None:
-        """Write back every dirty frame (keeps frames resident)."""
-        for page_id in sorted(self._dirty):
-            self._store.write(page_id, self._frames[page_id])
-        self._dirty.clear()
+    def admit_clean(self, page_id: int, obj: Any) -> None:
+        """Cache a page already resident in the backend (allocation path:
+        the store writes through, so the frame starts clean)."""
+        self._admit(page_id, obj)
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Flag a resident frame dirty (in-place mutation of its object)."""
+        if page_id in self._frames:
+            self._dirty.add(page_id)
+
+    def peek(self, page_id: int, default: Any = None) -> Any:
+        """The resident frame, or ``default`` — without counting a
+        hit/miss or disturbing the LRU order."""
+        return self._frames.get(page_id, default)
 
     def drop(self, page_id: int) -> None:
-        """Forget a frame without write-back (caller freed the page)."""
+        """Forget a frame without write-back (the page was freed)."""
         self._frames.pop(page_id, None)
         self._dirty.discard(page_id)
+
+    def flush(self) -> None:
+        """Write back every dirty frame (frames stay resident)."""
+        if self._dirty and self._store is None:
+            raise StorageError("buffer pool is not bound to a store")
+        for page_id in sorted(self._dirty):
+            self._store(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    # -- observability -----------------------------------------------------
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def frame_ids(self) -> frozenset[int]:
+        """Resident page ids (read-only view, for the sanitizer)."""
+        return frozenset(self._frames)
+
+    def dirty_ids(self) -> frozenset[int]:
+        """Resident ids awaiting write-back (read-only view)."""
+        return frozenset(self._dirty)
+
+    # -- replacement -------------------------------------------------------
+
     def _admit(self, page_id: int, obj: Any) -> None:
         self._frames[page_id] = obj
         self._frames.move_to_end(page_id)
         while len(self._frames) > self._capacity:
-            victim, victim_obj = self._frames.popitem(last=False)
+            if not self._evict_one():
+                break  # every frame is pinned: exceed capacity rather
+                # than evict the root out from under the index
+
+    def _evict_one(self) -> bool:
+        for victim in self._frames:  # LRU order
+            if self._is_pinned(victim):
+                continue
+            obj = self._frames.pop(victim)
             if victim in self._dirty:
-                self._store.write(victim, victim_obj)
+                if self._store is None:
+                    raise StorageError("buffer pool is not bound to a store")
                 self._dirty.discard(victim)
+                self._store(victim, obj)
+            return True
+        return False

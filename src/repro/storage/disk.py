@@ -1,4 +1,4 @@
-"""The page store: allocation, pinning and charged page access."""
+"""The page store: allocation, pinning, buffering and charged page access."""
 
 from __future__ import annotations
 
@@ -6,10 +6,13 @@ import contextlib
 import os
 import struct
 from abc import ABC, abstractmethod
-from typing import Any, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Hashable, Iterator
 
 from repro.errors import SerializationError, StorageError
 from repro.storage.iostats import IOStats, OperationCounter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.storage.buffer import BufferPool
 
 
 class Backend(ABC):
@@ -89,6 +92,10 @@ class FileBackend(Backend):
         self._page_size = page_size
         exists = os.path.exists(path) and os.path.getsize(path) > 0
         self._file = open(path, "r+b" if exists else "w+b")
+        #: Cached slot count and live-slot map: membership checks and
+        #: loads must not seek to EOF / re-read slot headers per call.
+        self._slots = 0
+        self._live: set[int] = set()
         if exists:
             magic, stored_size = self._HEADER.unpack(
                 self._file.read(self._HEADER.size)
@@ -99,6 +106,10 @@ class FileBackend(Backend):
                 raise StorageError(
                     f"{path} was created with page size {stored_size}"
                 )
+            self._file.seek(0, os.SEEK_END)
+            payload = self._file.tell() - self._HEADER.size
+            self._slots = max(payload, 0) // self._page_size
+            self._scan_live_slots()
         else:
             self._file.write(self._HEADER.pack(self._MAGIC, page_size))
             self._file.flush()
@@ -111,9 +122,18 @@ class FileBackend(Backend):
         return self._HEADER.size + page_id * self._page_size
 
     def _slot_count(self) -> int:
-        self._file.seek(0, os.SEEK_END)
-        payload = self._file.tell() - self._HEADER.size
-        return max(payload, 0) // self._page_size
+        return self._slots
+
+    def _scan_live_slots(self) -> None:
+        """One pass over the slot headers at open; after this the live
+        map is maintained incrementally by ``store``/``discard``."""
+        for page_id in range(self._slots):
+            self._file.seek(self._offset(page_id))
+            header = self._file.read(self._SLOT.size)
+            if len(header) < self._SLOT.size:
+                break  # truncated final slot: treat as free
+            if self._SLOT.unpack(header)[0] > 0:
+                self._live.add(page_id)
 
     def store(self, page_id: int, obj: Any) -> None:
         image = self._registry.encode(obj)
@@ -125,32 +145,38 @@ class FileBackend(Backend):
         self._file.seek(self._offset(page_id))
         record = self._SLOT.pack(len(image)) + image
         self._file.write(record.ljust(self._page_size, b"\x00"))
+        if page_id >= self._slots:
+            self._slots = page_id + 1
+        self._live.add(page_id)
 
     def load(self, page_id: int) -> Any:
-        if page_id >= self._slot_count() or page_id < 0:
+        if page_id not in self._live:
             raise StorageError(f"page {page_id} does not exist")
         self._file.seek(self._offset(page_id))
         slot = self._file.read(self._page_size)
         (length,) = self._SLOT.unpack_from(slot, 0)
         if length == 0:
             raise StorageError(f"page {page_id} does not exist")
+        if self._SLOT.size + length > min(len(slot), self._page_size):
+            raise StorageError(
+                f"page {page_id}: corrupt slot — stored length {length} "
+                f"exceeds the {self._page_size - self._SLOT.size}-byte "
+                "slot payload"
+            )
         return self._registry.decode(slot[self._SLOT.size : self._SLOT.size + length])
 
     def discard(self, page_id: int) -> None:
-        if page_id not in self:
+        if page_id not in self._live:
             raise StorageError(f"page {page_id} does not exist")
         self._file.seek(self._offset(page_id))
         self._file.write(self._SLOT.pack(0))
+        self._live.discard(page_id)
 
     def __contains__(self, page_id: int) -> bool:
-        if page_id < 0 or page_id >= self._slot_count():
-            return False
-        self._file.seek(self._offset(page_id))
-        (length,) = self._SLOT.unpack(self._file.read(self._SLOT.size))
-        return length > 0
+        return page_id in self._live
 
     def page_ids(self) -> Iterator[int]:
-        return (pid for pid in range(self._slot_count()) if pid in self)
+        return iter(sorted(self._live))
 
     def flush(self) -> None:
         self._file.flush()
@@ -174,17 +200,69 @@ class PageStore:
     * :meth:`count_virtual_read` / :meth:`count_virtual_write` charge
       accesses to *virtual* pages (the one-level scheme's directory is an
       addressing array, not a stored object, but its page traffic is real).
+
+    Two ledgers: :attr:`stats` counts *logical* accesses under the paper's
+    model (λ, λ′, ρ); :attr:`backend_stats` counts *physical* backend
+    loads/stores on the data path.  Without a pool the two track each
+    other; with a :class:`~repro.storage.buffer.BufferPool` attached
+    (``pool=`` or :meth:`attach_pool`) reads are served read-through,
+    writes are buffered write-back, and the physical ledger shows the
+    saving.  :meth:`free` drops the page's frame before discarding the
+    backend slot, so a later :meth:`flush` cannot resurrect a freed page.
     """
 
-    def __init__(self, backend: Backend | None = None) -> None:
+    def __init__(
+        self, backend: Backend | None = None, pool: "BufferPool | None" = None
+    ) -> None:
         self._backend = backend or MemoryBackend()
         self.stats = IOStats()
+        self.backend_stats = IOStats()
         self._pinned: set[int] = set()
         self._op: OperationCounter | None = None
+        self._pool: "BufferPool | None" = None
         existing = list(self._backend.page_ids())
         self._next_id = max(existing) + 1 if existing else 0
         self._live = len(existing)
         self._allocated_ever = self._next_id
+        if pool is not None:
+            self.attach_pool(pool)
+
+    # -- buffering ---------------------------------------------------------
+
+    @property
+    def pool(self) -> "BufferPool | None":
+        """The attached buffer pool, if any."""
+        return self._pool
+
+    def attach_pool(self, pool: "BufferPool") -> "BufferPool":
+        """Install ``pool`` between this store and its backend.
+
+        The pool receives *counted* load/store callables, so every
+        physical access it makes is charged to :attr:`backend_stats`,
+        and the store's pinned set, so pinned pages are never evicted.
+        """
+        if self._pool is not None:
+            raise StorageError("a buffer pool is already attached")
+        pool.bind(self._backend_load, self._backend_store, self.is_pinned)
+        self._pool = pool
+        return pool
+
+    def _backend_load(self, page_id: int) -> Any:
+        obj = self._backend.load(page_id)
+        self.backend_stats.reads += 1
+        return obj
+
+    def _backend_store(self, page_id: int, obj: Any) -> None:
+        self._backend.store(page_id, obj)
+        self.backend_stats.writes += 1
+
+    def flush(self) -> None:
+        """Write back every dirty frame and flush the backend."""
+        if self._pool is not None:
+            self._pool.flush()
+        backend_flush = getattr(self._backend, "flush", None)
+        if backend_flush is not None:
+            backend_flush()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -199,27 +277,46 @@ class PageStore:
         return self._allocated_ever
 
     def allocate(self, obj: Any) -> int:
-        """Create a page holding ``obj``; charges one write."""
+        """Create a page holding ``obj``; charges one write.
+
+        Allocation writes through even with a pool attached — the
+        backend's slot catalogue stays authoritative for existence —
+        and the fresh page is admitted as a clean frame (a just-split
+        page is about to be hot).
+        """
         page_id = self._next_id
         self._next_id += 1
         self._allocated_ever += 1
         self._live += 1
-        self._backend.store(page_id, obj)
+        self._backend_store(page_id, obj)
+        if self._pool is not None:
+            self._pool.admit_clean(page_id, obj)
         self._charge_write(page_id)
         return page_id
 
     def free(self, page_id: int) -> None:
         """Drop a page.  Deallocation is a catalogue update; the paper
-        charges no data access for it."""
+        charges no data access for it.
+
+        The page's buffer frame (and dirty bit) is dropped *before* the
+        backend slot is discarded: a stale dirty frame surviving a free
+        would re-``store()`` the page on the next flush/eviction —
+        resurrecting a ghost page and corrupting the live count.
+        """
         if page_id in self._pinned:
             raise StorageError(f"cannot free pinned page {page_id}")
+        if self._pool is not None:
+            self._pool.drop(page_id)
         self._backend.discard(page_id)
         self._live -= 1
 
     # -- access ------------------------------------------------------------
 
     def read(self, page_id: int) -> Any:
-        obj = self._backend.load(page_id)
+        if self._pool is not None:
+            obj = self._pool.read(page_id)
+        else:
+            obj = self._backend_load(page_id)
         self._charge_read(page_id)
         return obj
 
@@ -229,20 +326,35 @@ class PageStore:
         With the in-memory backend, index code mutates the loaded object
         directly and calls ``write(pid)`` to record the access; with a
         byte backend the updated object must be passed so the image is
-        re-encoded.
+        re-encoded.  With a pool attached the write is buffered dirty
+        and reaches the backend on eviction or flush.
         """
         if obj is not None:
-            self._backend.store(page_id, obj)
+            if self._pool is not None:
+                self._pool.write(page_id, obj)
+            else:
+                self._backend_store(page_id, obj)
         elif page_id not in self._backend:
             raise StorageError(f"page {page_id} does not exist")
         elif not isinstance(self._backend, MemoryBackend):
             raise StorageError(
                 "byte backends need the page object passed to write()"
             )
+        elif self._pool is not None:
+            self._pool.mark_dirty(page_id)
         self._charge_write(page_id)
 
     def peek(self, page_id: int) -> Any:
-        """Uncharged read, for invariant checks and analysis tooling."""
+        """Uncharged read, for invariant checks and analysis tooling.
+
+        Coherent with the pool: a buffered frame is newer than the
+        backend image, so a resident frame wins.  Peeks stay off both
+        ledgers and do not disturb the LRU order.
+        """
+        if self._pool is not None:
+            frame = self._pool.peek(page_id, _MISSING)
+            if frame is not _MISSING:
+                return frame
         return self._backend.load(page_id)
 
     def __contains__(self, page_id: int) -> bool:
@@ -252,6 +364,7 @@ class PageStore:
         return self._backend.page_ids()
 
     def close(self) -> None:
+        self.flush()
         self._backend.close()
 
     # -- accounting --------------------------------------------------------

@@ -1,0 +1,149 @@
+"""The ``repro bench`` baseline/regression workflow (small-scale)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.bench.regression import (
+    BenchCell,
+    compare_with_baseline,
+    load_baseline,
+    pool_efficiency_failures,
+    run_cell,
+    write_baseline,
+)
+
+N = 400  # keys per cell: seconds, not minutes
+
+
+@pytest.fixture(scope="module")
+def baseline_path(tmp_path_factory):
+    """One full bench run shared by the whole module."""
+    path = tmp_path_factory.mktemp("bench") / "BENCH_test.json"
+    code = main(["bench", "--n", str(N), "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestBenchRun:
+    def test_baseline_file_shape(self, baseline_path):
+        data = json.loads(baseline_path.read_text())
+        assert data["version"] == 1
+        assert data["n"] == N
+        cells = {
+            (r["experiment"], r["scheme"], r["backend"]): r
+            for r in data["results"]
+        }
+        assert ("table2", "BMEHTree", "file") in cells
+        assert ("table2", "BMEHTree", "file+pool") in cells
+        for result in data["results"]:
+            m = result["metrics"]
+            assert m["logical_reads"] > 0 and m["logical_writes"] > 0
+            assert m["sigma"] > 0
+            assert result["probe_mix"]["candidates"] == N
+            assert result["probe_mix"]["uniform"] == 0
+
+    def test_pool_beats_raw_file_backend(self, baseline_path):
+        """The acceptance claim: strictly fewer backend I/O calls with
+        the pool, and a reported hit rate."""
+        data = json.loads(baseline_path.read_text())
+        cells = {r["backend"]: r for r in data["results"]
+                 if (r["experiment"], r["scheme"]) == ("table2", "BMEHTree")}
+        raw, pooled = cells["file"]["metrics"], cells["file+pool"]["metrics"]
+        assert (pooled["backend_reads"] + pooled["backend_writes"]
+                < raw["backend_reads"] + raw["backend_writes"])
+        assert pooled["hit_rate"] is not None and pooled["hit_rate"] > 0
+        assert raw["hit_rate"] is None
+        # The pool never changes the paper's logical accounting.
+        assert pooled["lambda"] == raw["lambda"]
+        assert pooled["logical_reads"] == raw["logical_reads"]
+        assert pooled["sigma"] == raw["sigma"]
+
+    def test_growth_series_ends_at_n(self, baseline_path):
+        data = json.loads(baseline_path.read_text())
+        figures = [r for r in data["results"] if r["kind"] == "figure"]
+        assert figures
+        for result in figures:
+            assert result["series"]["checkpoints"][-1] == result["n"]
+
+    def test_compare_against_self_passes(self, baseline_path, capsys):
+        assert main(["bench", "--compare", str(baseline_path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_flags_regressions(self, baseline_path, tmp_path):
+        """A baseline that promises better numbers than the code delivers
+        must fail the gate."""
+        data = json.loads(baseline_path.read_text())
+        cell = data["results"][0]["metrics"]
+        cell["logical_reads"] = int(cell["logical_reads"] * 0.5)
+        cell["rho"] = cell["rho"] * 0.5
+        tampered = tmp_path / "BENCH_tampered.json"
+        tampered.write_text(json.dumps(data))
+        assert main(["bench", "--compare", str(tampered)]) == 1
+
+    def test_compare_tolerance_loosens_the_gate(self, baseline_path, tmp_path):
+        data = json.loads(baseline_path.read_text())
+        cell = data["results"][0]["metrics"]
+        cell["logical_reads"] = int(cell["logical_reads"] * 0.98)
+        nearly = tmp_path / "BENCH_nearly.json"
+        nearly.write_text(json.dumps(data))
+        assert main(["bench", "--compare", str(nearly), "--tolerance",
+                     "0.10"]) == 0
+        assert main(["bench", "--compare", str(nearly), "--tolerance",
+                     "0.001"]) == 1
+
+
+class TestRegressionHelpers:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_cell(BenchCell("table2", "BMEHTree", backend="tape"), n=50)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="experiment"):
+            run_cell(BenchCell("table9", "BMEHTree"), n=50)
+
+    def test_version_gate(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"version": 99, "results": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(bad))
+
+    def test_pool_efficiency_failure_detected(self):
+        def fake(backend, reads, writes):
+            return {
+                "experiment": "table2", "scheme": "X", "b": 8,
+                "backend": backend,
+                "metrics": {"backend_reads": reads, "backend_writes": writes},
+            }
+
+        ok = [fake("file", 100, 50), fake("file+pool", 10, 5)]
+        assert pool_efficiency_failures(ok) == []
+        inert = [fake("file", 100, 50), fake("file+pool", 100, 50)]
+        assert len(pool_efficiency_failures(inert)) == 1
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "BENCH_x.json"
+        result = run_cell(BenchCell("table2", "BMEHTree"), n=120)
+        write_baseline(str(path), [result], n=120)
+        loaded = load_baseline(str(path))
+        assert loaded["results"][0]["metrics"] == result["metrics"]
+
+    def test_compare_reports_series_truncation(self, monkeypatch):
+        """A re-run whose growth series drops the terminal (n, σ) point
+        (the old dropped-terminal bug) is caught by the gate."""
+        import repro.bench.regression as regression
+
+        result = run_cell(BenchCell("fig6", "BMEHTree"), n=130)
+        truncated = json.loads(json.dumps(result))
+        truncated["series"]["checkpoints"].pop()
+        truncated["series"]["sigma"].pop()
+        monkeypatch.setattr(
+            regression, "run_cell", lambda *a, **k: truncated
+        )
+        baseline = {
+            "version": 1, "n": result["n"], "pool_capacity": 256,
+            "page_size": 8192, "results": [result],
+        }
+        failures, _ = compare_with_baseline(baseline, tolerance=0.5)
+        assert any("terminal checkpoint" in f for f in failures)

@@ -55,6 +55,25 @@ class TestMeasureRun:
         assert index.search(keys[3]) == 6
 
 
+class TestGrowthCheckpoints:
+    def test_terminal_checkpoint_recorded_when_n_not_divisible(self, keys):
+        """Figures 6/7 must end at (n, σ) even when n % step != 0."""
+        n = len(keys)
+        _, series = measure_run(
+            BMEHTree(2, 8, widths=12), keys, growth_checkpoints=7
+        )
+        assert series.checkpoints[-1] == n
+        assert series.directory_sizes == sorted(series.directory_sizes)
+
+    def test_terminal_checkpoint_not_duplicated(self, keys):
+        # 100 keys, 10 checkpoints: step divides n, no extra point.
+        _, series = measure_run(
+            BMEHTree(2, 8, widths=12), keys[:100], growth_checkpoints=10
+        )
+        assert series.checkpoints[-1] == 100
+        assert series.checkpoints.count(100) == 1
+
+
 class TestSearchCostHelpers:
     def test_empty_probe_list(self):
         assert measure_search_cost(BMEHTree(2, 4, widths=8), []) == 0.0
@@ -71,6 +90,46 @@ class TestSearchCostHelpers:
             index.insert(key)
         cost = measure_unsuccessful_search_cost(index, keys[:200], count=50)
         assert 1.0 <= cost <= 2.0
+
+    def test_probe_mix_recorded(self, keys):
+        index = MDEH(2, 8, widths=12)
+        for key in keys[:200]:
+            index.insert(key)
+        cost = measure_unsuccessful_search_cost(
+            index, keys[:200], count=50, candidates=keys[200:]
+        )
+        assert cost.probe_mix == {"candidates": 50, "uniform": 0}
+        uniform = measure_unsuccessful_search_cost(index, keys[:200], count=50)
+        assert uniform.probe_mix == {"candidates": 0, "uniform": 50}
+
+    def test_exhausted_candidate_pool_raises(self, keys):
+        """Silently padding with uniform probes skewed λ′; now the pool
+        must cover the request or the caller must opt in."""
+        index = MDEH(2, 8, widths=12)
+        for key in keys[:200]:
+            index.insert(key)
+        with pytest.raises(ValueError, match="pad_uniform"):
+            measure_unsuccessful_search_cost(
+                index, keys[:200], count=50, candidates=keys[200:210]
+            )
+
+    def test_opt_in_padding_records_the_mix(self, keys):
+        index = MDEH(2, 8, widths=12)
+        for key in keys[:200]:
+            index.insert(key)
+        cost = measure_unsuccessful_search_cost(
+            index, keys[:200], count=50, candidates=keys[200:210],
+            pad_uniform=True,
+        )
+        assert cost.probe_mix == {"candidates": 10, "uniform": 40}
+
+    def test_measure_run_exposes_probe_mix(self, keys):
+        metrics, _ = measure_run(
+            BMEHTree(2, 8, widths=12), keys[:100],
+            absent_candidates=keys[100:],
+        )
+        mix = metrics.extra["absent_probe_mix"]
+        assert mix["candidates"] == 100 and mix["uniform"] == 0
 
     def test_as_row(self, keys):
         metrics, _ = measure_run(BMEHTree(2, 8, widths=12), keys[:100])

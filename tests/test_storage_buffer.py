@@ -1,83 +1,299 @@
-"""Unit tests for the LRU buffer pool."""
+"""The store-integrated LRU buffer pool: policy, coherence, ledgers."""
 
 import pytest
 
 from repro.errors import StorageError
-from repro.storage import BufferPool, DataPage, PageStore
+from repro.storage import (
+    BufferPool,
+    DataPage,
+    FileBackend,
+    MemoryBackend,
+    PageStore,
+)
 
 
-def make_store_with_pages(n):
-    store = PageStore()
-    pids = [store.allocate(DataPage(2)) for _ in range(n)]
-    return store, pids
+def pooled_store(capacity=4):
+    return PageStore(MemoryBackend(), pool=BufferPool(capacity))
 
 
-class TestBufferPool:
+def pooled_file_store(tmp_path, capacity=4, name="pool"):
+    backend = FileBackend(str(tmp_path / f"{name}.db"), page_size=4096)
+    return PageStore(backend, pool=BufferPool(capacity))
+
+
+def page_with(key, value=None, capacity=4):
+    page = DataPage(capacity)
+    page.put(key, value)
+    return page
+
+
+class TestPoolBasics:
     def test_capacity_validation(self):
         with pytest.raises(StorageError):
-            BufferPool(PageStore(), capacity=0)
+            BufferPool(capacity=0)
+
+    def test_double_bind_rejected(self):
+        pool = BufferPool(4)
+        PageStore(MemoryBackend(), pool=pool)
+        with pytest.raises(StorageError):
+            PageStore(MemoryBackend(), pool=pool)
+
+    def test_double_attach_rejected(self):
+        store = pooled_store()
+        with pytest.raises(StorageError):
+            store.attach_pool(BufferPool(4))
+
+    def test_unbound_pool_cannot_read(self):
+        with pytest.raises(StorageError):
+            BufferPool(4).read(0)
 
     def test_hit_after_miss(self):
-        store, (pid,) = make_store_with_pages(1)
-        pool = BufferPool(store, capacity=4)
-        pool.read(pid)
-        pool.read(pid)
-        assert pool.misses == 1 and pool.hits == 1
-        assert pool.hit_rate == 0.5
-
-    def test_hits_are_uncharged(self):
-        store, (pid,) = make_store_with_pages(1)
-        pool = BufferPool(store, capacity=4)
-        pool.read(pid)
-        before = store.stats.snapshot()
-        pool.read(pid)
-        assert store.stats.delta(before).accesses == 0
-
-    def test_lru_eviction_order(self):
-        store, pids = make_store_with_pages(3)
-        pool = BufferPool(store, capacity=2)
-        pool.read(pids[0])
-        pool.read(pids[1])
-        pool.read(pids[0])  # freshen 0; victim should be 1
-        pool.read(pids[2])
-        assert len(pool) == 2
-        before = store.stats.snapshot()
-        pool.read(pids[1])  # evicted -> miss
-        assert store.stats.delta(before).reads == 1
-
-    def test_dirty_eviction_writes_back(self):
-        store, pids = make_store_with_pages(2)
-        pool = BufferPool(store, capacity=1)
-        page = DataPage(2)
-        pool.write(pids[0], page)
-        before = store.stats.snapshot()
-        pool.read(pids[1])  # evicts dirty frame 0
-        assert store.stats.delta(before).writes == 1
-        assert store.peek(pids[0]) is page
-
-    def test_flush_writes_all_dirty(self):
-        store, pids = make_store_with_pages(3)
-        pool = BufferPool(store, capacity=8)
-        pool.write(pids[0], DataPage(2))
-        pool.write(pids[2], DataPage(2))
-        before = store.stats.snapshot()
-        pool.flush()
-        assert store.stats.delta(before).writes == 2
-        pool.flush()  # nothing left
-        assert store.stats.delta(before).writes == 2
-
-    def test_drop_discards_without_writeback(self):
-        store, pids = make_store_with_pages(1)
-        pool = BufferPool(store, capacity=2)
-        pool.write(pids[0], DataPage(2))
-        before = store.stats.snapshot()
-        pool.drop(pids[0])
-        pool.flush()
-        assert store.stats.delta(before).writes == 0
+        store = pooled_store()
+        pid = store.allocate(page_with((1, 1)))
+        # Allocation admits the frame, so the first read is already a hit.
+        store.read(pid)
+        assert store.pool.hits == 1 and store.pool.misses == 0
+        assert store.pool.hit_rate == 1.0
 
     def test_hit_rate_empty(self):
-        assert BufferPool(PageStore(), capacity=1).hit_rate == 0.0
+        assert BufferPool(1).hit_rate == 0.0
 
-    def test_store_property(self):
+    def test_miss_after_eviction(self):
+        store = pooled_store(capacity=1)
+        a = store.allocate(page_with((1, 1)))
+        b = store.allocate(page_with((2, 2)))  # evicts a
+        store.read(a)
+        assert store.pool.misses == 1
+        store.read(b)  # b was evicted by re-admitting a
+        assert store.pool.misses == 2
+
+
+class TestPhysicalLedger:
+    def test_hits_skip_the_backend(self):
+        store = pooled_store()
+        pid = store.allocate(page_with((1, 1)))
+        before = store.backend_stats.snapshot()
+        for _ in range(5):
+            store.read(pid)
+        assert store.backend_stats.delta(before).accesses == 0
+
+    def test_logical_charges_unaffected_by_hits(self):
+        store = pooled_store()
+        pid = store.allocate(page_with((1, 1)))
+        before = store.stats.snapshot()
+        store.read(pid)
+        store.read(pid)
+        assert store.stats.delta(before).reads == 2
+
+    def test_unpooled_store_counts_physical_reads(self):
         store = PageStore()
-        assert BufferPool(store).store is store
+        pid = store.allocate(page_with((1, 1)))
+        store.read(pid)
+        store.read(pid)
+        assert store.backend_stats.reads == 2
+        assert store.backend_stats.writes == 1  # the allocation
+
+    def test_pool_strictly_fewer_backend_calls(self, tmp_path):
+        """The acceptance claim in miniature: same workload, file backend
+        with and without pool; the pooled run must touch the backend
+        strictly less."""
+        from repro import BMEHTree
+        from repro.workloads import uniform_keys, unique
+
+        keys = unique(uniform_keys(300, 2, seed=9, domain=256))
+
+        def run(store):
+            index = BMEHTree(2, 4, widths=8, store=store)
+            for i, key in enumerate(keys):
+                index.insert(key, i)
+            for key in keys[:100]:
+                index.search(key)
+            store.flush()
+            return store.backend_stats.accesses
+
+        raw = run(PageStore(FileBackend(str(tmp_path / "raw.db"))))
+        pooled = run(pooled_file_store(tmp_path, capacity=64, name="pooled"))
+        assert pooled < raw
+
+
+class TestWriteBackOnFile:
+    def test_write_is_buffered_until_flush(self, tmp_path):
+        store = pooled_file_store(tmp_path)
+        pid = store.allocate(page_with((1, 1), "a"))
+        before = store.backend_stats.snapshot()
+        updated = page_with((1, 1), "b")
+        store.write(pid, updated)
+        assert store.backend_stats.delta(before).writes == 0  # buffered
+        assert store.peek(pid) is updated  # pool-coherent peek
+        store.flush()
+        assert store.backend_stats.delta(before).writes == 1
+        # After write-back the file image holds the update.
+        assert store.pool.dirty_ids() == frozenset()
+        store.close()
+
+    def test_repeated_writes_cost_one_writeback(self, tmp_path):
+        store = pooled_file_store(tmp_path)
+        pid = store.allocate(page_with((1, 1)))
+        before = store.backend_stats.snapshot()
+        for value in range(10):
+            store.write(pid, page_with((1, 1), value))
+        store.flush()
+        assert store.backend_stats.delta(before).writes == 1
+
+    def test_dirty_eviction_writes_back(self, tmp_path):
+        store = pooled_file_store(tmp_path, capacity=1)
+        a = store.allocate(page_with((1, 1)))
+        updated = page_with((1, 1), "new")
+        store.write(a, updated)
+        before = store.backend_stats.snapshot()
+        store.allocate(page_with((2, 2)))  # evicts dirty frame a
+        assert store.backend_stats.delta(before).writes >= 2
+        # The write-back must be durable: read bypassing the (now empty
+        # for a) pool decodes the updated image.
+        assert store.read(a).get((1, 1)) == "new"
+        store.close()
+
+    def test_lru_eviction_order(self, tmp_path):
+        store = pooled_file_store(tmp_path, capacity=2)
+        a = store.allocate(page_with((1, 1)))
+        b = store.allocate(page_with((2, 2)))
+        store.read(a)  # freshen a; LRU victim is now b
+        store.allocate(page_with((3, 3)))
+        frames = store.pool.frame_ids()
+        assert a in frames and b not in frames
+
+    def test_eviction_skips_pinned_root(self, tmp_path):
+        store = pooled_file_store(tmp_path, capacity=2)
+        root = store.allocate(page_with((0, 0)))
+        store.pin(root)
+        for i in range(1, 6):
+            store.allocate(page_with((i, i)))
+        assert root in store.pool.frame_ids()
+        before = store.backend_stats.snapshot()
+        assert store.read(root).get((0, 0)) is None  # still a hit
+        assert store.backend_stats.delta(before).reads == 0
+
+    def test_all_pinned_exceeds_capacity(self):
+        store = pooled_store(capacity=1)
+        a = store.allocate(page_with((1, 1)))
+        store.pin(a)
+        b = store.allocate(page_with((2, 2)))
+        store.pin(b)
+        store.read(b)  # re-admit: with every frame pinned, nothing evicts
+        frames = store.pool.frame_ids()
+        assert a in frames and b in frames  # over capacity, root kept
+
+    def test_close_flushes_dirty_frames(self, tmp_path):
+        path = tmp_path / "durable.db"
+        store = PageStore(FileBackend(str(path)), pool=BufferPool(8))
+        pid = store.allocate(page_with((1, 1), "x"))
+        store.write(pid, page_with((1, 1), "y"))
+        store.close()
+        reopened = PageStore(FileBackend(str(path)))
+        assert reopened.read(pid).get((1, 1)) == "y"
+        reopened.close()
+
+
+class TestFreeCoherence:
+    def test_free_drops_frame_and_dirty_bit(self, tmp_path):
+        store = pooled_file_store(tmp_path)
+        pid = store.allocate(page_with((1, 1)))
+        store.write(pid, page_with((1, 1), "dirty"))
+        store.free(pid)
+        assert pid not in store.pool.frame_ids()
+        assert pid not in store.pool.dirty_ids()
+
+    def test_free_then_flush_does_not_resurrect(self, tmp_path):
+        """Regression: a dirty frame surviving free() used to re-store()
+        the freed page at the next flush — a ghost page the directory no
+        longer references, and a wrong live count."""
+        store = pooled_file_store(tmp_path)
+        keep = store.allocate(page_with((9, 9)))
+        pid = store.allocate(page_with((1, 1)))
+        store.write(pid, page_with((1, 1), "dirty"))
+        store.free(pid)
+        store.flush()
+        assert pid not in store  # the ghost page must stay dead
+        assert store.page_count == 1
+        assert list(store.page_ids()) == [keep]
+        with pytest.raises(StorageError):
+            store.read(pid)
+        store.close()
+
+    def test_free_then_eviction_does_not_resurrect(self, tmp_path):
+        store = pooled_file_store(tmp_path, capacity=2)
+        pid = store.allocate(page_with((1, 1)))
+        store.write(pid, page_with((1, 1), "dirty"))
+        store.free(pid)
+        # Fill the pool: evictions must not write the freed page back.
+        for i in range(2, 7):
+            store.allocate(page_with((i, i)))
+        assert pid not in store
+        store.close()
+
+    def test_sanitizer_catches_stale_frame(self):
+        """The pool-coherent invariant fires on a hand-made stale frame."""
+        from repro import BMEHTree
+        from repro.errors import InvariantViolation
+        from repro.sanitize import check_structure
+
+        store = pooled_store(capacity=8)
+        index = BMEHTree(2, 4, widths=8, store=store)
+        for x in range(0, 200, 13):
+            index.insert((x, x), x)
+        check_structure(index)  # coherent pool passes
+        store.pool._frames[10**6] = DataPage(4)  # stale frame, dead page
+        with pytest.raises(InvariantViolation) as excinfo:
+            check_structure(index)
+        assert excinfo.value.invariant == "pool-coherent"
+
+
+class TestIndexOnPooledStore:
+    """Full index workloads over FileBackend+pool stay correct."""
+
+    def test_bmeh_churn_with_pool(self, tmp_path):
+        import random
+
+        from repro import BMEHTree
+
+        store = pooled_file_store(tmp_path, capacity=16, name="churn")
+        index = BMEHTree(2, 4, widths=8, store=store)
+        rng = random.Random(77)
+        model = {}
+        for step in range(400):
+            if model and rng.random() < 0.3:
+                key = rng.choice(list(model))
+                assert index.delete(key) == model.pop(key)
+            else:
+                key = (rng.randrange(256), rng.randrange(256))
+                if key in model:
+                    continue
+                index.insert(key, step)
+                model[key] = step
+        index.check_invariants()
+        for key, value in model.items():
+            assert index.search(key) == value
+        assert store.pool.hit_rate > 0.5  # the directory working set caches
+        store.close()
+
+    def test_pooled_and_unpooled_builds_agree(self, tmp_path):
+        """The pool is invisible to structure and logical accounting."""
+        from repro import BMEHTree
+        from repro.workloads import uniform_keys, unique
+
+        keys = unique(uniform_keys(400, 2, seed=5, domain=256))
+        plain = BMEHTree(2, 4, widths=8)
+        pooled = BMEHTree(
+            2, 4, widths=8,
+            store=pooled_file_store(tmp_path, capacity=32, name="agree"),
+        )
+        for i, key in enumerate(keys):
+            plain.insert(key, i)
+            pooled.insert(key, i)
+        assert plain.directory_size == pooled.directory_size
+        assert plain.data_page_count == pooled.data_page_count
+        assert plain.store.stats.accesses == pooled.store.stats.accesses
+        a = sorted((c.prefixes, c.depths) for c in plain.leaf_regions())
+        b = sorted((c.prefixes, c.depths) for c in pooled.leaf_regions())
+        assert a == b
+        pooled.store.close()

@@ -248,3 +248,44 @@ class TestFileBackend:
     def test_tiny_page_size_rejected(self, tmp_path):
         with pytest.raises(StorageError):
             FileBackend(str(tmp_path / "pages.db"), page_size=16)
+
+    def test_corrupt_slot_length_raises_named_error(self, tmp_path):
+        """A torn slot whose stored length exceeds the payload must not
+        reach the codec as garbage bytes."""
+        import struct
+
+        path = tmp_path / "pages.db"
+        backend = FileBackend(str(path), page_size=128)
+        backend.store(0, DataPage(2))
+        backend.close()
+        with open(path, "r+b") as f:
+            f.seek(FileBackend._HEADER.size)  # slot 0's length field
+            f.write(struct.pack("<I", 1 << 20))
+        reopened = FileBackend(str(path), page_size=128)
+        assert 0 in reopened  # the slot header says live ...
+        with pytest.raises(StorageError, match="page 0.*corrupt"):
+            reopened.load(0)  # ... but the image must not be decoded
+        reopened.close()
+
+    def test_live_map_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        backend = FileBackend(path)
+        for pid in range(4):
+            backend.store(pid, DataPage(2))
+        backend.discard(1)
+        backend.close()
+        reopened = FileBackend(path)
+        assert list(reopened.page_ids()) == [0, 2, 3]
+        assert 1 not in reopened and 3 in reopened
+        assert -1 not in reopened and 99 not in reopened
+        reopened.close()
+
+    def test_contains_does_not_touch_the_file(self, tmp_path):
+        """Membership is answered from the in-memory live map — no
+        seek-to-EOF, no header re-read."""
+        backend = FileBackend(str(tmp_path / "pages.db"))
+        backend.store(0, DataPage(2))
+        backend._file.close()  # any further file I/O would raise
+        assert 0 in backend
+        assert 7 not in backend
+        assert list(backend.page_ids()) == [0]
