@@ -8,7 +8,14 @@ assumes and the ones this library adds:
 * ``file``       — :class:`FileBackend`, every access encodes/decodes a
   byte image;
 * ``file+pool``  — :class:`FileBackend` behind a write-back
-  :class:`BufferPool`: the buffer-managed fast path.
+  :class:`BufferPool`: the buffer-managed fast path;
+* ``file+wal``   — :class:`WALBackend` around the page file: the
+  crash-safe path, measuring the durability tax in physical I/O.
+
+The ``file+wal`` cell is doubly gated: its physical traffic is bounded
+like any other cell, and its *logical* metrics must be byte-identical to
+the plain ``file`` cell — the WAL must be transparent to the paper's
+accounting (:func:`wal_transparency_failures`).
 
 Each cell records the paper's measures (λ, λ′, ρ, α, σ), both I/O
 ledgers (logical accesses under the paper's accounting and physical
@@ -37,10 +44,10 @@ from repro.bench.harness import (
     make_index,
 )
 from repro.analysis.metrics import measure_run
-from repro.storage import BufferPool, FileBackend, PageStore
+from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
-BACKENDS = ("memory", "file", "file+pool")
+BACKENDS = ("memory", "file", "file+pool", "file+wal")
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -88,6 +95,7 @@ DEFAULT_CELLS = (
     BenchCell("table2", "BMEHTree"),
     BenchCell("table2", "BMEHTree", backend="file"),
     BenchCell("table2", "BMEHTree", backend="file+pool"),
+    BenchCell("table2", "BMEHTree", backend="file+wal"),
     BenchCell("fig6", "BMEHTree"),
 )
 
@@ -105,11 +113,17 @@ def _make_store(
     if backend == "memory":
         return PageStore()
     path = os.path.join(workdir, "bench_pages.db")
-    file_backend = FileBackend(path, page_size=page_size)
     if backend == "file":
-        return PageStore(file_backend)
+        return PageStore(FileBackend(path, page_size=page_size))
     if backend == "file+pool":
-        return PageStore(file_backend, pool=BufferPool(pool_capacity))
+        return PageStore(
+            FileBackend(path, page_size=page_size),
+            pool=BufferPool(pool_capacity),
+        )
+    if backend == "file+wal":
+        return PageStore(
+            WALBackend(path, page_size=page_size, checkpoint_every=1024)
+        )
     raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
 
@@ -222,6 +236,46 @@ def pool_efficiency_failures(results: Sequence[Mapping]) -> list[str]:
                 f"backend calls, file alone made {raw_io} — the pool "
                 "shows no physical I/O win"
             )
+    return failures
+
+
+def wal_transparency_failures(results: Sequence[Mapping]) -> list[str]:
+    """The WAL must be invisible to the paper's accounting.
+
+    For every (experiment, scheme, b) measured under both ``file`` and
+    ``file+wal``, every *logical* metric — λ, λ′, ρ, α, σ, logical
+    reads/writes — must be byte-identical: durability changes where the
+    bytes land, never how many pages the algorithms touch.  Any drift
+    means the WAL wrapper leaked into index behaviour.
+    """
+    logical = (
+        "lambda",
+        "lambda_prime",
+        "rho",
+        "alpha",
+        "sigma",
+        "data_pages",
+        "logical_reads",
+        "logical_writes",
+    )
+    by_key: dict[tuple, dict[str, Mapping]] = {}
+    for result in results:
+        key = (result["experiment"], result["scheme"], result["b"])
+        by_key.setdefault(key, {})[result["backend"]] = result
+    failures = []
+    for key, variants in by_key.items():
+        if "file" not in variants or "file+wal" not in variants:
+            continue
+        raw = variants["file"]["metrics"]
+        walled = variants["file+wal"]["metrics"]
+        for name in logical:
+            if raw.get(name) != walled.get(name):
+                failures.append(
+                    f"{'/'.join(map(str, key))}: logical metric {name} "
+                    f"differs under WAL ({raw.get(name)} vs "
+                    f"{walled.get(name)}) — the WAL must be transparent "
+                    "to the paper's accounting"
+                )
     return failures
 
 
@@ -348,6 +402,7 @@ def compare_with_baseline(
                     f"{base_terminal} -> {terminal}"
                 )
     failures.extend(pool_efficiency_failures(current_results))
+    failures.extend(wal_transparency_failures(current_results))
     return failures, current_results
 
 

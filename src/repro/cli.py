@@ -146,6 +146,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_baseline,
         pool_efficiency_failures,
         run_cells,
+        wal_transparency_failures,
         write_baseline,
     )
     from repro.bench.harness import experiment_scale
@@ -206,6 +207,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     write_baseline(out, results, n, pool_capacity=args.pool_capacity)
     print(f"\nwrote {out}")
     failures = pool_efficiency_failures(results)
+    failures.extend(wal_transparency_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
@@ -348,7 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the committed-baseline suite)")
     bench.add_argument("--schemes", nargs="+", default=None)
     bench.add_argument("--backends", nargs="+", default=None,
-                       choices=["memory", "file", "file+pool"])
+                       choices=["memory", "file", "file+pool", "file+wal"])
     bench.add_argument("-b", "--page-capacity", type=int, default=8)
     bench.add_argument("--pool-capacity", type=int, default=256)
     bench.add_argument("--label", default="run",

@@ -49,6 +49,16 @@ class StorageError(ReproError):
     """Page-store misuse: bad page id, freed-page access, size overflow."""
 
 
+class CrashError(StorageError):
+    """A simulated power failure raised by the fault-injection harness.
+
+    Once raised, every further operation on the injected files raises it
+    again — the "machine" is down.  Durable state is materialized to the
+    real filesystem at the crash point, so a fresh backend can reopen the
+    files and exercise recovery.
+    """
+
+
 class InvariantViolation(ReproError):
     """A structural invariant does not hold (raised by ``repro.sanitize``).
 

@@ -32,6 +32,11 @@ The checked invariants, with their paper anchors:
 ``pool-coherent``      every buffer frame (and dirty bit) belongs to a
                        live page: a frame surviving ``free()`` would
                        resurrect the page at the next flush/eviction
+``wal-coherent``       the WAL overlay agrees with the page file: no id is
+                       both a pending store and a tombstone, the
+                       advertised live set is exactly (inner live −
+                       tombstones) ∪ pending stores, and the store's page
+                       count matches it
 ``counter``            cached totals (keys, pages, nodes) match a recount
 =====================  =====================================================
 """
@@ -596,6 +601,9 @@ def check_storage(index: Any, walk: _Walk) -> None:
     * no page is both pinned and discarded;
     * every buffer-pool frame belongs to a live page and every dirty bit
       to a resident frame (a stale frame would resurrect a freed page);
+    * a WAL-wrapped backend's uncommitted overlay is coherent with the
+      page file underneath it (no store/tombstone conflict, advertised
+      liveness = inner liveness patched by the overlay);
     * when the index owns its store, every live page is reachable — a
       failed split cannot strand an unregistered sibling page.
     """
@@ -628,6 +636,7 @@ def check_storage(index: Any, walk: _Walk) -> None:
                 "pool-coherent",
                 f"dirty bits {sorted(stray_dirty)} have no resident frame",
             )
+    _check_wal_coherence(walk, store)
     if getattr(index, "owns_store", False):
         live = set(store.page_ids())
         leaked = live - set(walk.fan_in)
@@ -643,6 +652,46 @@ def check_storage(index: Any, walk: _Walk) -> None:
                 "dangling-pointer",
                 f"referenced pages {sorted(missing)} are not live",
             )
+
+
+def _check_wal_coherence(walk: _Walk, store: Any) -> None:
+    """The WAL's uncommitted overlay must patch — never contradict — the
+    page file underneath: this is what makes a checkpoint's "apply the
+    pending batch" step well-defined."""
+    from repro.storage.wal import WALBackend
+
+    backend = getattr(store, "backend", None)
+    if not isinstance(backend, WALBackend):
+        return
+    pending = backend.pending_store_ids()
+    tombstones = backend.pending_discard_ids()
+    conflict = pending & tombstones
+    if conflict:
+        walk.fail(
+            "wal-coherent",
+            f"pages {sorted(conflict)} are both pending stores and "
+            "tombstones in the WAL overlay",
+        )
+    advertised = set(backend.page_ids())
+    expected = (set(backend.inner.page_ids()) - tombstones) | pending
+    if advertised != expected:
+        walk.fail(
+            "wal-coherent",
+            f"WAL advertises live pages {sorted(advertised)} but the page "
+            f"file patched by the overlay implies {sorted(expected)}",
+        )
+    ghosts = tombstones & advertised
+    if ghosts:
+        walk.fail(
+            "wal-coherent",
+            f"tombstoned pages {sorted(ghosts)} still advertised live",
+        )
+    if store.page_count != len(advertised):
+        walk.fail(
+            "wal-coherent",
+            f"store counts {store.page_count} live pages, the WAL backend "
+            f"advertises {len(advertised)}",
+        )
 
 
 # -- dispatch ----------------------------------------------------------------

@@ -22,6 +22,13 @@ read-through, writes are buffered write-back, frees drop the frame so a
 flush can never resurrect a freed page, and pinned pages are never
 evicted.  The pool changes only the *physical* traffic — measured by
 ``PageStore.backend_stats`` — never the paper's logical accounting.
+
+Crash safety is layered on top of the file backend, not into it:
+:class:`WALBackend` wraps a page file with a checksummed write-ahead
+sidecar so a crash at any physical operation recovers to the last
+committed checkpoint (``repro.storage.wal``), and
+:class:`FaultInjector` simulates those crashes — fail-stop, torn write,
+lying flush — deterministically (``repro.storage.faults``).
 """
 
 from repro.storage.iostats import IOStats, OperationCounter
@@ -35,10 +42,17 @@ from repro.storage.serializer import (
 )
 from repro.storage.buffer import BufferPool
 from repro.storage.snapshot import save_index, load_index
+from repro.storage.wal import WALBackend, checkpoint, recover_index
+from repro.storage.faults import FaultInjector, FaultyFile
 
 __all__ = [
     "save_index",
     "load_index",
+    "WALBackend",
+    "checkpoint",
+    "recover_index",
+    "FaultInjector",
+    "FaultyFile",
     "IOStats",
     "OperationCounter",
     "DataPage",

@@ -121,12 +121,20 @@ class BufferPool:
         self._dirty.discard(page_id)
 
     def flush(self) -> None:
-        """Write back every dirty frame (frames stay resident)."""
+        """Write back every dirty frame (frames stay resident).
+
+        Each dirty bit is dropped as soon as its frame reaches the
+        backend — not in one sweep at the end — so a mid-flush failure
+        (an oversized image raising ``SerializationError``, a crashed
+        file) leaves exactly the unwritten frames dirty.  A retry then
+        writes only those, instead of double-writing the frames that
+        already landed and inflating the physical ledger.
+        """
         if self._dirty and self._store is None:
             raise StorageError("buffer pool is not bound to a store")
         for page_id in sorted(self._dirty):
             self._store(page_id, self._frames[page_id])
-        self._dirty.clear()
+            self._dirty.discard(page_id)
 
     # -- observability -----------------------------------------------------
 

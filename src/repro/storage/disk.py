@@ -80,7 +80,9 @@ class FileBackend(Backend):
     _HEADER = struct.Struct("<4sI")  # magic, page_size
     _SLOT = struct.Struct("<I")
 
-    def __init__(self, path: str, page_size: int = 4096, registry=None) -> None:
+    def __init__(
+        self, path: str, page_size: int = 4096, registry=None, opener=None
+    ) -> None:
         if page_size < 64:
             raise StorageError("page size too small to hold any record")
         if registry is None:
@@ -91,7 +93,10 @@ class FileBackend(Backend):
         self._path = path
         self._page_size = page_size
         exists = os.path.exists(path) and os.path.getsize(path) > 0
-        self._file = open(path, "r+b" if exists else "w+b")
+        #: ``opener(path, mode)`` replaces the builtin ``open`` — the
+        #: fault-injection harness passes ``FaultInjector.open`` here to
+        #: make every physical write/flush a potential crash point.
+        self._file = (opener or open)(path, "r+b" if exists else "w+b")
         #: Cached slot count and live-slot map: membership checks and
         #: loads must not seek to EOF / re-read slot headers per call.
         self._slots = 0
@@ -118,6 +123,16 @@ class FileBackend(Backend):
     def page_size(self) -> int:
         return self._page_size
 
+    @property
+    def payload_capacity(self) -> int:
+        """Largest page image a slot can hold (page size minus header)."""
+        return self._page_size - self._SLOT.size
+
+    @property
+    def registry(self) -> Any:
+        """The codec registry used to encode/decode page images."""
+        return self._registry
+
     def _offset(self, page_id: int) -> int:
         return self._HEADER.size + page_id * self._page_size
 
@@ -136,8 +151,16 @@ class FileBackend(Backend):
                 self._live.add(page_id)
 
     def store(self, page_id: int, obj: Any) -> None:
-        image = self._registry.encode(obj)
-        if self._SLOT.size + len(image) > self._page_size:
+        self.store_image(page_id, self._registry.encode(obj))
+
+    def store_image(self, page_id: int, image: bytes) -> None:
+        """Write an already-encoded image into its slot.
+
+        The write path of :meth:`store`, split out so the write-ahead
+        log can apply committed images at checkpoint/recovery without
+        re-encoding (or even being able to decode) them.
+        """
+        if len(image) > self.payload_capacity:
             raise SerializationError(
                 f"page image of {len(image)} bytes exceeds the "
                 f"{self._page_size}-byte slot"
@@ -168,8 +191,18 @@ class FileBackend(Backend):
     def discard(self, page_id: int) -> None:
         if page_id not in self._live:
             raise StorageError(f"page {page_id} does not exist")
-        self._file.seek(self._offset(page_id))
-        self._file.write(self._SLOT.pack(0))
+        self.apply_discard(page_id)
+
+    def apply_discard(self, page_id: int) -> None:
+        """Mark a slot free without requiring it to be live.
+
+        WAL replay re-applies committed discards after a crash; the
+        target slot may hold a torn image, a stale image, or already be
+        free — the zeroed length must land regardless (idempotence).
+        """
+        if page_id < self._slots:
+            self._file.seek(self._offset(page_id))
+            self._file.write(self._SLOT.pack(0))
         self._live.discard(page_id)
 
     def __contains__(self, page_id: int) -> bool:
@@ -228,6 +261,11 @@ class PageStore:
             self.attach_pool(pool)
 
     # -- buffering ---------------------------------------------------------
+
+    @property
+    def backend(self) -> Backend:
+        """The physical backend (read-only view, for the sanitizer)."""
+        return self._backend
 
     @property
     def pool(self) -> "BufferPool | None":
@@ -328,14 +366,21 @@ class PageStore:
         byte backend the updated object must be passed so the image is
         re-encoded.  With a pool attached the write is buffered dirty
         and reaches the backend on eviction or flush.
+
+        Only :meth:`allocate` creates pages: a write to an id that was
+        never allocated (or was freed) raises on *both* paths.  Without
+        the check, the ``obj`` path would silently materialize a page —
+        the pool would buffer it dirty, a byte backend would create the
+        slot — desyncing :attr:`page_count` / the backend's live map
+        from reality and breaking the sanitizer's reachability census.
         """
+        if page_id not in self._backend:
+            raise StorageError(f"page {page_id} does not exist")
         if obj is not None:
             if self._pool is not None:
                 self._pool.write(page_id, obj)
             else:
                 self._backend_store(page_id, obj)
-        elif page_id not in self._backend:
-            raise StorageError(f"page {page_id} does not exist")
         elif not isinstance(self._backend, MemoryBackend):
             raise StorageError(
                 "byte backends need the page object passed to write()"

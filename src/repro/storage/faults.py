@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the storage layer.
+
+The crash-safety claim of the WAL (``repro.storage.wal``) is only worth
+what the harness that attacks it is worth.  This module simulates a
+power failure at an arbitrary *physical operation* — a file write, a
+flush, a truncate — with the three classic disk failure modes:
+
+* ``fail``          — the machine dies at op N; nothing written since the
+  last flush survives (clean loss of the volatile page cache);
+* ``torn``          — the machine dies at op N and an arbitrary seeded
+  *prefix* of the unflushed writes reaches the platter, the last of them
+  possibly cut mid-record (a torn write);
+* ``dropped-flush`` — from op N on, ``flush()`` silently lies (returns
+  success without making anything durable) and the machine dies a few
+  operations later — the lying-disk scenario.
+
+The simulation keeps two byte images per file: *durable* (what the disk
+guarantees as of the last honoured flush) and *volatile* (what reads
+see — the OS page cache).  On crash the injector materializes each
+file's durable image (plus, in ``torn`` mode, the seeded prefix of its
+pending writes) to the real path, so recovery code can reopen the files
+with the ordinary ``open`` and see exactly what a rebooted machine
+would.  Everything is deterministic given ``(seed, mode, fail_after)``.
+
+Usage::
+
+    injector = FaultInjector(fail_after=120, mode="torn", seed=7)
+    backend = WALBackend(path, opener=injector.open)
+    try:
+        ... build ...
+    except CrashError:
+        pass
+    recovered = WALBackend(path)   # plain open(): reads the crash image
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any
+
+from repro.errors import CrashError, StorageError
+
+MODES = ("fail", "torn", "dropped-flush")
+
+
+class FaultInjector:
+    """A seeded schedule of physical-op faults shared by a set of files.
+
+    ``fail_after=None`` never trips — the injector then only counts ops,
+    which is how a harness measures a run's total op count before
+    enumerating fault points.  ``ops`` counts every write/flush/truncate
+    across all files opened through :meth:`open`.
+    """
+
+    def __init__(
+        self,
+        fail_after: int | None = None,
+        mode: str = "fail",
+        seed: int = 0,
+    ) -> None:
+        if mode not in MODES:
+            raise StorageError(f"unknown fault mode {mode!r}; choose from {MODES}")
+        if fail_after is not None and fail_after < 1:
+            raise StorageError("fail_after counts physical ops; must be >= 1")
+        self.fail_after = fail_after
+        self.mode = mode
+        self.seed = seed
+        self._rng = random.Random(f"{seed}:{mode}:{fail_after}")
+        self.ops = 0
+        self.tripped = False
+        self.crashed = False
+        self._grace: int | None = None
+        self._files: list["FaultyFile"] = []
+
+    # -- the opener (pass as FileBackend/WALBackend ``opener=``) -----------
+
+    def open(self, path: str, mode: str = "r+b") -> "FaultyFile":
+        if self.crashed:
+            raise CrashError("machine is down")
+        handle = FaultyFile(path, mode, self)
+        self._files.append(handle)
+        return handle
+
+    # -- fault schedule ----------------------------------------------------
+
+    def _tick(self) -> str:
+        """Advance the op counter; returns ``"ok"``, ``"dropped"`` (this
+        and later flushes must be silently skipped) or crashes."""
+        if self.crashed:
+            raise CrashError("machine is down")
+        self.ops += 1
+        if self.fail_after is None:
+            return "ok"
+        if not self.tripped:
+            if self.ops < self.fail_after:
+                return "ok"
+            self.tripped = True
+            if self.mode == "dropped-flush":
+                self._grace = self.ops + self._rng.randint(1, 6)
+                return "dropped"
+            self.crash()
+        # Already tripped: only reachable in dropped-flush mode.
+        if self._grace is not None and self.ops >= self._grace:
+            self.crash()
+        return "dropped"
+
+    def crash(self) -> None:
+        """Simulated power failure: freeze every file at its durable
+        image (plus the seeded torn prefix) and raise :class:`CrashError`."""
+        if not self.crashed:
+            self.crashed = True
+            for handle in self._files:
+                handle._materialize(self._rng)
+        raise CrashError(f"simulated crash after {self.ops} physical ops")
+
+
+class FaultyFile:
+    """A crash-prone file: binary file API over in-memory images.
+
+    Writes land in the volatile image (what reads see) and are recorded
+    as pending ops; ``flush()`` promotes volatile to durable.  The real
+    file on disk is only touched at :meth:`close` (clean shutdown: the
+    volatile image) or at crash (the durable image, possibly plus a torn
+    prefix of the pending ops).
+    """
+
+    def __init__(self, path: str, mode: str, injector: FaultInjector) -> None:
+        self._path = path
+        self._injector = injector
+        content = b""
+        if "w" not in mode and os.path.exists(path):
+            with open(path, "rb") as existing:
+                content = existing.read()
+        self._volatile = bytearray(content)
+        self._durable = bytes(content)
+        #: ("w", offset, data) | ("t", size, b"") ops since the last flush.
+        self._pending: list[tuple[str, int, bytes]] = []
+        self._pos = 0
+        self._dead = False
+
+    # -- file API ----------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._dead or self._injector.crashed:
+            raise CrashError("machine is down")
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_alive()
+        end = len(self._volatile) if size < 0 else min(self._pos + size, len(self._volatile))
+        data = bytes(self._volatile[self._pos : end])
+        self._pos = end
+        return data
+
+    def write(self, data: Any) -> int:
+        self._check_alive()
+        data = bytes(data)
+        # Record first, tick second: the in-flight write is part of the
+        # pending set a torn crash may partially persist.
+        self._apply_write(self._volatile, self._pos, data)
+        self._pending.append(("w", self._pos, data))
+        self._pos += len(data)
+        self._injector._tick()
+        return len(data)
+
+    def truncate(self, size: int | None = None) -> int:
+        self._check_alive()
+        size = self._pos if size is None else size
+        del self._volatile[size:]
+        self._pending.append(("t", size, b""))
+        self._injector._tick()
+        return size
+
+    def flush(self) -> None:
+        self._check_alive()
+        if self._injector._tick() == "dropped":
+            return  # the disk lies: report success, persist nothing
+        self._durable = bytes(self._volatile)
+        self._pending.clear()
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        self._check_alive()
+        if whence == os.SEEK_SET:
+            self._pos = offset
+        elif whence == os.SEEK_CUR:
+            self._pos += offset
+        elif whence == os.SEEK_END:
+            self._pos = len(self._volatile) + offset
+        else:  # pragma: no cover - no other whence is used
+            raise ValueError(f"unsupported whence {whence}")
+        return self._pos
+
+    def tell(self) -> int:
+        self._check_alive()
+        return self._pos
+
+    def close(self) -> None:
+        if self._dead or self._injector.crashed:
+            return  # a dead machine cannot heal its files on close
+        self._dead = True
+        with open(self._path, "wb") as out:
+            out.write(bytes(self._volatile))
+
+    # -- crash materialization ---------------------------------------------
+
+    @staticmethod
+    def _apply_write(image: bytearray, offset: int, data: bytes) -> None:
+        if offset > len(image):
+            image.extend(b"\x00" * (offset - len(image)))
+        image[offset : offset + len(data)] = data
+
+    def _materialize(self, rng: random.Random) -> None:
+        """Write the post-crash on-disk image to the real path."""
+        if self._dead:
+            return  # closed cleanly before the crash: contents are final
+        image = bytearray(self._durable)
+        if self._injector.mode == "torn" and self._pending:
+            # A seeded prefix of the unflushed ops reached the platter;
+            # the next one (if any) arrives cut mid-record.
+            survivors = rng.randint(0, len(self._pending))
+            for kind, arg, data in self._pending[:survivors]:
+                if kind == "w":
+                    self._apply_write(image, arg, data)
+                else:
+                    del image[arg:]
+            if survivors < len(self._pending):
+                kind, arg, data = self._pending[survivors]
+                if kind == "w" and data:
+                    self._apply_write(image, arg, data[: rng.randint(0, len(data))])
+        self._dead = True
+        with open(self._path, "wb") as out:
+            out.write(bytes(image))

@@ -11,6 +11,20 @@ The one-level MDEH directory is not page-resident in this implementation
 1), so a snapshot serializes it as a dedicated stream appended after the
 page file: the doubling history plus the region groups, in the same
 group encoding the node codec uses.
+
+Two format versions exist.  Version 1 (magic ``BMEHSNAP``) packed each
+hash component of a directory entry as an unsigned byte, which silently
+wraps once a local depth exceeds 8 bits of prefix — version 2 (magic
+``BMEHSNP2``, the default writer) widens the component field to 16 bits.
+The loader reads both; writing version 1 is still possible for
+compatibility and raises :class:`SerializationError` instead of wrapping
+when an entry does not fit.
+
+The metadata/restoration halves of this module are shared with the
+write-ahead log (:mod:`repro.storage.wal`): a WAL commit record carries
+the same :func:`index_metadata` JSON (plus :func:`encode_directory`
+stream for one-level schemes) that a snapshot header does, and crash
+recovery rehydrates through the same :func:`restore_from_metadata`.
 """
 
 from __future__ import annotations
@@ -20,14 +34,22 @@ import struct
 from typing import Any
 
 from repro.errors import SerializationError, StorageError
-from repro.storage.disk import FileBackend, MemoryBackend, PageStore
+from repro.storage.disk import MemoryBackend, PageStore
 from repro.storage.serializer import default_registry
 
-_MAGIC = b"BMEHSNAP"
+_MAGIC_V1 = b"BMEHSNAP"
+_MAGIC_V2 = b"BMEHSNP2"
 _HEADER = struct.Struct("<8sI")  # magic, json length
 
+#: Directory entry record per format version: hash components, local
+#: depth m, page pointer, cell count.  v1's unsigned-byte components
+#: overflow above 8-bit prefixes; v2 widens them to 16 bits.
+_DIR_RECORD_FMT = {1: "B", 2: "H"}
+_DIR_COMPONENT_MAX = {1: 0xFF, 2: 0xFFFF}
 
-def _index_metadata(index: Any) -> dict:
+
+def index_metadata(index: Any) -> dict:
+    """The index-level state a snapshot header (or WAL commit) records."""
     from repro.core.hashtree import HashTreeBase
     from repro.core.mdeh import MDEH
 
@@ -58,7 +80,12 @@ def _index_metadata(index: Any) -> dict:
     return meta
 
 
-def _encode_mdeh_directory(index: Any) -> bytes:
+def encode_directory(index: Any, version: int = 2) -> bytes:
+    """Serialize a one-level index's extendible directory array."""
+    fmt = _DIR_RECORD_FMT.get(version)
+    if fmt is None:
+        raise SerializationError(f"unknown snapshot version {version}")
+    limit = _DIR_COMPONENT_MAX[version]
     array = index._dir
     axes = bytes(axis for axis, _ in array.history())
     parts = [struct.pack("<I", len(axes)), axes]
@@ -68,54 +95,94 @@ def _encode_mdeh_directory(index: Any) -> bytes:
         groups.setdefault(id(entry), (entry, []))[1].append(address)
     parts.append(struct.pack("<I", len(groups)))
     dims = index.dims
-    record = struct.Struct(f"<{dims}BBqI")
+    record = struct.Struct(f"<{dims}{fmt}BqI")
     for entry, addresses in groups.values():
+        if any(component > limit for component in entry.h):
+            raise SerializationError(
+                f"directory entry component {max(entry.h)} exceeds the "
+                f"{limit}-max field of snapshot version {version}; "
+                f"write version 2"
+            )
         ptr = -1 if entry.ptr is None else entry.ptr
         parts.append(record.pack(*entry.h, entry.m, ptr, len(addresses)))
         parts.append(struct.pack(f"<{len(addresses)}I", *addresses))
     return b"".join(parts)
 
 
-def _decode_mdeh_directory(index: Any, data: bytes) -> None:
+def _decode_directory(index: Any, data: bytes, version: int = 2) -> None:
     from repro.core.directory import DirEntry
     from repro.extarray import ExtendibleArray
 
-    (axis_count,) = struct.unpack_from("<I", data, 0)
-    offset = 4
-    axes = data[offset : offset + axis_count]
-    offset += axis_count
-    array = ExtendibleArray(index.dims, fill=None)
-    for axis in axes:
-        array.grow(axis)
-    (group_count,) = struct.unpack_from("<I", data, offset)
-    offset += 4
-    dims = index.dims
-    record = struct.Struct(f"<{dims}BBqI")
-    for _ in range(group_count):
-        fields = record.unpack_from(data, offset)
-        offset += record.size
-        h = fields[:dims]
-        m, ptr, cell_count = fields[dims:]
-        entry = DirEntry(h, m, None if ptr < 0 else ptr)
-        addresses = struct.unpack_from(f"<{cell_count}I", data, offset)
-        offset += 4 * cell_count
-        for address in addresses:
-            array.set_at(address, entry)
+    fmt = _DIR_RECORD_FMT.get(version)
+    if fmt is None:
+        raise SerializationError(f"unknown snapshot version {version}")
+    try:
+        (axis_count,) = struct.unpack_from("<I", data, 0)
+        offset = 4
+        axes = data[offset : offset + axis_count]
+        offset += axis_count
+        array = ExtendibleArray(index.dims, fill=None)
+        for axis in axes:
+            array.grow(axis)
+        (group_count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        dims = index.dims
+        record = struct.Struct(f"<{dims}{fmt}BqI")
+        for _ in range(group_count):
+            fields = record.unpack_from(data, offset)
+            offset += record.size
+            h = fields[:dims]
+            m, ptr, cell_count = fields[dims:]
+            entry = DirEntry(h, m, None if ptr < 0 else ptr)
+            addresses = struct.unpack_from(f"<{cell_count}I", data, offset)
+            offset += 4 * cell_count
+            for address in addresses:
+                array.set_at(address, entry)
+    except struct.error as exc:
+        raise SerializationError(
+            f"corrupt directory stream in snapshot: {exc}"
+        ) from exc
     index._dir = array
 
 
-def save_index(index: Any, path: str, page_size: int = 65536) -> None:
+def _read_exact(inp: Any, count: int, what: str) -> bytes:
+    data = inp.read(count)
+    if len(data) < count:
+        raise SerializationError(
+            f"truncated snapshot: expected {count} bytes of {what}, "
+            f"got {len(data)}"
+        )
+    return data
+
+
+def save_index(
+    index: Any,
+    path: str,
+    page_size: int = 65536,
+    opener=None,
+    version: int = 2,
+) -> None:
     """Snapshot ``index`` (tree or one-level) into ``path``.
 
     ``page_size`` bounds the byte image of any single page; the default
     is generous because snapshot files favour simplicity over the tight
-    disk layout of a live system.
+    disk layout of a live system.  ``opener`` substitutes for ``open``
+    (fault-injection harnesses).  ``version`` selects the on-disk
+    format; version 1 exists for compatibility and rejects directories
+    it cannot represent instead of silently wrapping them.
     """
-    meta = _index_metadata(index)
+    if version == 2:
+        magic = _MAGIC_V2
+    elif version == 1:
+        magic = _MAGIC_V1
+    else:
+        raise SerializationError(f"unknown snapshot version {version}")
+    meta = index_metadata(index)
     registry = default_registry()
-    with open(path, "wb") as out:
+    out = (opener or open)(path, "wb")
+    try:
         blob = json.dumps(meta).encode("utf-8")
-        out.write(_HEADER.pack(_MAGIC, len(blob)))
+        out.write(_HEADER.pack(magic, len(blob)))
         out.write(blob)
         pages = {pid: index.store.peek(pid) for pid in index.store.page_ids()}
         out.write(struct.pack("<I", len(pages)))
@@ -129,13 +196,73 @@ def save_index(index: Any, path: str, page_size: int = 65536) -> None:
             out.write(struct.pack("<QI", pid, len(image)))
             out.write(image)
         if meta["kind"] == "onelevel":
-            directory = _encode_mdeh_directory(index)
+            directory = encode_directory(index, version=version)
             out.write(struct.pack("<I", len(directory)))
             out.write(directory)
+        out.flush()
+    finally:
+        out.close()
 
 
-def load_index(path: str) -> Any:
-    """Restore an index saved by :func:`save_index`."""
+def load_index(path: str, opener=None) -> Any:
+    """Restore an index saved by :func:`save_index` (either version)."""
+    registry = default_registry()
+    inp = (opener or open)(path, "rb")
+    try:
+        magic, meta_len = _HEADER.unpack(
+            _read_exact(inp, _HEADER.size, "header")
+        )
+        if magic == _MAGIC_V2:
+            version = 2
+        elif magic == _MAGIC_V1:
+            version = 1
+        else:
+            raise StorageError(f"{path} is not an index snapshot")
+        meta = json.loads(_read_exact(inp, meta_len, "metadata"))
+        store = PageStore(MemoryBackend())
+        (page_count,) = struct.unpack(
+            "<I", _read_exact(inp, 4, "page count")
+        )
+        pages = {}
+        for _ in range(page_count):
+            pid, length = struct.unpack(
+                "<QI", _read_exact(inp, 12, "page record")
+            )
+            pages[pid] = registry.decode(_read_exact(inp, length, "page image"))
+        for pid in sorted(pages):
+            # Preserve original ids: fill gaps with placeholders, drop them.
+            while store.pages_allocated < pid:
+                store.free(store.allocate(None))
+            store.allocate(pages[pid])
+        directory = None
+        if meta["kind"] == "onelevel":
+            (dir_len,) = struct.unpack(
+                "<I", _read_exact(inp, 4, "directory length")
+            )
+            directory = _read_exact(inp, dir_len, "directory stream")
+    finally:
+        inp.close()
+    return restore_from_metadata(
+        meta, store, directory, directory_version=version
+    )
+
+
+def restore_from_metadata(
+    meta: dict,
+    store: PageStore,
+    directory: bytes | None = None,
+    *,
+    directory_version: int = 2,
+) -> Any:
+    """Rehydrate an index from its metadata dict over a populated store.
+
+    The shared back half of :func:`load_index` and WAL crash recovery
+    (:func:`repro.storage.wal.recover_index`): ``store`` already holds
+    the pages, ``meta`` is the :func:`index_metadata` dict, and
+    ``directory`` is the encoded directory stream for one-level schemes.
+    Both I/O ledgers are reset — a freshly restored index has performed
+    no accountable work yet.
+    """
     from repro.core import BMEHTree, BalancedBinaryTrie, MDEH, MEHTree
     from repro.core.ehash import ExtendibleHashFile
 
@@ -144,33 +271,23 @@ def load_index(path: str) -> Any:
         for cls in (MDEH, MEHTree, BMEHTree, BalancedBinaryTrie)
     }
     schemes["ExtendibleHashFile"] = ExtendibleHashFile
-    registry = default_registry()
-    with open(path, "rb") as inp:
-        magic, meta_len = _HEADER.unpack(inp.read(_HEADER.size))
-        if magic != _MAGIC:
-            raise StorageError(f"{path} is not an index snapshot")
-        meta = json.loads(inp.read(meta_len))
-        cls = schemes.get(meta["scheme"])
-        if cls is None:
-            raise SerializationError(f"unknown scheme {meta['scheme']!r}")
-        store = PageStore(MemoryBackend())
-        (page_count,) = struct.unpack("<I", inp.read(4))
-        pages = {}
-        for _ in range(page_count):
-            pid, length = struct.unpack("<QI", inp.read(12))
-            pages[pid] = registry.decode(inp.read(length))
-        for pid in sorted(pages):
-            # Preserve original ids: fill gaps with placeholders, drop them.
-            while store.pages_allocated < pid:
-                store.free(store.allocate(None))
-            store.allocate(pages[pid])
-        if meta["kind"] == "tree":
-            index = cls.__new__(cls)
-            _restore_tree(index, cls, meta, store)
-        else:
-            index = _restore_onelevel(cls, meta, store, inp)
-        index.store.stats.reset()
-        return index
+    cls = schemes.get(meta["scheme"])
+    if cls is None:
+        raise SerializationError(f"unknown scheme {meta['scheme']!r}")
+    if meta["kind"] == "tree":
+        index = cls.__new__(cls)
+        _restore_tree(index, cls, meta, store)
+    else:
+        if directory is None:
+            raise SerializationError(
+                f"one-level scheme {meta['scheme']} needs a directory stream"
+            )
+        index = _restore_onelevel(
+            cls, meta, store, directory, version=directory_version
+        )
+    index.store.stats.reset()
+    index.store.backend_stats.reset()
+    return index
 
 
 def _restore_tree(index: Any, cls: type, meta: dict, store: PageStore) -> None:
@@ -193,7 +310,9 @@ def _restore_tree(index: Any, cls: type, meta: dict, store: PageStore) -> None:
     index._num_keys = meta["num_keys"]
 
 
-def _restore_onelevel(cls: type, meta: dict, store: PageStore, inp) -> Any:
+def _restore_onelevel(
+    cls: type, meta: dict, store: PageStore, directory: bytes, version: int = 2
+) -> Any:
     from repro.core.ehash import ExtendibleHashFile
 
     if cls is ExtendibleHashFile:
@@ -212,8 +331,7 @@ def _restore_onelevel(cls: type, meta: dict, store: PageStore, inp) -> Any:
             dir_page_entries=meta["dir_page_entries"],
             element_granular_updates=meta["element_granular"],
         )
-    (dir_len,) = struct.unpack("<I", inp.read(4))
-    _decode_mdeh_directory(index, inp.read(dir_len))
+    _decode_directory(index, directory, version=version)
     index._data_pages = meta["data_pages"]
     index._num_keys = meta["num_keys"]
     return index

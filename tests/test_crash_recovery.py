@@ -1,0 +1,237 @@
+"""Chaos suite: kill a WAL-backed index at every injected fault point.
+
+Each scenario builds an index on a :class:`WALBackend` opened through a
+:class:`FaultInjector`, checkpointing at fixed operation boundaries
+while tracking which key set each checkpoint *attempted* to commit.
+The injector crashes the "machine" at a chosen physical operation — in
+fail-stop, torn-write, or lying-flush mode — after which the harness
+reopens the files with plain ``open`` and requires:
+
+* recovery succeeds (or reports "nothing ever committed" as ``None``);
+* the recovered index passes the full structural sanitizer;
+* its key set is **exactly** an attempted commit point — every
+  committed key searchable with its value, not one uncommitted key
+  leaked, no torn in-between state;
+* in fail-stop and torn mode, recovery never rolls back behind the
+  last checkpoint whose ``checkpoint()`` call returned — a returned
+  checkpoint means its COMMIT flush was honoured, so it is durable.
+
+The allowed set includes the checkpoint in flight at the crash: its
+COMMIT record may or may not have become durable before the failure
+(the commit-uncertainty window every WAL has).  In lying-flush mode any
+earlier commit point is allowed too — a disk that drops flushes can
+lose checkpoints wholesale; what survives is atomicity, not recency.
+
+Fault points are enumerated densely early (where the WAL bootstrap and
+first commits live) and on a stride beyond; set
+``REPRO_CHAOS_EXHAUSTIVE=1`` to sweep every physical operation of every
+scenario (minutes, not seconds).
+"""
+
+import os
+
+import pytest
+
+from repro.core import BMEHTree
+from repro.errors import CrashError, ReproError
+from repro.sanitize import check_structure
+from repro.storage import (
+    FaultInjector,
+    PageStore,
+    WALBackend,
+    checkpoint,
+    recover_index,
+)
+from repro.storage.faults import MODES
+from repro.storage.snapshot import load_index, save_index
+
+PAGE_SIZE = 8192
+EXHAUSTIVE = os.environ.get("REPRO_CHAOS_EXHAUSTIVE") == "1"
+
+
+def tree_on(path, injector=None, page_capacity=4):
+    opener = injector.open if injector else None
+    store = PageStore(WALBackend(path, page_size=PAGE_SIZE, opener=opener))
+    return BMEHTree(
+        dims=2, page_capacity=page_capacity, widths=16, store=store
+    )
+
+
+def spread_keys(n):
+    """Well-spread 16-bit key pairs (multiplicative hashing)."""
+    return [(i * 7919 % 65536, i * 104729 % 65536) for i in range(n)]
+
+
+def clustered_keys(n):
+    """Keys packed into one corner of the domain, so the hot region's
+    pages split over and over — the split storm."""
+    return [(i % 64, i // 64) for i in range(n)]
+
+
+def fault_points(total, dense, stride):
+    """Which physical ops to crash at: every early op (WAL bootstrap,
+    first commits), then a stride across the rest, then past the end
+    (the machine dies after a clean run)."""
+    if EXHAUSTIVE:
+        return list(range(1, total + 2))
+    points = set(range(1, min(dense, total) + 1))
+    points.update(range(dense, total + 1, stride))
+    points.update((total, total + 1))
+    return sorted(points)
+
+
+class Workload:
+    """One scripted build: insert keys, checkpoint every ``stride``
+    inserts, remembering each checkpoint's attempted commit key-set."""
+
+    def __init__(self, keys, stride):
+        self.keys = keys
+        self.stride = stride
+        self.attempts = [frozenset()]
+        self.completed = frozenset()
+
+    def run(self, path, injector=None):
+        self.attempts = [frozenset()]
+        self.completed = frozenset()
+        tree = tree_on(path, injector)
+        committed = frozenset()
+        staged = set()
+        for i, key in enumerate(self.keys):
+            tree.insert(key, i)
+            staged.add(key)
+            if (i + 1) % self.stride == 0:
+                committed = committed | staged
+                self.attempts.append(committed)
+                checkpoint(tree)
+                self.completed = committed
+                staged = set()
+        committed = committed | staged
+        self.attempts.append(committed)
+        checkpoint(tree)
+        self.completed = committed
+        return tree
+
+    def measure_ops(self, path):
+        """Total physical ops of a fault-free run (the crash schedule)."""
+        probe = FaultInjector()
+        self.run(path, probe)
+        return probe.ops
+
+
+def crash_at(workload, path, mode, fail_after, seed=11):
+    """Run the workload under injection; the machine always ends dead."""
+    injector = FaultInjector(fail_after=fail_after, mode=mode, seed=seed)
+    try:
+        workload.run(path, injector)
+        if not injector.crashed:
+            # fail_after beyond the run, or a lying disk whose grace
+            # outlived the workload: the machine still dies eventually.
+            injector.crash()
+    except CrashError:
+        pass
+
+
+def assert_recovers_to_commit_point(workload, path, mode, fail_after):
+    label = f"{mode}@{fail_after}"
+    recovered = recover_index(path, page_size=PAGE_SIZE)
+    if recovered is None:
+        got = frozenset()
+    else:
+        check_structure(recovered)
+        found = set()
+        for i, key in enumerate(workload.keys):
+            try:
+                if recovered.search(key) == i:
+                    found.add(key)
+            except ReproError:
+                pass
+        assert len(recovered) == len(found), (
+            f"{label}: index reports {len(recovered)} keys but only "
+            f"{len(found)} committed keys are searchable with their values"
+        )
+        got = frozenset(found)
+        recovered.store.close()
+    assert got in workload.attempts, (
+        f"{label}: recovered {len(got)} keys — not any attempted commit "
+        f"point (sizes {sorted(len(a) for a in workload.attempts)})"
+    )
+    if mode != "dropped-flush":
+        assert len(got) >= len(workload.completed), (
+            f"{label}: recovery rolled back to {len(got)} keys, behind "
+            f"the last completed checkpoint of {len(workload.completed)}"
+        )
+
+
+def sweep(workload, tmp_path, mode, dense, stride):
+    total = workload.measure_ops(str(tmp_path / "probe.db"))
+    for fail_after in fault_points(total, dense, stride):
+        path = str(tmp_path / f"crash-{mode}-{fail_after}.db")
+        crash_at(workload, path, mode, fail_after)
+        assert_recovers_to_commit_point(workload, path, mode, fail_after)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestInsertBuildChaos:
+    """The acceptance build: >= 2000 inserts, killed across its whole
+    physical-op range, must always recover sanitizer-clean with exactly
+    the committed keys."""
+
+    def test_small_build_dense_sweep(self, tmp_path, mode):
+        sweep(Workload(spread_keys(300), 25), tmp_path, mode,
+              dense=30, stride=61)
+
+    def test_acceptance_build_2000_inserts(self, tmp_path, mode):
+        sweep(Workload(spread_keys(2000), 100), tmp_path, mode,
+              dense=10, stride=487)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestSplitStormChaos:
+    """Clustered keys force cascades of page and node splits; a crash
+    mid-cascade is the hardest structural case for recovery."""
+
+    def test_split_storm(self, tmp_path, mode):
+        sweep(Workload(clustered_keys(600), 50), tmp_path, mode,
+              dense=20, stride=167)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestSnapshotSaveChaos:
+    """A crash during ``save_index`` must leave either a fully loadable
+    snapshot or one that fails with a named error — and must never
+    disturb the WAL-backed source index."""
+
+    def test_snapshot_save(self, tmp_path, mode):
+        path = str(tmp_path / "source.db")
+        keys = spread_keys(400)
+        tree = tree_on(path)
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        checkpoint(tree)
+
+        probe = FaultInjector()
+        save_index(tree, str(tmp_path / "probe.snap"), opener=probe.open)
+        for fail_after in fault_points(probe.ops, dense=10, stride=37):
+            snap = str(tmp_path / f"crash-{fail_after}.snap")
+            injector = FaultInjector(
+                fail_after=fail_after, mode=mode, seed=11
+            )
+            try:
+                save_index(tree, snap, opener=injector.open)
+                if not injector.crashed:
+                    injector.crash()
+            except CrashError:
+                pass
+            try:
+                back = load_index(snap)
+            except ReproError:
+                pass  # a named, catchable failure — never silent garbage
+            else:
+                assert len(back) == len(keys)
+                check_structure(back)
+
+        tree.store.close()
+        back = recover_index(path, page_size=PAGE_SIZE)
+        assert len(back) == len(keys)
+        check_structure(back)
+        back.store.close()

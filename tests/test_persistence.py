@@ -66,6 +66,10 @@ class TestSnapshotRoundtrip:
         save_index(index, path)
         back = load_index(path)
         assert back.store.stats.accesses == 0
+        # The physical ledger must reset too: loading allocates every
+        # page through the backend, and those bookkeeping writes would
+        # otherwise masquerade as measured I/O.
+        assert back.store.backend_stats.accesses == 0
 
 
 class TestSnapshotEdgeCases:
@@ -103,3 +107,83 @@ class TestSnapshotEdgeCases:
         back = load_index(path)
         assert back.xi == (2, 4)
         assert back._node_policy == "per_dim"
+
+
+class TestDeepDirectorySnapshots:
+    """Directory entries whose local depths exceed 8 bits of prefix.
+
+    Format version 1 packed each hash component as an unsigned byte, so
+    any prefix value above 255 silently wrapped; version 2 (the default)
+    widens the field, and a version-1 writer now rejects what it cannot
+    represent instead of corrupting it.
+    """
+
+    def deep_file(self):
+        f = ExtendibleHashFile(2, width=12)
+        for v in range(0, 4096, 3):
+            f.insert(v, v * 2)
+        # The regression regime: prefixes wider than one byte.
+        assert max(f._dir.depths) > 8
+        return f
+
+    def test_round_trip_beyond_8_bit_prefixes(self, tmp_path):
+        f = self.deep_file()
+        path = str(tmp_path / "deep.snap")
+        save_index(f, path)
+        back = load_index(path)
+        assert len(back) == len(f)
+        for v in range(0, 4096, 3):
+            assert back.search(v) == v * 2
+        back.check_invariants()
+
+    def test_v1_writer_rejects_unrepresentable_entries(self, tmp_path):
+        from repro.errors import SerializationError
+
+        f = ExtendibleHashFile(4, width=12)
+        for v in range(0, 4096, 61):
+            f.insert(v, v)
+        # Real local depths stay far below 255 (widths are capped at
+        # 64), but if that cap ever moves the v1 writer must fail
+        # loudly instead of wrapping the byte field.
+        f._dir.get_at(0).h[0] = 300
+        with pytest.raises(SerializationError):
+            save_index(f, str(tmp_path / "legacy.snap"), version=1)
+
+    def test_v1_snapshots_still_load(self, tmp_path):
+        f = ExtendibleHashFile(4, width=12)
+        for v in range(0, 4096, 61):
+            f.insert(v, -v)
+        path = str(tmp_path / "legacy.snap")
+        save_index(f, path, version=1)
+        with open(path, "rb") as fh:
+            assert fh.read(8) == b"BMEHSNAP"
+        back = load_index(path)
+        assert len(back) == len(f)
+        assert back.search(61) == -61
+        back.check_invariants()
+
+    def test_v2_magic_on_disk(self, tmp_path):
+        index = BMEHTree(2, 4, widths=8)
+        index.insert((1, 2), "v")
+        path = str(tmp_path / "v2.snap")
+        save_index(index, path)
+        with open(path, "rb") as fh:
+            assert fh.read(8) == b"BMEHSNP2"
+
+    def test_truncated_snapshot_raises_named_error(self, tmp_path):
+        from repro.errors import SerializationError
+
+        index = BMEHTree(2, 4, widths=8)
+        for i in range(40):
+            index.insert((i, i), i)
+        path = str(tmp_path / "cut.snap")
+        save_index(index, path)
+        size = len(open(path, "rb").read())
+        for cut in (10, size // 2, size - 3):
+            with open(path, "rb") as fh:
+                prefix = fh.read(cut)
+            cut_path = str(tmp_path / f"cut-{cut}.snap")
+            with open(cut_path, "wb") as fh:
+                fh.write(prefix)
+            with pytest.raises(SerializationError):
+                load_index(cut_path)

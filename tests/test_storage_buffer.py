@@ -297,3 +297,45 @@ class TestIndexOnPooledStore:
         b = sorted((c.prefixes, c.depths) for c in pooled.leaf_regions())
         assert a == b
         pooled.store.close()
+
+
+class TestFlushExceptionSafety:
+    """A mid-flush failure must leave exactly the unwritten frames dirty:
+    a retry then writes only those, never double-writing the frames that
+    already reached the backend."""
+
+    def build_store(self, tmp_path):
+        from repro.errors import SerializationError
+
+        backend = FileBackend(str(tmp_path / "flush.db"), page_size=256)
+        store = PageStore(backend, pool=BufferPool(8))
+        pids = [store.allocate(page_with((i, i))) for i in range(3)]
+        for pid in pids:
+            store.write(pid, page_with((pid, pid), "updated"))
+        oversized = DataPage(64)
+        for i in range(30):
+            oversized.put((i, 100 + i), "x" * 30)
+        store.write(pids[1], oversized)  # cannot fit a 256-byte slot
+        return backend, store, pids, SerializationError
+
+    def test_failed_flush_keeps_only_unwritten_dirty(self, tmp_path):
+        backend, store, pids, error = self.build_store(tmp_path)
+        with pytest.raises(error):
+            store.flush()
+        # pids[0] reached the backend before the failure; its dirty bit
+        # must be gone.  pids[1] (the failing frame) and pids[2] remain.
+        assert store.pool.dirty_ids() == {pids[1], pids[2]}
+        assert backend.load(pids[0]).get((pids[0], pids[0])) == "updated"
+
+    def test_retry_after_failure_does_not_double_write(self, tmp_path):
+        backend, store, pids, error = self.build_store(tmp_path)
+        with pytest.raises(error):
+            store.flush()
+        store.write(pids[1], page_with((pids[1], pids[1]), "fixed"))
+        writes_before_retry = store.backend_stats.writes
+        store.flush()
+        # Only the two still-dirty frames hit the backend on retry.
+        assert store.backend_stats.writes == writes_before_retry + 2
+        assert store.pool.dirty_ids() == set()
+        assert backend.load(pids[1]).get((pids[1], pids[1])) == "fixed"
+        assert backend.load(pids[2]).get((pids[2], pids[2])) == "updated"

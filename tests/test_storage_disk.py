@@ -289,3 +289,53 @@ class TestFileBackend:
         assert 0 in backend
         assert 7 not in backend
         assert list(backend.page_ids()) == [0]
+
+
+class TestWriteExistenceValidation:
+    """``write(pid, obj)`` on a page the store never allocated (or has
+    freed) must raise — not silently materialize a page behind the
+    allocator's back, desynchronizing ``page_count``/``pages_allocated``
+    from the backend."""
+
+    def test_write_object_to_never_allocated_id(self):
+        store = PageStore()
+        with pytest.raises(StorageError):
+            store.write(42, DataPage(2))
+        assert store.page_count == 0
+        assert 42 not in store
+
+    def test_write_object_to_freed_page(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        store.free(pid)
+        with pytest.raises(StorageError):
+            store.write(pid, DataPage(2))
+        assert store.page_count == 0
+
+    def test_write_object_to_never_allocated_id_on_file(self, tmp_path):
+        backend = FileBackend(str(tmp_path / "w.db"), page_size=4096)
+        store = PageStore(backend)
+        store.allocate(DataPage(2))
+        with pytest.raises(StorageError):
+            store.write(9, DataPage(2))
+        assert store.page_count == 1
+        assert 9 not in backend
+
+    def test_write_object_to_missing_page_with_pool(self, tmp_path):
+        from repro.storage import BufferPool
+
+        backend = FileBackend(str(tmp_path / "wp.db"), page_size=4096)
+        store = PageStore(backend, pool=BufferPool(4))
+        with pytest.raises(StorageError):
+            store.write(3, DataPage(2))
+        store.flush()
+        assert 3 not in backend
+        assert store.page_count == 0
+
+    def test_write_to_live_page_still_works(self):
+        store = PageStore()
+        pid = store.allocate(DataPage(2))
+        replacement = DataPage(2)
+        replacement.put((5, 5), "new")
+        store.write(pid, replacement)
+        assert store.read(pid).get((5, 5)) == "new"

@@ -1,0 +1,262 @@
+"""Unit tests for the write-ahead log backend and its recovery protocol."""
+
+import os
+
+import pytest
+
+from repro.errors import SerializationError, StorageError
+from repro.sanitize import check_structure
+from repro.storage import (
+    DataPage,
+    PageStore,
+    WALBackend,
+    checkpoint,
+    recover_index,
+)
+from repro.core import BMEHTree
+from repro.storage.wal import _OP_STORE, _REC_CRC, _REC_HEAD
+
+
+def page(*records):
+    p = DataPage(capacity=max(4, len(records)))
+    for key, value in records:
+        p.put(key, value)
+    return p
+
+
+def records_of(backend, pid):
+    return dict(backend.load(pid).items())
+
+
+class TestWALBasics:
+    def test_round_trip_through_close(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        backend = WALBackend(path)
+        backend.store(0, page(((1, 2), "a")))
+        backend.store(1, page(((3, 4), "b")))
+        backend.flush()
+        backend.close()
+        back = WALBackend(path)
+        assert records_of(back, 0) == {(1, 2): "a"}
+        assert records_of(back, 1) == {(3, 4): "b"}
+        assert list(back.page_ids()) == [0, 1]
+        back.close()
+
+    def test_uncommitted_reads_come_from_overlay(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.store(5, page(((9, 9), "x")))
+        assert 5 in backend
+        assert records_of(backend, 5) == {(9, 9): "x"}
+        # The page file underneath has not been touched yet.
+        assert 5 not in backend.inner
+        backend.flush()
+        assert 5 in backend.inner
+        backend.close()
+
+    def test_load_returns_fresh_objects(self, tmp_path):
+        """Mutating a loaded object must not leak into the overlay —
+        byte-backend semantics."""
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.store(0, page(((1, 1), "v")))
+        loaded = backend.load(0)
+        loaded.put((2, 2), "w")
+        assert records_of(backend, 0) == {(1, 1): "v"}
+        backend.close()
+
+    def test_discard_tombstones_until_checkpoint(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.store(0, page(((1, 1), "v")))
+        backend.flush()
+        backend.discard(0)
+        assert 0 not in backend
+        assert 0 in backend.inner  # still live underneath until commit
+        with pytest.raises(StorageError):
+            backend.load(0)
+        backend.flush()
+        assert 0 not in backend.inner
+        backend.close()
+
+    def test_discard_of_unknown_page_rejected(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        with pytest.raises(StorageError):
+            backend.discard(7)
+        backend.close()
+
+    def test_oversized_image_rejected_at_store_time(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"), page_size=128)
+        big = DataPage(capacity=64)
+        for i in range(40):
+            big.put((i, i), "x" * 20)
+        with pytest.raises(SerializationError):
+            backend.store(0, big)
+        backend.close()
+
+    def test_auto_checkpoint_every_n_ops(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"), checkpoint_every=3)
+        for pid in range(7):
+            backend.store(pid, page(((pid, pid), "v")))
+        assert backend.checkpoints == 2
+        assert backend.pending_store_ids() == {6}
+        backend.close()
+
+    def test_checkpoint_every_validated(self, tmp_path):
+        with pytest.raises(StorageError):
+            WALBackend(str(tmp_path / "pages.db"), checkpoint_every=0)
+
+
+class TestWALRecovery:
+    def test_uncommitted_tail_discarded(self, tmp_path):
+        """Stores never followed by a commit must vanish on reopen."""
+        path = str(tmp_path / "pages.db")
+        backend = WALBackend(path)
+        backend.store(0, page(((1, 1), "committed")))
+        backend.flush()
+        orphan = backend.inner.registry.encode(page(((2, 2), "orphan")))
+        backend.close()
+        # A crash right after an append leaves a valid record with no
+        # commit behind it: exactly this file state.
+        with open(path + ".wal", "ab") as f:
+            f.write(WALBackend._record(_OP_STORE, 1, orphan))
+        back = WALBackend(path)
+        assert list(back.page_ids()) == [0]
+        assert back.discarded_tail_ops == 1
+        back.close()
+
+    def test_torn_slot_repaired_from_wal(self, tmp_path):
+        """A crash during the apply phase of a checkpoint — COMMIT
+        durable, CHECKPOINT marker not — leaves a torn page-file slot
+        that recovery must heal from the committed image."""
+        path = str(tmp_path / "pages.db")
+        backend = WALBackend(path, page_size=512)
+        backend.store(0, page(((1, 1), "good")))
+        backend.flush()
+        backend.close()
+        # Drop the trailing CHECKPOINT marker: the WAL now reads as a
+        # commit whose apply never finished.
+        ckpt_size = _REC_HEAD.size + _REC_CRC.size
+        wal_size = os.path.getsize(path + ".wal")
+        with open(path + ".wal", "r+b") as f:
+            f.truncate(wal_size - ckpt_size)
+        # Tear the slot the apply was writing.
+        with open(path, "r+b") as f:
+            f.seek(8 + 50)  # inside slot 0's image
+            f.write(b"\xff" * 64)
+        back = WALBackend(path, page_size=512)
+        assert back.replayed_ops == 1
+        assert records_of(back, 0) == {(1, 1): "good"}
+        back.close()
+
+    def test_garbage_wal_tail_ignored(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        backend = WALBackend(path)
+        backend.store(0, page(((1, 1), "v")))
+        backend.flush()
+        backend.close()
+        with open(path + ".wal", "ab") as f:
+            f.write(b"\x07garbage-that-is-not-a-record")
+        back = WALBackend(path)
+        assert records_of(back, 0) == {(1, 1): "v"}
+        back.close()
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        WALBackend(path).close()
+        with open(path + ".wal", "r+b") as f:
+            f.write(b"NOTAWAL!")
+        with pytest.raises(StorageError):
+            WALBackend(path)
+
+    def test_replay_is_idempotent(self, tmp_path):
+        """Recovering twice (crash during recovery's apply phase) is safe."""
+        path = str(tmp_path / "pages.db")
+        backend = WALBackend(path)
+        backend.store(0, page(((1, 1), "v")))
+        backend.store(1, page(((2, 2), "w")))
+        backend.discard(0)
+        backend.flush()
+        backend.close()
+        wal_bytes = open(path + ".wal", "rb").read()
+        for _ in range(2):  # re-present the same WAL twice
+            with open(path + ".wal", "wb") as f:
+                f.write(wal_bytes)
+            back = WALBackend(path)
+            assert list(back.page_ids()) == [1]
+            back.close()
+
+
+class TestWALCoherence:
+    def test_sanitizer_accepts_live_wal_tree(self, tmp_path):
+        store = PageStore(WALBackend(str(tmp_path / "t.db"), page_size=8192))
+        tree = BMEHTree(dims=2, page_capacity=4, widths=16, store=store)
+        for i in range(150):
+            tree.insert((i * 7919 % 65536, i * 104729 % 65536), i)
+        check_structure(tree)  # mid-transaction: overlay has pending ops
+        checkpoint(tree)
+        check_structure(tree)  # post-checkpoint: overlay empty
+        store.close()
+
+    def test_page_ids_patched_by_overlay(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.store(0, page(((1, 1), "a")))
+        backend.store(1, page(((2, 2), "b")))
+        backend.flush()
+        backend.discard(0)
+        backend.store(2, page(((3, 3), "c")))
+        assert list(backend.page_ids()) == [1, 2]
+        assert backend.pending_store_ids() == {2}
+        assert backend.pending_discard_ids() == {0}
+        backend.close()
+
+
+class TestIndexCheckpointRecover:
+    def test_checkpoint_then_recover(self, tmp_path):
+        path = str(tmp_path / "tree.db")
+        store = PageStore(WALBackend(path, page_size=8192))
+        tree = BMEHTree(dims=2, page_capacity=4, widths=16, store=store)
+        keys = [(i * 7919 % 65536, i * 104729 % 65536) for i in range(300)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        checkpoint(tree)
+        store.backend.close()
+        back = recover_index(path, page_size=8192)
+        assert len(back) == len(keys)
+        for i, key in enumerate(keys):
+            assert back.search(key) == i
+        check_structure(back)
+
+    def test_recovered_index_keeps_working(self, tmp_path):
+        path = str(tmp_path / "tree.db")
+        store = PageStore(WALBackend(path, page_size=8192))
+        tree = BMEHTree(dims=2, page_capacity=4, widths=16, store=store)
+        for i in range(100):
+            tree.insert((i * 31 % 4096, i * 97 % 4096), i)
+        checkpoint(tree)
+        store.backend.close()
+        back = recover_index(path, page_size=8192)
+        for i in range(100, 200):
+            back.insert((i * 31 % 4096, i * 97 % 4096), i)
+        assert len(back) == 200
+        check_structure(back)
+        checkpoint(back)
+        back.store.backend.close()
+        again = recover_index(path, page_size=8192)
+        assert len(again) == 200
+        check_structure(again)
+
+    def test_recover_without_any_checkpoint_returns_none(self, tmp_path):
+        path = str(tmp_path / "tree.db")
+        backend = WALBackend(path)
+        backend.store(0, page(((1, 1), "v")))  # never committed
+        del backend  # no close(): nothing reaches the WAL durably
+        assert recover_index(path) is None
+
+    def test_checkpoint_requires_wal_backend(self):
+        tree = BMEHTree(dims=2, page_capacity=4, widths=8)
+        tree.insert((1, 2), "v")
+        with pytest.raises(StorageError):
+            checkpoint(tree)
+
+    def test_wal_file_created_next_to_page_file(self, tmp_path):
+        path = str(tmp_path / "pages.db")
+        WALBackend(path).close()
+        assert os.path.exists(path + ".wal")
