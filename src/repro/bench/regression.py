@@ -44,10 +44,17 @@ from repro.bench.harness import (
     make_index,
 )
 from repro.analysis.metrics import measure_run
+from repro.bench.batched import (
+    batched_efficiency_failures,
+    parallel_consistency_failures,
+    run_batched_cell,
+    run_parallel_range_cell,
+)
 from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
 BACKENDS = ("memory", "file", "file+pool", "file+wal")
+MODES = ("single", "batched", "rangepar")
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -59,30 +66,56 @@ _WORSE_IF_HIGHER = (
     "logical_writes",
     "backend_reads",
     "backend_writes",
+    # batched cells
+    "single_logical_reads",
+    "single_logical_writes",
+    "batched_logical_reads",
+    "batched_logical_writes",
+    "batched_backend_reads",
+    "batched_backend_writes",
+    "batched_wal_commits",
+    "lambda_single_op",
+    "lambda_batched_op",
+    # rangepar cells
+    "serial_logical_reads",
+    "parallel_logical_reads",
+    "parallel_backend_reads",
+    "rangepar_mismatches",
 )
 #: Gated metrics where a *smaller* current value is a regression.
-_WORSE_IF_LOWER = ("alpha", "hit_rate")
+_WORSE_IF_LOWER = ("alpha", "hit_rate", "read_saving", "rangepar_records")
 
 
 @dataclasses.dataclass(frozen=True)
 class BenchCell:
-    """One benchmark configuration."""
+    """One benchmark configuration.
+
+    ``mode`` selects the measurement protocol: ``single`` is the classic
+    op-at-a-time table/figure cell; ``batched`` measures the same
+    workload's probe batch through ``insert_many`` against op-at-a-time
+    singles; ``rangepar`` measures the parallel range scanner against the
+    serial one.
+    """
 
     experiment: str
     scheme: str
     page_capacity: int = 8
     backend: str = "memory"
+    mode: str = "single"
 
     @property
     def kind(self) -> str:
+        if self.mode != "single":
+            return self.mode
         return "figure" if self.experiment in FIGURE_EXPERIMENTS else "table"
 
     @property
     def label(self) -> str:
-        return (
+        base = (
             f"{self.experiment}/{self.scheme}/"
             f"b={self.page_capacity}/{self.backend}"
         )
+        return base if self.mode == "single" else f"{base}/{self.mode}"
 
 
 #: The committed-baseline suite: the paper's table2 workload across all
@@ -97,6 +130,13 @@ DEFAULT_CELLS = (
     BenchCell("table2", "BMEHTree", backend="file+pool"),
     BenchCell("table2", "BMEHTree", backend="file+wal"),
     BenchCell("fig6", "BMEHTree"),
+    # The batched execution engine's gated claims: shared-prefix descent
+    # amortization (memory + MDEH), group commit on the WAL backend, and
+    # parallel-scan consistency over the buffer-managed file.
+    BenchCell("table2", "BMEHTree", mode="batched"),
+    BenchCell("table2", "BMEHTree", backend="file+wal", mode="batched"),
+    BenchCell("table2", "MDEH", mode="batched"),
+    BenchCell("table2", "BMEHTree", backend="file+pool", mode="rangepar"),
 )
 
 
@@ -133,10 +173,47 @@ def run_cell(
     pool_capacity: int = 256,
     page_size: int = 8192,
     growth_checkpoints: int = 16,
+    batch_size: int | None = None,
+    parallelism: int | None = None,
 ) -> dict:
     """Measure one cell; returns a JSON-ready result record."""
     experiment = _experiment(cell.experiment)
     n = n or experiment_scale()
+    if cell.mode != "single":
+        from repro.bench.batched import (
+            DEFAULT_BATCH_SIZE,
+            DEFAULT_PARALLELISM,
+        )
+
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+            counter = iter(range(1_000_000))
+
+            def make_store() -> PageStore:
+                # Fresh subdirectory per store: the batched cell builds
+                # two identically-configured structures in one workdir.
+                sub = os.path.join(workdir, f"arm{next(counter)}")
+                os.makedirs(sub, exist_ok=True)
+                return _make_store(cell.backend, sub, page_size, pool_capacity)
+
+            if cell.mode == "batched":
+                return run_batched_cell(
+                    cell,
+                    experiment,
+                    make_store,
+                    n,
+                    batch_size=batch_size or DEFAULT_BATCH_SIZE,
+                )
+            if cell.mode == "rangepar":
+                return run_parallel_range_cell(
+                    cell,
+                    experiment,
+                    make_store,
+                    n,
+                    parallelism=parallelism or DEFAULT_PARALLELISM,
+                )
+            raise ValueError(
+                f"unknown bench mode {cell.mode!r}; choose from {MODES}"
+            )
     inserted, probes = _split_stream(experiment, n)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
         store = _make_store(cell.backend, workdir, page_size, pool_capacity)
@@ -163,6 +240,7 @@ def run_cell(
                 "scheme": cell.scheme,
                 "b": cell.page_capacity,
                 "backend": cell.backend,
+                "mode": cell.mode,
                 "kind": cell.kind,
                 "n": len(inserted),
                 "wall_seconds": round(wall_seconds, 4),
@@ -197,6 +275,8 @@ def run_cells(
     pool_capacity: int = 256,
     page_size: int = 8192,
     progress=None,
+    batch_size: int | None = None,
+    parallelism: int | None = None,
 ) -> list[dict]:
     """Measure every cell (``progress`` is called with each label)."""
     results = []
@@ -205,7 +285,12 @@ def run_cells(
             progress(cell.label)
         results.append(
             run_cell(
-                cell, n=n, pool_capacity=pool_capacity, page_size=page_size
+                cell,
+                n=n,
+                pool_capacity=pool_capacity,
+                page_size=page_size,
+                batch_size=batch_size,
+                parallelism=parallelism,
             )
         )
     return results
@@ -220,6 +305,8 @@ def pool_efficiency_failures(results: Sequence[Mapping]) -> list[str]:
     """
     by_key: dict[tuple, dict[str, Mapping]] = {}
     for result in results:
+        if result.get("mode", "single") != "single":
+            continue  # batched/rangepar cells have their own gates
         key = (result["experiment"], result["scheme"], result["b"])
         by_key.setdefault(key, {})[result["backend"]] = result
     failures = []
@@ -260,6 +347,8 @@ def wal_transparency_failures(results: Sequence[Mapping]) -> list[str]:
     )
     by_key: dict[tuple, dict[str, Mapping]] = {}
     for result in results:
+        if result.get("mode", "single") != "single":
+            continue  # batched/rangepar cells have their own gates
         key = (result["experiment"], result["scheme"], result["b"])
         by_key.setdefault(key, {})[result["backend"]] = result
     failures = []
@@ -317,6 +406,7 @@ def _cell_of(result: Mapping) -> BenchCell:
         scheme=result["scheme"],
         page_capacity=result["b"],
         backend=result["backend"],
+        mode=result.get("mode", "single"),
     )
 
 
@@ -372,6 +462,8 @@ def compare_with_baseline(
             n=base["n"],
             pool_capacity=baseline.get("pool_capacity", 256),
             page_size=baseline.get("page_size", 8192),
+            batch_size=base.get("batch_size"),
+            parallelism=base.get("parallelism"),
         )
         current_results.append(current)
         for name in (*_WORSE_IF_HIGHER, *_WORSE_IF_LOWER):
@@ -403,29 +495,92 @@ def compare_with_baseline(
                 )
     failures.extend(pool_efficiency_failures(current_results))
     failures.extend(wal_transparency_failures(current_results))
+    failures.extend(batched_efficiency_failures(current_results))
+    failures.extend(parallel_consistency_failures(current_results))
     return failures, current_results
 
 
 def format_results(results: Sequence[Mapping]) -> str:
-    """Render bench cells as an aligned summary table."""
-    header = (
-        f"{'cell':<38}{'λ':>7}{'λ′':>7}{'ρ':>8}{'σ':>9}"
-        f"{'log R/W':>14}{'phys R/W':>14}{'hit':>7}{'wall s':>9}"
-    )
-    lines = [header, "-" * len(header)]
-    for result in results:
-        m = result["metrics"]
-        label = (
-            f"{result['experiment']}/{result['scheme']}"
-            f"/b={result['b']}/{result['backend']}"
+    """Render bench cells as aligned summary tables (one per mode)."""
+    singles = [r for r in results if r.get("mode", "single") == "single"]
+    batched = [r for r in results if r.get("mode") == "batched"]
+    rangepar = [r for r in results if r.get("mode") == "rangepar"]
+    sections: list[str] = []
+    if singles:
+        header = (
+            f"{'cell':<38}{'λ':>7}{'λ′':>7}{'ρ':>8}{'σ':>9}"
+            f"{'log R/W':>14}{'phys R/W':>14}{'hit':>7}{'wall s':>9}"
         )
-        hit = f"{m['hit_rate']:.1%}" if m["hit_rate"] is not None else "--"
-        lines.append(
-            f"{label:<38}"
-            f"{m['lambda']:>7.3f}{m['lambda_prime']:>7.3f}{m['rho']:>8.3f}"
-            f"{m['sigma']:>9d}"
-            f"{m['logical_reads']:>7d}/{m['logical_writes']:<6d}"
-            f"{m['backend_reads']:>7d}/{m['backend_writes']:<6d}"
-            f"{hit:>7}{result['wall_seconds']:>9.3f}"
+        lines = [header, "-" * len(header)]
+        for result in singles:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+            )
+            hit = (
+                f"{m['hit_rate']:.1%}" if m["hit_rate"] is not None else "--"
+            )
+            lines.append(
+                f"{label:<38}"
+                f"{m['lambda']:>7.3f}{m['lambda_prime']:>7.3f}{m['rho']:>8.3f}"
+                f"{m['sigma']:>9d}"
+                f"{m['logical_reads']:>7d}/{m['logical_writes']:<6d}"
+                f"{m['backend_reads']:>7d}/{m['backend_writes']:<6d}"
+                f"{hit:>7}{result['wall_seconds']:>9.3f}"
+            )
+        sections.append("\n".join(lines))
+    if batched:
+        header = (
+            f"{'batched cell':<44}{'λ 1-at-a-time':>14}{'λ batched':>11}"
+            f"{'saving':>8}{'commits 1/b':>13}{'phys R/W':>12}"
         )
-    return "\n".join(lines)
+        lines = [header, "-" * len(header)]
+        for result in batched:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/batch={result['batch_size']}"
+            )
+            commits = (
+                f"{m['single_wal_commits']}/{m['batched_wal_commits']}"
+                if m["batched_wal_commits"] is not None
+                else "--"
+            )
+            lines.append(
+                f"{label:<44}"
+                f"{m['lambda_single_op']:>14.3f}"
+                f"{m['lambda_batched_op']:>11.3f}"
+                f"{m['read_saving']:>8.1%}"
+                f"{commits:>13}"
+                f"{m['batched_backend_reads']:>6d}/"
+                f"{m['batched_backend_writes']:<5d}"
+            )
+        sections.append("\n".join(lines))
+    if rangepar:
+        header = (
+            f"{'parallel-range cell':<44}{'tasks':>7}{'records':>9}"
+            f"{'log serial/par':>16}{'phys R':>8}{'match':>7}"
+            f"{'wall s/p':>14}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in rangepar:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/p={result['parallelism']}"
+            )
+            walls = result["arm_wall_seconds"]
+            lines.append(
+                f"{label:<44}"
+                f"{m['rangepar_tasks']:>7d}{m['rangepar_records']:>9d}"
+                f"{m['serial_logical_reads']:>8d}/"
+                f"{m['parallel_logical_reads']:<7d}"
+                f"{m['parallel_backend_reads']:>8d}"
+                f"{'yes' if not m['rangepar_mismatches'] else 'NO':>7}"
+                f"{walls['serial']:>7.3f}/{walls['parallel']:<6.3f}"
+            )
+        sections.append("\n".join(lines))
+    return "\n\n".join(sections)

@@ -107,6 +107,84 @@ def from_bitstring(bits: str) -> tuple[int, int]:
     return (int(bits, 2) if bits else 0), len(bits)
 
 
+#: Widest dimensionality served by the table-driven Morton fast path.
+#: Beyond d=4 the spread tables stop paying for their cache footprint
+#: and the generic loop takes over.
+_TABLE_DIMS = 4
+_SPREAD_TABLES: "dict[int, tuple[int, ...]]" = {}
+_GATHER_TABLES: "dict[int, tuple[tuple[int, ...], ...]]" = {}
+
+
+def _spread_table(dims: int) -> "tuple[int, ...]":
+    """256-entry table mapping a byte to its bits spread ``dims`` apart
+    (bit ``i`` of the byte lands at bit ``dims * i``), built lazily."""
+    table = _SPREAD_TABLES.get(dims)
+    if table is None:
+        table = tuple(
+            sum(((byte >> i) & 1) << (dims * i) for i in range(8))
+            for byte in range(256)
+        )
+        _SPREAD_TABLES[dims] = table
+    return table
+
+
+def _gather_tables(dims: int) -> "tuple[tuple[int, ...], ...]":
+    """Per-offset compaction tables inverting :func:`_spread_table`.
+
+    ``tables[off][byte]`` collects the bits of ``byte`` at positions
+    ``off, off + dims, ...`` into a contiguous value.  The offset wheel
+    is needed because 8 is not generally a multiple of ``dims``: the
+    wanted-bit phase shifts from one byte of the input to the next.
+    """
+    tables = _GATHER_TABLES.get(dims)
+    if tables is None:
+        tables = tuple(
+            tuple(
+                sum(
+                    ((byte >> pos) & 1) << t
+                    for t, pos in enumerate(range(off, 8, dims))
+                )
+                for byte in range(256)
+            )
+            for off in range(dims)
+        )
+        _GATHER_TABLES[dims] = tables
+    return tables
+
+
+def _interleave_bytes(codes: "tuple[int, ...]", dims: int) -> int:
+    """Equal-width Morton interleave, one table lookup per input byte."""
+    table = _spread_table(dims)
+    step = 8 * dims
+    result = 0
+    for j, code in enumerate(codes):
+        spread = 0
+        shift = 0
+        while code:
+            spread |= table[code & 0xFF] << shift
+            code >>= 8
+            shift += step
+        result |= spread << (dims - 1 - j)
+    return result
+
+
+def _deinterleave_bytes(value: int, dims: int, width: int) -> "tuple[int, ...]":
+    """Invert :func:`_interleave_bytes` via the per-offset gather wheel."""
+    tables = _gather_tables(dims)
+    codes = []
+    for j in range(dims):
+        lane = value >> (dims - 1 - j)
+        code = 0
+        k = 0
+        while lane:
+            off = (-8 * k) % dims
+            code |= tables[off][lane & 0xFF] << ((8 * k + dims - 1) // dims)
+            lane >>= 8
+            k += 1
+        codes.append(code & low_mask(width))
+    return tuple(codes)
+
+
 def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
     """Bit-interleave key components into one z-order value.
 
@@ -116,10 +194,18 @@ def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
     exhausted-axis skipping of the split rule).  Records sorted by this
     value visit the index's regions in contiguous runs — the locality
     order of Orenstein and Merrett, which the paper cites — making it
-    the natural input order for streaming loads.
+    the natural input order for streaming loads (and the batch order of
+    the ``*_many`` executors).
+
+    Equal-width keys of up to :data:`_TABLE_DIMS` dimensions take a
+    byte-at-a-time path over precomputed spread tables; unequal widths
+    (where exhausted axes drop out of the rotation) use the bit loop.
     """
     if len(codes) != len(widths):
         raise ValueError("one code per width required")
+    dims = len(widths)
+    if 1 <= dims <= _TABLE_DIMS and min(widths) == max(widths):
+        return _interleave_bytes(codes, dims)
     result = 0
     for position in range(1, max(widths) + 1):
         for code, width in zip(codes, widths):
@@ -130,6 +216,9 @@ def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
 
 def deinterleave(value: int, widths: "tuple[int, ...]") -> "tuple[int, ...]":
     """Invert :func:`interleave`."""
+    dims = len(widths)
+    if 1 <= dims <= _TABLE_DIMS and min(widths) == max(widths):
+        return _deinterleave_bytes(value, dims, widths[0])
     total = sum(widths)
     codes = [0] * len(widths)
     consumed = 0

@@ -7,10 +7,13 @@ Commands:
 * ``figures [--figure 6|7] [--n N]`` — the directory-growth series;
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
-* ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]`` —
-  run the benchmark suite over memory / file / file+pool storage
-  configurations, write a ``BENCH_*.json`` baseline, or gate against a
-  committed one (exit 1 on regressions);
+* ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]
+  [--modes single batched rangepar] [--batch-size K] [--parallelism P]``
+  — run the benchmark suite over memory / file / file+pool / file+wal
+  storage configurations, including the batched-execution cells
+  (``insert_many`` + group commit vs op-at-a-time) and the parallel
+  range-scanner cells, write a ``BENCH_*.json`` baseline, or gate
+  against a committed one (exit 1 on regressions);
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``check [--n N] [--seed S]`` — lint plus a sanitizer-instrumented
@@ -138,6 +141,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.batched import (
+        batched_efficiency_failures,
+        parallel_consistency_failures,
+    )
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
@@ -185,21 +192,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"(tolerance {args.tolerance:.1%})")
         return 0
 
-    if args.experiments or args.schemes or args.backends:
+    if args.experiments or args.schemes or args.backends or args.modes:
         experiments = args.experiments or ["table2"]
         schemes = args.schemes or ["MDEH", "MEHTree", "BMEHTree"]
         backends = args.backends or ["memory"]
+        modes = args.modes or ["single"]
         cells = tuple(
-            BenchCell(e, s, args.page_capacity, backend)
+            BenchCell(e, s, args.page_capacity, backend, mode)
             for e in experiments
             for s in schemes
             for backend in backends
+            for mode in modes
         )
     else:
         cells = DEFAULT_CELLS
     n = args.n or experiment_scale()
     results = run_cells(
-        cells, n=n, pool_capacity=args.pool_capacity, progress=progress
+        cells,
+        n=n,
+        pool_capacity=args.pool_capacity,
+        progress=progress,
+        batch_size=args.batch_size,
+        parallelism=args.parallelism,
     )
     print()
     print(format_results(results))
@@ -208,6 +222,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nwrote {out}")
     failures = pool_efficiency_failures(results)
     failures.extend(wal_transparency_failures(results))
+    failures.extend(batched_efficiency_failures(results))
+    failures.extend(parallel_consistency_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
@@ -349,6 +365,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="table2/table3/table4/fig6/fig7 "
                             "(default: the committed-baseline suite)")
     bench.add_argument("--schemes", nargs="+", default=None)
+    bench.add_argument("--modes", nargs="+", default=None,
+                       choices=["single", "batched", "rangepar"],
+                       help="measurement protocols for ad-hoc cells")
+    bench.add_argument("--batch-size", type=int, default=None,
+                       help="keys per measured batch in batched cells "
+                            "(default 64)")
+    bench.add_argument("--parallelism", type=int, default=None,
+                       help="thread-pool width for rangepar cells "
+                            "(default 4)")
     bench.add_argument("--backends", nargs="+", default=None,
                        choices=["memory", "file", "file+pool", "file+wal"])
     bench.add_argument("-b", "--page-capacity", type=int, default=8)

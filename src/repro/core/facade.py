@@ -71,6 +71,28 @@ class MultiKeyFile:
     def delete(self, key: Sequence[Any]) -> Any:
         return self._index.delete(self._codec.encode(key))
 
+    def insert_many(
+        self, pairs: Sequence[tuple[Sequence[Any], Any]]
+    ) -> int:
+        """Batched insert: encode each key and delegate to the index's
+        batch executor (z-order walk, shared-prefix descent, one group
+        commit).  Returns the number of records inserted."""
+        return self._index.insert_many(
+            [(self._codec.encode(key), value) for key, value in pairs]
+        )
+
+    def search_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
+        """Batched exact-match search; results in input order."""
+        return self._index.search_many(
+            [self._codec.encode(key) for key in keys]
+        )
+
+    def delete_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
+        """Batched delete; returns the removed values in input order."""
+        return self._index.delete_many(
+            [self._codec.encode(key) for key in keys]
+        )
+
     def __contains__(self, key: Sequence[Any]) -> bool:
         return self._codec.encode(key) in self._index
 
@@ -78,14 +100,26 @@ class MultiKeyFile:
         self,
         lows: Sequence[Any | None],
         highs: Sequence[Any | None],
+        parallelism: int | None = None,
     ) -> Iterator[tuple[tuple[Any, ...], Any]]:
         """Partial-range retrieval over attribute values.
 
         ``None`` bounds leave a side unconstrained.  Yields
-        ``(decoded key, value)`` pairs.
+        ``(decoded key, value)`` pairs.  ``parallelism`` > 1 fans the
+        per-page leaf scans across a thread pool (see
+        :func:`repro.core.rangequery.scan_parallel`); the merged output
+        is identical to the serial scan.
         """
         lo_codes, hi_codes = self._codec.encode_range(lows, highs)
-        for codes, value in self._index.range_search(lo_codes, hi_codes):
+        if parallelism is not None and parallelism > 1:
+            from repro.core.rangequery import scan_parallel
+
+            records: Iterator[tuple[tuple[int, ...], Any]] = iter(
+                scan_parallel(self._index, lo_codes, hi_codes, parallelism)
+            )
+        else:
+            records = self._index.range_search(lo_codes, hi_codes)
+        for codes, value in records:
             yield self._codec.decode(codes), value
 
     def items(self) -> Iterator[tuple[tuple[Any, ...], Any]]:

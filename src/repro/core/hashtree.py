@@ -158,11 +158,39 @@ class HashTreeBase(MultidimensionalIndex):
 
     def _descend(self, codes: KeyCodes) -> list[_Step]:
         """Root-to-leaf path for ``codes`` (charged node reads)."""
+        return self._descend_cached(codes, ())
+
+    def _descend_cached(
+        self, codes: KeyCodes, cache: Sequence[_Step]
+    ) -> list[_Step]:
+        """Root-to-leaf descent reusing the shared prefix of a prior path.
+
+        ``cache`` is the path of the *previous* descent (a z-order
+        neighbour, or this key's own path before a leaf-local retry).
+        While the walk visits the same node ids in the same order, the
+        cached node objects are reused without a charged
+        :meth:`PageStore.read` — the batch holds its shared directory
+        spine in the working set, which is exactly the amortization the
+        batched executors measure.  At the first divergence the cache is
+        abandoned and every node below is read (and charged) fresh.
+
+        Anchors and entries are always recomputed from the live node
+        object, so in-place node mutations (region refinement, page
+        fills) never stale the cache; callers must drop the cache after
+        any step that *replaces* node objects or re-roots the tree
+        (``_grow_directory``, delete-side collapses).
+        """
         path: list[_Step] = []
         node_id = self._root_id
         consumed = (0,) * self._dims
+        live = True
         while True:
-            node = self._store.read(node_id)
+            depth = len(path)
+            if live and depth < len(cache) and cache[depth].node_id == node_id:
+                node = cache[depth].node
+            else:
+                live = False
+                node = self._store.read(node_id)
             anchor = self._cell_index(codes, consumed, node.array.depths)
             entry = node.array[anchor]
             path.append(_Step(node_id, node, anchor, entry, consumed))
@@ -187,29 +215,50 @@ class HashTreeBase(MultidimensionalIndex):
     def insert(self, key: Sequence[int], value: Any = None) -> None:
         codes = self._check_key(key)
         with self._store.operation():
-            while True:
-                path = self._descend(codes)
-                leaf = path[-1]
-                entry = leaf.entry
-                if entry.ptr is None:
-                    self._fill_nil_region(leaf)
-                    continue  # re-descend into the fresh structure
-                page = self._store.read(entry.ptr)
-                if codes in page:
-                    raise DuplicateKeyError(f"key {codes} already present")
-                if not page.is_full:
-                    page.put(codes, value)
-                    self._store.write(entry.ptr, page)
-                    self._num_keys += 1
-                    return
-                total = [
-                    leaf.consumed[j] + entry.h[j] for j in range(self._dims)
-                ]
-                m = self._next_split_dim(entry.m, total)
-                if self._refinable(leaf.node, entry, m):
-                    self._split_and_refine(leaf, m, total[m] + 1, page)
-                else:
-                    self._grow_directory(path, m)
+            self._insert_once(codes, value, ())
+
+    def _insert_once(
+        self, codes: KeyCodes, value: Any, cache: Sequence[_Step]
+    ) -> list[_Step]:
+        """One insert with shared-prefix descent; returns the final path
+        (the next batch key's cache).
+
+        Leaf-local retries resume from the just-walked path instead of
+        re-reading from the root: after :meth:`_fill_nil_region` and
+        after an in-node :meth:`_split_and_refine` only node objects
+        already on the path changed (in place), so the re-descent costs
+        no node reads at all — physically as well as logically.  Only
+        :meth:`_grow_directory` (which may replace nodes or re-root the
+        tree) forces a cold re-descent.
+        """
+        path = self._descend_cached(codes, cache)
+        while True:
+            leaf = path[-1]
+            entry = leaf.entry
+            if entry.ptr is None:
+                self._fill_nil_region(leaf)
+                # Only the leaf entry changed: resume from this path.
+                path = self._descend_cached(codes, path)
+                continue
+            page = self._store.read(entry.ptr)
+            if codes in page:
+                raise DuplicateKeyError(f"key {codes} already present")
+            if not page.is_full:
+                page.put(codes, value)
+                self._store.write(entry.ptr, page)
+                self._num_keys += 1
+                return path
+            total = [
+                leaf.consumed[j] + entry.h[j] for j in range(self._dims)
+            ]
+            m = self._next_split_dim(entry.m, total)
+            if self._refinable(leaf.node, entry, m):
+                self._split_and_refine(leaf, m, total[m] + 1, page)
+                # In-place node mutation: the walked path stays coherent.
+                path = self._descend_cached(codes, path)
+            else:
+                self._grow_directory(path, m)
+                path = self._descend_cached(codes, ())
 
     def _fill_nil_region(self, leaf: _Step) -> None:
         """Allocate storage for an unallocated region (NIL pointer)."""
@@ -408,25 +457,29 @@ class HashTreeBase(MultidimensionalIndex):
         codes = self._check_key(key)
         with self._store.operation():
             path = self._descend(codes)
-            leaf = path[-1]
-            entry = leaf.entry
-            if entry.ptr is None:
-                raise KeyNotFoundError(f"key {codes} not found")
-            page = self._store.read(entry.ptr)
-            value = page.remove(codes)
-            self._num_keys -= 1
-            if len(page) == 0:
-                # The paper's point of directory-resident local depths:
-                # an emptied page is dropped immediately.
-                self._store.free(entry.ptr)
-                self._data_pages -= 1
-                entry.ptr = None
-                self._store.write(leaf.node_id, leaf.node)
-            else:
-                self._store.write(entry.ptr, page)
-            self._merge_in_leaf(leaf.node, leaf.node_id, leaf.entry)
-            self._collapse(path)
-            return value
+            return self._delete_at(path, codes)
+
+    def _delete_at(self, path: list[_Step], codes: KeyCodes) -> Any:
+        """Remove ``codes`` at the end of an already-walked path."""
+        leaf = path[-1]
+        entry = leaf.entry
+        if entry.ptr is None:
+            raise KeyNotFoundError(f"key {codes} not found")
+        page = self._store.read(entry.ptr)
+        value = page.remove(codes)
+        self._num_keys -= 1
+        if len(page) == 0:
+            # The paper's point of directory-resident local depths:
+            # an emptied page is dropped immediately.
+            self._store.free(entry.ptr)
+            self._data_pages -= 1
+            entry.ptr = None
+            self._store.write(leaf.node_id, leaf.node)
+        else:
+            self._store.write(entry.ptr, page)
+        self._merge_in_leaf(leaf.node, leaf.node_id, leaf.entry)
+        self._collapse(path)
+        return value
 
     def _merge_in_leaf(self, node: Node, node_id: int, entry: DirEntry) -> None:
         """Collapse buddy page regions inside the reached node while the
@@ -496,6 +549,79 @@ class HashTreeBase(MultidimensionalIndex):
     def _collapse(self, path: list[_Step]) -> None:
         """Scheme-specific post-delete structural cleanup."""
 
+    # -- batched operations ---------------------------------------------------------
+
+    def insert_many(
+        self, pairs: Sequence[tuple[Sequence[int], Any]]
+    ) -> int:
+        """Batched insert with shared-prefix descent and group commit.
+
+        The batch is z-order-sorted, so consecutive keys share the
+        deepest possible directory spine; each key's descent resumes
+        from the previous key's path (:meth:`_descend_cached`) and the
+        whole batch commits under one WAL durability point.  Semantics
+        match the base contract: first error propagates, the z-order
+        prefix before it is applied, an interrupted group rolls back.
+        """
+        batch = [(self._check_key(key), value) for key, value in pairs]
+        batch.sort(key=lambda pair: self._zorder_key(pair[0]))
+        cache: Sequence[_Step] = ()
+        with self._group_commit():
+            for codes, value in batch:
+                with self._store.operation():
+                    cache = self._insert_once(codes, value, cache)
+        return len(batch)
+
+    def search_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Batched exact-match search (results in input order); probes
+        run in z-order, reusing the shared directory spine between
+        consecutive keys."""
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(
+            range(len(batch)), key=lambda i: self._zorder_key(batch[i])
+        )
+        results: list[Any] = [None] * len(batch)
+        cache: Sequence[_Step] = ()
+        for i in order:
+            codes = batch[i]
+            with self._store.operation():
+                path = self._descend_cached(codes, cache)
+                cache = path
+                leaf = path[-1]
+                if leaf.entry.ptr is None:
+                    raise KeyNotFoundError(f"key {codes} not found")
+                page = self._store.read(leaf.entry.ptr)
+                results[i] = page.get(codes)
+        return results
+
+    def delete_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Batched delete under one group commit, z-order walk order.
+
+        The descent cache survives a delete only while the tree's shape
+        did not change: page merges and entry rewrites mutate path nodes
+        in place (coherent), but collapses replace node objects and may
+        re-root the tree — detected via the structural counters, after
+        which the next key re-descends cold.
+        """
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(
+            range(len(batch)), key=lambda i: self._zorder_key(batch[i])
+        )
+        results: list[Any] = [None] * len(batch)
+        cache: Sequence[_Step] = ()
+        with self._group_commit():
+            for i in order:
+                codes = batch[i]
+                with self._store.operation():
+                    path = self._descend_cached(codes, cache)
+                    shape = (self._node_count, self._data_pages, self._root_id)
+                    results[i] = self._delete_at(path, codes)
+                    changed = shape != (
+                        self._node_count, self._data_pages, self._root_id
+                    )
+                    cache = () if changed else path
+        return results
+
     # -- retrieval ------------------------------------------------------------------
 
     def range_search(
@@ -506,17 +632,42 @@ class HashTreeBase(MultidimensionalIndex):
         if any(lo > hi for lo, hi in zip(lows, highs)):
             return
         with self._store.operation():
-            yield from self._range_node(
-                self._root_id, (0,) * self._dims, lows, highs
-            )
+            for ptr, task_lows, task_highs in self._leaf_tasks(lows, highs):
+                page = self._store.read(ptr)
+                for codes, value in page.items():
+                    if all(
+                        task_lows[j] <= codes[j] <= task_highs[j]
+                        for j in range(self._dims)
+                    ):
+                        yield codes, value
 
-    def _range_node(
+    def _leaf_tasks(
+        self, lows: KeyCodes, highs: KeyCodes
+    ) -> Iterator[tuple[int, KeyCodes, KeyCodes]]:
+        """Decompose a range query into independent per-page scan tasks.
+
+        Yields ``(page_id, lows, highs)`` for every allocated leaf
+        region overlapping the query box — the covering cells of the
+        paper's PRG_Search — walking the directory with charged node
+        reads.  Each task is self-contained: read the page, emit the
+        records inside its bounds.  The serial :meth:`range_search`
+        consumes them inline; the parallel executor
+        (:func:`repro.core.rangequery.scan_parallel`) fans them across a
+        thread pool.  Every page id appears at most once (a leaf region
+        owns its page exclusively), so tasks commute and a merge in task
+        order is deterministic.
+        """
+        yield from self._leaf_tasks_node(
+            self._root_id, (0,) * self._dims, lows, highs
+        )
+
+    def _leaf_tasks_node(
         self,
         node_id: int,
         consumed: tuple[int, ...],
         lows: KeyCodes,
         highs: KeyCodes,
-    ) -> Iterator[Record]:
+    ) -> Iterator[tuple[int, KeyCodes, KeyCodes]]:
         """The paper's PRG_Search: visit every cell overlapping the query
         box, descending once per region.
 
@@ -526,7 +677,10 @@ class HashTreeBase(MultidimensionalIndex):
         region the bounds are *clamped to the region*: a dimension on
         which the region sits strictly inside the box relaxes to the
         region's own edge — the detail the paper's pseudocode leaves to
-        its final predicate re-check.
+        its final predicate re-check.  Leaf regions are yielded with the
+        *unclamped* node-level bounds: a wide region reached through any
+        of its cells may lie outside the box, and the per-record filter
+        handles that exactly as the paper's final predicate does.
         """
         node = self._store.read(node_id)
         depths = node.array.depths
@@ -552,17 +706,11 @@ class HashTreeBase(MultidimensionalIndex):
                 child_consumed = tuple(
                     consumed[j] + entry.h[j] for j in range(self._dims)
                 )
-                yield from self._range_node(
+                yield from self._leaf_tasks_node(
                     entry.ptr, child_consumed, child_lows, child_highs
                 )
             else:
-                page = self._store.read(entry.ptr)
-                for codes, value in page.items():
-                    if all(
-                        lows[j] <= codes[j] <= highs[j]
-                        for j in range(self._dims)
-                    ):
-                        yield codes, value
+                yield entry.ptr, lows, highs
 
     def _clamp_to_region(
         self,

@@ -14,7 +14,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
-from repro.bits import bit_at
+from contextlib import AbstractContextManager
+from repro.bits import bit_at, interleave
 from repro.errors import CapacityError, KeyDimensionError
 from repro.storage import DataPage, PageStore
 
@@ -175,6 +176,91 @@ class MultidimensionalIndex(ABC):
             return True
         except KeyNotFoundError:
             return False
+
+    # -- batched operations --------------------------------------------------
+
+    def _zorder_key(self, codes: KeyCodes) -> int:
+        """Z-order (bit-interleaved) sort key of a validated code tuple.
+
+        Consecutive keys in this order land in the same or adjacent leaf
+        regions (the shuffle order follows the splitting sequence), so a
+        batch sorted by it maximizes shared-prefix descent reuse.
+        """
+        return interleave(codes, self._widths)
+
+    def _commit_metadata(self) -> bytes | None:
+        """Metadata provider for group commits (invoked at commit time).
+
+        Returns ``None`` for schemes without snapshot metadata support —
+        the group then commits its page records without binding an
+        index-level recovery point.
+        """
+        from repro.errors import SerializationError
+        from repro.storage.wal import metadata_blob
+
+        try:
+            return metadata_blob(self)
+        except SerializationError:
+            return None
+
+    def _group_commit(self) -> AbstractContextManager[None]:
+        """One durability scope for a whole batch: on a WAL backend the
+        batch's records coalesce under a single COMMIT carrying this
+        index's metadata; elsewhere a transparent no-op."""
+        return self._store.group(metadata=self._commit_metadata)
+
+    def insert_many(
+        self, pairs: Sequence[tuple[Sequence[int], Any]]
+    ) -> int:
+        """Insert a batch of ``(key, value)`` records; returns the count.
+
+        The batch is validated up front, sorted into z-order (the
+        locality order of the index's splitting sequence) and applied
+        under one group commit.  Partial failure: the first error (e.g.
+        a :class:`~repro.errors.DuplicateKeyError`) propagates; records
+        preceding the failing one *in z-order* — not input order — are
+        already applied and, on a WAL backend, the interrupted group is
+        rolled back to the previous commit point on recovery.
+
+        Subclasses override this with shared-prefix descent; this
+        default provides the same semantics at op-at-a-time cost.
+        """
+        batch = [(self._check_key(key), value) for key, value in pairs]
+        batch.sort(key=lambda pair: self._zorder_key(pair[0]))
+        with self._group_commit():
+            for codes, value in batch:
+                self.insert(codes, value)
+        return len(batch)
+
+    def search_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Exact-match search for a batch of keys.
+
+        Results are returned in *input* order; internally the probes run
+        in z-order so consecutive lookups share directory paths.  A
+        missing key raises :class:`~repro.errors.KeyNotFoundError`,
+        exactly as :meth:`search` would.
+        """
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(range(len(batch)), key=lambda i: self._zorder_key(batch[i]))
+        results: list[Any] = [None] * len(batch)
+        for i in order:
+            results[i] = self.search(batch[i])
+        return results
+
+    def delete_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Delete a batch of keys, returning their values in input order.
+
+        Applied in z-order under one group commit; partial-failure
+        semantics match :meth:`insert_many` (the z-order prefix before
+        the failing key is applied, the error propagates).
+        """
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(range(len(batch)), key=lambda i: self._zorder_key(batch[i]))
+        results: list[Any] = [None] * len(batch)
+        with self._group_commit():
+            for i in order:
+                results[i] = self.delete(batch[i])
+        return results
 
     # -- shared mechanics -----------------------------------------------------
 

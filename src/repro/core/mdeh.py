@@ -16,6 +16,7 @@ directory-page traffic.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterator, Sequence
 
 from repro.bits import g
@@ -121,49 +122,140 @@ class MDEH(MultidimensionalIndex):
     def insert(self, key: Sequence[int], value: Any = None) -> None:
         codes = self._check_key(key)
         with self._store.operation():
-            while True:
-                anchor = self._anchor(codes)
-                address = self._dir.address(anchor)
-                self._charge_cell_read(address)
-                entry = self._dir.get_at(address)
-                if entry.ptr is None:
-                    self._allocate_region_page(anchor, entry)
-                page = self._store.read(entry.ptr)
-                if codes in page:
-                    raise DuplicateKeyError(f"key {codes} already present")
-                if not page.is_full:
-                    page.put(codes, value)
-                    self._store.write(entry.ptr, page)
-                    self._num_keys += 1
-                    return
-                self._split_region(anchor, entry, page)
+            self._insert_once(codes, value, None)
+
+    def _charge_held(self, address: int, held: int | None) -> int:
+        """Charge a directory-page lookup unless its page is the batch's
+        held page.
+
+        ``held`` is the directory-page token the previous z-order key
+        loaded (``None`` when nothing is held): a consecutive key whose
+        element lives on the same page reads it from the batch's working
+        buffer for free — the one-level analogue of the trees'
+        shared-prefix descent.  Per-operation dedup makes this identical
+        to the plain charge when no token is carried across keys.
+        """
+        token = self._dir_token(address)
+        if token != held:
+            self._charge_cell_read(address)
+        return token
+
+    def _insert_once(
+        self, codes: KeyCodes, value: Any, held: int | None
+    ) -> int | None:
+        """One insert; returns the directory-page token it holds for the
+        next batch key (``None`` after a directory doubling, which
+        reshuffles every address)."""
+        while True:
+            anchor = self._anchor(codes)
+            address = self._dir.address(anchor)
+            held = self._charge_held(address, held)
+            entry = self._dir.get_at(address)
+            if entry.ptr is None:
+                self._allocate_region_page(anchor, entry)
+            page = self._store.read(entry.ptr)
+            if codes in page:
+                raise DuplicateKeyError(f"key {codes} already present")
+            if not page.is_full:
+                page.put(codes, value)
+                self._store.write(entry.ptr, page)
+                self._num_keys += 1
+                return held
+            depths = self._dir.depths
+            self._split_region(anchor, entry, page)
+            if self._dir.depths != depths:
+                held = None  # doubled: addresses moved pages
 
     def delete(self, key: Sequence[int]) -> Any:
         codes = self._check_key(key)
         with self._store.operation():
-            anchor = self._anchor(codes)
-            address = self._dir.address(anchor)
-            self._charge_cell_read(address)
-            entry = self._dir.get_at(address)
-            if entry.ptr is None:
-                raise KeyNotFoundError(f"key {codes} not found")
-            page = self._store.read(entry.ptr)
-            value = page.remove(codes)  # raises KeyNotFoundError when absent
-            self._num_keys -= 1
-            if len(page) == 0:
-                # §2.1: directory-resident local depths let an emptied
-                # page be dropped without touching it again.
-                self._store.free(entry.ptr)
-                self._data_pages -= 1
-                entry.ptr = None
-                self._touch_region_cells(anchor, entry.h)
-            else:
-                self._store.write(entry.ptr, page)
-            if self._try_merge(anchor, entry):
-                # Local depths only decrease through merges, so the
-                # directory can only have become contractible after one.
-                self._try_contract()
+            value, _held = self._delete_once(codes, None)
             return value
+
+    def _delete_once(
+        self, codes: KeyCodes, held: int | None
+    ) -> tuple[Any, int | None]:
+        """One delete; returns ``(value, held_token)`` — the token goes
+        ``None`` after a directory contraction reshuffles addresses."""
+        anchor = self._anchor(codes)
+        address = self._dir.address(anchor)
+        held = self._charge_held(address, held)
+        entry = self._dir.get_at(address)
+        if entry.ptr is None:
+            raise KeyNotFoundError(f"key {codes} not found")
+        page = self._store.read(entry.ptr)
+        value = page.remove(codes)  # raises KeyNotFoundError when absent
+        self._num_keys -= 1
+        if len(page) == 0:
+            # §2.1: directory-resident local depths let an emptied
+            # page be dropped without touching it again.
+            self._store.free(entry.ptr)
+            self._data_pages -= 1
+            entry.ptr = None
+            self._touch_region_cells(anchor, entry.h)
+        else:
+            self._store.write(entry.ptr, page)
+        if self._try_merge(anchor, entry):
+            # Local depths only decrease through merges, so the
+            # directory can only have become contractible after one.
+            depths = self._dir.depths
+            self._try_contract()
+            if self._dir.depths != depths:
+                held = None
+        return value, held
+
+    # -- batched operations ----------------------------------------------------
+
+    def insert_many(
+        self, pairs: Sequence[tuple[Sequence[int], Any]]
+    ) -> int:
+        """Batched insert: z-order walk holding the current directory
+        page across consecutive keys, one group commit for the batch."""
+        batch = [(self._check_key(key), value) for key, value in pairs]
+        batch.sort(key=lambda pair: self._zorder_key(pair[0]))
+        held: int | None = None
+        with self._group_commit():
+            for codes, value in batch:
+                with self._store.operation():
+                    held = self._insert_once(codes, value, held)
+        return len(batch)
+
+    def search_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Batched search (results in input order): z-order probes reuse
+        the held directory page between consecutive keys."""
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(
+            range(len(batch)), key=lambda i: self._zorder_key(batch[i])
+        )
+        results: list[Any] = [None] * len(batch)
+        held: int | None = None
+        for i in order:
+            codes = batch[i]
+            with self._store.operation():
+                address = self._dir.address(self._anchor(codes))
+                held = self._charge_held(address, held)
+                entry = self._dir.get_at(address)
+                if entry.ptr is None:
+                    raise KeyNotFoundError(f"key {codes} not found")
+                page = self._store.read(entry.ptr)
+                results[i] = page.get(codes)
+        return results
+
+    def delete_many(self, keys: Sequence[Sequence[int]]) -> list[Any]:
+        """Batched delete under one group commit (values in input
+        order); the held directory page survives merges (addresses keep
+        their pages) but not contractions."""
+        batch = [self._check_key(key) for key in keys]
+        order = sorted(
+            range(len(batch)), key=lambda i: self._zorder_key(batch[i])
+        )
+        results: list[Any] = [None] * len(batch)
+        held: int | None = None
+        with self._group_commit():
+            for i in order:
+                with self._store.operation():
+                    results[i], held = self._delete_once(batch[i], held)
+        return results
 
     def range_search(
         self, lows: Sequence[int], highs: Sequence[int]
@@ -173,33 +265,41 @@ class MDEH(MultidimensionalIndex):
         if any(lo > hi for lo, hi in zip(lows, highs)):
             return
         with self._store.operation():
-            depths = self._dir.depths
-            spans = [
-                range(
-                    g(lows[j], self._widths[j], depths[j]),
-                    g(highs[j], self._widths[j], depths[j]) + 1,
-                )
-                for j in range(self._dims)
-            ]
-            import itertools
-
-            seen_regions: set[int] = set()
-            for cell in itertools.product(*spans):
-                address = self._dir.address(cell)
-                self._charge_cell_read(address)
-                entry = self._dir.get_at(address)
-                if id(entry) in seen_regions:
-                    continue
-                seen_regions.add(id(entry))
-                if entry.ptr is None:
-                    continue
-                page = self._store.read(entry.ptr)
+            for ptr, task_lows, task_highs in self._leaf_tasks(lows, highs):
+                page = self._store.read(ptr)
                 for codes, value in page.items():
                     if all(
-                        lows[j] <= codes[j] <= highs[j]
+                        task_lows[j] <= codes[j] <= task_highs[j]
                         for j in range(self._dims)
                     ):
                         yield codes, value
+
+    def _leaf_tasks(
+        self, lows: KeyCodes, highs: KeyCodes
+    ) -> Iterator[tuple[int, KeyCodes, KeyCodes]]:
+        """Per-page scan tasks covering the query box (charged directory
+        walk); same contract as ``HashTreeBase._leaf_tasks`` — each
+        allocated overlapping region yields its page once, and the
+        per-record bound filter completes the paper's predicate check."""
+        depths = self._dir.depths
+        spans = [
+            range(
+                g(lows[j], self._widths[j], depths[j]),
+                g(highs[j], self._widths[j], depths[j]) + 1,
+            )
+            for j in range(self._dims)
+        ]
+        seen_regions: set[int] = set()
+        for cell in itertools.product(*spans):
+            address = self._dir.address(cell)
+            self._charge_cell_read(address)
+            entry = self._dir.get_at(address)
+            if id(entry) in seen_regions:
+                continue
+            seen_regions.add(id(entry))
+            if entry.ptr is None:
+                continue
+            yield entry.ptr, lows, highs
 
     def items(self) -> Iterator[Record]:
         with self._store.operation():

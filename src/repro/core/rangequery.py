@@ -80,8 +80,79 @@ class RangeQuery:
             lo <= c <= hi for lo, c, hi in zip(self.lows, codes, self.highs)
         )
 
-    def run(self, index: Any) -> Iterator[Any]:
-        """Execute against any index exposing ``range_search``."""
+    def run(self, index: Any, parallelism: int | None = None) -> Iterator[Any]:
+        """Execute against any index exposing ``range_search``.
+
+        ``parallelism`` > 1 routes through :func:`scan_parallel`, which
+        fans the per-page leaf scans across a thread pool (requires an
+        index with ``_leaf_tasks``; falls back to the serial scanner
+        otherwise).
+        """
         if self.is_empty:
             return iter(())
+        if parallelism is not None and parallelism > 1:
+            return iter(scan_parallel(index, self.lows, self.highs, parallelism))
         return index.range_search(self.lows, self.highs)
+
+
+def scan_parallel(
+    index: Any,
+    lows: Sequence[int],
+    highs: Sequence[int],
+    parallelism: int = 4,
+) -> list[tuple[tuple[int, ...], Any]]:
+    """Parallel range scan: decompose, fan out, merge deterministically.
+
+    Phase 1 (serial, charged): walk the directory once via the index's
+    ``_leaf_tasks`` decomposition, collecting one independent scan task
+    per overlapping data page.  Phase 2 (parallel): fan the page scans
+    across a ``ThreadPoolExecutor`` — every worker read goes through
+    :meth:`PageStore.read_shared`, which holds the store latch's shared
+    side so a concurrent flush/group-commit (exclusive side) can never
+    interleave with it, and serializes the buffer pool's LRU mutation.
+
+    The merged output is deterministic: ``Executor.map`` preserves task
+    order, tasks are generated in directory order, and every page
+    belongs to exactly one task — so the result equals the serial
+    ``range_search`` output, record for record.  Logical charges are
+    also identical: the same directory walk, then each page read once.
+
+    Falls back to the serial scanner when the index has no task
+    decomposition or ``parallelism <= 1``.
+    """
+    if parallelism < 1:
+        raise ValueError("parallelism must be >= 1")
+    lows = tuple(lows)
+    highs = tuple(highs)
+    leaf_tasks = getattr(index, "_leaf_tasks", None)
+    if leaf_tasks is None or parallelism == 1:
+        return list(index.range_search(lows, highs))
+    if any(lo > hi for lo, hi in zip(lows, highs)):
+        return []
+    checked = index._check_key(lows), index._check_key(highs)
+    lows, highs = checked
+    store = index.store
+    with store.operation():
+        tasks = list(leaf_tasks(lows, highs))
+    if not tasks:
+        return []
+    dims = index.dims
+
+    def scan(task: tuple[int, tuple[int, ...], tuple[int, ...]]):
+        ptr, task_lows, task_highs = task
+        page = store.read_shared(ptr)
+        return [
+            (codes, value)
+            for codes, value in page.items()
+            if all(
+                task_lows[j] <= codes[j] <= task_highs[j]
+                for j in range(dims)
+            )
+        ]
+
+    from concurrent.futures import ThreadPoolExecutor
+
+    workers = min(parallelism, len(tasks))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        chunks = list(pool.map(scan, tasks))
+    return [record for chunk in chunks for record in chunk]

@@ -38,7 +38,10 @@ __all__ = [
 _ENV_FLAG = "REPRO_SANITIZE"
 _ENV_RATE = "REPRO_SANITIZE_RATE"
 #: Index methods that mutate structure and therefore trigger a check.
-_MUTATORS = ("insert", "delete")
+#: The batch executors are hooked as whole operations: the check fires at
+#: the group-commit boundary, where the structure must be coherent (the
+#: batch-coherent invariant) — not between the batch's internal steps.
+_MUTATORS = ("insert", "delete", "insert_many", "delete_many")
 
 
 def sanitize_enabled() -> bool:

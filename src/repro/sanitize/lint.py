@@ -17,6 +17,12 @@ Four rules, each guarding an invariant the runtime sanitizer cannot see:
   without full parameter and return annotations.  The core API is the
   contract every later layer builds on; annotations are load-bearing
   documentation there.
+* **REP105 wal-flush-bypass** — calling ``flush()`` directly on a WAL
+  (or raw backend) object outside the storage layer.  A WAL flush is a
+  durability point: index and bench code must reach it through
+  ``PageStore.flush()`` / ``PageStore.group()`` / ``checkpoint()`` so
+  group commit can defer it and the commit count stays truthful — a
+  stray ``backend.flush()`` splits a batch into extra commits.
 
 Run via ``repro lint`` (exit 1 on findings) or ``repro check``.
 """
@@ -82,21 +88,31 @@ class _Linter(ast.NodeVisitor):
             LintIssue(self.path, node.lineno, node.col_offset, code, message)
         )
 
-    # -- REP101: backend bypass ------------------------------------------------
+    # -- REP101 / REP105: storage-layer bypass ---------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
-        if (
-            self.check_backend
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _BACKEND_METHODS
-        ):
+        if self.check_backend and isinstance(node.func, ast.Attribute):
             receiver = _terminal_name(node.func.value)
-            if receiver is not None and "backend" in receiver.lower():
+            lowered = receiver.lower() if receiver is not None else ""
+            if (
+                node.func.attr in _BACKEND_METHODS
+                and "backend" in lowered
+            ):
                 self._issue(
                     node,
                     "REP101",
                     f"direct Backend.{node.func.attr}() bypasses PageStore "
                     "I/O accounting — route the access through the store",
+                )
+            if node.func.attr == "flush" and (
+                "wal" in lowered or "backend" in lowered
+            ):
+                self._issue(
+                    node,
+                    "REP105",
+                    "direct WAL/backend flush() is a durability point that "
+                    "bypasses group commit — use PageStore.flush(), "
+                    "PageStore.group() or checkpoint()",
                 )
         self.generic_visit(node)
 

@@ -41,11 +41,13 @@ from repro.storage.serializer import (
     RawBytesValueCodec,
 )
 from repro.storage.buffer import BufferPool
+from repro.storage.latch import ReadWriteLatch
 from repro.storage.snapshot import save_index, load_index
 from repro.storage.wal import WALBackend, checkpoint, recover_index
 from repro.storage.faults import FaultInjector, FaultyFile
 
 __all__ = [
+    "ReadWriteLatch",
     "save_index",
     "load_index",
     "WALBackend",

@@ -129,8 +129,15 @@ class BufferPool:
         file) leaves exactly the unwritten frames dirty.  A retry then
         writes only those, instead of double-writing the frames that
         already landed and inflating the physical ledger.
+
+        The dirty set is written back in sorted page-id order — kept
+        deliberately, even though the set itself is unordered, so the
+        physical write sequence (and any fault-injection schedule over
+        it) is deterministic.
         """
-        if self._dirty and self._store is None:
+        if not self._dirty:
+            return
+        if self._store is None:
             raise StorageError("buffer pool is not bound to a store")
         for page_id in sorted(self._dirty):
             self._store(page_id, self._frames[page_id])
@@ -162,8 +169,15 @@ class BufferPool:
                 # than evict the root out from under the index
 
     def _evict_one(self) -> bool:
-        for victim in self._frames:  # LRU order
+        # Amortized O(1): the victim is always the head of the ordered
+        # frame map.  A pinned head cannot be evicted and would otherwise
+        # be re-scanned on every future miss, so it is rotated to the MRU
+        # end instead — pinned pages are resident anyway, their LRU
+        # position carries no information.
+        for _ in range(len(self._frames)):
+            victim = next(iter(self._frames))  # LRU head
             if self._is_pinned(victim):
+                self._frames.move_to_end(victim)
                 continue
             obj = self._frames.pop(victim)
             if victim in self._dirty:

@@ -5,11 +5,13 @@ from __future__ import annotations
 import contextlib
 import os
 import struct
+import threading
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Any, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterator
 
 from repro.errors import SerializationError, StorageError
 from repro.storage.iostats import IOStats, OperationCounter
+from repro.storage.latch import ReadWriteLatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.storage.buffer import BufferPool
@@ -253,6 +255,10 @@ class PageStore:
         self._pinned: set[int] = set()
         self._op: OperationCounter | None = None
         self._pool: "BufferPool | None" = None
+        #: Reader/mutator discipline for multi-threaded scans; see
+        #: :mod:`repro.storage.latch` and :meth:`read_shared`.
+        self._latch = ReadWriteLatch()
+        self._frame_lock = threading.Lock()
         existing = list(self._backend.page_ids())
         self._next_id = max(existing) + 1 if existing else 0
         self._live = len(existing)
@@ -295,12 +301,55 @@ class PageStore:
         self.backend_stats.writes += 1
 
     def flush(self) -> None:
-        """Write back every dirty frame and flush the backend."""
-        if self._pool is not None:
-            self._pool.flush()
-        backend_flush = getattr(self._backend, "flush", None)
-        if backend_flush is not None:
-            backend_flush()
+        """Write back every dirty frame and flush the backend.
+
+        Holds the exclusive latch side: a flush restructures frame and
+        backend state and must never interleave with in-flight
+        :meth:`read_shared` calls from scan workers.
+        """
+        with self._latch.write():
+            if self._pool is not None:
+                self._pool.flush()
+            backend_flush = getattr(self._backend, "flush", None)
+            if backend_flush is not None:
+                backend_flush()
+
+    @contextlib.contextmanager
+    def group(self, metadata: Callable[[], bytes | None] | None = None):
+        """Group-commit scope: one durability point for a whole batch.
+
+        On a WAL backend, every record staged inside the block is
+        coalesced under a single COMMIT + flush at exit (see
+        :meth:`~repro.storage.wal.WALBackend.begin_group`); on any other
+        backend the scope is a transparent no-op.  ``metadata`` is a
+        provider called *at commit time* — after the batch's last
+        mutation — so the staged metadata blob can never be stale; it
+        may return ``None`` to commit without staging metadata.
+
+        If the block (or the write-back at exit) raises, nothing is
+        committed: recovery rolls back to the previous commit point, the
+        batch's partial-failure contract.
+        """
+        begin = getattr(self._backend, "begin_group", None)
+        if begin is None:
+            yield
+            return
+        begin()
+        try:
+            yield
+        except BaseException:
+            self._backend.end_group(commit=False)
+            raise
+        else:
+            try:
+                # Pool write-back + backend flush; the backend-level
+                # flush is deferred inside the group, so this only
+                # stages the batch's remaining dirty frames.
+                self.flush()
+            except BaseException:
+                self._backend.end_group(commit=False)
+                raise
+            self._backend.end_group(commit=True, metadata=metadata)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -357,6 +406,27 @@ class PageStore:
             obj = self._backend_load(page_id)
         self._charge_read(page_id)
         return obj
+
+    @property
+    def latch(self) -> ReadWriteLatch:
+        """The store's read-write latch (see :mod:`repro.storage.latch`)."""
+        return self._latch
+
+    def read_shared(self, page_id: int) -> Any:
+        """A charged read that is safe to issue from scan worker threads.
+
+        Holds the latch's shared side (so an exclusive holder — a flush,
+        a group commit — is never interleaved) and a store-internal
+        mutex that serializes the non-thread-safe bookkeeping a read
+        performs: buffer-pool LRU movement and eviction, hit/miss
+        counters, and the logical ledger's dedup sets.  Accounting is
+        identical to :meth:`read`.  Single-threaded code should keep
+        calling :meth:`read`; concurrent readers must all come through
+        here.
+        """
+        with self._latch.read():
+            with self._frame_lock:
+                return self.read(page_id)
 
     def write(self, page_id: int, obj: Any | None = None) -> None:
         """Mark a page dirty (and optionally replace its object).

@@ -40,6 +40,10 @@ class IOStats:
     def __add__(self, other: "IOStats") -> "IOStats":
         return IOStats(self.reads + other.reads, self.writes + other.writes)
 
+    def as_dict(self) -> "dict[str, int]":
+        """Plain-dict view for benchmark rows and JSON baselines."""
+        return {"reads": self.reads, "writes": self.writes}
+
 
 @dataclass
 class OperationCounter:

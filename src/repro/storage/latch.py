@@ -1,0 +1,88 @@
+"""A read-write latch guarding concurrent access to a page store.
+
+The library is single-threaded on its mutation paths, but the parallel
+range scanner (``repro.core.rangequery.scan_parallel``) fans per-cell
+leaf scans across a thread pool.  Even pure reads mutate shared state
+here: a read-through :class:`~repro.storage.buffer.BufferPool` reorders
+its LRU map and may evict (writing back a dirty frame) on every miss,
+and the logical ledger's dedup sets are plain Python containers.  The
+discipline is therefore:
+
+* scan workers read pages through :meth:`PageStore.read_shared`, which
+  holds this latch's **shared** side (many readers at once) around a
+  store-internal mutex that serializes frame/ledger bookkeeping;
+* anything that restructures the store underneath readers — a pool
+  flush, a group-commit apply — holds the **exclusive** side, so it
+  never interleaves with an in-flight scan read.
+
+The latch is writer-preferring (a waiting writer blocks new readers, so
+a stream of scans cannot starve a flush) and **not reentrant**: a thread
+must not acquire it twice, in any combination of sides.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator
+
+
+class ReadWriteLatch:
+    """Many readers or one writer; writer-preferring; not reentrant."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the shared side for a ``with`` block."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextlib.contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the exclusive side for a ``with`` block."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def active_readers(self) -> int:
+        """Readers currently holding the shared side (observability)."""
+        with self._cond:
+            return self._readers

@@ -91,6 +91,11 @@ class WALBackend(Backend):
         self._meta: bytes | None = None
         self._checkpoint_every = checkpoint_every
         self._ops_since_checkpoint = 0
+        #: Group-commit state: while ``_group_depth > 0`` every flush is
+        #: deferred to the matching ``end_group`` — one COMMIT record and
+        #: one durability flush for the whole batch.
+        self._group_depth = 0
+        self._deferred_flush = False
         self.wal_records = 0
         self.checkpoints = 0
         self.replayed_ops = 0
@@ -285,8 +290,55 @@ class WALBackend(Backend):
         ):
             self.flush()
 
+    # -- group commit ------------------------------------------------------
+
+    def begin_group(self) -> None:
+        """Open a group-commit scope: flushes inside it are deferred to
+        the matching :meth:`end_group`, which emits a single COMMIT and
+        a single durability flush for the whole batch.  Nests: only the
+        outermost ``end_group`` commits."""
+        self._group_depth += 1
+
+    def end_group(self, commit: bool = True, metadata: Any = None) -> None:
+        """Close a group-commit scope.
+
+        With ``commit=True`` (and work to commit — staged records, a
+        staged metadata blob, or a deferred flush request), a single
+        checkpoint cycle runs: ``metadata`` (a zero-argument provider,
+        invoked *now* so the blob reflects the batch's final state) is
+        staged if it returns a blob, then :meth:`flush` appends one
+        COMMIT record and applies the batch.  With ``commit=False`` the
+        batch stays uncommitted in the WAL tail: recovery discards it,
+        rolling back to the previous commit point.
+        """
+        if self._group_depth == 0:
+            raise StorageError("end_group() without a matching begin_group()")
+        self._group_depth -= 1
+        if self._group_depth:
+            return
+        deferred = self._deferred_flush
+        self._deferred_flush = False
+        if not commit:
+            return
+        if self._pending or self._staged_meta is not None or deferred:
+            if metadata is not None:
+                blob = metadata()
+                if blob is not None:
+                    self.stage_metadata(blob)
+            self.flush()
+
+    @property
+    def in_group(self) -> bool:
+        """Whether a group-commit scope is currently open."""
+        return self._group_depth > 0
+
     def flush(self) -> None:
         """Checkpoint: commit the pending batch, apply it, mark applied."""
+        if self._group_depth:
+            # Inside a group the commit point is the group boundary:
+            # remember that durability was requested and return.
+            self._deferred_flush = True
+            return
         if not self._pending and self._staged_meta is None:
             self._inner.flush()
             return
@@ -317,9 +369,13 @@ class WALBackend(Backend):
 # -- whole-index durability -------------------------------------------------
 
 
-def _metadata_blob(index: Any) -> bytes:
+def metadata_blob(index: Any) -> bytes:
     """Index-level state for a commit record: the snapshot header JSON,
-    plus (for the one-level scheme) the encoded in-memory directory."""
+    plus (for the one-level scheme) the encoded in-memory directory.
+
+    Used by :func:`checkpoint` and by the batch executors' group-commit
+    metadata providers (:meth:`PageStore.group`'s ``metadata=``).
+    """
     from repro.storage.snapshot import encode_directory, index_metadata
 
     meta = index_metadata(index)
@@ -328,6 +384,10 @@ def _metadata_blob(index: Any) -> bytes:
     if meta["kind"] == "onelevel":
         parts.append(encode_directory(index))
     return b"".join(parts)
+
+
+#: Backwards-compatible alias (pre-batching name).
+_metadata_blob = metadata_blob
 
 
 def checkpoint(index: Any) -> None:
@@ -344,7 +404,7 @@ def checkpoint(index: Any) -> None:
         raise StorageError(
             "checkpoint() needs an index built on a WALBackend"
         )
-    backend.stage_metadata(_metadata_blob(index))
+    backend.stage_metadata(metadata_blob(index))
     index.store.flush()
 
 

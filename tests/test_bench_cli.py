@@ -37,19 +37,30 @@ class TestBenchRun:
         }
         assert ("table2", "BMEHTree", "file") in cells
         assert ("table2", "BMEHTree", "file+pool") in cells
+        modes = {r.get("mode", "single") for r in data["results"]}
+        assert modes == {"single", "batched", "rangepar"}
         for result in data["results"]:
             m = result["metrics"]
-            assert m["logical_reads"] > 0 and m["logical_writes"] > 0
-            assert m["sigma"] > 0
-            assert result["probe_mix"]["candidates"] == N
-            assert result["probe_mix"]["uniform"] == 0
+            mode = result.get("mode", "single")
+            if mode == "batched":
+                assert 0 < m["batched_logical_reads"] < m["single_logical_reads"]
+                assert m["read_saving"] > 0
+            elif mode == "rangepar":
+                assert m["rangepar_mismatches"] == 0
+                assert m["rangepar_records"] > 0
+            else:
+                assert m["logical_reads"] > 0 and m["logical_writes"] > 0
+                assert m["sigma"] > 0
+                assert result["probe_mix"]["candidates"] == N
+                assert result["probe_mix"]["uniform"] == 0
 
     def test_pool_beats_raw_file_backend(self, baseline_path):
         """The acceptance claim: strictly fewer backend I/O calls with
         the pool, and a reported hit rate."""
         data = json.loads(baseline_path.read_text())
         cells = {r["backend"]: r for r in data["results"]
-                 if (r["experiment"], r["scheme"]) == ("table2", "BMEHTree")}
+                 if (r["experiment"], r["scheme"]) == ("table2", "BMEHTree")
+                 and r.get("mode", "single") == "single"}
         raw, pooled = cells["file"]["metrics"], cells["file+pool"]["metrics"]
         assert (pooled["backend_reads"] + pooled["backend_writes"]
                 < raw["backend_reads"] + raw["backend_writes"])

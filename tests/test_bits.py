@@ -148,3 +148,71 @@ class TestBitView:
             BitView(4, 2)
         with pytest.raises(ValueError):
             BitView(0, -1)
+
+
+class TestMortonFastPath:
+    """The table-driven equal-width interleave must be bit-identical to
+    the generic loop (which unequal widths always take)."""
+
+    @staticmethod
+    def loop_interleave(codes, widths):
+        result = 0
+        for position in range(1, max(widths) + 1):
+            for code, width in zip(codes, widths):
+                if position <= width:
+                    result = (result << 1) | bit_at(code, width, position)
+        return result
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    @given(data=st.data())
+    def test_matches_loop(self, dims, data):
+        from repro.bits import interleave
+
+        width = data.draw(st.integers(1, 31))
+        codes = tuple(
+            data.draw(st.integers(0, low_mask(width))) for _ in range(dims)
+        )
+        widths = (width,) * dims
+        assert interleave(codes, widths) == self.loop_interleave(
+            codes, widths
+        )
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4, 5, 6])
+    @given(data=st.data())
+    def test_roundtrip_equal_widths(self, dims, data):
+        from repro.bits import deinterleave, interleave
+
+        width = data.draw(st.integers(1, 31))
+        codes = tuple(
+            data.draw(st.integers(0, low_mask(width))) for _ in range(dims)
+        )
+        widths = (width,) * dims
+        assert deinterleave(interleave(codes, widths), widths) == codes
+
+    @given(data=st.data())
+    def test_unequal_widths_take_the_loop(self, data):
+        """d <= 4 with unequal widths must still agree with the loop —
+        the dispatch condition, not just the table math."""
+        from repro.bits import deinterleave, interleave
+
+        widths = tuple(
+            data.draw(st.integers(1, 16)) for _ in range(3)
+        )
+        codes = tuple(
+            data.draw(st.integers(0, low_mask(w))) for w in widths
+        )
+        assert interleave(codes, widths) == self.loop_interleave(
+            codes, widths
+        )
+        assert deinterleave(interleave(codes, widths), widths) == codes
+
+    def test_known_values_31_bit(self):
+        from repro.bits import deinterleave, interleave
+
+        widths = (31, 31)
+        codes = (0x7FFFFFFF, 0)
+        value = interleave(codes, widths)
+        # Alternating 10 pairs, MSB first: dimension 1 contributes the
+        # even (leading) positions.
+        assert value == int("10" * 31, 2)
+        assert deinterleave(value, widths) == codes

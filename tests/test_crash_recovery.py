@@ -118,6 +118,42 @@ class Workload:
         return probe.ops
 
 
+class BatchedWorkload(Workload):
+    """A build driven through the batch executors: each ``insert_many``
+    (and, optionally, each ``delete_many`` wave) is one group commit —
+    its own attempted commit point, with no explicit ``checkpoint()``
+    calls at all.  A crash inside a batch must recover to a group
+    boundary: the previous batch's state, or the in-flight batch if its
+    single COMMIT record became durable."""
+
+    def __init__(self, keys, stride, delete_waves=0):
+        super().__init__(keys, stride)
+        self.delete_waves = delete_waves
+
+    def run(self, path, injector=None):
+        self.attempts = [frozenset()]
+        self.completed = frozenset()
+        tree = tree_on(path, injector)
+        committed = frozenset()
+        for start in range(0, len(self.keys), self.stride):
+            batch = self.keys[start:start + self.stride]
+            attempt = committed | frozenset(batch)
+            self.attempts.append(attempt)
+            tree.insert_many(
+                [(key, start + j) for j, key in enumerate(batch)]
+            )
+            committed = attempt
+            self.completed = committed
+        for wave in range(self.delete_waves):
+            batch = self.keys[wave * self.stride:(wave + 1) * self.stride]
+            attempt = committed - frozenset(batch)
+            self.attempts.append(attempt)
+            tree.delete_many(batch)
+            committed = attempt
+            self.completed = committed
+        return tree
+
+
 def crash_at(workload, path, mode, fail_after, seed=11):
     """Run the workload under injection; the machine always ends dead."""
     injector = FaultInjector(fail_after=fail_after, mode=mode, seed=seed)
@@ -151,14 +187,22 @@ def assert_recovers_to_commit_point(workload, path, mode, fail_after):
         )
         got = frozenset(found)
         recovered.store.close()
-    assert got in workload.attempts, (
+    matches = [i for i, a in enumerate(workload.attempts) if a == got]
+    assert matches, (
         f"{label}: recovered {len(got)} keys — not any attempted commit "
         f"point (sizes {sorted(len(a) for a in workload.attempts)})"
     )
     if mode != "dropped-flush":
-        assert len(got) >= len(workload.completed), (
-            f"{label}: recovery rolled back to {len(got)} keys, behind "
-            f"the last completed checkpoint of {len(workload.completed)}"
+        # Recency by attempt *position*, not key count: delete batches
+        # make later commit points smaller than earlier ones.
+        completed_at = max(
+            i for i, a in enumerate(workload.attempts)
+            if a == workload.completed
+        )
+        assert max(matches) >= completed_at, (
+            f"{label}: recovery rolled back to commit point "
+            f"{max(matches)}, behind the last completed point "
+            f"{completed_at} ({len(workload.completed)} keys)"
         )
 
 
@@ -193,6 +237,25 @@ class TestSplitStormChaos:
     def test_split_storm(self, tmp_path, mode):
         sweep(Workload(clustered_keys(600), 50), tmp_path, mode,
               dense=20, stride=167)
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestGroupCommitChaos:
+    """Kill the machine inside ``insert_many`` / ``delete_many`` group
+    commits: recovery must land exactly on a group boundary, sanitizer
+    clean — a batch is atomic, never half-applied."""
+
+    def test_batched_build(self, tmp_path, mode):
+        sweep(BatchedWorkload(spread_keys(600), 64), tmp_path, mode,
+              dense=25, stride=101)
+
+    def test_batched_build_and_delete_waves(self, tmp_path, mode):
+        sweep(BatchedWorkload(spread_keys(400), 50, delete_waves=3),
+              tmp_path, mode, dense=20, stride=83)
+
+    def test_clustered_batches_split_storm(self, tmp_path, mode):
+        sweep(BatchedWorkload(clustered_keys(450), 75), tmp_path, mode,
+              dense=15, stride=127)
 
 
 @pytest.mark.parametrize("mode", MODES)

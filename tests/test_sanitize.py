@@ -454,6 +454,21 @@ class TestLint:
         private = "def _helper(x):\n    return x\n"
         assert lint_source(private, "x.py", check_annotations=True) == []
 
+    def test_wal_flush_bypass_flagged(self):
+        for receiver in ("self._wal", "wal", "backend", "self._backend"):
+            issues = lint_source(f"{receiver}.flush()\n", "x.py")
+            assert [i.code for i in issues] == ["REP105"], receiver
+
+    def test_store_flush_not_flagged(self):
+        # PageStore.flush() is the sanctioned durability entry point.
+        assert lint_source("store.flush()\n", "x.py") == []
+        assert lint_source("self._store.flush()\n", "x.py") == []
+
+    def test_wal_flush_allowed_in_storage_layer(self):
+        assert lint_source(
+            "self._wal.flush()\n", "x.py", check_backend=False
+        ) == []
+
     def test_syntax_error_reported(self):
         issues = lint_source("def broken(:\n", "x.py")
         assert [i.code for i in issues] == ["REP100"]

@@ -260,3 +260,127 @@ class TestIndexCheckpointRecover:
         path = str(tmp_path / "pages.db")
         WALBackend(path).close()
         assert os.path.exists(path + ".wal")
+
+
+class TestGroupCommit:
+    """The group-commit protocol: flushes inside a group defer to one
+    COMMIT record and one durability flush at the outermost end_group."""
+
+    def test_flush_deferred_inside_group(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.begin_group()
+        backend.store(0, page(((1, 1), "a")))
+        backend.flush()  # deferred: the commit point is the group boundary
+        assert backend.in_group
+        assert 0 not in backend.inner
+        backend.end_group()
+        assert not backend.in_group
+        assert 0 in backend.inner
+        backend.close()
+
+    def test_one_commit_per_group(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        before = backend.checkpoints
+        backend.begin_group()
+        for pid in range(8):
+            backend.store(pid, page(((pid, pid), "v")))
+            backend.flush()  # one per op, as op-at-a-time code would issue
+        backend.end_group()
+        assert backend.checkpoints == before + 1
+        backend.close()
+
+    def test_nested_groups_commit_at_outermost(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        before = backend.checkpoints
+        backend.begin_group()
+        backend.begin_group()
+        backend.store(0, page(((1, 1), "a")))
+        backend.end_group()  # inner: still inside the outer group
+        assert backend.checkpoints == before
+        assert 0 not in backend.inner
+        backend.end_group()
+        assert backend.checkpoints == before + 1
+        backend.close()
+
+    def test_end_group_without_begin_rejected(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        with pytest.raises(StorageError):
+            backend.end_group()
+        backend.close()
+
+    def test_aborted_group_commits_nothing(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        before = backend.checkpoints
+        backend.begin_group()
+        backend.store(0, page(((1, 1), "a")))
+        backend.flush()
+        backend.end_group(commit=False)
+        assert backend.checkpoints == before
+        assert 0 not in backend.inner
+
+    def test_empty_group_writes_no_commit_record(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        before = backend.checkpoints
+        size = os.path.getsize(str(tmp_path / "pages.db") + ".wal")
+        backend.begin_group()
+        backend.end_group()
+        assert backend.checkpoints == before
+        assert os.path.getsize(
+            str(tmp_path / "pages.db") + ".wal"
+        ) == size
+        backend.close()
+
+    def test_metadata_provider_invoked_at_commit_time(self, tmp_path):
+        calls = []
+
+        def provider():
+            calls.append(len(calls))
+            return b"blob-at-commit"
+
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        backend.begin_group()
+        backend.store(0, page(((1, 1), "a")))
+        assert calls == []  # not yet: the blob must see the final state
+        backend.end_group(metadata=provider)
+        assert calls == [0]
+        backend.close()
+        back = WALBackend(str(tmp_path / "pages.db"))
+        assert back.metadata == b"blob-at-commit"
+        back.close()
+
+    def test_metadata_provider_skipped_for_empty_group(self, tmp_path):
+        backend = WALBackend(str(tmp_path / "pages.db"))
+        calls = []
+        backend.begin_group()
+        backend.end_group(metadata=lambda: calls.append(1) or b"x")
+        assert calls == []
+        backend.close()
+
+    def test_store_group_is_one_commit(self, tmp_path):
+        store = PageStore(WALBackend(str(tmp_path / "pages.db")))
+        before = store.backend.checkpoints
+        with store.group():
+            for pid in range(4):
+                store.allocate(page(((pid, pid), "v")))
+                store.flush()  # per-op durability requests, all deferred
+        assert store.backend.checkpoints == before + 1
+        for pid in range(4):
+            assert pid in store.backend.inner
+        store.close()
+
+    def test_store_group_aborts_on_exception(self, tmp_path):
+        store = PageStore(WALBackend(str(tmp_path / "pages.db")))
+        before = store.backend.checkpoints
+        with pytest.raises(RuntimeError):
+            with store.group():
+                store.allocate(page(((1, 1), "a")))
+                raise RuntimeError("batch dies")
+        assert store.backend.checkpoints == before
+        assert not store.backend.in_group  # the scope was unwound
+        assert 0 not in store.backend.inner
+
+    def test_store_group_noop_without_wal(self):
+        store = PageStore()  # memory backend: no group protocol
+        with store.group():
+            store.allocate(page(((1, 1), "a")))
+        assert store.read(0) is not None
