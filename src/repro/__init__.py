@@ -24,6 +24,8 @@ from repro.errors import (
     CapacityError,
     StorageError,
     SerializationError,
+    LatchTimeout,
+    ProtocolError,
 )
 from repro.encoding import (
     Encoder,
@@ -73,6 +75,8 @@ __all__ = [
     "CapacityError",
     "StorageError",
     "SerializationError",
+    "LatchTimeout",
+    "ProtocolError",
     "Encoder",
     "IdentityEncoder",
     "UIntEncoder",

@@ -50,11 +50,15 @@ from repro.bench.batched import (
     run_batched_cell,
     run_parallel_range_cell,
 )
+from repro.bench.served import (
+    run_served_cell,
+    served_coalescing_failures,
+)
 from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
 BACKENDS = ("memory", "file", "file+pool", "file+wal")
-MODES = ("single", "batched", "rangepar")
+MODES = ("single", "batched", "rangepar", "served")
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -81,6 +85,9 @@ _WORSE_IF_HIGHER = (
     "parallel_logical_reads",
     "parallel_backend_reads",
     "rangepar_mismatches",
+    # served cells (wall-clock served metrics are never diff-gated; the
+    # coalescing ratio is timing-dependent and has its own absolute gate)
+    "served_mismatches",
 )
 #: Gated metrics where a *smaller* current value is a regression.
 _WORSE_IF_LOWER = ("alpha", "hit_rate", "read_saving", "rangepar_records")
@@ -137,6 +144,9 @@ DEFAULT_CELLS = (
     BenchCell("table2", "BMEHTree", backend="file+wal", mode="batched"),
     BenchCell("table2", "MDEH", mode="batched"),
     BenchCell("table2", "BMEHTree", backend="file+pool", mode="rangepar"),
+    # The service layer's gated claim: N concurrent clients' mutations
+    # coalesce into strictly fewer than one WAL commit per write.
+    BenchCell("table2", "BMEHTree", backend="file+wal", mode="served"),
 )
 
 
@@ -184,6 +194,7 @@ def run_cell(
             DEFAULT_BATCH_SIZE,
             DEFAULT_PARALLELISM,
         )
+        from repro.bench.served import DEFAULT_CONCURRENCY
 
         with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
             counter = iter(range(1_000_000))
@@ -210,6 +221,14 @@ def run_cell(
                     make_store,
                     n,
                     parallelism=parallelism or DEFAULT_PARALLELISM,
+                )
+            if cell.mode == "served":
+                return run_served_cell(
+                    cell,
+                    experiment,
+                    make_store,
+                    n,
+                    concurrency=parallelism or DEFAULT_CONCURRENCY,
                 )
             raise ValueError(
                 f"unknown bench mode {cell.mode!r}; choose from {MODES}"
@@ -497,6 +516,7 @@ def compare_with_baseline(
     failures.extend(wal_transparency_failures(current_results))
     failures.extend(batched_efficiency_failures(current_results))
     failures.extend(parallel_consistency_failures(current_results))
+    failures.extend(served_coalescing_failures(current_results))
     return failures, current_results
 
 
@@ -505,6 +525,7 @@ def format_results(results: Sequence[Mapping]) -> str:
     singles = [r for r in results if r.get("mode", "single") == "single"]
     batched = [r for r in results if r.get("mode") == "batched"]
     rangepar = [r for r in results if r.get("mode") == "rangepar"]
+    served = [r for r in results if r.get("mode") == "served"]
     sections: list[str] = []
     if singles:
         header = (
@@ -581,6 +602,30 @@ def format_results(results: Sequence[Mapping]) -> str:
                 f"{m['parallel_backend_reads']:>8d}"
                 f"{'yes' if not m['rangepar_mismatches'] else 'NO':>7}"
                 f"{walls['serial']:>7.3f}/{walls['parallel']:<6.3f}"
+            )
+        sections.append("\n".join(lines))
+    if served:
+        header = (
+            f"{'served cell':<44}{'writes':>8}{'commits':>9}"
+            f"{'ratio':>9}{'wr/s':>9}{'rd/s':>9}{'match':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in served:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/c={result['parallelism']}"
+            )
+            commits = m["served_commits"]
+            lines.append(
+                f"{label:<44}"
+                f"{m['served_writes']:>8d}"
+                f"{commits if commits is not None else '--':>9}"
+                f"{m['served_commits_per_write']:>9.4f}"
+                f"{m['served_write_ops_per_s']:>9.0f}"
+                f"{m['served_read_ops_per_s']:>9.0f}"
+                f"{'yes' if not m['served_mismatches'] else 'NO':>7}"
             )
         sections.append("\n".join(lines))
     return "\n\n".join(sections)

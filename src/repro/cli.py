@@ -8,12 +8,23 @@ Commands:
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
 * ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]
-  [--modes single batched rangepar] [--batch-size K] [--parallelism P]``
+  [--modes single batched rangepar served] [--batch-size K]
+  [--parallelism P]``
   — run the benchmark suite over memory / file / file+pool / file+wal
   storage configurations, including the batched-execution cells
-  (``insert_many`` + group commit vs op-at-a-time) and the parallel
-  range-scanner cells, write a ``BENCH_*.json`` baseline, or gate
-  against a committed one (exit 1 on regressions);
+  (``insert_many`` + group commit vs op-at-a-time), the parallel
+  range-scanner cells and the served cells (a real TCP server under
+  concurrent clients, gating write coalescing), write a
+  ``BENCH_*.json`` baseline, or gate against a committed one (exit 1 on
+  regressions);
+* ``serve [--host H] [--port P] [--wal PATH] [--dims D] [--widths W]
+  [-b B] [--window MS] [--max-batch K] [--max-inflight N]
+  [--pipeline N]`` — serve an index over the wire protocol; with
+  ``--wal`` the page file is durable and an existing file is reopened
+  through WAL recovery.  Prints ``serving on HOST:PORT`` once bound and
+  drains gracefully on SIGTERM/SIGINT;
+* ``ping [--host H] --port P`` — round-trip a served index and print
+  its shape;
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``check [--n N] [--seed S]`` — lint plus a sanitizer-instrumented
@@ -145,6 +156,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         batched_efficiency_failures,
         parallel_consistency_failures,
     )
+    from repro.bench.served import served_coalescing_failures
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
@@ -224,12 +236,91 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures.extend(wal_transparency_failures(results))
     failures.extend(batched_efficiency_failures(results))
     failures.extend(parallel_consistency_failures(results))
+    failures.extend(served_coalescing_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from repro.core import MultiKeyFile
+    from repro.encoding import KeyCodec, UIntEncoder
+    from repro.server import QueryServer
+    from repro.storage import PageStore
+    from repro.storage.wal import WALBackend, recover_index
+
+    if args.wal and os.path.exists(args.wal):
+        index = recover_index(args.wal)
+        codec = KeyCodec([UIntEncoder(w) for w in index.widths])
+        file = MultiKeyFile.from_index(codec, index)
+        print(
+            f"recovered {len(index)} keys from {args.wal}",
+            file=sys.stderr,
+            flush=True,
+        )
+    else:
+        codec = KeyCodec([UIntEncoder(args.widths) for _ in range(args.dims)])
+        store = PageStore(backend=WALBackend(args.wal)) if args.wal else None
+        file = MultiKeyFile(
+            codec, page_capacity=args.page_capacity, store=store
+        )
+
+    async def run() -> None:
+        server = QueryServer(
+            file,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            session_pipeline=args.pipeline,
+            coalesce_window=args.window / 1000.0,
+            max_batch=args.max_batch,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        async with server:
+            host, port = server.address
+            print(f"serving on {host}:{port}", flush=True)
+            await stop.wait()
+            print("draining ...", file=sys.stderr, flush=True)
+        print("served state is durable, exiting", file=sys.stderr, flush=True)
+
+    asyncio.run(run())
+    return 0
+
+
+def _cmd_ping(args: argparse.Namespace) -> int:
+    import asyncio
+    import time
+
+    from repro.server import QueryClient
+
+    async def run() -> int:
+        async with await QueryClient.connect(args.host, args.port) as client:
+            start = time.perf_counter()
+            reply = await client.ping()
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            stats = await client.stats()
+        print(
+            f"pong (protocol v{reply['version']}) in {elapsed_ms:.2f} ms: "
+            f"{stats['scheme']} {stats['dims']}d, {stats['keys']} keys, "
+            f"load factor {stats['load_factor']:.2f}"
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError) as exc:
+        print(f"ping failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -366,14 +457,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the committed-baseline suite)")
     bench.add_argument("--schemes", nargs="+", default=None)
     bench.add_argument("--modes", nargs="+", default=None,
-                       choices=["single", "batched", "rangepar"],
+                       choices=["single", "batched", "rangepar", "served"],
                        help="measurement protocols for ad-hoc cells")
     bench.add_argument("--batch-size", type=int, default=None,
                        help="keys per measured batch in batched cells "
                             "(default 64)")
     bench.add_argument("--parallelism", type=int, default=None,
                        help="thread-pool width for rangepar cells "
-                            "(default 4)")
+                            "(default 4); client concurrency for served "
+                            "cells (default 8)")
     bench.add_argument("--backends", nargs="+", default=None,
                        choices=["memory", "file", "file+pool", "file+wal"])
     bench.add_argument("-b", "--page-capacity", type=int, default=8)
@@ -399,6 +491,39 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--dims", type=int, default=2)
     stats.add_argument("-b", "--page-capacity", type=int, default=8)
     stats.set_defaults(handler=_cmd_stats)
+
+    serve = commands.add_parser(
+        "serve", help="serve an index over the wire protocol"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick an ephemeral port)")
+    serve.add_argument("--wal", default=None, metavar="PATH",
+                       help="durable page file; reopened via WAL recovery "
+                            "when it already exists")
+    serve.add_argument("--dims", type=int, default=2,
+                       help="key dimensions for a fresh index (default 2)")
+    serve.add_argument("--widths", type=int, default=16,
+                       help="bits per dimension for a fresh index "
+                            "(default 16)")
+    serve.add_argument("-b", "--page-capacity", type=int, default=32)
+    serve.add_argument("--window", type=float, default=2.0,
+                       help="write-coalescing window in milliseconds "
+                            "(default 2.0)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="mutations per coalesced commit (default 64)")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="global in-flight request budget (default 64)")
+    serve.add_argument("--pipeline", type=int, default=16,
+                       help="per-session pipelining limit (default 16)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    ping = commands.add_parser(
+        "ping", help="round-trip a served index and print its shape"
+    )
+    ping.add_argument("--host", default="127.0.0.1")
+    ping.add_argument("--port", type=int, required=True)
+    ping.set_defaults(handler=_cmd_ping)
 
     lint = commands.add_parser(
         "lint", help="repo-specific static checks (exit 1 on findings)"

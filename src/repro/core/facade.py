@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Sequence, Type
 
 from repro.encoding import KeyCodec
+from repro.errors import KeyDimensionError
 from repro.storage import PageStore
 from repro.core.bmeh_tree import BMEHTree
 from repro.core.interface import MultidimensionalIndex
@@ -45,6 +46,27 @@ class MultiKeyFile:
             store=store,
             **scheme_options,
         )
+
+    @classmethod
+    def from_index(
+        cls, codec: KeyCodec, index: MultidimensionalIndex
+    ) -> "MultiKeyFile":
+        """Wrap an already-built index (e.g. one returned by
+        :func:`repro.storage.wal.recover_index`) in a typed facade.
+
+        The codec must match the index's shape; a served index reopened
+        after a crash keeps its data but needs the application's codec
+        re-attached.
+        """
+        if codec.dimensions != index.dims or codec.widths != index.widths:
+            raise KeyDimensionError(
+                f"codec shape {codec.dimensions}d/{codec.widths} does not "
+                f"match index shape {index.dims}d/{index.widths}"
+            )
+        file = cls.__new__(cls)
+        file._codec = codec
+        file._index = index
+        return file
 
     @property
     def codec(self) -> KeyCodec:
@@ -123,5 +145,15 @@ class MultiKeyFile:
             yield self._codec.decode(codes), value
 
     def items(self) -> Iterator[tuple[tuple[Any, ...], Any]]:
-        for codes, value in self._index.items():
+        """Every stored record, decoded, from a point-in-time snapshot.
+
+        The whole index iteration runs under the store latch's shared
+        side, so a concurrent writer that honours the latch discipline
+        (the service layer's write aggregator, a pool flush, a group
+        commit) can never interleave a split mid-scan: the snapshot is a
+        consistent state of the index, taken when iteration starts.
+        """
+        with self.store.latch.read():
+            snapshot = list(self._index.items())
+        for codes, value in snapshot:
             yield self._codec.decode(codes), value

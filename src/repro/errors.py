@@ -49,6 +49,28 @@ class StorageError(ReproError):
     """Page-store misuse: bad page id, freed-page access, size overflow."""
 
 
+class LatchTimeout(ReproError):
+    """A latch acquisition gave up after its timeout elapsed.
+
+    Raised by :meth:`repro.storage.latch.ReadWriteLatch.acquire_read` /
+    ``acquire_write`` when called with ``timeout=``.  The service layer
+    maps it to a 503-style backpressure reply: a stuck writer becomes a
+    clean retryable error at the client instead of a hung server.
+    """
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized or version-mismatched wire-protocol frame.
+
+    Carries ``code``, the structured error identifier sent back to the
+    client (``bad-frame``, ``bad-version``, ``bad-payload``, ...).
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-frame") -> None:
+        self.code = code
+        super().__init__(message)
+
+
 class CrashError(StorageError):
     """A simulated power failure raised by the fault-injection harness.
 

@@ -23,6 +23,13 @@ Four rules, each guarding an invariant the runtime sanitizer cannot see:
   ``PageStore.flush()`` / ``PageStore.group()`` / ``checkpoint()`` so
   group commit can defer it and the commit count stays truthful — a
   stray ``backend.flush()`` splits a batch into extra commits.
+* **REP106 server-mutation-bypass** — calling an index mutation method
+  (``insert`` / ``delete`` / ``insert_many`` / ``delete_many``) from
+  service-layer code (``server/``) outside the write aggregator
+  (``server/aggregator.py``).  Every served mutation must flow through
+  the aggregator so concurrent writes coalesce into one group commit
+  and the latch discipline holds; a session or handler mutating the
+  index directly races the aggregator's batches and splits commits.
 
 Run via ``repro lint`` (exit 1 on findings) or ``repro check``.
 """
@@ -40,7 +47,14 @@ __all__ = ["LintIssue", "lint_paths", "lint_source", "repo_source_root"]
 #: and the WAL wrapper that interposes between the store and the page file.
 BACKEND_ALLOWED = ("storage/disk.py", "storage/wal.py")
 
+#: The one service-layer file allowed to mutate an index: the write
+#: aggregator, where concurrent mutations coalesce into group commits.
+SERVER_MUTATION_ALLOWED = ("server/aggregator.py",)
+
 _BACKEND_METHODS = frozenset({"load", "store", "discard"})
+_INDEX_MUTATORS = frozenset(
+    {"insert", "delete", "insert_many", "delete_many"}
+)
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
 
 
@@ -74,10 +88,12 @@ def _terminal_name(node: ast.expr) -> str | None:
 
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, *, check_backend: bool,
-                 check_annotations: bool) -> None:
+                 check_annotations: bool,
+                 check_server_mutation: bool = False) -> None:
         self.path = path
         self.check_backend = check_backend
         self.check_annotations = check_annotations
+        self.check_server_mutation = check_server_mutation
         self.issues: list[LintIssue] = []
         # Nesting stack of 'class' / 'function' scopes: REP104 applies to
         # module-level functions and methods, not to nested helpers.
@@ -114,6 +130,19 @@ class _Linter(ast.NodeVisitor):
                     "bypasses group commit — use PageStore.flush(), "
                     "PageStore.group() or checkpoint()",
                 )
+        if (
+            self.check_server_mutation
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _INDEX_MUTATORS
+        ):
+            self._issue(
+                node,
+                "REP106",
+                f"server code calls .{node.func.attr}() directly — every "
+                "served mutation must flow through the write aggregator "
+                "(server/aggregator.py) so concurrent writes coalesce "
+                "into one group commit",
+            )
         self.generic_visit(node)
 
     # -- REP102: float equality ------------------------------------------------
@@ -215,6 +244,7 @@ def lint_source(
     *,
     check_backend: bool = True,
     check_annotations: bool = False,
+    check_server_mutation: bool = False,
 ) -> list[LintIssue]:
     """Lint one module's source text; returns findings (possibly empty)."""
     try:
@@ -227,7 +257,10 @@ def lint_source(
             )
         ]
     linter = _Linter(
-        path, check_backend=check_backend, check_annotations=check_annotations
+        path,
+        check_backend=check_backend,
+        check_annotations=check_annotations,
+        check_server_mutation=check_server_mutation,
     )
     linter.visit(tree)
     return sorted(linter.issues, key=lambda i: (i.line, i.col, i.code))
@@ -237,7 +270,8 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
     """Lint files or directory trees (default: the installed ``repro``).
 
     Rule scoping: REP101 everywhere except the accounting layer itself;
-    REP104 only under ``core/``; REP102/REP103 everywhere.
+    REP104 only under ``core/``; REP102/REP103 everywhere; REP106 under
+    ``server/`` except the write aggregator.
     """
     roots = [Path(p) for p in paths] if paths else [repo_source_root()]
     files: list[Path] = []
@@ -251,6 +285,9 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
         posix = file.as_posix()
         check_backend = not any(posix.endswith(a) for a in BACKEND_ALLOWED)
         check_annotations = "/core/" in posix or "\\core\\" in str(file)
+        check_server_mutation = (
+            "/server/" in posix or "\\server\\" in str(file)
+        ) and not any(posix.endswith(a) for a in SERVER_MUTATION_ALLOWED)
         try:
             source = file.read_text(encoding="utf-8")
         except OSError as exc:
@@ -264,6 +301,7 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
                 str(file),
                 check_backend=check_backend,
                 check_annotations=check_annotations,
+                check_server_mutation=check_server_mutation,
             )
         )
     return issues

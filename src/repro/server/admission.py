@@ -1,0 +1,115 @@
+"""Admission control and read/write scheduling for the query server.
+
+Two primitives, both event-loop-confined (single-threaded, no locks):
+
+* :class:`AdmissionController` — a bounded in-flight request budget.
+  Admission is *non-blocking*: a request that does not fit is rejected
+  immediately with a 503-style code (``busy`` globally,
+  ``pipeline-limit`` per session) instead of queueing unboundedly.  The
+  client retries; the server's memory stays bounded.
+* :class:`ReadWriteGate` — an async many-readers/one-writer gate, the
+  event-loop counterpart of the store's thread-level
+  :class:`~repro.storage.latch.ReadWriteLatch`.  Reads (point lookups,
+  parallel range scans) share it; the write aggregator takes the
+  exclusive side per coalesced batch, so index-restructuring mutations
+  never interleave with a fanned-out scan.  Writer-preferring, same as
+  the storage latch: a pending batch blocks new readers so a stream of
+  scans cannot starve writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import AsyncIterator
+
+
+class AdmissionController:
+    """Bounded in-flight budget: global and per-session."""
+
+    def __init__(self, max_inflight: int = 64, per_session: int = 16) -> None:
+        if max_inflight < 1 or per_session < 1:
+            raise ValueError("admission limits must be >= 1")
+        self.max_inflight = max_inflight
+        self.per_session = per_session
+        self._inflight = 0
+        self._by_session: dict[int, int] = {}
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def try_admit(self, session_id: int) -> str | None:
+        """Admit one request, or return the rejection code.
+
+        ``pipeline-limit`` when this session already has its fill of
+        outstanding requests, ``busy`` when the server as a whole does.
+        """
+        if self._by_session.get(session_id, 0) >= self.per_session:
+            return "pipeline-limit"
+        if self._inflight >= self.max_inflight:
+            return "busy"
+        self._inflight += 1
+        self._by_session[session_id] = self._by_session.get(session_id, 0) + 1
+        return None
+
+    def release(self, session_id: int) -> None:
+        self._inflight -= 1
+        remaining = self._by_session.get(session_id, 0) - 1
+        if remaining > 0:
+            self._by_session[session_id] = remaining
+        else:
+            self._by_session.pop(session_id, None)
+
+    def forget_session(self, session_id: int) -> None:
+        """Drop a closed session's book-keeping (its in-flight requests
+        release themselves as they finish)."""
+        if self._by_session.get(session_id) == 0:
+            self._by_session.pop(session_id, None)
+
+
+class ReadWriteGate:
+    """Async many-readers / one-writer gate; writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextlib.asynccontextmanager
+    async def read_locked(self) -> AsyncIterator[None]:
+        """Hold the shared side for an ``async with`` block."""
+        async with self._cond:
+            while self._writer_active or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.asynccontextmanager
+    async def write_locked(self) -> AsyncIterator[None]:
+        """Hold the exclusive side for an ``async with`` block."""
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            async with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers

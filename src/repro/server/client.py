@@ -1,0 +1,221 @@
+"""The asyncio pipelining client.
+
+:class:`QueryClient` mirrors the :class:`~repro.core.facade.MultiKeyFile`
+API over the wire.  Every call is one request frame; a background reader
+task matches replies to requests by id, so any number of calls may be in
+flight on one connection (pipelining) — fire them with
+``asyncio.gather`` and the server interleaves them up to its per-session
+limit.  Wire errors are mapped back onto the :mod:`repro.errors`
+hierarchy: a served ``duplicate-key`` raises
+:class:`~repro.errors.DuplicateKeyError` exactly as the embedded index
+would, and the 503-style backpressure codes raise :class:`ServerBusy`,
+which callers treat as retryable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.errors import (
+    CapacityError,
+    DuplicateKeyError,
+    EncodingError,
+    KeyDimensionError,
+    KeyNotFoundError,
+    ProtocolError,
+    ReproError,
+    StorageError,
+)
+from repro.server import protocol
+from repro.server.protocol import BUSY_CODES, Opcode
+
+
+class RemoteError(ReproError):
+    """A structured error reply the client has no local class for.
+
+    Attributes:
+        code: the wire error code (``internal``, ``invariant``, ...).
+    """
+
+    def __init__(self, message: str, *, code: str = "internal") -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class ServerBusy(RemoteError):
+    """A 503-style backpressure reply: the request was rejected, not
+    failed — retry after easing off."""
+
+
+#: Wire code -> local exception class (bare message constructors).
+_CODE_ERRORS: dict[str, type] = {
+    "duplicate-key": DuplicateKeyError,
+    "key-not-found": KeyNotFoundError,
+    "bad-key": KeyDimensionError,
+    "encoding": EncodingError,
+    "capacity": CapacityError,
+    "storage": StorageError,
+}
+
+
+def _error_for(code: str, message: str) -> Exception:
+    if code in BUSY_CODES:
+        return ServerBusy(message, code=code)
+    cls = _CODE_ERRORS.get(code)
+    if cls is not None:
+        return cls(message)
+    if code.startswith("bad-") or code == "oversized":
+        return ProtocolError(message, code=code)
+    return RemoteError(message, code=code)
+
+
+class QueryClient:
+    """One pipelined connection to a :class:`QueryServer`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies(), name="repro-client-reader"
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "QueryClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "QueryClient":
+        return self
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    # -- plumbing ------------------------------------------------------------
+
+    async def _read_replies(self) -> None:
+        try:
+            while True:
+                body = await protocol.read_frame(self._reader)
+                if body is None:
+                    self._fail_pending(
+                        ConnectionError("server closed the connection")
+                    )
+                    return
+                opcode, request_id, payload = protocol.decode_body(body)
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # unsolicited or already-failed request
+                if opcode == Opcode.REPLY_OK:
+                    future.set_result(payload)
+                elif opcode == Opcode.REPLY_ERR:
+                    code = "internal"
+                    message = "unstructured error reply"
+                    if isinstance(payload, dict):
+                        code = str(payload.get("code", code))
+                        message = str(payload.get("message", message))
+                    future.set_exception(_error_for(code, message))
+                else:
+                    future.set_exception(
+                        ProtocolError(
+                            f"unexpected reply opcode {opcode}",
+                            code="bad-opcode",
+                        )
+                    )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_pending(
+                exc if isinstance(exc, ReproError)
+                else ConnectionError(f"connection failed: {exc}")
+            )
+
+    async def _request(self, opcode: Opcode, payload: Any = None) -> Any:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(protocol.encode_frame(opcode, request_id, payload))
+        await self._writer.drain()
+        return await future
+
+    # -- the MultiKeyFile API, served ---------------------------------------
+
+    async def ping(self) -> dict:
+        return await self._request(Opcode.PING)
+
+    async def insert(self, key: Sequence[Any], value: Any = None) -> None:
+        await self._request(Opcode.INSERT, {"key": list(key), "value": value})
+
+    async def search(self, key: Sequence[Any]) -> Any:
+        reply = await self._request(Opcode.SEARCH, {"key": list(key)})
+        return reply["value"]
+
+    async def delete(self, key: Sequence[Any]) -> Any:
+        reply = await self._request(Opcode.DELETE, {"key": list(key)})
+        return reply["value"]
+
+    async def insert_many(
+        self, pairs: Sequence[tuple[Sequence[Any], Any]]
+    ) -> int:
+        reply = await self._request(
+            Opcode.INSERT_MANY,
+            {"pairs": [[list(key), value] for key, value in pairs]},
+        )
+        return reply["inserted"]
+
+    async def search_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
+        reply = await self._request(
+            Opcode.SEARCH_MANY, {"keys": [list(key) for key in keys]}
+        )
+        return reply["values"]
+
+    async def delete_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
+        reply = await self._request(
+            Opcode.DELETE_MANY, {"keys": [list(key) for key in keys]}
+        )
+        return reply["values"]
+
+    async def range_search(
+        self,
+        lows: Sequence[Any],
+        highs: Sequence[Any],
+        parallelism: int | None = None,
+    ) -> list[tuple[tuple[Any, ...], Any]]:
+        payload: dict[str, Any] = {"lows": list(lows), "highs": list(highs)}
+        if parallelism is not None:
+            payload["parallelism"] = parallelism
+        reply = await self._request(Opcode.RANGE, payload)
+        return [(tuple(key), value) for key, value in reply["items"]]
+
+    async def stats(self) -> dict:
+        return await self._request(Opcode.STATS)

@@ -1,0 +1,69 @@
+"""Service-layer counters, exposed over the ``STATS`` opcode.
+
+All counters are mutated from the event loop thread only (handlers
+update them before/after hopping to the executor), so plain integers
+suffice — no locks.  The ``served`` bench cell reads
+``mutations_applied`` and the WAL commit delta to assert the
+write-coalescing claim (commits per mutation < 1 under concurrency).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ServerMetrics:
+    """Counters for one :class:`~repro.server.server.QueryServer`."""
+
+    def __init__(self) -> None:
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.requests_total = 0
+        self.requests_by_opcode: dict[str, int] = {}
+        self.replies_ok = 0
+        self.replies_err = 0
+        self.protocol_errors = 0
+        self.busy_rejections = 0
+        self.pipeline_rejections = 0
+        self.drain_rejections = 0
+        self.latch_timeouts = 0
+        self.reads_served = 0
+        self.mutations_submitted = 0
+        self.mutations_applied = 0
+        self.mutation_errors = 0
+        self.groups_committed = 0
+        self.largest_group = 0
+
+    def record_request(self, opcode_name: str) -> None:
+        self.requests_total += 1
+        self.requests_by_opcode[opcode_name] = (
+            self.requests_by_opcode.get(opcode_name, 0) + 1
+        )
+
+    def record_group(self, size: int) -> None:
+        """One coalesced write window was committed."""
+        self.groups_committed += 1
+        if size > self.largest_group:
+            self.largest_group = size
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view for the ``STATS`` reply and the bench cell."""
+        return {
+            "connections_opened": self.connections_opened,
+            "connections_closed": self.connections_closed,
+            "requests_total": self.requests_total,
+            "requests_by_opcode": dict(self.requests_by_opcode),
+            "replies_ok": self.replies_ok,
+            "replies_err": self.replies_err,
+            "protocol_errors": self.protocol_errors,
+            "busy_rejections": self.busy_rejections,
+            "pipeline_rejections": self.pipeline_rejections,
+            "drain_rejections": self.drain_rejections,
+            "latch_timeouts": self.latch_timeouts,
+            "reads_served": self.reads_served,
+            "mutations_submitted": self.mutations_submitted,
+            "mutations_applied": self.mutations_applied,
+            "mutation_errors": self.mutation_errors,
+            "groups_committed": self.groups_committed,
+            "largest_group": self.largest_group,
+        }

@@ -1,0 +1,220 @@
+"""The wire protocol: length-prefixed, versioned binary frames.
+
+Frame layout (all integers little-endian)::
+
+    u32  body length                  (frame = 4-byte prefix + body)
+    u8   protocol version             (PROTOCOL_VERSION = 1)
+    u8   opcode                       (Opcode)
+    u32  request id                   (client-chosen; echoed in replies)
+    ...  payload                      (UTF-8 JSON, possibly empty)
+
+The length prefix counts the body (version byte onward) and is capped at
+:data:`MAX_FRAME`; a larger claim is rejected before any allocation — a
+garbage prefix must never buffer gigabytes.  Requests and replies share
+the layout; a reply echoes the request id and carries either
+:attr:`Opcode.REPLY_OK` with a result object or :attr:`Opcode.REPLY_ERR`
+with a structured ``{"code", "message"}`` payload.  JSON keeps the
+payloads debuggable and covers every value the
+:class:`~repro.encoding.KeyCodec` attribute types round-trip through.
+
+Pipelining: a client may send any number of frames before reading
+replies (bounded by the server's per-session limit); replies may arrive
+out of order, matched by request id.
+
+Error codes travel as short stable strings (``duplicate-key``,
+``key-not-found``, ``busy``, ``bad-payload``, ...) so clients can map
+them back to the :mod:`repro.errors` hierarchy without parsing prose.
+The ``busy`` family (``busy``, ``pipeline-limit``, ``latch-timeout``,
+``shutting-down``) is the 503-style backpressure surface: retryable,
+never fatal, never queued unboundedly on the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import json
+import struct
+from typing import Any
+
+from repro.errors import (
+    CapacityError,
+    DuplicateKeyError,
+    EncodingError,
+    InvariantViolation,
+    KeyDimensionError,
+    KeyNotFoundError,
+    LatchTimeout,
+    ProtocolError,
+    SerializationError,
+    StorageError,
+)
+
+PROTOCOL_VERSION = 1
+#: Hard cap on a frame body; larger length prefixes are garbage.
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct("<I")
+_HEAD = struct.Struct("<BBI")  # version, opcode, request id
+
+
+class Opcode(enum.IntEnum):
+    """Request and reply opcodes."""
+
+    PING = 1
+    INSERT = 2
+    SEARCH = 3
+    DELETE = 4
+    INSERT_MANY = 5
+    SEARCH_MANY = 6
+    DELETE_MANY = 7
+    RANGE = 8
+    STATS = 9
+    REPLY_OK = 128
+    REPLY_ERR = 129
+
+
+#: Opcodes that mutate the index — these must flow through the write
+#: aggregator; everything else is a read and fans out.
+MUTATION_OPCODES = frozenset(
+    (Opcode.INSERT, Opcode.DELETE, Opcode.INSERT_MANY, Opcode.DELETE_MANY)
+)
+
+#: Exception class -> wire error code.  First match wins (subclasses
+#: before bases: LatchTimeout is not a StorageError but Serialization
+#: and Crash errors are).
+_ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (DuplicateKeyError, "duplicate-key"),
+    (KeyNotFoundError, "key-not-found"),
+    (KeyDimensionError, "bad-key"),
+    (EncodingError, "bad-key"),
+    (CapacityError, "capacity"),
+    (LatchTimeout, "latch-timeout"),
+    (InvariantViolation, "invariant"),
+    (SerializationError, "storage"),
+    (StorageError, "storage"),
+    (ProtocolError, "bad-payload"),
+)
+
+#: Codes the client should treat as retryable backpressure (503-style).
+BUSY_CODES = frozenset(
+    ("busy", "pipeline-limit", "latch-timeout", "shutting-down")
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code for an exception raised while serving a request."""
+    if isinstance(exc, ProtocolError):
+        return exc.code
+    for cls, code in _ERROR_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def encode_frame(opcode: int, request_id: int, payload: Any = None) -> bytes:
+    """Serialize one frame (length prefix included)."""
+    body = _HEAD.pack(PROTOCOL_VERSION, opcode, request_id)
+    if payload is not None:
+        body += json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME}-byte limit",
+            code="oversized",
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def encode_error(request_id: int, code: str, message: str) -> bytes:
+    """Serialize a structured error reply."""
+    return encode_frame(
+        Opcode.REPLY_ERR, request_id, {"code": code, "message": message}
+    )
+
+
+def decode_body(body: bytes) -> tuple[int, int, Any]:
+    """Parse a frame body into ``(opcode, request_id, payload)``.
+
+    Raises :class:`~repro.errors.ProtocolError` (with a structured code)
+    on a truncated header, an unknown version, or an undecodable
+    payload.  An unknown-but-well-formed opcode is returned as-is — the
+    dispatcher replies ``bad-opcode`` at the request level, keeping the
+    stream usable.
+    """
+    if len(body) < _HEAD.size:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{_HEAD.size}-byte header",
+            code="bad-frame",
+        )
+    version, opcode, request_id = _HEAD.unpack_from(body, 0)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {version} is not supported "
+            f"(this server speaks {PROTOCOL_VERSION})",
+            code="bad-version",
+        )
+    raw = body[_HEAD.size :]
+    if not raw:
+        return opcode, request_id, None
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            f"undecodable frame payload: {exc}", code="bad-payload"
+        ) from None
+    return opcode, request_id, payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame body from the stream.
+
+    Returns ``None`` on a clean EOF at a frame boundary.  Raises
+    :class:`~repro.errors.ProtocolError` on an oversized or zero length
+    prefix or a mid-frame truncation — the connection cannot be resynced
+    after either, so the session replies once and closes.
+    """
+    prefix = await reader.read(_LEN.size)
+    if not prefix:
+        return None
+    if len(prefix) < _LEN.size:
+        raise ProtocolError("truncated length prefix", code="bad-frame")
+    (length,) = _LEN.unpack(prefix)
+    if length == 0 or length > MAX_FRAME:
+        raise ProtocolError(
+            f"frame length {length} outside (0, {MAX_FRAME}]",
+            code="oversized" if length else "bad-frame",
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("truncated frame body", code="bad-frame") from None
+
+
+# -- payload field validation -------------------------------------------------
+
+
+def field(payload: Any, name: str, kind: type | None = None) -> Any:
+    """Extract a required payload field, raising ``bad-payload`` errors
+    a fuzzer cannot turn into a server crash."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"payload must be an object, got {type(payload).__name__}",
+            code="bad-payload",
+        )
+    if name not in payload:
+        raise ProtocolError(f"missing field {name!r}", code="bad-payload")
+    value = payload[name]
+    if kind is not None and not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {name!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}",
+            code="bad-payload",
+        )
+    return value
+
+
+def key_field(payload: Any, name: str = "key") -> list:
+    """A key vector: a JSON array of attribute values."""
+    return field(payload, name, list)

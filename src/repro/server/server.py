@@ -1,0 +1,302 @@
+"""The asyncio TCP query server.
+
+:class:`QueryServer` exposes every :class:`~repro.core.facade.MultiKeyFile`
+operation over the wire protocol, multiplexing any number of client
+sessions onto one index with the concurrency discipline the storage
+layer expects:
+
+* **reads fan out** — point lookups run on a thread-pool executor under
+  the service gate's shared side plus the store latch's shared side
+  (with a timeout: a stuck writer is a ``latch-timeout`` backpressure
+  reply, not a hang); range queries may additionally fan per-page scans
+  through :func:`~repro.core.rangequery.scan_parallel`, whose workers
+  read via :meth:`~repro.storage.disk.PageStore.read_shared`;
+* **writes serialize and coalesce** — every mutation flows through the
+  :class:`~repro.server.aggregator.WriteAggregator` (enforced by lint
+  rule REP106), which holds the gate's exclusive side per coalesced
+  window and commits the whole window under one
+  :meth:`~repro.storage.disk.PageStore.group` scope;
+* **admission is bounded** — the in-flight budget and per-session
+  pipelining limit reject excess load with 503-style replies instead of
+  queueing it (see :mod:`repro.server.admission`).
+
+Graceful shutdown drains in three stages: stop accepting and reject new
+requests (``shutting-down``), wait for in-flight requests and flush the
+aggregator's final window, then make the served state durable — on a
+WAL backend via :func:`repro.storage.wal.checkpoint`, binding the last
+commit to a whole-index state that
+:func:`~repro.storage.wal.recover_index` can reopen; elsewhere via a
+plain store flush.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.core.facade import MultiKeyFile
+from repro.errors import ProtocolError
+from repro.server.admission import AdmissionController, ReadWriteGate
+from repro.server.aggregator import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_WINDOW,
+    WriteAggregator,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    MUTATION_OPCODES,
+    PROTOCOL_VERSION,
+    Opcode,
+    field,
+    key_field,
+)
+from repro.server.session import Session
+from repro.storage.wal import WALBackend, checkpoint
+
+
+class QueryServer:
+    """Serve one :class:`MultiKeyFile` to concurrent TCP clients."""
+
+    def __init__(
+        self,
+        file: MultiKeyFile,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        session_pipeline: int = 16,
+        coalesce_window: float = DEFAULT_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        read_workers: int = 4,
+        latch_timeout: float | None = 5.0,
+        drain_timeout: float = 10.0,
+        range_parallelism: int | None = None,
+    ) -> None:
+        self._file = file
+        self._host = host
+        self._port = port
+        self.metrics = ServerMetrics()
+        self.admission = AdmissionController(max_inflight, session_pipeline)
+        self._gate = ReadWriteGate()
+        self._latch_timeout = latch_timeout
+        self.drain_timeout = drain_timeout
+        self._range_parallelism = range_parallelism
+        #: Serializes store access when point reads fan out over the
+        #: executor: a byte backend's file handle seeks, the pool's LRU
+        #: and the dedup ledgers are all single-threaded (the same
+        #: discipline as ``PageStore.read_shared``'s internal lock).
+        #: The fan-out win is at the wire level — parse/encode/framing
+        #: overlap — and inside parallel range scans, whose workers
+        #: serialize on ``read_shared`` themselves.
+        self._read_mutex = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, read_workers),
+            thread_name_prefix="repro-serve",
+        )
+        self._aggregator = WriteAggregator(
+            file,
+            self._gate,
+            self.metrics,
+            executor=self._executor,
+            window=coalesce_window,
+            max_batch=max_batch,
+            latch_timeout=latch_timeout,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._sessions: set[Session] = set()
+        self.draining = False
+        self._shut_down = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def file(self) -> MultiKeyFile:
+        return self._file
+
+    @property
+    def aggregator(self) -> WriteAggregator:
+        return self._aggregator
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` ephemerals)."""
+        if self._server is None:
+            raise ProtocolError("server is not started", code="internal")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "QueryServer":
+        self._server = await asyncio.start_server(
+            self._on_connect, self._host, self._port
+        )
+        self._aggregator.start()
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def __aenter__(self) -> "QueryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.shutdown()
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session(self, reader, writer)
+        self._sessions.add(session)
+        self.metrics.connections_opened += 1
+        await session.run()
+
+    def _session_done(self, session: Session) -> None:
+        self._sessions.discard(session)
+        self.metrics.connections_closed += 1
+
+    async def shutdown(self) -> None:
+        """Drain sessions, flush the last write window, make the state
+        durable.  Idempotent."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions):
+            await session.drain(timeout=self.drain_timeout)
+        await self._aggregator.stop()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._final_checkpoint)
+        for session in list(self._sessions):
+            session.closed = True
+            await session._finish()
+        self._executor.shutdown(wait=True)
+
+    def _final_checkpoint(self) -> None:
+        """The durability half of the shutdown contract: after this,
+        :func:`~repro.storage.wal.recover_index` on the page file
+        reopens exactly the drained state."""
+        store = self._file.store
+        if isinstance(store.backend, WALBackend):
+            checkpoint(self._file.index)
+        else:
+            store.flush()
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def dispatch(self, opcode: Opcode, payload: Any) -> Any:
+        """Execute one admitted request; returns the reply payload."""
+        if opcode in MUTATION_OPCODES:
+            return await self._aggregator.submit(opcode, payload)
+        if opcode == Opcode.PING:
+            return {"pong": True, "version": PROTOCOL_VERSION}
+        if opcode == Opcode.SEARCH:
+            key = key_field(payload)
+            return await self._run_read(
+                lambda: {"value": self._file.search(key)}
+            )
+        if opcode == Opcode.SEARCH_MANY:
+            keys = field(payload, "keys", list)
+            for key in keys:
+                if not isinstance(key, list):
+                    raise ProtocolError(
+                        "keys must be [key, ...]", code="bad-payload"
+                    )
+            return await self._run_read(
+                lambda: {"values": self._file.search_many(keys)}
+            )
+        if opcode == Opcode.RANGE:
+            return await self._range(payload)
+        if opcode == Opcode.STATS:
+            return await self._run_read(self._stats)
+        raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
+
+    async def _run_read(
+        self, fn: Callable[[], Any], latched: bool = True
+    ) -> Any:
+        """Run a read on the executor under the service gate's shared
+        side (fanning out with other reads, excluded from write
+        windows), plus — for point reads — the store latch's shared side
+        with a timeout, guarding against non-service writers."""
+        loop = asyncio.get_running_loop()
+        async with self._gate.read_locked():
+            result = await loop.run_in_executor(
+                self._executor, self._latched_read, fn, latched
+            )
+        self.metrics.reads_served += 1
+        return result
+
+    def _latched_read(self, fn: Callable[[], Any], latched: bool) -> Any:
+        store = self._file.store
+        if not latched:
+            return fn()
+        with store.latch.read(timeout=self._latch_timeout):
+            with self._read_mutex:
+                return fn()
+
+    async def _range(self, payload: Any) -> Any:
+        lows = field(payload, "lows", list)
+        highs = field(payload, "highs", list)
+        parallelism = None
+        if isinstance(payload, dict) and payload.get("parallelism") is not None:
+            parallelism = payload["parallelism"]
+            if not isinstance(parallelism, int) or parallelism < 1:
+                raise ProtocolError(
+                    "parallelism must be a positive integer",
+                    code="bad-payload",
+                )
+        if parallelism is None:
+            parallelism = self._range_parallelism
+
+        def scan() -> Any:
+            records = [
+                [list(key), value]
+                for key, value in self._file.range_search(
+                    lows, highs, parallelism=parallelism
+                )
+            ]
+            return {"items": records, "count": len(records)}
+
+        # A fanned-out scan takes the latch's shared side per page read
+        # (scan_parallel -> read_shared) from its own workers; holding
+        # the outer latch here as well could deadlock against a
+        # writer-preference claim, so the gate alone excludes writers.
+        return await self._run_read(
+            scan, latched=not (parallelism and parallelism > 1)
+        )
+
+    def _stats(self) -> dict[str, Any]:
+        index = self._file.index
+        store = self._file.store
+        stats: dict[str, Any] = {
+            "scheme": type(index).__name__,
+            "dims": index.dims,
+            "widths": list(index.widths),
+            "page_capacity": index.page_capacity,
+            "keys": len(index),
+            "directory_size": index.directory_size,
+            "data_pages": index.data_page_count,
+            "load_factor": index.load_factor,
+            "store": {
+                "logical_reads": store.stats.reads,
+                "logical_writes": store.stats.writes,
+                "backend_reads": store.backend_stats.reads,
+                "backend_writes": store.backend_stats.writes,
+            },
+            "server": self.metrics.snapshot(),
+        }
+        backend = store.backend
+        if isinstance(backend, WALBackend):
+            stats["wal"] = {
+                "commits": backend.checkpoints,
+                "records": backend.wal_records,
+                "replayed_ops": backend.replayed_ops,
+            }
+        return stats

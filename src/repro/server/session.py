@@ -1,0 +1,189 @@
+"""One client connection: framing, pipelining, structured errors.
+
+A :class:`Session` reads frames in a loop and dispatches each request as
+its own task, so a pipelining client gets concurrent execution up to the
+admission controller's per-session limit.  The error discipline is the
+fuzz suite's contract:
+
+* a malformed-but-framed request (bad version, unknown opcode, bad
+  payload) gets a structured ``REPLY_ERR`` and the stream continues —
+  frame boundaries are intact, so the next frame is readable;
+* an unframeable byte stream (garbage length prefix, oversized claim,
+  mid-frame truncation) gets one final structured error and the
+  connection closes — there is no way to resync;
+* nothing a client sends can crash the server or leak a latch: request
+  handlers release admission slots and latches in ``finally`` blocks,
+  and every exception is mapped to a wire code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ProtocolError
+from repro.server import protocol
+from repro.server.protocol import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.server import QueryServer
+
+
+class Session:
+    """The per-connection read-dispatch-reply loop."""
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        server: "QueryServer",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        Session._next_id += 1
+        self.session_id = Session._next_id
+        self._server = server
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._tasks: set[asyncio.Task] = set()
+        self.closed = False
+
+    # -- outbound ------------------------------------------------------------
+
+    async def _send(self, frame: bytes) -> None:
+        """Write one reply frame; replies from concurrent handlers are
+        serialized so frames never interleave."""
+        async with self._send_lock:
+            if self.closed:
+                return
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (ConnectionError, OSError):
+                self.closed = True
+
+    async def _send_error(self, request_id: int, code: str, message: str) -> None:
+        self._server.metrics.replies_err += 1
+        await self._send(protocol.encode_error(request_id, code, message))
+
+    # -- inbound -------------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve frames until EOF, a fatal framing error, or shutdown."""
+        metrics = self._server.metrics
+        try:
+            while not self.closed:
+                try:
+                    body = await protocol.read_frame(self._reader)
+                except ProtocolError as exc:
+                    # Unframeable stream: reply once, then close — the
+                    # frame boundary is lost, resync is impossible.
+                    metrics.protocol_errors += 1
+                    await self._send_error(0, exc.code, str(exc))
+                    return
+                if body is None:
+                    return  # clean EOF
+                await self._dispatch_frame(body)
+        finally:
+            await self._finish()
+
+    async def _dispatch_frame(self, body: bytes) -> None:
+        metrics = self._server.metrics
+        try:
+            opcode, request_id, payload = protocol.decode_body(body)
+        except ProtocolError as exc:
+            # The frame was delimited correctly — the stream is intact,
+            # reply and keep serving.
+            metrics.protocol_errors += 1
+            await self._send_error(0, exc.code, str(exc))
+            return
+        try:
+            opcode = Opcode(opcode)
+        except ValueError:
+            metrics.protocol_errors += 1
+            await self._send_error(
+                request_id, "bad-opcode", f"unknown opcode {opcode}"
+            )
+            return
+        if opcode in (Opcode.REPLY_OK, Opcode.REPLY_ERR):
+            metrics.protocol_errors += 1
+            await self._send_error(
+                request_id, "bad-opcode", "reply opcodes are server-to-client"
+            )
+            return
+        metrics.record_request(opcode.name)
+        if self._server.draining:
+            metrics.drain_rejections += 1
+            await self._send_error(
+                request_id, "shutting-down", "server is draining"
+            )
+            return
+        rejection = self._server.admission.try_admit(self.session_id)
+        if rejection is not None:
+            if rejection == "busy":
+                metrics.busy_rejections += 1
+            else:
+                metrics.pipeline_rejections += 1
+            await self._send_error(
+                request_id,
+                rejection,
+                "request rejected by admission control, retry",
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._handle(opcode, request_id, payload)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _handle(self, opcode: Opcode, request_id: int, payload: Any) -> None:
+        """Execute one admitted request and reply; never raises."""
+        metrics = self._server.metrics
+        try:
+            result = await self._server.dispatch(opcode, payload)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            code = protocol.error_code(exc)
+            if code == "latch-timeout":
+                metrics.latch_timeouts += 1
+            await self._send_error(request_id, code, str(exc))
+        else:
+            try:
+                frame = protocol.encode_frame(
+                    Opcode.REPLY_OK, request_id, result
+                )
+            except Exception as exc:
+                # A codec decoded to something JSON cannot carry; the
+                # request still gets a structured reply.
+                await self._send_error(
+                    request_id, "internal", f"unencodable reply: {exc}"
+                )
+            else:
+                metrics.replies_ok += 1
+                await self._send(frame)
+        finally:
+            self._server.admission.release(self.session_id)
+
+    # -- teardown ------------------------------------------------------------
+
+    async def drain(self, timeout: float | None = None) -> None:
+        """Wait for this session's in-flight requests to finish."""
+        tasks = [t for t in self._tasks if not t.done()]
+        if not tasks:
+            return
+        done, pending = await asyncio.wait(tasks, timeout=timeout)
+        for task in pending:
+            task.cancel()
+
+    async def _finish(self) -> None:
+        self.closed = True
+        await self.drain(timeout=self._server.drain_timeout)
+        self._server.admission.forget_session(self.session_id)
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._server._session_done(self)

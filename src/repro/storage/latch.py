@@ -2,29 +2,42 @@
 
 The library is single-threaded on its mutation paths, but the parallel
 range scanner (``repro.core.rangequery.scan_parallel``) fans per-cell
-leaf scans across a thread pool.  Even pure reads mutate shared state
-here: a read-through :class:`~repro.storage.buffer.BufferPool` reorders
-its LRU map and may evict (writing back a dirty frame) on every miss,
-and the logical ledger's dedup sets are plain Python containers.  The
-discipline is therefore:
+leaf scans across a thread pool, and the query service layer
+(:mod:`repro.server`) multiplexes client sessions onto one index.  Even
+pure reads mutate shared state here: a read-through
+:class:`~repro.storage.buffer.BufferPool` reorders its LRU map and may
+evict (writing back a dirty frame) on every miss, and the logical
+ledger's dedup sets are plain Python containers.  The discipline is
+therefore:
 
 * scan workers read pages through :meth:`PageStore.read_shared`, which
   holds this latch's **shared** side (many readers at once) around a
   store-internal mutex that serializes frame/ledger bookkeeping;
 * anything that restructures the store underneath readers — a pool
-  flush, a group-commit apply — holds the **exclusive** side, so it
-  never interleaves with an in-flight scan read.
+  flush, a group-commit apply, a service-layer mutation — holds the
+  **exclusive** side, so it never interleaves with an in-flight scan
+  read or a facade-level snapshot.
 
 The latch is writer-preferring (a waiting writer blocks new readers, so
 a stream of scans cannot starve a flush) and **not reentrant**: a thread
 must not acquire it twice, in any combination of sides.
+
+Acquisitions accept an optional ``timeout`` (seconds).  On expiry they
+raise :class:`~repro.errors.LatchTimeout` with the latch left exactly as
+found — a timed-out writer withdraws its preference claim and wakes any
+readers it was blocking.  The service layer relies on this to turn a
+stuck writer into a clean 503-style backpressure reply instead of a hung
+server.
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Iterator
+
+from repro.errors import LatchTimeout
 
 
 class ReadWriteLatch:
@@ -36,10 +49,29 @@ class ReadWriteLatch:
         self._writer_active = False
         self._writers_waiting = 0
 
-    def acquire_read(self) -> None:
+    @staticmethod
+    def _deadline(timeout: float | None) -> float | None:
+        return None if timeout is None else time.monotonic() + timeout
+
+    @staticmethod
+    def _remaining(deadline: float | None, side: str) -> float | None:
+        """Seconds left before ``deadline``; raises on expiry."""
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise LatchTimeout(
+                f"could not acquire the {side} side of the latch"
+            )
+        return remaining
+
+    def acquire_read(self, timeout: float | None = None) -> None:
+        """Acquire the shared side; raises
+        :class:`~repro.errors.LatchTimeout` if ``timeout`` elapses."""
+        deadline = self._deadline(timeout)
         with self._cond:
             while self._writer_active or self._writers_waiting:
-                self._cond.wait()
+                self._cond.wait(self._remaining(deadline, "shared"))
             self._readers += 1
 
     def release_read(self) -> None:
@@ -48,12 +80,25 @@ class ReadWriteLatch:
             if self._readers == 0:
                 self._cond.notify_all()
 
-    def acquire_write(self) -> None:
+    def acquire_write(self, timeout: float | None = None) -> None:
+        """Acquire the exclusive side; raises
+        :class:`~repro.errors.LatchTimeout` if ``timeout`` elapses.
+
+        A timed-out writer leaves no trace: its preference claim is
+        withdrawn and blocked readers are woken, so a latch that timed
+        out once is immediately usable by everyone else.
+        """
+        deadline = self._deadline(timeout)
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
-                    self._cond.wait()
+                    self._cond.wait(self._remaining(deadline, "exclusive"))
+            except LatchTimeout:
+                # Readers blocked purely by this writer's preference
+                # claim must be woken once the claim is withdrawn.
+                self._cond.notify_all()
+                raise
             finally:
                 self._writers_waiting -= 1
             self._writer_active = True
@@ -64,18 +109,18 @@ class ReadWriteLatch:
             self._cond.notify_all()
 
     @contextlib.contextmanager
-    def read(self) -> Iterator[None]:
+    def read(self, timeout: float | None = None) -> Iterator[None]:
         """Hold the shared side for a ``with`` block."""
-        self.acquire_read()
+        self.acquire_read(timeout)
         try:
             yield
         finally:
             self.release_read()
 
     @contextlib.contextmanager
-    def write(self) -> Iterator[None]:
+    def write(self, timeout: float | None = None) -> Iterator[None]:
         """Hold the exclusive side for a ``with`` block."""
-        self.acquire_write()
+        self.acquire_write(timeout)
         try:
             yield
         finally:
@@ -86,3 +131,9 @@ class ReadWriteLatch:
         """Readers currently holding the shared side (observability)."""
         with self._cond:
             return self._readers
+
+    @property
+    def write_active(self) -> bool:
+        """Whether a writer currently holds the exclusive side."""
+        with self._cond:
+            return self._writer_active

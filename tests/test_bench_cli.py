@@ -38,7 +38,7 @@ class TestBenchRun:
         assert ("table2", "BMEHTree", "file") in cells
         assert ("table2", "BMEHTree", "file+pool") in cells
         modes = {r.get("mode", "single") for r in data["results"]}
-        assert modes == {"single", "batched", "rangepar"}
+        assert modes == {"single", "batched", "rangepar", "served"}
         for result in data["results"]:
             m = result["metrics"]
             mode = result.get("mode", "single")
@@ -48,6 +48,9 @@ class TestBenchRun:
             elif mode == "rangepar":
                 assert m["rangepar_mismatches"] == 0
                 assert m["rangepar_records"] > 0
+            elif mode == "served":
+                assert m["served_mismatches"] == 0
+                assert 0 < m["served_commits"] < m["served_writes"]
             else:
                 assert m["logical_reads"] > 0 and m["logical_writes"] > 0
                 assert m["sigma"] > 0

@@ -469,6 +469,47 @@ class TestLint:
             "self._wal.flush()\n", "x.py", check_backend=False
         ) == []
 
+    def test_server_mutation_flagged(self):
+        for call in (
+            "file.insert(key, value)",
+            "self._file.delete(key)",
+            "index.insert_many(pairs)",
+            "f.delete_many(keys)",
+        ):
+            issues = lint_source(
+                f"{call}\n", "x.py", check_server_mutation=True
+            )
+            assert [i.code for i in issues] == ["REP106"], call
+
+    def test_server_reads_not_flagged(self):
+        for call in ("file.search(key)", "file.range_search(lo, hi)"):
+            assert lint_source(
+                f"{call}\n", "x.py", check_server_mutation=True
+            ) == [], call
+
+    def test_server_mutation_allowed_outside_server(self):
+        assert lint_source(
+            "file.insert(key, value)\n", "x.py"
+        ) == []
+
+    def test_server_tree_is_clean_but_would_be_flagged(self):
+        # The real server modules pass lint only because the aggregator
+        # is the sanctioned mutation site: the same source re-linted
+        # *with* the flag (as lint_paths applies it to everything under
+        # server/ except the aggregator) must trip on the aggregator's
+        # own apply thunks — proving the rule has teeth.
+        import pathlib
+
+        from repro.sanitize import lint_paths
+
+        root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        assert lint_paths([str(root / "server")]) == []
+        source = (root / "server" / "aggregator.py").read_text()
+        issues = lint_source(
+            source, "aggregator.py", check_server_mutation=True
+        )
+        assert issues and {i.code for i in issues} == {"REP106"}
+
     def test_syntax_error_reported(self):
         issues = lint_source("def broken(:\n", "x.py")
         assert [i.code for i in issues] == ["REP100"]

@@ -1,0 +1,658 @@
+"""The concurrent query service layer, end to end over real TCP.
+
+Covers the wire protocol (framing, structured errors, fuzz), the
+asyncio server (pipelining, admission control, write coalescing), the
+satellites (latch timeouts, the ``items()`` snapshot fix) and the
+graceful-shutdown durability contract.
+"""
+
+import asyncio
+import pathlib
+import re
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import KeyCodec, UIntEncoder
+from repro.core import MultiKeyFile
+from repro.errors import (
+    DuplicateKeyError,
+    KeyDimensionError,
+    KeyNotFoundError,
+    LatchTimeout,
+    ProtocolError,
+)
+from repro.sanitize import check_structure
+from repro.server import (
+    MAX_FRAME,
+    Opcode,
+    QueryClient,
+    QueryServer,
+    ServerBusy,
+    decode_body,
+    encode_frame,
+)
+from repro.server.admission import AdmissionController
+from repro.storage import PageStore
+from repro.storage.latch import ReadWriteLatch
+from repro.storage.wal import WALBackend, recover_index
+
+
+def make_file(tmp_path=None, page_capacity=8):
+    """A 2-d uint16 file; WAL-backed when given a directory."""
+    codec = KeyCodec([UIntEncoder(16), UIntEncoder(16)])
+    store = None
+    if tmp_path is not None:
+        store = PageStore(backend=WALBackend(str(tmp_path / "pages.db")))
+    return MultiKeyFile(codec, page_capacity=page_capacity, store=store)
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        frame = encode_frame(Opcode.INSERT, 7, {"key": [1, 2], "value": "x"})
+        (length,) = struct.unpack_from("<I", frame)
+        assert length == len(frame) - 4
+        opcode, request_id, payload = decode_body(frame[4:])
+        assert opcode == Opcode.INSERT
+        assert request_id == 7
+        assert payload == {"key": [1, 2], "value": "x"}
+
+    def test_empty_payload_roundtrip(self):
+        frame = encode_frame(Opcode.PING, 1)
+        opcode, request_id, payload = decode_body(frame[4:])
+        assert (opcode, request_id, payload) == (Opcode.PING, 1, None)
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(encode_frame(Opcode.PING, 1))
+        frame[4] = 99  # version byte
+        with pytest.raises(ProtocolError) as caught:
+            decode_body(bytes(frame[4:]))
+        assert caught.value.code == "bad-version"
+
+    def test_garbage_payload_rejected(self):
+        body = struct.pack("<BBI", 1, int(Opcode.PING), 1) + b"\xff\xfe"
+        with pytest.raises(ProtocolError) as caught:
+            decode_body(body)
+        assert caught.value.code == "bad-payload"
+
+    def test_read_frame_truncations(self):
+        async def scenario(raw):
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            from repro.server.protocol import read_frame
+
+            return await read_frame(reader)
+
+        # clean EOF
+        assert asyncio.run(scenario(b"")) is None
+        # truncated length prefix
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario(b"\x01\x02"))
+        # truncated body
+        with pytest.raises(ProtocolError):
+            asyncio.run(scenario(struct.pack("<I", 10) + b"abc"))
+        # oversized claim
+        with pytest.raises(ProtocolError) as caught:
+            asyncio.run(scenario(struct.pack("<I", MAX_FRAME + 1) + b"x"))
+        assert caught.value.code == "oversized"
+
+
+# ---------------------------------------------------------------------------
+# satellites: latch timeouts, items() snapshot
+
+
+class TestLatchTimeout:
+    def test_read_timeout_under_writer(self):
+        latch = ReadWriteLatch()
+        latch.acquire_write()
+        try:
+            started = time.perf_counter()
+            with pytest.raises(LatchTimeout):
+                latch.acquire_read(timeout=0.05)
+            assert time.perf_counter() - started < 2.0
+        finally:
+            latch.release_write()
+        # the latch is still usable afterwards
+        with latch.read(timeout=0.5):
+            pass
+
+    def test_write_timeout_under_reader(self):
+        latch = ReadWriteLatch()
+        latch.acquire_read()
+        try:
+            with pytest.raises(LatchTimeout):
+                latch.acquire_write(timeout=0.05)
+        finally:
+            latch.release_read()
+        with latch.write(timeout=0.5):
+            pass
+
+    def test_timed_out_writer_wakes_blocked_readers(self):
+        # A writer that gives up must withdraw its preference claim and
+        # wake readers that were parked behind it.
+        latch = ReadWriteLatch()
+        latch.acquire_read()
+        results = []
+
+        def impatient_writer():
+            try:
+                latch.acquire_write(timeout=0.1)
+            except LatchTimeout:
+                results.append("timed-out")
+
+        def late_reader():
+            time.sleep(0.02)  # arrive while the writer is waiting
+            with latch.read(timeout=2.0):
+                results.append("read")
+
+        threads = [
+            threading.Thread(target=impatient_writer),
+            threading.Thread(target=late_reader),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        latch.release_read()
+        assert sorted(results) == ["read", "timed-out"]
+
+    def test_untimed_acquire_still_blocks(self):
+        latch = ReadWriteLatch()
+        with latch.write():
+            assert latch.write_active
+
+
+class TestItemsSnapshot:
+    def test_items_sees_consistent_snapshot_under_writer(self):
+        file = make_file()
+        for i in range(64):
+            file.insert((i, i), i)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            i = 64
+            while not stop.is_set():
+                with file.store.latch.write():
+                    file.insert((i, i), i)
+                    file.delete((i - 64, i - 64))
+                i += 1
+                # yield between write windows: the latch is
+                # writer-preferring, so a zero-gap reacquire loop would
+                # starve the reader side outright
+                time.sleep(0.001)
+
+        writer = threading.Thread(target=churn)
+        writer.start()
+        try:
+            for _ in range(20):
+                seen = list(file.items())
+                # every yielded pair must be self-consistent
+                for key, value in seen:
+                    if key[0] != value:
+                        errors.append((key, value))
+        finally:
+            stop.set()
+            writer.join(timeout=5.0)
+        assert not errors
+
+
+# ---------------------------------------------------------------------------
+# the served API end to end
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestServedApi:
+    def test_ping_and_stats(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    pong = await client.ping()
+                    assert pong["pong"] and pong["version"] == 1
+                    stats = await client.stats()
+                    assert stats["scheme"] == "BMEHTree"
+                    assert stats["dims"] == 2 and stats["keys"] == 0
+                    assert "wal" in stats and "server" in stats
+
+        run(scenario())
+
+    def test_crud_and_error_mapping(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await client.insert((1, 2), "a")
+                    assert await client.search((1, 2)) == "a"
+                    with pytest.raises(DuplicateKeyError):
+                        await client.insert((1, 2), "again")
+                    with pytest.raises(KeyNotFoundError):
+                        await client.search((9, 9))
+                    with pytest.raises(KeyDimensionError):
+                        await client.insert((1, 2, 3), "wrong-arity")
+                    assert await client.delete((1, 2)) == "a"
+                    with pytest.raises(KeyNotFoundError):
+                        await client.delete((1, 2))
+
+        run(scenario())
+
+    def test_batch_forms_and_range(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    pairs = [((i, 100 - i), i) for i in range(32)]
+                    assert await client.insert_many(pairs) == 32
+                    values = await client.search_many(
+                        [key for key, _ in pairs[:5]]
+                    )
+                    assert values == [0, 1, 2, 3, 4]
+                    hits = await client.range_search((0, 0), (10, 200))
+                    assert sorted(hits) == sorted(
+                        (key, value) for key, value in pairs if key[0] <= 10
+                    )
+                    par = await client.range_search(
+                        (0, 0), (10, 200), parallelism=3
+                    )
+                    assert par == hits
+                    assert await client.delete_many(
+                        [key for key, _ in pairs[:3]]
+                    ) == [0, 1, 2]
+
+        run(scenario())
+
+    def test_pipelined_requests_interleave(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await asyncio.gather(
+                        *(client.insert((i, i), i) for i in range(16))
+                    )
+                    got = await asyncio.gather(
+                        *(client.search((i, i)) for i in range(16))
+                    )
+                    assert got == list(range(16))
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# write coalescing
+
+
+class TestCoalescing:
+    def test_concurrent_writes_share_commits(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            backend = file.store.backend
+            async with QueryServer(
+                file, coalesce_window=0.005, max_inflight=256
+            ) as server:
+                host, port = server.address
+                clients = [
+                    await QueryClient.connect(host, port) for _ in range(8)
+                ]
+                try:
+                    commits0 = backend.checkpoints
+                    jobs = []
+                    for c, client in enumerate(clients):
+                        jobs.extend(
+                            client.insert((c * 100 + i, c), c * 100 + i)
+                            for i in range(12)
+                        )
+                    await asyncio.gather(*jobs)
+                    commits = backend.checkpoints - commits0
+                    stats = await clients[0].stats()
+                finally:
+                    for client in clients:
+                        await client.close()
+                # 96 acked mutations, strictly fewer commits
+                assert commits < 96, commits
+                assert stats["keys"] == 96
+                assert stats["server"]["groups_committed"] == commits
+                assert stats["server"]["largest_group"] > 1
+            return file
+
+        file = run(scenario())
+        check_structure(file.index)
+
+    def test_key_level_failure_does_not_poison_window(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file, coalesce_window=0.01) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await client.insert((5, 5), "kept")
+                    results = await asyncio.gather(
+                        client.insert((5, 5), "dup"),   # fails
+                        client.insert((6, 6), "ok-1"),  # same window
+                        client.insert((7, 7), "ok-2"),
+                        return_exceptions=True,
+                    )
+                    assert isinstance(results[0], DuplicateKeyError)
+                    assert results[1] is None and results[2] is None
+                    assert await client.search((6, 6)) == "ok-1"
+                    assert await client.search((5, 5)) == "kept"
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# stress: concurrent clients vs a serial oracle
+
+
+class TestStress:
+    def test_mixed_traffic_matches_oracle(self, tmp_path):
+        clients_n = 8
+        per_client = 40
+
+        async def scenario():
+            file = make_file(tmp_path)
+            oracle = {}
+            async with QueryServer(
+                file, max_inflight=256, coalesce_window=0.002
+            ) as server:
+                host, port = server.address
+                clients = [
+                    await QueryClient.connect(host, port)
+                    for _ in range(clients_n)
+                ]
+
+                async def one_client(c, client):
+                    # Disjoint key ranges keep the oracle race-free.
+                    base = c * 1000
+                    for i in range(per_client):
+                        key = (base + i, c)
+                        await client.insert(key, base + i)
+                        oracle[key] = base + i
+                        if i % 5 == 4:
+                            victim = (base + i - 2, c)
+                            await client.delete(victim)
+                            del oracle[victim]
+                        if i % 7 == 6:
+                            assert await client.search(
+                                (base + i, c)
+                            ) == base + i
+
+                try:
+                    await asyncio.gather(
+                        *(one_client(c, cl) for c, cl in enumerate(clients))
+                    )
+                    ranged = await clients[0].range_search(
+                        (0, 0), ((1 << 16) - 1, (1 << 16) - 1),
+                        parallelism=4,
+                    )
+                finally:
+                    for client in clients:
+                        await client.close()
+            assert sorted(ranged) == sorted(oracle.items())
+            return file
+
+        file = run(scenario())
+        check_structure(file.index)
+        assert len(file.index) == clients_n * (per_client - per_client // 5)
+
+
+# ---------------------------------------------------------------------------
+# fuzz: nothing a client sends may kill the server or leak a latch
+
+
+async def send_raw(host, port, blob, await_reply=True):
+    """Write raw bytes; return (reply_bytes, eof) best-effort."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(blob)
+    await writer.drain()
+    writer.write_eof()
+    try:
+        data = await asyncio.wait_for(reader.read(1 << 16), timeout=5.0)
+    except asyncio.TimeoutError:
+        data = b""
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return data
+
+
+def parse_error_reply(data):
+    """Decode the first frame of ``data`` as a REPLY_ERR payload."""
+    assert len(data) >= 4
+    (length,) = struct.unpack_from("<I", data)
+    opcode, _rid, payload = decode_body(data[4:4 + length])
+    assert opcode == Opcode.REPLY_ERR
+    return payload
+
+
+class TestFuzz:
+    BLOBS = [
+        b"\x00" * 4,                                   # zero-length frame
+        struct.pack("<I", MAX_FRAME + 1) + b"x" * 64,  # oversized claim
+        struct.pack("<I", 100) + b"short",             # truncated body
+        b"\xff\xff\xff",                               # truncated prefix
+        struct.pack("<I", 6) + struct.pack("<BBI", 9, 2, 1),   # bad version
+        struct.pack("<I", 6) + struct.pack("<BBI", 1, 77, 1),  # bad opcode
+        struct.pack("<I", 6) + struct.pack("<BBI", 1, 128, 1),  # reply op
+        struct.pack("<I", 8) + struct.pack("<BBI", 1, 2, 1) + b"{]",  # json
+        encode_frame(Opcode.INSERT, 3, {"nope": 1}),   # missing key field
+        encode_frame(Opcode.INSERT, 4, {"key": "zap"}),  # key not a list
+    ]
+
+    def test_fuzz_frames_never_kill_the_server(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                for blob in self.BLOBS:
+                    data = await send_raw(host, port, blob)
+                    if data:
+                        payload = parse_error_reply(data)
+                        assert payload["code"], blob
+                # after all that, the server still serves correctly
+                async with await QueryClient.connect(host, port) as client:
+                    await client.insert((1, 1), "alive")
+                    assert await client.search((1, 1)) == "alive"
+                    stats = await client.stats()
+                    assert stats["server"]["protocol_errors"] >= 6
+            return file
+
+        file = run(scenario())
+        # no latch leaked: both sides acquire instantly
+        with file.store.latch.write(timeout=0.5):
+            pass
+        with file.store.latch.read(timeout=0.5):
+            pass
+
+    def test_malformed_but_framed_stream_continues(self, tmp_path):
+        # A well-framed garbage request must not close the connection.
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                from repro.server.protocol import read_frame
+
+                writer.write(encode_frame(Opcode.INSERT, 1, {"bad": 1}))
+                writer.write(encode_frame(Opcode.PING, 2))
+                await writer.drain()
+                replies = {}
+                for _ in range(2):
+                    body = await asyncio.wait_for(
+                        read_frame(reader), timeout=5.0
+                    )
+                    opcode, rid, payload = decode_body(body)
+                    replies[rid] = (opcode, payload)
+                assert replies[1][0] == Opcode.REPLY_ERR
+                assert replies[1][1]["code"] == "bad-payload"
+                assert replies[2][0] == Opcode.REPLY_OK
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# admission control and backpressure
+
+
+class TestAdmission:
+    def test_controller_limits(self):
+        admission = AdmissionController(max_inflight=3, per_session=2)
+        assert admission.try_admit(1) is None
+        assert admission.try_admit(1) is None
+        assert admission.try_admit(1) == "pipeline-limit"
+        assert admission.try_admit(2) is None
+        assert admission.try_admit(3) == "busy"
+        admission.release(1)
+        assert admission.try_admit(3) is None
+        admission.release(1)
+        admission.release(2)
+        admission.release(3)
+        assert admission.inflight == 0
+
+    def test_latch_timeout_becomes_backpressure(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file, latch_timeout=0.1) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await client.insert((1, 1), "x")
+                    # an outside writer wedges the store latch
+                    file.store.latch.acquire_write()
+                    try:
+                        with pytest.raises(ServerBusy) as caught:
+                            await client.search((1, 1))
+                        assert caught.value.code == "latch-timeout"
+                    finally:
+                        file.store.latch.release_write()
+                    # backpressure, not failure: the next try succeeds
+                    assert await client.search((1, 1)) == "x"
+                    stats = await client.stats()
+                    assert stats["server"]["latch_timeouts"] == 1
+
+        run(scenario())
+
+    def test_pipeline_limit_rejects_excess(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(
+                file, session_pipeline=4, latch_timeout=0.5
+            ) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    file.store.latch.acquire_write()  # make requests slow
+                    try:
+                        results = await asyncio.gather(
+                            *(client.search((i, i)) for i in range(12)),
+                            return_exceptions=True,
+                        )
+                    finally:
+                        file.store.latch.release_write()
+                    rejected = [
+                        r for r in results
+                        if isinstance(r, ServerBusy)
+                        and r.code == "pipeline-limit"
+                    ]
+                    assert rejected, "no request hit the pipelining limit"
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown and durability
+
+
+class TestShutdown:
+    def test_acked_writes_survive_shutdown(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await asyncio.gather(
+                        *(client.insert((i, i), i) for i in range(16))
+                    )
+
+        run(scenario())
+        index = recover_index(str(tmp_path / "pages.db"))
+        check_structure(index)
+        assert len(index) == 16
+        codec = KeyCodec([UIntEncoder(16), UIntEncoder(16)])
+        reopened = MultiKeyFile.from_index(codec, index)
+        assert reopened.search((7, 7)) == 7
+
+    def test_draining_server_rejects_new_requests(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            server = QueryServer(file)
+            await server.start()
+            host, port = server.address
+            client = await QueryClient.connect(host, port)
+            await client.insert((1, 1), "x")
+            server.draining = True
+            with pytest.raises(ServerBusy) as caught:
+                await client.search((1, 1))
+            assert caught.value.code == "shutting-down"
+            server.draining = False
+            await client.close()
+            await server.shutdown()
+
+        run(scenario())
+
+    def test_sigterm_under_load_leaves_recoverable_state(self, tmp_path):
+        """kill -TERM mid-load: every acked key survives recovery."""
+        wal = str(tmp_path / "served.db")
+        repo = pathlib.Path(__file__).parent.parent
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--wal", wal,
+             "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            cwd=str(repo),
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            matched = re.match(r"serving on (\S+):(\d+)", line)
+            assert matched, line
+            host, port = matched.group(1), int(matched.group(2))
+
+            async def load():
+                async with await QueryClient.connect(host, port) as client:
+                    await asyncio.gather(
+                        *(client.insert((i, i + 1), i) for i in range(14))
+                    )
+
+            asyncio.run(load())
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        index = recover_index(wal)
+        check_structure(index)
+        assert len(index) == 14
+        codec = KeyCodec([UIntEncoder(w) for w in index.widths])
+        reopened = MultiKeyFile.from_index(codec, index)
+        assert reopened.search((5, 6)) == 5
