@@ -27,8 +27,16 @@ Commands:
   its shape;
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
-* ``check [--n N] [--seed S]`` — lint plus a sanitizer-instrumented
-  random workload over every index scheme (structural smoke test);
+* ``analyze [paths...] [--graph PATH]`` — the dataflow static analyzer:
+  alias-aware REP101/105/106, the REP2xx concurrency rules (blocking
+  calls in async code, latch leaks, lock-order cycles) and the REP3xx
+  durability rules (group-commit pairing); ``--graph`` writes the
+  lock-order graph as DOT;
+* ``typecheck`` — mypy strict gate over ``storage/`` and ``server/``
+  (skipped cleanly when mypy is not installed);
+* ``check [--n N] [--seed S]`` — lint + analyze + typecheck plus a
+  sanitizer-instrumented random workload over every index scheme
+  (structural smoke test);
 * ``demo`` — a 30-second guided tour of the API.
 """
 
@@ -335,6 +343,53 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.sanitize import analyze_paths, format_issues
+
+    report = analyze_paths(args.paths or None)
+    if args.graph:
+        with open(args.graph, "w", encoding="utf-8") as handle:
+            handle.write(report.graph.to_dot())
+        print(f"wrote lock-order graph to {args.graph}", file=sys.stderr)
+    if report.issues:
+        print(format_issues(report.issues))
+        print(f"\n{len(report.issues)} finding(s)", file=sys.stderr)
+        return 1
+    edges = len(report.graph.edges)
+    print(f"analyze: OK (lock-order graph: {len(report.graph.nodes)} "
+          f"locks, {edges} edges, acyclic)")
+    return 0
+
+
+def _run_typecheck() -> int:
+    """mypy strict over storage/ and server/; 0 when mypy is absent so
+    offline environments stay green (CI installs mypy and gates)."""
+    try:
+        from mypy import api
+    except ModuleNotFoundError:
+        print("typecheck: SKIPPED (mypy not installed)")
+        return 0
+    from repro.sanitize.lint import repo_source_root
+
+    root = repo_source_root()
+    argv = [str(root / "storage"), str(root / "server")]
+    config = root.parent.parent / "pyproject.toml"
+    if config.exists():
+        argv = ["--config-file", str(config), *argv]
+    stdout, stderr, status = api.run(argv)
+    if stdout:
+        print(stdout, end="")
+    if stderr:
+        print(stderr, end="", file=sys.stderr)
+    if status == 0:
+        print("typecheck: OK")
+    return status
+
+
+def _cmd_typecheck(_args: argparse.Namespace) -> int:
+    return _run_typecheck()
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Lint + a sanitized random workload over every index scheme."""
     import random
@@ -347,7 +402,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         MDEH,
         MEHTree,
     )
-    from repro.sanitize import format_issues, lint_paths, sanitized
+    from repro.sanitize import (
+        analyze_paths,
+        format_issues,
+        lint_paths,
+        sanitized,
+    )
 
     status = 0
     if not args.skip_lint:
@@ -357,6 +417,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
             status = 1
         else:
             print("lint: OK")
+        report = analyze_paths(None)
+        if report.issues:
+            print(format_issues(report.issues))
+            status = 1
+        else:
+            print("analyze: OK")
+        if _run_typecheck() != 0:
+            status = 1
     schemes = {
         "mdeh": MDEH,
         "meh": MEHTree,
@@ -533,6 +601,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories (default: the installed repro package)",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="dataflow static analyzer: concurrency + durability rules "
+             "(exit 1 on findings)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--graph", default=None, metavar="PATH",
+        help="write the lock-order acquisition graph as Graphviz DOT",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    typecheck = commands.add_parser(
+        "typecheck",
+        help="mypy strict gate over storage/ and server/ "
+             "(skipped when mypy is absent)",
+    )
+    typecheck.set_defaults(handler=_cmd_typecheck)
 
     check = commands.add_parser(
         "check",

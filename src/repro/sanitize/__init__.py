@@ -16,7 +16,12 @@ subpackage makes those claims machine-checkable:
   enforcing the coding invariants no runtime check can see: no
   ``Backend`` access outside the :class:`~repro.storage.PageStore`
   accounting layer, no float equality on key codes, no mutable default
-  arguments, and full type annotations on the public ``core`` API.
+  arguments, and full type annotations on the public ``core`` API;
+* :mod:`repro.sanitize.static` — the dataflow analysis engine behind
+  ``repro analyze``: per-function CFGs, alias/type-fact tracking (the
+  typed re-implementation of REP101/REP105/REP106), the REP2xx
+  concurrency rules (blocking-in-async, latch leaks, lock-order
+  cycles) and the REP3xx durability rules (group-commit pairing).
 """
 
 from repro.sanitize.invariants import (
@@ -43,6 +48,12 @@ from repro.sanitize.lint import (
     lint_paths,
     lint_source,
 )
+from repro.sanitize.static import (
+    AnalysisReport,
+    LockOrderGraph,
+    analyze_paths,
+    analyze_source,
+)
 
 __all__ = [
     "check_extendible_array",
@@ -63,4 +74,8 @@ __all__ = [
     "format_issues",
     "lint_paths",
     "lint_source",
+    "AnalysisReport",
+    "LockOrderGraph",
+    "analyze_paths",
+    "analyze_source",
 ]

@@ -10,9 +10,10 @@ Four rules, each guarding an invariant the runtime sanitizer cannot see:
 * **REP102 float-equality** — ``==`` / ``!=`` against a float literal.
   Pseudo-key codes are exact integers; a float comparison anywhere near
   key handling indicates a lossy encode step leaking into index logic.
-* **REP103 mutable-default** — a list/dict/set (display, comprehension
-  or constructor call) as a default argument: shared across calls, the
-  classic aliasing bug.
+* **REP103 mutable-default** — a mutable object (list/dict/set display,
+  comprehension, or a constructor call — including dotted forms like
+  ``collections.defaultdict(list)`` and ``bytearray()``) as a default
+  argument: shared across calls, the classic aliasing bug.
 * **REP104 missing-annotations** — a public function in ``core/``
   without full parameter and return annotations.  The core API is the
   contract every later layer builds on; annotations are load-bearing
@@ -55,7 +56,13 @@ _BACKEND_METHODS = frozenset({"load", "store", "discard"})
 _INDEX_MUTATORS = frozenset(
     {"insert", "delete", "insert_many", "delete_many"}
 )
-_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+#: Constructor names (terminal identifier, so dotted forms like
+#: ``collections.defaultdict`` match) whose call as a default argument
+#: shares one mutable object across every call.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray",
+     "defaultdict", "OrderedDict", "Counter", "deque"}
+)
 
 
 @dataclass(frozen=True)
@@ -195,8 +202,7 @@ class _Linter(ast.NodeVisitor):
                  ast.ListComp, ast.DictComp, ast.SetComp),
             ) or (
                 isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in _MUTABLE_CONSTRUCTORS
+                and _terminal_name(default.func) in _MUTABLE_CONSTRUCTORS
             )
             if mutable:
                 self._issue(

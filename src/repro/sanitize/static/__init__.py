@@ -1,0 +1,29 @@
+"""Dataflow static analysis: CFGs, type facts, REP2xx/REP3xx rules,
+lock-order verification, and the ``repro analyze`` driver."""
+
+from repro.sanitize.static.cfg import CFG, build_cfg
+from repro.sanitize.static.engine import (
+    AnalysisReport,
+    Suppressions,
+    analyze_paths,
+    analyze_source,
+)
+from repro.sanitize.static.facts import ClassContext, FactEvaluator
+from repro.sanitize.static.lockorder import LockOrderAnalyzer, LockOrderGraph
+from repro.sanitize.static.rules import FunctionAnalysis, Scope, analyze_module
+
+__all__ = [
+    "AnalysisReport",
+    "CFG",
+    "ClassContext",
+    "FactEvaluator",
+    "FunctionAnalysis",
+    "LockOrderAnalyzer",
+    "LockOrderGraph",
+    "Scope",
+    "Suppressions",
+    "analyze_module",
+    "analyze_paths",
+    "analyze_source",
+    "build_cfg",
+]

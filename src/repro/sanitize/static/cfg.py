@@ -1,0 +1,402 @@
+"""A per-function control-flow graph for the dataflow analyzer.
+
+The graph is deliberately statement-grained: each node carries one
+*event* — a simple statement, a branch/loop header expression, or the
+enter/leave of a ``with`` item — and edges carry a kind:
+
+* ``NORMAL`` — ordinary fallthrough, branch, and loop edges;
+* ``EXC`` — the exceptional edge out of a statement that may raise
+  (any statement containing a call, ``await``, ``yield``, ``raise`` or
+  ``assert``), pointing at the innermost handler, ``finally`` body,
+  ``with`` exit, or the function's exceptional exit.
+
+Three distinguished nodes: ``entry``, ``exit`` (all normal returns and
+fallthroughs) and ``raise_exit`` (exceptions escaping the function).
+The leak rules (REP202, REP301) inspect the dataflow state reaching
+``exit`` and ``raise_exit``.
+
+Approximations, chosen to keep the graph small and the findings quiet:
+
+* a ``finally`` body is built **once** and connected to every
+  continuation an abrupt exit could need (join, function exit, outer
+  exception target, loop targets).  This merges paths — a conservative
+  over-approximation that can only add spurious paths, never hide one;
+* ``with`` is desugared to enter / body / leave, where the leave node
+  is duplicated onto the exceptional path so a context manager's
+  guaranteed ``__exit__`` is visible to the token analysis;
+* context managers that *swallow* exceptions (``pytest.raises``,
+  ``contextlib.suppress``) route their body's exceptional edges back to
+  the normal continuation, and acquisitions inside a ``pytest.raises``
+  body are not recorded by the rules (the call is expected to fail);
+* nested ``def`` / ``class`` / ``lambda`` bodies are *not* inlined —
+  defining a function executes nothing.  Each nested function gets its
+  own CFG and its own analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+NORMAL = "normal"
+EXC = "exc"
+
+#: Statement payloads containing any of these may raise at runtime and
+#: therefore get an ``EXC`` edge to the innermost exception target.
+_MAY_RAISE = (
+    ast.Call,
+    ast.Await,
+    ast.Yield,
+    ast.YieldFrom,
+    ast.Raise,
+    ast.Assert,
+)
+
+#: Context-manager call names whose ``with`` body swallows exceptions.
+SWALLOWING_MANAGERS = frozenset({"raises", "suppress"})
+
+
+class Node:
+    """One CFG event.
+
+    ``kind`` is ``entry`` / ``exit`` / ``raise`` / ``stmt`` / ``enter``
+    / ``leave`` / ``join``.  ``payload`` is the AST evaluated *at* this
+    node (the full simple statement, a branch test, a ``with`` item's
+    context expression); ``stmt`` is the enclosing statement for line
+    attribution.  ``leave`` nodes carry ``enter_node`` so the token
+    analysis can kill exactly what the matching enter generated.
+    """
+
+    __slots__ = (
+        "kind", "payload", "stmt", "succ", "enter_node", "is_exc_leave",
+    )
+
+    def __init__(
+        self, kind: str, payload: ast.AST | None = None,
+        stmt: ast.stmt | None = None,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.stmt = stmt
+        self.succ: list[tuple["Node", str]] = []
+        self.enter_node: "Node | None" = None
+        self.is_exc_leave = False
+
+    @property
+    def lineno(self) -> int:
+        for candidate in (self.payload, self.stmt):
+            if candidate is not None and hasattr(candidate, "lineno"):
+                return candidate.lineno  # type: ignore[attr-defined]
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.kind} L{self.lineno}>"
+
+
+class CFG:
+    """The control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.entry = Node("entry")
+        self.exit = Node("exit")
+        self.raise_exit = Node("raise")
+        self.nodes: list[Node] = [self.entry, self.exit, self.raise_exit]
+
+    def new(
+        self, kind: str, payload: ast.AST | None = None,
+        stmt: ast.stmt | None = None,
+    ) -> Node:
+        node = Node(kind, payload, stmt)
+        self.nodes.append(node)
+        return node
+
+    @staticmethod
+    def edge(src: Node, dst: Node, kind: str = NORMAL) -> None:
+        if (dst, kind) not in src.succ:
+            src.succ.append((dst, kind))
+
+    def walk(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+
+def may_raise(payload: ast.AST | None) -> bool:
+    """Whether evaluating ``payload`` can raise (approximation)."""
+    if payload is None:
+        return False
+    if isinstance(payload, _MAY_RAISE):
+        return True
+    for child in ast.walk(payload):
+        if isinstance(child, _MAY_RAISE):
+            return True
+    return False
+
+
+def is_swallowing(item: ast.withitem) -> bool:
+    """``with pytest.raises(...)`` / ``contextlib.suppress(...)``."""
+    expr = item.context_expr
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name in SWALLOWING_MANAGERS
+
+
+class _Builder:
+    """Recursive-descent CFG construction with explicit target stacks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: Innermost exception target (handler dispatch, finally body,
+        #: with-leave, or the function's raise exit).
+        self.exc_targets: list[Node] = [cfg.raise_exit]
+        #: (continue_target, break_target) per enclosing loop.
+        self.loops: list[tuple[Node, Node]] = []
+        #: Heads of enclosing ``finally`` bodies, innermost last —
+        #: abrupt exits (return / break / continue) route through them.
+        self.finals: list[Node] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _chain(
+        self, stmts: list[ast.stmt], preds: list[Node]
+    ) -> list[Node]:
+        """Build a statement sequence; returns its dangling tails."""
+        for stmt in stmts:
+            preds = self._stmt(stmt, preds)
+            if not preds:  # unreachable continuation (return/raise/...)
+                break
+        return preds
+
+    def _simple(
+        self, stmt: ast.stmt, preds: list[Node],
+        payload: ast.AST | None = None,
+    ) -> Node:
+        node = self.cfg.new("stmt", payload or stmt, stmt)
+        for pred in preds:
+            self.cfg.edge(pred, node)
+        if may_raise(node.payload):
+            self.cfg.edge(node, self.exc_targets[-1], EXC)
+        return node
+
+    def _abrupt_target(self, default: Node) -> Node:
+        """Where an abrupt exit goes: the innermost finally, else
+        ``default`` (over-approximated — the shared finally body fans
+        out to every continuation)."""
+        return self.finals[-1] if self.finals else default
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt, preds: list[Node]) -> list[Node]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, preds)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            return self._try(stmt, preds)  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, stmt.items, preds)
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, preds)
+            self.cfg.edge(node, self._abrupt_target(self.cfg.exit))
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg.new("stmt", stmt, stmt)
+            for pred in preds:
+                self.cfg.edge(pred, node)
+            self.cfg.edge(node, self.exc_targets[-1], EXC)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, preds)
+            if self.loops:
+                self.cfg.edge(node, self._abrupt_target(self.loops[-1][1]))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, preds)
+            if self.loops:
+                self.cfg.edge(node, self._abrupt_target(self.loops[-1][0]))
+            return []
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # Definition binds a name; the body runs elsewhere.
+            node = self.cfg.new("stmt", None, stmt)
+            for pred in preds:
+                self.cfg.edge(pred, node)
+            return [node]
+        if stmt.__class__.__name__ == "Match":
+            return self._match(stmt, preds)
+        return [self._simple(stmt, preds)]
+
+    def _if(self, stmt: ast.If, preds: list[Node]) -> list[Node]:
+        test = self._simple(stmt, preds, payload=stmt.test)
+        tails = self._chain(stmt.body, [test])
+        if stmt.orelse:
+            tails += self._chain(stmt.orelse, [test])
+        else:
+            tails.append(test)
+        return tails
+
+    def _while(self, stmt: ast.While, preds: list[Node]) -> list[Node]:
+        head = self._simple(stmt, preds, payload=stmt.test)
+        after = self.cfg.new("join", None, stmt)
+        self.loops.append((head, after))
+        try:
+            body_tails = self._chain(stmt.body, [head])
+        finally:
+            self.loops.pop()
+        for tail in body_tails:
+            self.cfg.edge(tail, head)
+        self.cfg.edge(head, after)
+        tails = self._chain(stmt.orelse, [after]) if stmt.orelse else [after]
+        return tails
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, preds: list[Node]) -> list[Node]:
+        head = self._simple(stmt, preds, payload=stmt.iter)
+        after = self.cfg.new("join", None, stmt)
+        self.loops.append((head, after))
+        try:
+            body_tails = self._chain(stmt.body, [head])
+        finally:
+            self.loops.pop()
+        for tail in body_tails:
+            self.cfg.edge(tail, head)
+        self.cfg.edge(head, after)
+        tails = self._chain(stmt.orelse, [after]) if stmt.orelse else [after]
+        return tails
+
+    def _match(self, stmt: ast.AST, preds: list[Node]) -> list[Node]:
+        subject = self._simple(
+            stmt, preds, payload=stmt.subject,  # type: ignore[attr-defined]
+        )
+        tails: list[Node] = [subject]
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            tails += self._chain(case.body, [subject])
+        return tails
+
+    def _with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        items: list[ast.withitem],
+        preds: list[Node],
+    ) -> list[Node]:
+        item, rest = items[0], items[1:]
+        enter = self.cfg.new("enter", item, stmt)
+        for pred in preds:
+            self.cfg.edge(pred, enter)
+        if may_raise(item.context_expr):
+            self.cfg.edge(enter, self.exc_targets[-1], EXC)
+        leave = self.cfg.new("leave", item, stmt)
+        leave.enter_node = enter
+        exc_leave = self.cfg.new("leave", item, stmt)
+        exc_leave.enter_node = enter
+        exc_leave.is_exc_leave = True
+        swallow = is_swallowing(item)
+        self.exc_targets.append(exc_leave)
+        try:
+            if rest:
+                body_tails = self._with(stmt, rest, [enter])
+            else:
+                body_tails = self._chain(stmt.body, [enter])
+        finally:
+            self.exc_targets.pop()
+        for tail in body_tails:
+            self.cfg.edge(tail, leave)
+        after = self.cfg.new("join", None, stmt)
+        self.cfg.edge(leave, after)
+        if swallow:
+            # The manager consumes the exception: execution continues
+            # after the block on both paths.
+            self.cfg.edge(exc_leave, after)
+        else:
+            self.cfg.edge(exc_leave, self.exc_targets[-1], EXC)
+        return [after]
+
+    def _try(self, stmt: ast.Try, preds: list[Node]) -> list[Node]:
+        after = self.cfg.new("join", None, stmt)
+        outer_exc = self.exc_targets[-1]
+
+        fin_head: Node | None = None
+        fin_tails: list[Node] = []
+        if stmt.finalbody:
+            fin_head = self.cfg.new("join", None, stmt)
+            fin_tails = self._chain(stmt.finalbody, [fin_head])
+
+        # Exceptions raised in the body dispatch to the handlers (or,
+        # unmatched, to finally / the outer target).
+        unmatched = fin_head if fin_head is not None else outer_exc
+        if stmt.handlers:
+            dispatch = self.cfg.new("join", None, stmt)
+            self.cfg.edge(dispatch, unmatched, EXC)
+        else:
+            dispatch = unmatched
+        body_exc_kind = NORMAL if stmt.handlers else EXC
+
+        self.exc_targets.append(dispatch)
+        if fin_head is not None:
+            self.finals.append(fin_head)
+        try:
+            body_tails = self._chain(stmt.body, preds)
+        finally:
+            if fin_head is not None:
+                self.finals.pop()
+            self.exc_targets.pop()
+
+        handler_exc = fin_head if fin_head is not None else outer_exc
+        handler_tails: list[Node] = []
+        for handler in stmt.handlers:
+            head = self.cfg.new("join", None, handler)
+            self.cfg.edge(dispatch, head)
+            self.exc_targets.append(handler_exc)
+            if fin_head is not None:
+                self.finals.append(fin_head)
+            try:
+                handler_tails += self._chain(handler.body, [head])
+            finally:
+                if fin_head is not None:
+                    self.finals.pop()
+                self.exc_targets.pop()
+
+        # orelse runs after a clean body; its exceptions skip handlers.
+        self.exc_targets.append(handler_exc)
+        if fin_head is not None:
+            self.finals.append(fin_head)
+        try:
+            if stmt.orelse:
+                body_tails = self._chain(stmt.orelse, body_tails)
+        finally:
+            if fin_head is not None:
+                self.finals.pop()
+            self.exc_targets.pop()
+
+        tails = body_tails + handler_tails
+        if fin_head is not None:
+            for tail in tails:
+                self.cfg.edge(tail, fin_head)
+            # The shared finally body fans out to every continuation an
+            # abrupt or exceptional exit could need (approximation).
+            for tail in fin_tails:
+                self.cfg.edge(tail, after)
+                self.cfg.edge(tail, self.cfg.exit)
+                self.cfg.edge(tail, outer_exc, EXC)
+                for cont, brk in self.loops:
+                    self.cfg.edge(tail, cont)
+                    self.cfg.edge(tail, brk)
+            return [after]
+        for tail in tails:
+            self.cfg.edge(tail, after)
+        return [after]
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function body."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    tails = builder._chain(func.body, [cfg.entry])
+    for tail in tails:
+        CFG.edge(tail, cfg.exit)
+    return cfg

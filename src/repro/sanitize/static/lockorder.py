@@ -1,0 +1,503 @@
+"""Lock-order verification (REP203).
+
+Builds a static *acquisition graph*: a node per lock, an edge A → B
+whenever some code path acquires B while holding A.  If every thread
+acquires locks consistently with one global order the graph is acyclic;
+a cycle is a potential deadlock (including self-edges — the latch and
+the plain mutexes here are non-reentrant).
+
+Lock nodes:
+
+* ``ReadWriteLatch`` / ``ReadWriteGate`` — class-level: every store
+  shares one latch discipline, so all latch instances collapse to one
+  node (this is what makes writer-preference deadlocks visible);
+* ``Class.attr`` — a plain ``threading.Lock`` / ``Condition`` held in
+  an attribute (``PageStore._frame_lock``, ``QueryServer._read_mutex``);
+* a bare name — a local/module-level lock, unified by name so seeded
+  two-function reproducers order against each other.
+
+Interprocedural edges come from a two-step summary fixpoint: ``ACQ(f)``
+is the set of locks ``f`` (transitively) acquires; a call to ``f``
+while holding H adds edges H × ACQ(f).  Three call forms are resolved:
+``self.method()``, method calls on tag-typed receivers, and function
+references handed to ``run_in_executor`` / ``submit`` / ``map`` — the
+executor runs them while the caller still holds its locks, which is
+exactly how the aggregator's gate orders against the store latch.
+``Thread(target=...)`` is deliberately *not* treated as a call: a new
+thread starts with an empty lock set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.sanitize.lint import LintIssue
+from repro.sanitize.static import facts as F
+from repro.sanitize.static.cfg import is_swallowing
+from repro.sanitize.static.facts import ClassContext, FactEvaluator
+
+LATCH_NODE = "ReadWriteLatch"
+GATE_NODE = "ReadWriteGate"
+
+#: Receiver tag → classes whose method summaries a call may bind to.
+TAG_CLASSES: dict[str, tuple[str, ...]] = {
+    F.PAGE_STORE: ("PageStore",),
+    F.LATCH: ("ReadWriteLatch",),
+    F.GATE: ("ReadWriteGate",),
+    F.INDEX: ("HashTree", "MDEH"),
+    F.MULTIKEY_FILE: ("MultiKeyFile",),
+    F.BACKEND: ("WALBackend", "FileBackend", "MemoryBackend"),
+    F.WAL_BACKEND: ("WALBackend",),
+    F.BUFFER_POOL: ("BufferPool",),
+}
+
+_EXECUTOR_DISPATCH = frozenset({"run_in_executor", "submit", "map"})
+
+FuncKey = tuple[str, str, str]  # ("cls"|"mod", class-or-path, name)
+
+
+@dataclass
+class _Acq:
+    lock: str
+    path: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class _Call:
+    candidates: tuple[FuncKey, ...]
+    path: str
+    line: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class _FuncInfo:
+    key: FuncKey
+    acqs: list[_Acq] = field(default_factory=list)
+    calls: list[_Call] = field(default_factory=list)
+
+
+class LockOrderGraph:
+    """The acquisition graph plus cycle reporting and DOT rendering."""
+
+    def __init__(self) -> None:
+        self.nodes: set[str] = set()
+        #: (src, dst) → first witness "path:line".
+        self.edges: dict[tuple[str, str], str] = {}
+
+    def add_edge(self, src: str, dst: str, witness: str) -> None:
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.edges.setdefault((src, dst), witness)
+
+    def cycles(self) -> list[list[str]]:
+        """One representative cycle per strongly connected component
+        (plus self-loops), nodes in sorted order for stable output."""
+        out: list[list[str]] = []
+        for src, dst in sorted(self.edges):
+            if src == dst:
+                out.append([src])
+        adjacency: dict[str, list[str]] = {n: [] for n in self.nodes}
+        for src, dst in self.edges:
+            if src != dst:
+                adjacency[src].append(dst)
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        stack: list[str] = []
+        on_stack: set[str] = set()
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        def strongconnect(node: str) -> None:
+            index[node] = low[node] = counter[0]
+            counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            for succ in adjacency[node]:
+                if succ not in index:
+                    strongconnect(succ)
+                    low[node] = min(low[node], low[succ])
+                elif succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if low[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    top = stack.pop()
+                    on_stack.discard(top)
+                    component.append(top)
+                    if top == node:
+                        break
+                if len(component) > 1:
+                    sccs.append(sorted(component))
+
+        for node in sorted(self.nodes):
+            if node not in index:
+                strongconnect(node)
+        out.extend(sccs)
+        return out
+
+    def findings(self) -> list[LintIssue]:
+        issues: list[LintIssue] = []
+        for cycle in self.cycles():
+            if len(cycle) == 1:
+                node = cycle[0]
+                witness = self.edges[(node, node)]
+                path, _, line = witness.rpartition(":")
+                issues.append(
+                    LintIssue(
+                        path or witness, int(line or 0), 0, "REP203",
+                        f"lock-order self-cycle: {node} is re-acquired "
+                        f"while already held (at {witness}) — the latch "
+                        "and mutexes here are non-reentrant",
+                    )
+                )
+                continue
+            hops: list[str] = []
+            first_witness = ""
+            ring = cycle + [cycle[0]]
+            for src, dst in zip(ring, ring[1:]):
+                witness = self.edges.get((src, dst), "?")
+                if not first_witness:
+                    first_witness = witness
+                hops.append(f"{src} -> {dst} ({witness})")
+            path, _, line = first_witness.rpartition(":")
+            issues.append(
+                LintIssue(
+                    path or first_witness, int(line or 0), 0, "REP203",
+                    "lock-order cycle — two threads taking these in "
+                    "opposite order deadlock: " + "; ".join(hops),
+                )
+            )
+        return issues
+
+    def to_dot(self) -> str:
+        lines = ["digraph lockorder {", "  rankdir=LR;"]
+        for node in sorted(self.nodes):
+            lines.append(f'  "{node}";')
+        cyclic = {
+            (src, dst)
+            for cycle in self.cycles()
+            for src, dst in zip(cycle + [cycle[0]], (cycle + [cycle[0]])[1:])
+            if (src, dst) in self.edges
+        }
+        cyclic |= {(s, d) for (s, d) in self.edges if s == d}
+        for (src, dst), witness in sorted(self.edges.items()):
+            style = ' color="red"' if (src, dst) in cyclic else ""
+            lines.append(
+                f'  "{src}" -> "{dst}" [label="{witness}"{style}];'
+            )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+class LockOrderAnalyzer:
+    """Collects per-function acquisition summaries, then closes them."""
+
+    def __init__(self) -> None:
+        self._funcs: dict[FuncKey, _FuncInfo] = {}
+
+    # -- collection --------------------------------------------------------
+
+    def add_module(self, tree: ast.Module, path: str) -> None:
+        self._visit(tree, path, None)
+
+    def _visit(
+        self, node: ast.AST, path: str, cls: ClassContext | None
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                self._visit(child, path, ClassContext(child))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(child, path, cls)
+                self._visit(child, path, cls)
+            elif not isinstance(child, ast.Lambda):
+                self._visit(child, path, cls)
+
+    def _scan_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        path: str,
+        cls: ClassContext | None,
+    ) -> None:
+        key: FuncKey = (
+            ("cls", cls.name, func.name) if cls else ("mod", path, func.name)
+        )
+        info = _FuncInfo(key)
+        evaluator = FactEvaluator(cls)
+        scanner = _Scanner(info, evaluator, path, cls)
+        scanner.scan_body(func.body, [])
+        self._funcs[key] = info
+
+    # -- closure -----------------------------------------------------------
+
+    def build(self) -> LockOrderGraph:
+        acq: dict[FuncKey, set[str]] = {
+            key: {a.lock for a in info.acqs} for key, info in self._funcs.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key, info in self._funcs.items():
+                for call in info.calls:
+                    for cand in call.candidates:
+                        extra = acq.get(cand)
+                        if extra and not extra <= acq[key]:
+                            acq[key] |= extra
+                            changed = True
+        graph = LockOrderGraph()
+        for info in self._funcs.values():
+            for a in info.acqs:
+                graph.nodes.add(a.lock)
+                for held in a.held:
+                    graph.add_edge(held, a.lock, f"{a.path}:{a.line}")
+            for call in info.calls:
+                if not call.held:
+                    continue
+                for cand in call.candidates:
+                    for lock in sorted(acq.get(cand, ())):
+                        for held in call.held:
+                            graph.add_edge(
+                                held, lock, f"{call.path}:{call.line}"
+                            )
+        return graph
+
+
+class _Scanner:
+    """Lexical walk of one function body, tracking held locks in order."""
+
+    def __init__(
+        self,
+        info: _FuncInfo,
+        evaluator: FactEvaluator,
+        path: str,
+        cls: ClassContext | None,
+    ) -> None:
+        self.info = info
+        self.evaluator = evaluator
+        self.path = path
+        self.cls = cls
+        #: >0 inside a ``pytest.raises`` / ``contextlib.suppress`` body:
+        #: an acquisition there is expected to fail and orders nothing.
+        self._swallow = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _plain_lock_node(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.cls is not None
+            ):
+                return f"{self.cls.name}.{expr.attr}"
+            return expr.attr
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    def _acquisition(self, call: ast.Call) -> str | None:
+        """The lock node a *statement-level* call acquires, if any."""
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        if attr in ("acquire_read", "acquire_write"):
+            return LATCH_NODE
+        if attr == "acquire":
+            tags = self.evaluator.tags(call.func.value, {})
+            if {F.LOCK, F.CONDITION} & tags:
+                return self._plain_lock_node(call.func.value)
+        return None
+
+    def _release(self, call: ast.Call) -> str | None:
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        attr = call.func.attr
+        if attr in ("release_read", "release_write"):
+            return LATCH_NODE
+        if attr == "release":
+            tags = self.evaluator.tags(call.func.value, {})
+            if {F.LOCK, F.CONDITION} & tags:
+                return self._plain_lock_node(call.func.value)
+        return None
+
+    def _with_lock_node(self, item: ast.withitem) -> str | None:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            attr = expr.func.attr
+            tags = self.evaluator.tags(expr.func.value, {})
+            if F.LATCH in tags and attr in ("read", "write"):
+                return LATCH_NODE
+            if F.GATE in tags and attr in ("read_locked", "write_locked"):
+                return GATE_NODE
+            return None
+        if isinstance(expr, (ast.Name, ast.Attribute)):
+            tags = self.evaluator.tags(expr, {})
+            if {F.LOCK, F.CONDITION} & tags:
+                return self._plain_lock_node(expr)
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_ref(self, expr: ast.expr) -> tuple[FuncKey, ...]:
+        """Resolve a *function reference* (not a call) to summary keys."""
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.cls is not None
+            ):
+                return (("cls", self.cls.name, expr.attr),)
+            tags = self.evaluator.tags(expr.value, {})
+            out: list[FuncKey] = []
+            for tag in tags:
+                for cand in TAG_CLASSES.get(tag, ()):
+                    out.append(("cls", cand, expr.attr))
+            return tuple(out)
+        if isinstance(expr, ast.Name):
+            return (("mod", self.path, expr.id),)
+        return ()
+
+    def _call_candidates(self, call: ast.Call) -> tuple[FuncKey, ...]:
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _EXECUTOR_DISPATCH:
+            # loop.run_in_executor(executor, fn, ...) / pool.submit(fn)
+            # / pool.map(fn, items): fn runs while the caller's locks
+            # are still held.
+            args = call.args
+            target = None
+            if func.attr == "run_in_executor" and len(args) >= 2:
+                target = args[1]
+            elif func.attr in ("submit", "map") and args:
+                target = args[0]
+            return self._resolve_ref(target) if target is not None else ()
+        return self._resolve_ref(func)
+
+    # -- traversal ---------------------------------------------------------
+
+    def _stmt_calls(self, stmt: ast.stmt) -> list[ast.Call]:
+        """All calls in a statement, stopping at nested definitions."""
+        out: list[ast.Call] = []
+        stack = list(ast.iter_child_nodes(stmt))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                 ast.Lambda),
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _record_acq(self, lock: str, line: int, held: list[str]) -> None:
+        self.info.acqs.append(_Acq(lock, self.path, line, tuple(held)))
+
+    def _record_calls(
+        self, calls: list[ast.Call], held: list[str], consumed: set[int]
+    ) -> None:
+        for call in calls:
+            if id(call) in consumed:
+                continue
+            candidates = self._call_candidates(call)
+            if candidates:
+                self.info.calls.append(
+                    _Call(candidates, self.path, call.lineno, tuple(held))
+                )
+
+    def _expr_calls(self, exprs: list[ast.expr | None]) -> list[ast.Call]:
+        out: list[ast.Call] = []
+        stack: list[ast.AST] = [e for e in exprs if e is not None]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, ast.Lambda):
+                continue
+            if isinstance(node, ast.Call):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return out
+
+    def _process_calls(self, calls: list[ast.Call], held: list[str]) -> None:
+        """Acquire/release bookkeeping + call events for one header or
+        simple statement; mutates ``held`` for manual acquisitions."""
+        consumed: set[int] = set()
+        for call in calls:
+            released = self._release(call)
+            if released is not None:
+                consumed.add(id(call))
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i] == released:
+                        del held[i]
+                        break
+                continue
+            acquired = self._acquisition(call)
+            if acquired is not None:
+                consumed.add(id(call))
+                if not self._swallow:
+                    self._record_acq(acquired, call.lineno, held)
+                    held.append(acquired)
+        self._record_calls(calls, held, consumed)
+
+    def scan_body(self, body: list[ast.stmt], held: list[str]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, held)
+
+    def _scan_stmt(self, stmt: ast.stmt, held: list[str]) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # scanned separately with an empty lock set
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            swallows = any(is_swallowing(item) for item in stmt.items)
+            for item in stmt.items:
+                consumed: set[int] = set()
+                lock = self._with_lock_node(item)
+                if lock is not None:
+                    if isinstance(item.context_expr, ast.Call):
+                        consumed.add(id(item.context_expr))
+                    if not self._swallow:
+                        self._record_acq(lock, item.context_expr.lineno, held)
+                        held.append(lock)
+                        pushed += 1
+                self._record_calls(
+                    self._expr_calls([item.context_expr]), held, consumed
+                )
+            if swallows:
+                self._swallow += 1
+            self.scan_body(stmt.body, held)
+            if swallows:
+                self._swallow -= 1
+            for _ in range(pushed):
+                held.pop()
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._process_calls(self._expr_calls([stmt.test]), held)
+            self.scan_body(stmt.body, held)
+            self.scan_body(stmt.orelse, held)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._process_calls(self._expr_calls([stmt.iter]), held)
+            self.scan_body(stmt.body, held)
+            self.scan_body(stmt.orelse, held)
+            return
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            self.scan_body(stmt.body, held)  # type: ignore[attr-defined]
+            for handler in stmt.handlers:  # type: ignore[attr-defined]
+                self.scan_body(handler.body, held)
+            self.scan_body(stmt.orelse, held)  # type: ignore[attr-defined]
+            self.scan_body(stmt.finalbody, held)  # type: ignore[attr-defined]
+            return
+        if stmt.__class__.__name__ == "Match":
+            self._process_calls(
+                self._expr_calls([stmt.subject]),  # type: ignore[attr-defined]
+                held,
+            )
+            for case in stmt.cases:  # type: ignore[attr-defined]
+                self.scan_body(case.body, held)
+            return
+        self._process_calls(self._stmt_calls(stmt), held)

@@ -83,7 +83,11 @@ class FileBackend(Backend):
     _SLOT = struct.Struct("<I")
 
     def __init__(
-        self, path: str, page_size: int = 4096, registry=None, opener=None
+        self,
+        path: str,
+        page_size: int = 4096,
+        registry: Any | None = None,
+        opener: Callable[[str, str], Any] | None = None,
     ) -> None:
         if page_size < 64:
             raise StorageError("page size too small to hold any record")
@@ -315,7 +319,9 @@ class PageStore:
                 backend_flush()
 
     @contextlib.contextmanager
-    def group(self, metadata: Callable[[], bytes | None] | None = None):
+    def group(
+        self, metadata: Callable[[], bytes | None] | None = None
+    ) -> Iterator[None]:
         """Group-commit scope: one durability point for a whole batch.
 
         On a WAL backend, every record staged inside the block is
@@ -500,7 +506,7 @@ class PageStore:
         return frozenset(self._pinned)
 
     @contextlib.contextmanager
-    def operation(self):
+    def operation(self) -> Iterator[OperationCounter]:
         """Open a dedup scope; nested scopes join the outermost one."""
         if self._op is not None:
             yield self._op

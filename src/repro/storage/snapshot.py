@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import SerializationError, StorageError
 from repro.storage.disk import MemoryBackend, PageStore
@@ -159,7 +159,7 @@ def save_index(
     index: Any,
     path: str,
     page_size: int = 65536,
-    opener=None,
+    opener: Callable[[str, str], Any] | None = None,
     version: int = 2,
 ) -> None:
     """Snapshot ``index`` (tree or one-level) into ``path``.
@@ -204,7 +204,9 @@ def save_index(
         out.close()
 
 
-def load_index(path: str, opener=None) -> Any:
+def load_index(
+    path: str, opener: Callable[[str, str], Any] | None = None
+) -> Any:
     """Restore an index saved by :func:`save_index` (either version)."""
     registry = default_registry()
     inp = (opener or open)(path, "rb")

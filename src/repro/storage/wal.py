@@ -45,7 +45,7 @@ import json
 import os
 import struct
 import zlib
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.errors import SerializationError, StorageError
 from repro.storage.disk import Backend, FileBackend, PageStore, _MISSING
@@ -73,8 +73,8 @@ class WALBackend(Backend):
         self,
         path: str,
         page_size: int = 4096,
-        registry=None,
-        opener=None,
+        registry: Any | None = None,
+        opener: Callable[[str, str], Any] | None = None,
         checkpoint_every: int | None = None,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
@@ -104,7 +104,7 @@ class WALBackend(Backend):
 
     # -- recovery ----------------------------------------------------------
 
-    def _recover(self):
+    def _recover(self) -> Any:
         """Replay-or-discard the sidecar, compact it, return the handle."""
         exists = (
             os.path.exists(self._wal_path)
@@ -132,7 +132,9 @@ class WALBackend(Backend):
         return self._compact(meta)
 
     @classmethod
-    def _scan(cls, wal) -> tuple[list, bytes | None, int]:
+    def _scan(
+        cls, wal: Any
+    ) -> tuple[list[tuple[int, int, bytes]], bytes | None, int]:
         """One pass over the log: committed ops still needing replay (in
         commit order), the last committed metadata, and the size of the
         discarded uncommitted tail."""
@@ -169,7 +171,7 @@ class WALBackend(Backend):
                 replay.clear()
         return replay, meta, len(txn)
 
-    def _compact(self, meta: bytes | None):
+    def _compact(self, meta: bytes | None) -> Any:
         """Rewrite the sidecar as header + (COMMIT(meta), CHECKPOINT).
 
         Built as a fresh file and renamed over the old one: rename is
@@ -409,7 +411,7 @@ def checkpoint(index: Any) -> None:
 
 
 def recover_index(
-    path: str, page_size: int = 4096, registry=None
+    path: str, page_size: int = 4096, registry: Any | None = None
 ) -> Any | None:
     """Reopen a crashed (or cleanly closed) WAL-backed index.
 

@@ -521,3 +521,68 @@ class TestLint:
 
     def test_repo_lints_clean(self):
         assert lint_paths() == []
+
+    def test_dotted_mutable_default_flagged(self):
+        # REP103 must see through dotted constructors: the substring
+        # matcher is on the terminal name, so module-qualified forms and
+        # bytearray() are the same aliasing bug as a bare dict().
+        for default in (
+            "collections.defaultdict(list)",
+            "collections.OrderedDict()",
+            "bytearray()",
+            "collections.deque()",
+        ):
+            issues = lint_source(
+                f"import collections\ndef f(x={default}):\n    pass\n",
+                "x.py",
+            )
+            assert [i.code for i in issues] == ["REP103"], default
+        # Immutable / unknown dotted calls stay clean.
+        for default in ("collections.abc.Hashable", "frozenset()", "f()"):
+            assert lint_source(
+                f"def g(x={default}):\n    pass\n", "x.py"
+            ) == [], default
+
+
+class TestAliasRegression:
+    """The false-negative pair that motivated the dataflow engine.
+
+    The legacy substring linter keys REP101/REP105 off the receiver
+    *name* containing ``backend``/``wal`` — so laundering the object
+    through a neutral local hides the bypass completely.  The typed
+    analyzer tracks the assignment, so the same source is caught.
+    """
+
+    SOURCE = (
+        "class Reader:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._backend = FileBackend('x.db')\n"
+        "\n"
+        "    def sneaky(self, pid: int) -> object:\n"
+        "        alias = self._backend\n"
+        "        alias.flush()\n"
+        "        return alias.load(pid)\n"
+    )
+
+    def test_legacy_linter_misses_alias(self):
+        # Documented false negative: 'alias' carries no tell-tale name.
+        assert lint_source(self.SOURCE, "src/repro/core/x.py") == []
+
+    def test_dataflow_analyzer_catches_alias(self):
+        from repro.sanitize import analyze_source
+
+        issues = analyze_source(self.SOURCE, "src/repro/core/x.py")
+        codes = sorted(i.code for i in issues)
+        assert codes == ["REP101", "REP105"]
+        # Findings land on the use sites, not the assignment.
+        by_code = {i.code: i for i in issues}
+        assert by_code["REP105"].line == 7
+        assert by_code["REP101"].line == 8
+
+    def test_analyzer_respects_storage_allowlist(self):
+        from repro.sanitize import analyze_source
+
+        # The same source inside the accounting layer is sanctioned.
+        assert analyze_source(
+            self.SOURCE, "src/repro/storage/disk.py"
+        ) == []

@@ -142,7 +142,6 @@ class TestLatchTimeout:
         # A writer that gives up must withdraw its preference claim and
         # wake readers that were parked behind it.
         latch = ReadWriteLatch()
-        latch.acquire_read()
         results = []
 
         def impatient_writer():
@@ -150,21 +149,26 @@ class TestLatchTimeout:
                 latch.acquire_write(timeout=0.1)
             except LatchTimeout:
                 results.append("timed-out")
+            else:  # unexpected success must still pair the acquire
+                latch.release_write()
 
         def late_reader():
             time.sleep(0.02)  # arrive while the writer is waiting
             with latch.read(timeout=2.0):
                 results.append("read")
 
-        threads = [
-            threading.Thread(target=impatient_writer),
-            threading.Thread(target=late_reader),
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout=5.0)
-        latch.release_read()
+        latch.acquire_read()
+        try:
+            threads = [
+                threading.Thread(target=impatient_writer),
+                threading.Thread(target=late_reader),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        finally:
+            latch.release_read()
         assert sorted(results) == ["read", "timed-out"]
 
     def test_untimed_acquire_still_blocks(self):
@@ -536,8 +540,9 @@ class TestAdmission:
                 host, port = server.address
                 async with await QueryClient.connect(host, port) as client:
                     await client.insert((1, 1), "x")
-                    # an outside writer wedges the store latch
-                    file.store.latch.acquire_write()
+                    # an outside writer wedges the store latch; the
+                    # block is the point of the test
+                    file.store.latch.acquire_write()  # repro: allow[REP201]
                     try:
                         with pytest.raises(ServerBusy) as caught:
                             await client.search((1, 1))
@@ -559,7 +564,8 @@ class TestAdmission:
             ) as server:
                 host, port = server.address
                 async with await QueryClient.connect(host, port) as client:
-                    file.store.latch.acquire_write()  # make requests slow
+                    # repro: allow[REP201] — make requests slow on purpose
+                    file.store.latch.acquire_write()
                     try:
                         results = await asyncio.gather(
                             *(client.search((i, i)) for i in range(12)),

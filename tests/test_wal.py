@@ -270,7 +270,7 @@ class TestGroupCommit:
         backend = WALBackend(str(tmp_path / "pages.db"))
         backend.begin_group()
         backend.store(0, page(((1, 1), "a")))
-        backend.flush()  # deferred: the commit point is the group boundary
+        backend.flush()  # repro: allow[REP303] — deferral is the test
         assert backend.in_group
         assert 0 not in backend.inner
         backend.end_group()
@@ -284,7 +284,7 @@ class TestGroupCommit:
         backend.begin_group()
         for pid in range(8):
             backend.store(pid, page(((pid, pid), "v")))
-            backend.flush()  # one per op, as op-at-a-time code would issue
+            backend.flush()  # repro: allow[REP303] — op-at-a-time pattern
         backend.end_group()
         assert backend.checkpoints == before + 1
         backend.close()
@@ -313,7 +313,7 @@ class TestGroupCommit:
         before = backend.checkpoints
         backend.begin_group()
         backend.store(0, page(((1, 1), "a")))
-        backend.flush()
+        backend.flush()  # repro: allow[REP303] — aborted-group coverage
         backend.end_group(commit=False)
         assert backend.checkpoints == before
         assert 0 not in backend.inner
