@@ -54,11 +54,15 @@ from repro.bench.served import (
     run_served_cell,
     served_coalescing_failures,
 )
+from repro.bench.sharded import (
+    run_sharded_cell,
+    sharded_scaling_failures,
+)
 from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
 BACKENDS = ("memory", "file", "file+pool", "file+wal")
-MODES = ("single", "batched", "rangepar", "served")
+MODES = ("single", "batched", "rangepar", "served", "sharded")
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -88,6 +92,10 @@ _WORSE_IF_HIGHER = (
     # served cells (wall-clock served metrics are never diff-gated; the
     # coalescing ratio is timing-dependent and has its own absolute gate)
     "served_mismatches",
+    # sharded cells (the CPU scaling ratios and the per-shard coalescing
+    # ratio are scheduling-dependent, so they are never diff-gated — the
+    # absolute floors in ``sharded_scaling_failures`` gate them instead)
+    "sharded_mismatches",
 )
 #: Gated metrics where a *smaller* current value is a regression.
 _WORSE_IF_LOWER = ("alpha", "hit_rate", "read_saving", "rangepar_records")
@@ -147,6 +155,10 @@ DEFAULT_CELLS = (
     # The service layer's gated claim: N concurrent clients' mutations
     # coalesce into strictly fewer than one WAL commit per write.
     BenchCell("table2", "BMEHTree", backend="file+wal", mode="served"),
+    # The sharding layer's gated claim: the busiest shard of a 4-shard
+    # cluster burns >= 2.5x less CPU than the single shard, with every
+    # shard's group commit still coalescing.
+    BenchCell("table2", "BMEHTree", backend="file+wal", mode="sharded"),
 )
 
 
@@ -206,6 +218,13 @@ def run_cell(
                 os.makedirs(sub, exist_ok=True)
                 return _make_store(cell.backend, sub, page_size, pool_capacity)
 
+            def make_workdir() -> str:
+                # Fresh cluster directory per arm: each shard worker
+                # puts its own WAL under it.
+                sub = os.path.join(workdir, f"cluster{next(counter)}")
+                os.makedirs(sub, exist_ok=True)
+                return sub
+
             if cell.mode == "batched":
                 return run_batched_cell(
                     cell,
@@ -227,6 +246,14 @@ def run_cell(
                     cell,
                     experiment,
                     make_store,
+                    n,
+                    concurrency=parallelism or DEFAULT_CONCURRENCY,
+                )
+            if cell.mode == "sharded":
+                return run_sharded_cell(
+                    cell,
+                    experiment,
+                    make_workdir,
                     n,
                     concurrency=parallelism or DEFAULT_CONCURRENCY,
                 )
@@ -517,6 +544,7 @@ def compare_with_baseline(
     failures.extend(batched_efficiency_failures(current_results))
     failures.extend(parallel_consistency_failures(current_results))
     failures.extend(served_coalescing_failures(current_results))
+    failures.extend(sharded_scaling_failures(current_results))
     return failures, current_results
 
 
@@ -526,6 +554,7 @@ def format_results(results: Sequence[Mapping]) -> str:
     batched = [r for r in results if r.get("mode") == "batched"]
     rangepar = [r for r in results if r.get("mode") == "rangepar"]
     served = [r for r in results if r.get("mode") == "served"]
+    sharded = [r for r in results if r.get("mode") == "sharded"]
     sections: list[str] = []
     if singles:
         header = (
@@ -626,6 +655,31 @@ def format_results(results: Sequence[Mapping]) -> str:
                 f"{m['served_write_ops_per_s']:>9.0f}"
                 f"{m['served_read_ops_per_s']:>9.0f}"
                 f"{'yes' if not m['served_mismatches'] else 'NO':>7}"
+            )
+        sections.append("\n".join(lines))
+    if sharded:
+        header = (
+            f"{'sharded cell':<44}{'writes':>8}{'wr ×':>7}{'rd ×':>7}"
+            f"{'commit/wr':>11}{'wr/s 1→N':>15}{'match':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in sharded:
+            m = result["metrics"]
+            arms = result.get("shard_arms", [1, 4])
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/shards={arms[0]}v{arms[-1]}"
+            )
+            lines.append(
+                f"{label:<44}"
+                f"{m['sharded_writes']:>8d}"
+                f"{m['sharded_write_scaling']:>7.2f}"
+                f"{m['sharded_read_scaling']:>7.2f}"
+                f"{m['sharded_commits_per_write_max']:>11.4f}"
+                f"{m['sharded_base_write_ops_per_s']:>7.0f}→"
+                f"{m['sharded_scaled_write_ops_per_s']:<7.0f}"
+                f"{'yes' if not m['sharded_mismatches'] else 'NO':>7}"
             )
         sections.append("\n".join(lines))
     return "\n\n".join(sections)

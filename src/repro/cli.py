@@ -8,7 +8,7 @@ Commands:
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
 * ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]
-  [--modes single batched rangepar served] [--batch-size K]
+  [--modes single batched rangepar served sharded] [--batch-size K]
   [--parallelism P]``
   — run the benchmark suite over memory / file / file+pool / file+wal
   storage configurations, including the batched-execution cells
@@ -19,12 +19,19 @@ Commands:
   regressions);
 * ``serve [--host H] [--port P] [--wal PATH] [--dims D] [--widths W]
   [-b B] [--window MS] [--max-batch K] [--max-inflight N]
-  [--pipeline N]`` — serve an index over the wire protocol; with
-  ``--wal`` the page file is durable and an existing file is reopened
-  through WAL recovery.  Prints ``serving on HOST:PORT`` once bound and
-  drains gracefully on SIGTERM/SIGINT;
+  [--pipeline N] [--shards N] [--workdir DIR]`` — serve an index over
+  the wire protocol; with ``--wal`` the page file is durable and an
+  existing file is reopened through WAL recovery.  With ``--shards N``
+  (N > 1) the z-order keyspace is range-partitioned across N worker
+  processes — each with its own page store, WAL and write aggregator —
+  behind a scatter-gather router; ``--workdir`` makes the cluster
+  durable (per-shard WALs plus the persisted partition).  Prints
+  ``serving on HOST:PORT`` once bound and drains gracefully on
+  SIGTERM/SIGINT;
 * ``ping [--host H] --port P`` — round-trip a served index and print
   its shape;
+* ``topology [--host H] --port P`` — print a served endpoint's shard
+  topology (epoch, z-range cuts, worker addresses);
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``analyze [paths...] [--graph PATH]`` — the dataflow static analyzer:
@@ -165,6 +172,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         parallel_consistency_failures,
     )
     from repro.bench.served import served_coalescing_failures
+    from repro.bench.sharded import sharded_scaling_failures
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
@@ -245,6 +253,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures.extend(batched_efficiency_failures(results))
     failures.extend(parallel_consistency_failures(results))
     failures.extend(served_coalescing_failures(results))
+    failures.extend(sharded_scaling_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
@@ -264,6 +273,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.storage import PageStore
     from repro.storage.wal import WALBackend, recover_index
 
+    if args.shards > 1:
+        return _serve_sharded(args)
     if args.wal and os.path.exists(args.wal):
         index = recover_index(args.wal)
         codec = KeyCodec([UIntEncoder(w) for w in index.widths])
@@ -303,6 +314,113 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     asyncio.run(run())
     return 0
+
+
+def _serve_sharded(args: argparse.Namespace) -> int:
+    """``repro serve --shards N``: workers + scatter-gather router.
+
+    The manager forks before the event loop starts (fork under a live
+    loop is unsafe); the router then runs in this process and drains on
+    SIGTERM/SIGINT, after which the workers get their own SIGTERM and
+    checkpoint their WALs.
+    """
+    import asyncio
+    import signal
+
+    from repro.server.router import ShardRouter
+    from repro.server.shard import ShardManager
+
+    if args.wal:
+        print(
+            "--wal is the single-server page file; sharded clusters "
+            "take --workdir (one WAL per shard)",
+            file=sys.stderr,
+        )
+        return 2
+    manager = ShardManager(
+        args.shards,
+        dims=args.dims,
+        widths=args.widths,
+        page_capacity=args.page_capacity,
+        workdir=args.workdir,
+        coalesce_window=args.window / 1000.0,
+        max_batch=args.max_batch,
+    )
+    specs = manager.start()
+    for spec in specs:
+        print(
+            f"shard {spec.shard}: pid {spec.pid} on "
+            f"{spec.host}:{spec.port} "
+            f"z [{spec.z_low:#x}, {spec.z_high:#x}]",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    async def run() -> None:
+        router = ShardRouter(
+            manager,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            session_pipeline=args.pipeline,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        async with router:
+            host, port = router.address
+            print(
+                f"serving on {host}:{port} ({args.shards} shards)",
+                flush=True,
+            )
+            await stop.wait()
+            print("draining router ...", file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(run())
+    finally:
+        print("stopping shard workers ...", file=sys.stderr, flush=True)
+        manager.stop()
+    print("cluster state is durable, exiting", file=sys.stderr, flush=True)
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import QueryClient
+
+    async def run() -> int:
+        async with await QueryClient.connect(
+            args.host, args.port, negotiate=True
+        ) as client:
+            topo = await client.topology()
+        role = topo.get("role", "server")
+        shards = topo.get("shards", [])
+        print(
+            f"{role} at {args.host}:{args.port}: epoch "
+            f"{topo.get('epoch', 0)}, {len(shards)} shard(s)"
+        )
+        for cut in topo.get("boundaries", []):
+            print(f"  cut at z = {cut:#x}")
+        for shard in shards:
+            where = ""
+            if "host" in shard:
+                where = f" on {shard['host']}:{shard['port']}"
+            z_low, z_high = shard.get("z_low", 0), shard.get("z_high", 0)
+            keys = f", {shard['keys']} keys" if "keys" in shard else ""
+            print(
+                f"  shard {shard.get('shard', 0)}{where}: "
+                f"z [{z_low:#x}, {z_high:#x}]{keys}"
+            )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError) as exc:
+        print(f"topology failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_ping(args: argparse.Namespace) -> int:
@@ -525,7 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the committed-baseline suite)")
     bench.add_argument("--schemes", nargs="+", default=None)
     bench.add_argument("--modes", nargs="+", default=None,
-                       choices=["single", "batched", "rangepar", "served"],
+                       choices=["single", "batched", "rangepar", "served",
+                                "sharded"],
                        help="measurement protocols for ad-hoc cells")
     bench.add_argument("--batch-size", type=int, default=None,
                        help="keys per measured batch in batched cells "
@@ -584,6 +703,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="global in-flight request budget (default 64)")
     serve.add_argument("--pipeline", type=int, default=16,
                        help="per-session pipelining limit (default 16)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="range-partition the keyspace across N worker "
+                            "processes behind a scatter-gather router "
+                            "(default 1: a single in-process server)")
+    serve.add_argument("--workdir", default=None, metavar="DIR",
+                       help="durable cluster directory: per-shard WALs plus "
+                            "the persisted partition (sharded mode only)")
     serve.set_defaults(handler=_cmd_serve)
 
     ping = commands.add_parser(
@@ -592,6 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
     ping.add_argument("--host", default="127.0.0.1")
     ping.add_argument("--port", type=int, required=True)
     ping.set_defaults(handler=_cmd_ping)
+
+    topology = commands.add_parser(
+        "topology", help="print a served endpoint's shard topology"
+    )
+    topology.add_argument("--host", default="127.0.0.1")
+    topology.add_argument("--port", type=int, required=True)
+    topology.set_defaults(handler=_cmd_topology)
 
     lint = commands.add_parser(
         "lint", help="repo-specific static checks (exit 1 on findings)"

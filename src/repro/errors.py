@@ -71,6 +71,42 @@ class ProtocolError(ReproError):
         super().__init__(message)
 
 
+class ShardDownError(ReproError):
+    """A shard worker is unreachable and a routed request cannot proceed.
+
+    Raised by the :class:`~repro.server.router.ShardRouter` when the
+    upstream connection for the shard owning a key is dead and one
+    reconnect attempt failed.  Carries ``code = "shard-down"`` so the
+    wire layer reports it structurally instead of hanging the client;
+    the other shards keep serving (graceful degradation, not cluster
+    failure).
+
+    Attributes:
+        shard: index of the unreachable shard, if known.
+    """
+
+    code = "shard-down"
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        self.shard = shard
+        super().__init__(message)
+
+
+class StaleTopologyError(ReproError):
+    """A request asserted a topology epoch the router has moved past.
+
+    Carries ``code = "stale-topology"``.  The reply header already holds
+    the current epoch, so a v2 client refreshes and retries transparently
+    — callers only ever see this if retries are exhausted.
+    """
+
+    code = "stale-topology"
+
+    def __init__(self, message: str, *, epoch: int = 0) -> None:
+        self.epoch = epoch
+        super().__init__(message)
+
+
 class CrashError(StorageError):
     """A simulated power failure raised by the fault-injection harness.
 

@@ -20,7 +20,11 @@ if concurrent requests can reach it.  This subpackage is that reach:
 * :mod:`repro.server.client` — :class:`QueryClient`, an asyncio
   pipelining client mirroring the ``MultiKeyFile`` API;
 * :mod:`repro.server.metrics` — served-request counters exposed over
-  the ``STATS`` opcode and asserted by the ``served`` bench cell.
+  the ``STATS`` opcode and asserted by the ``served`` bench cell;
+* :mod:`repro.server.shard` — :class:`ShardManager`, range-partitioning
+  the z-order keyspace into per-process shard workers;
+* :mod:`repro.server.router` — :class:`ShardRouter`, the protocol-v2
+  scatter-gather front end over the shard workers.
 """
 
 from repro.server.admission import AdmissionController, ReadWriteGate
@@ -30,12 +34,25 @@ from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     MAX_FRAME,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_MAX,
+    SUPPORTED_VERSIONS,
+    Frame,
     Opcode,
     encode_frame,
     decode_body,
+    decode_frame,
+    negotiated_version,
     read_frame,
 )
+from repro.server.router import RouterMetrics, ShardRouter
 from repro.server.server import QueryServer
+from repro.server.shard import (
+    ShardManager,
+    ShardSpec,
+    boundaries_from_sample,
+    shard_for,
+    uniform_boundaries,
+)
 
 __all__ = [
     "AdmissionController",
@@ -45,11 +62,23 @@ __all__ = [
     "RemoteError",
     "ServerBusy",
     "ServerMetrics",
+    "RouterMetrics",
     "MAX_FRAME",
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_MAX",
+    "SUPPORTED_VERSIONS",
+    "Frame",
     "Opcode",
     "encode_frame",
     "decode_body",
+    "decode_frame",
+    "negotiated_version",
     "read_frame",
     "QueryServer",
+    "ShardManager",
+    "ShardSpec",
+    "ShardRouter",
+    "boundaries_from_sample",
+    "shard_for",
+    "uniform_boundaries",
 ]

@@ -23,9 +23,19 @@ import asyncio
 import contextlib
 from typing import AsyncIterator
 
+from repro.sanitize.hooks import sanitize_enabled as _sanitize_enabled
+
 
 class AdmissionController:
-    """Bounded in-flight budget: global and per-session."""
+    """Bounded in-flight budget: global and per-session.
+
+    ``release`` is the teardown-racing hot spot: a session closing while
+    one of its requests completes can double-release a slot.  An
+    unmatched release must not drive the budget negative — that would
+    silently raise effective capacity forever — so underflow is clamped,
+    counted in :attr:`underflows`, and escalated to an
+    :class:`~repro.errors.InvariantViolation` under ``REPRO_SANITIZE``.
+    """
 
     def __init__(self, max_inflight: int = 64, per_session: int = 16) -> None:
         if max_inflight < 1 or per_session < 1:
@@ -34,6 +44,8 @@ class AdmissionController:
         self.per_session = per_session
         self._inflight = 0
         self._by_session: dict[int, int] = {}
+        #: Release calls with no matching admit (clamped, not applied).
+        self.underflows = 0
 
     @property
     def inflight(self) -> int:
@@ -54,10 +66,31 @@ class AdmissionController:
         return None
 
     def release(self, session_id: int) -> None:
+        """Return one slot admitted for ``session_id``.
+
+        A release with no matching admit — the global count at zero or
+        the session holding no slots — is an accounting bug in the
+        caller: it is counted and clamped (never applied), and raises
+        under sanitized runs so the race is caught in CI instead of
+        silently widening the budget in production.
+        """
+        held = self._by_session.get(session_id, 0)
+        if self._inflight <= 0 or held <= 0:
+            self.underflows += 1
+            self._by_session.pop(session_id, None)
+            if _sanitize_enabled():
+                from repro.errors import InvariantViolation
+
+                raise InvariantViolation(
+                    f"release without matching admit (session {session_id}, "
+                    f"inflight={self._inflight}, session slots={held})",
+                    invariant="admission-balance",
+                    scheme="AdmissionController",
+                )
+            return
         self._inflight -= 1
-        remaining = self._by_session.get(session_id, 0) - 1
-        if remaining > 0:
-            self._by_session[session_id] = remaining
+        if held > 1:
+            self._by_session[session_id] = held - 1
         else:
             self._by_session.pop(session_id, None)
 

@@ -10,6 +10,20 @@ hierarchy: a served ``duplicate-key`` raises
 :class:`~repro.errors.DuplicateKeyError` exactly as the embedded index
 would, and the 503-style backpressure codes raise :class:`ServerBusy`,
 which callers treat as retryable.
+
+Long-lived connections are first-class:
+
+* request ids wrap modulo 2^32 (the wire width), skipping 0 and any id
+  still awaiting its reply, so a pipelined connection never dies of id
+  exhaustion;
+* reply payloads are validated through :func:`repro.server.protocol.field`
+  before indexing — a malformed ``REPLY_OK`` surfaces as a structured
+  :class:`~repro.errors.ProtocolError` (``bad-payload``), never a raw
+  ``TypeError``/``KeyError``;
+* after :meth:`negotiate` the client speaks protocol v2 against a
+  sharding router: every reply header updates the cached topology epoch,
+  every data request echoes it, and a ``stale-topology`` rejection is
+  retried transparently with the refreshed epoch.
 """
 
 from __future__ import annotations
@@ -25,10 +39,21 @@ from repro.errors import (
     KeyNotFoundError,
     ProtocolError,
     ReproError,
+    ShardDownError,
+    StaleTopologyError,
     StorageError,
 )
 from repro.server import protocol
 from repro.server.protocol import BUSY_CODES, Opcode
+
+#: Request ids are ``u32`` on the wire; 0 is reserved for server-initiated
+#: error frames, so the usable id space is [1, 2^32).
+_ID_SPACE = 1 << 32
+
+#: Bounded transparent retries on ``stale-topology`` — each retry uses
+#: the epoch learned from the rejecting reply's own header, so one
+#: round normally suffices; the bound guards against a flapping router.
+_STALE_RETRIES = 3
 
 
 class RemoteError(ReproError):
@@ -56,6 +81,8 @@ _CODE_ERRORS: dict[str, type] = {
     "encoding": EncodingError,
     "capacity": CapacityError,
     "storage": StorageError,
+    "shard-down": ShardDownError,
+    "stale-topology": StaleTopologyError,
 }
 
 
@@ -71,7 +98,8 @@ def _error_for(code: str, message: str) -> Exception:
 
 
 class QueryClient:
-    """One pipelined connection to a :class:`QueryServer`."""
+    """One pipelined connection to a :class:`QueryServer` or
+    :class:`~repro.server.router.ShardRouter`."""
 
     def __init__(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -81,14 +109,34 @@ class QueryClient:
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
+        #: Protocol version used for outgoing frames; raised to 2 by
+        #: :meth:`negotiate` when the peer advertises it.
+        self._version = 1
+        #: Last topology epoch seen in any v2 reply header (0 = none).
+        self._epoch = 0
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_replies(), name="repro-client-reader"
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "QueryClient":
+    async def connect(
+        cls, host: str, port: int, *, negotiate: bool = False
+    ) -> "QueryClient":
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if negotiate:
+            await client.negotiate()
+        return client
+
+    @property
+    def protocol_version(self) -> int:
+        """The frame version this client currently speaks (1 or 2)."""
+        return self._version
+
+    @property
+    def epoch(self) -> int:
+        """The last topology epoch observed from the peer (0 = none)."""
+        return self._epoch
 
     async def __aenter__(self) -> "QueryClient":
         return self
@@ -118,6 +166,23 @@ class QueryClient:
                 future.set_exception(exc)
         self._pending.clear()
 
+    def _abandon(self, exc: Exception) -> None:
+        """Mark the connection dead after an EOF or reader failure.
+
+        Without this, a peer that dies *between* requests leaves the
+        client looking healthy (`_closed` False, nothing pending) and
+        the next request writes into a dead socket and waits forever —
+        the reply that would resolve it can never arrive.  Flagging the
+        client closed here makes callers (the router's shard links, any
+        reconnect wrapper) observe the death synchronously.
+        """
+        self._closed = True
+        try:
+            self._writer.close()
+        except Exception:
+            pass
+        self._fail_pending(exc)
+
     # -- plumbing ------------------------------------------------------------
 
     async def _read_replies(self) -> None:
@@ -125,85 +190,153 @@ class QueryClient:
             while True:
                 body = await protocol.read_frame(self._reader)
                 if body is None:
-                    self._fail_pending(
+                    self._abandon(
                         ConnectionError("server closed the connection")
                     )
                     return
-                opcode, request_id, payload = protocol.decode_body(body)
-                future = self._pending.pop(request_id, None)
+                frame = protocol.decode_frame(body)
+                if frame.version >= 2 and frame.epoch:
+                    # Every v2 reply refreshes the topology epoch — the
+                    # stale-topology retry path depends on the rejection
+                    # itself having already delivered the new epoch.
+                    self._epoch = frame.epoch
+                future = self._pending.pop(frame.request_id, None)
                 if future is None or future.done():
                     continue  # unsolicited or already-failed request
-                if opcode == Opcode.REPLY_OK:
-                    future.set_result(payload)
-                elif opcode == Opcode.REPLY_ERR:
+                if frame.opcode == Opcode.REPLY_OK:
+                    future.set_result(frame.payload)
+                elif frame.opcode == Opcode.REPLY_ERR:
                     code = "internal"
                     message = "unstructured error reply"
-                    if isinstance(payload, dict):
-                        code = str(payload.get("code", code))
-                        message = str(payload.get("message", message))
+                    if isinstance(frame.payload, dict):
+                        code = str(frame.payload.get("code", code))
+                        message = str(frame.payload.get("message", message))
                     future.set_exception(_error_for(code, message))
                 else:
                     future.set_exception(
                         ProtocolError(
-                            f"unexpected reply opcode {opcode}",
+                            f"unexpected reply opcode {frame.opcode}",
                             code="bad-opcode",
                         )
                     )
         except asyncio.CancelledError:
             raise
         except Exception as exc:
-            self._fail_pending(
+            self._abandon(
                 exc if isinstance(exc, ReproError)
                 else ConnectionError(f"connection failed: {exc}")
             )
 
-    async def _request(self, opcode: Opcode, payload: Any = None) -> Any:
+    def _allocate_id(self) -> int:
+        """The next request id: wraps modulo 2^32, skips 0 (reserved for
+        server-initiated errors) and ids still awaiting replies.
+
+        The id space dwarfs any admissible pipeline depth, so the scan
+        terminates after at most ``len(_pending) + 2`` steps.
+        """
+        for _ in range(len(self._pending) + 2):
+            self._next_id = (self._next_id + 1) % _ID_SPACE
+            if self._next_id != 0 and self._next_id not in self._pending:
+                return self._next_id
+        raise ProtocolError(
+            "no free request id: every id in the 2^32 space is in flight",
+            code="bad-frame",
+        )
+
+    async def request(self, opcode: Opcode, payload: Any = None) -> Any:
+        """Send one request frame and await its reply payload.
+
+        The generic entry point behind every typed method — also the
+        router's upstream hook.  Handles id allocation, epoch stamping
+        and the transparent ``stale-topology`` retry.
+        """
+        last: StaleTopologyError | None = None
+        for _ in range(_STALE_RETRIES):
+            try:
+                return await self._request_once(opcode, payload)
+            except StaleTopologyError as exc:
+                # The rejecting reply's header already updated
+                # self._epoch; re-send with the fresh value.
+                last = exc
+        assert last is not None
+        raise last
+
+    async def _request_once(self, opcode: Opcode, payload: Any = None) -> Any:
         if self._closed:
             raise ConnectionError("client is closed")
-        self._next_id += 1
-        request_id = self._next_id
+        request_id = self._allocate_id()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(protocol.encode_frame(opcode, request_id, payload))
+        self._writer.write(
+            protocol.encode_frame(
+                opcode,
+                request_id,
+                payload,
+                version=self._version,
+                epoch=self._epoch,
+            )
+        )
         await self._writer.drain()
         return await future
+
+    # Kept as the historical private name; tests and subclasses reach it.
+    _request = request
+
+    # -- version negotiation --------------------------------------------------
+
+    async def negotiate(self) -> int:
+        """Agree on the highest shared protocol version with the peer.
+
+        Sends a v1 ``PING`` (every server speaks v1) and inspects the
+        advertised ``versions`` list.  Returns the agreed version and
+        switches this connection to it for all subsequent frames.
+        """
+        reply = await self._request_once(Opcode.PING)
+        self._version = protocol.negotiated_version(reply)
+        return self._version
 
     # -- the MultiKeyFile API, served ---------------------------------------
 
     async def ping(self) -> dict:
-        return await self._request(Opcode.PING)
+        reply = await self.request(Opcode.PING)
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"PING reply must be an object, got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply
 
     async def insert(self, key: Sequence[Any], value: Any = None) -> None:
-        await self._request(Opcode.INSERT, {"key": list(key), "value": value})
+        await self.request(Opcode.INSERT, {"key": list(key), "value": value})
 
     async def search(self, key: Sequence[Any]) -> Any:
-        reply = await self._request(Opcode.SEARCH, {"key": list(key)})
-        return reply["value"]
+        reply = await self.request(Opcode.SEARCH, {"key": list(key)})
+        return protocol.field(reply, "value")
 
     async def delete(self, key: Sequence[Any]) -> Any:
-        reply = await self._request(Opcode.DELETE, {"key": list(key)})
-        return reply["value"]
+        reply = await self.request(Opcode.DELETE, {"key": list(key)})
+        return protocol.field(reply, "value")
 
     async def insert_many(
         self, pairs: Sequence[tuple[Sequence[Any], Any]]
     ) -> int:
-        reply = await self._request(
+        reply = await self.request(
             Opcode.INSERT_MANY,
             {"pairs": [[list(key), value] for key, value in pairs]},
         )
-        return reply["inserted"]
+        return protocol.field(reply, "inserted", int)
 
     async def search_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
-        reply = await self._request(
+        reply = await self.request(
             Opcode.SEARCH_MANY, {"keys": [list(key) for key in keys]}
         )
-        return reply["values"]
+        return protocol.field(reply, "values", list)
 
     async def delete_many(self, keys: Sequence[Sequence[Any]]) -> list[Any]:
-        reply = await self._request(
+        reply = await self.request(
             Opcode.DELETE_MANY, {"keys": [list(key) for key in keys]}
         )
-        return reply["values"]
+        return protocol.field(reply, "values", list)
 
     async def range_search(
         self,
@@ -214,8 +347,43 @@ class QueryClient:
         payload: dict[str, Any] = {"lows": list(lows), "highs": list(highs)}
         if parallelism is not None:
             payload["parallelism"] = parallelism
-        reply = await self._request(Opcode.RANGE, payload)
-        return [(tuple(key), value) for key, value in reply["items"]]
+        reply = await self.request(Opcode.RANGE, payload)
+        items = protocol.field(reply, "items", list)
+        try:
+            return [(tuple(key), value) for key, value in items]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"malformed RANGE items: {exc}", code="bad-payload"
+            ) from None
 
     async def stats(self) -> dict:
-        return await self._request(Opcode.STATS)
+        reply = await self.request(Opcode.STATS)
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"STATS reply must be an object, got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply
+
+    # -- routing introspection (protocol v2) ----------------------------------
+
+    async def topology(self) -> dict:
+        """The peer's shard topology (a plain server reports one shard)."""
+        reply = await self.request(Opcode.TOPOLOGY)
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"TOPOLOGY reply must be an object, "
+                f"got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply
+
+    async def route(self, key: Sequence[Any]) -> dict:
+        """Which shard owns ``key`` (routing debug surface)."""
+        reply = await self.request(Opcode.ROUTE, {"key": list(key)})
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"ROUTE reply must be an object, got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply

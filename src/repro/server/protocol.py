@@ -1,12 +1,33 @@
 """The wire protocol: length-prefixed, versioned binary frames.
 
-Frame layout (all integers little-endian)::
+Version 1 frame layout (all integers little-endian)::
 
     u32  body length                  (frame = 4-byte prefix + body)
-    u8   protocol version             (PROTOCOL_VERSION = 1)
+    u8   protocol version             (1)
     u8   opcode                       (Opcode)
     u32  request id                   (client-chosen; echoed in replies)
     ...  payload                      (UTF-8 JSON, possibly empty)
+
+Version 2 inserts a topology epoch between the request id and the
+payload::
+
+    u32  body length
+    u8   protocol version             (2)
+    u8   opcode
+    u32  request id
+    u32  topology epoch               (0 = "not asserting an epoch")
+    ...  payload
+
+The epoch is the sharding layer's staleness fence: a
+:class:`~repro.server.router.ShardRouter` stamps every reply with its
+current topology epoch, and a v2 client echoes the last epoch it saw on
+each data request.  A request carrying a stale non-zero epoch is
+rejected with ``stale-topology`` — the error reply's header already
+carries the new epoch, so the client refreshes and retries without a
+round trip.  Servers that do not shard (a plain ``QueryServer``) run at
+epoch 0 and never reject.  Both endpoints speak both versions; the
+:func:`negotiated_version` helper picks the highest shared one from a
+``PING`` reply's ``versions`` list.
 
 The length prefix counts the body (version byte onward) and is capped at
 :data:`MAX_FRAME`; a larger claim is rejected before any allocation — a
@@ -26,12 +47,16 @@ Error codes travel as short stable strings (``duplicate-key``,
 them back to the :mod:`repro.errors` hierarchy without parsing prose.
 The ``busy`` family (``busy``, ``pipeline-limit``, ``latch-timeout``,
 ``shutting-down``) is the 503-style backpressure surface: retryable,
-never fatal, never queued unboundedly on the server.
+never fatal, never queued unboundedly on the server.  ``shard-down``
+and ``stale-topology`` are the routing layer's structured failures:
+the first is a dead upstream surfaced instead of a hang, the second is
+handled transparently by the client as described above.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import enum
 import json
 import struct
@@ -51,11 +76,18 @@ from repro.errors import (
 )
 
 PROTOCOL_VERSION = 1
+#: Highest protocol version this build speaks (v2 adds the epoch field
+#: and the TOPOLOGY/ROUTE opcodes).
+PROTOCOL_VERSION_MAX = 2
+#: Every version both endpoints of this build can frame.
+SUPPORTED_VERSIONS: tuple[int, ...] = (1, 2)
 #: Hard cap on a frame body; larger length prefixes are garbage.
 MAX_FRAME = 1 << 20
 
 _LEN = struct.Struct("<I")
-_HEAD = struct.Struct("<BBI")  # version, opcode, request id
+_HEAD = struct.Struct("<BBI")  # v1: version, opcode, request id
+_HEAD2 = struct.Struct("<BBII")  # v2: version, opcode, request id, epoch
+_ID_LIMIT = 1 << 32  # request ids and epochs are u32 on the wire
 
 
 class Opcode(enum.IntEnum):
@@ -70,6 +102,8 @@ class Opcode(enum.IntEnum):
     DELETE_MANY = 7
     RANGE = 8
     STATS = 9
+    TOPOLOGY = 10
+    ROUTE = 11
     REPLY_OK = 128
     REPLY_ERR = 129
 
@@ -103,18 +137,48 @@ BUSY_CODES = frozenset(
 
 
 def error_code(exc: BaseException) -> str:
-    """The wire code for an exception raised while serving a request."""
-    if isinstance(exc, ProtocolError):
-        return exc.code
-    for cls, code in _ERROR_CODES:
+    """The wire code for an exception raised while serving a request.
+
+    An exception carrying a string ``code`` attribute (``ProtocolError``,
+    ``ShardDownError``, ``StaleTopologyError``, a client-side
+    ``RemoteError`` being re-raised by the router) keeps that code —
+    this is what lets a structured error round-trip shard → router →
+    client without collapsing to ``internal``.
+    """
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    for cls, wire_code in _ERROR_CODES:
         if isinstance(exc, cls):
-            return code
+            return wire_code
     return "internal"
 
 
-def encode_frame(opcode: int, request_id: int, payload: Any = None) -> bytes:
-    """Serialize one frame (length prefix included)."""
-    body = _HEAD.pack(PROTOCOL_VERSION, opcode, request_id)
+def encode_frame(
+    opcode: int,
+    request_id: int,
+    payload: Any = None,
+    *,
+    version: int = PROTOCOL_VERSION,
+    epoch: int = 0,
+) -> bytes:
+    """Serialize one frame (length prefix included).
+
+    ``version=1`` produces the legacy header; ``version=2`` appends the
+    topology ``epoch``.  Request ids and epochs must fit ``u32``.
+    """
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(
+            f"cannot encode protocol version {version}", code="bad-version"
+        )
+    if not 0 <= request_id < _ID_LIMIT:
+        raise ProtocolError(
+            f"request id {request_id} outside [0, 2^32)", code="bad-frame"
+        )
+    if version == 1:
+        body = _HEAD.pack(version, opcode, request_id)
+    else:
+        body = _HEAD2.pack(version, opcode, request_id, epoch % _ID_LIMIT)
     if payload is not None:
         body += json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
@@ -126,15 +190,37 @@ def encode_frame(opcode: int, request_id: int, payload: Any = None) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
-def encode_error(request_id: int, code: str, message: str) -> bytes:
+def encode_error(
+    request_id: int,
+    code: str,
+    message: str,
+    *,
+    version: int = PROTOCOL_VERSION,
+    epoch: int = 0,
+) -> bytes:
     """Serialize a structured error reply."""
     return encode_frame(
-        Opcode.REPLY_ERR, request_id, {"code": code, "message": message}
+        Opcode.REPLY_ERR,
+        request_id,
+        {"code": code, "message": message},
+        version=version,
+        epoch=epoch,
     )
 
 
-def decode_body(body: bytes) -> tuple[int, int, Any]:
-    """Parse a frame body into ``(opcode, request_id, payload)``.
+@dataclasses.dataclass(frozen=True)
+class Frame:
+    """One decoded frame body."""
+
+    version: int
+    opcode: int
+    request_id: int
+    payload: Any
+    epoch: int = 0
+
+
+def decode_frame(body: bytes) -> Frame:
+    """Parse a frame body of any supported version.
 
     Raises :class:`~repro.errors.ProtocolError` (with a structured code)
     on a truncated header, an unknown version, or an undecodable
@@ -142,29 +228,62 @@ def decode_body(body: bytes) -> tuple[int, int, Any]:
     dispatcher replies ``bad-opcode`` at the request level, keeping the
     stream usable.
     """
-    if len(body) < _HEAD.size:
-        raise ProtocolError(
-            f"frame body of {len(body)} bytes is shorter than the "
-            f"{_HEAD.size}-byte header",
-            code="bad-frame",
-        )
-    version, opcode, request_id = _HEAD.unpack_from(body, 0)
-    if version != PROTOCOL_VERSION:
+    if len(body) < 1:
+        raise ProtocolError("empty frame body", code="bad-frame")
+    version = body[0]
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
             f"protocol version {version} is not supported "
-            f"(this server speaks {PROTOCOL_VERSION})",
+            f"(this endpoint speaks {list(SUPPORTED_VERSIONS)})",
             code="bad-version",
         )
-    raw = body[_HEAD.size :]
-    if not raw:
-        return opcode, request_id, None
-    try:
-        payload = json.loads(raw.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+    head = _HEAD if version == 1 else _HEAD2
+    if len(body) < head.size:
         raise ProtocolError(
-            f"undecodable frame payload: {exc}", code="bad-payload"
-        ) from None
-    return opcode, request_id, payload
+            f"frame body of {len(body)} bytes is shorter than the "
+            f"{head.size}-byte v{version} header",
+            code="bad-frame",
+        )
+    epoch = 0
+    if version == 1:
+        _, opcode, request_id = _HEAD.unpack_from(body, 0)
+    else:
+        _, opcode, request_id, epoch = _HEAD2.unpack_from(body, 0)
+    raw = body[head.size :]
+    payload: Any = None
+    if raw:
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"undecodable frame payload: {exc}", code="bad-payload"
+            ) from None
+    return Frame(version, opcode, request_id, payload, epoch)
+
+
+def decode_body(body: bytes) -> tuple[int, int, Any]:
+    """Parse a frame body into ``(opcode, request_id, payload)``.
+
+    The version-1-era entry point, kept for callers that predate the
+    epoch field; it accepts any supported version and drops the epoch.
+    """
+    frame = decode_frame(body)
+    return frame.opcode, frame.request_id, frame.payload
+
+
+def negotiated_version(ping_reply: Any) -> int:
+    """The highest protocol version shared with a peer, from its ``PING``
+    reply.  A peer that does not advertise ``versions`` is a v1 server.
+    """
+    if not isinstance(ping_reply, dict):
+        return 1
+    advertised = ping_reply.get("versions")
+    if not isinstance(advertised, list):
+        return 1
+    shared = [
+        v for v in advertised if isinstance(v, int) and v in SUPPORTED_VERSIONS
+    ]
+    return max(shared, default=1)
 
 
 async def read_frame(reader: asyncio.StreamReader) -> bytes | None:

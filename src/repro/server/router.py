@@ -1,0 +1,541 @@
+"""The scatter-gather router fronting a shard cluster.
+
+:class:`ShardRouter` is the client-facing half of the sharding layer
+(:mod:`repro.server.shard` is the process half).  It accepts the same
+wire protocol as a :class:`~repro.server.server.QueryServer` — the
+per-connection :class:`~repro.server.session.Session` machinery is
+reused verbatim — but instead of owning an index it owns one
+long-lived pipelined :class:`~repro.server.client.QueryClient` per
+shard worker and dispatches by z value:
+
+* **point ops** (``INSERT``/``SEARCH``/``DELETE``) interleave the key
+  and forward to the one shard whose z range contains it;
+* **batch ops** (``*_MANY``) split the batch by shard, fan the
+  sub-batches out concurrently, and re-assemble the replies preserving
+  the input order; a failing sub-batch re-raises the first error in
+  shard order after every sub-batch settles;
+* **range queries** scatter to exactly the shards whose z ranges
+  intersect ``[z(lows), z(highs)]`` (the corner property of the
+  interleaving: every point of the box lies between the corners'
+  z values) and gather through the order-preserving merge: each
+  shard's items are sorted by z, and because shards own contiguous
+  disjoint z ranges, concatenation in shard order *is* the globally
+  z-ascending merge — the network analogue of the parallel scanner's
+  ordered reduction.
+
+The router speaks protocol v2 with its clients.  Its topology epoch
+stamps every reply header; a data request asserting a stale epoch is
+rejected with ``stale-topology`` (the rejection itself carries the new
+epoch, so clients retry transparently).  A dead worker surfaces as a
+structured ``shard-down`` error after one bounded reconnect attempt —
+never a hang — while the remaining shards keep serving.
+
+Upstream failures do not silently retry mutations: a connection that
+dies mid-request may or may not have applied the write, and replaying
+it could double-apply.  The link is marked dead, the caller gets
+``shard-down``, and the next request attempts one fresh connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.bits import interleave
+from repro.encoding import KeyCodec
+from repro.errors import ProtocolError, ShardDownError, StaleTopologyError
+from repro.server import protocol
+from repro.server.admission import AdmissionController
+from repro.server.client import QueryClient
+from repro.server.metrics import ServerMetrics
+from repro.server.protocol import (
+    MUTATION_OPCODES,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    Opcode,
+    field,
+    key_field,
+)
+from repro.server.session import Session
+from repro.server.shard import ShardManager, ShardSpec, shard_for
+
+
+class RouterMetrics(ServerMetrics):
+    """Server counters plus the routing-specific ones."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.point_ops_routed = 0
+        self.batches_split = 0
+        self.scatter_queries = 0
+        self.scatter_fanout = 0
+        self.shard_errors = 0
+        self.reconnects = 0
+        self.stale_rejections = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        snap = super().snapshot()
+        snap.update(
+            {
+                "point_ops_routed": self.point_ops_routed,
+                "batches_split": self.batches_split,
+                "scatter_queries": self.scatter_queries,
+                "scatter_fanout": self.scatter_fanout,
+                "shard_errors": self.shard_errors,
+                "reconnects": self.reconnects,
+                "stale_rejections": self.stale_rejections,
+            }
+        )
+        return snap
+
+
+class _ShardLink:
+    """One long-lived upstream connection to a shard worker."""
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        metrics: RouterMetrics,
+        connect_timeout: float,
+    ) -> None:
+        self.spec = spec
+        self._metrics = metrics
+        self._connect_timeout = connect_timeout
+        self._client: QueryClient | None = None
+        self._connect_lock = asyncio.Lock()
+
+    async def connect(self) -> None:
+        async with self._connect_lock:
+            if self._client is not None and not self._client._closed:
+                return
+            reconnecting = self._client is not None
+            try:
+                self._client = await asyncio.wait_for(
+                    QueryClient.connect(self.spec.host, self.spec.port),
+                    timeout=self._connect_timeout,
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                self._client = None
+                self._metrics.shard_errors += 1
+                raise ShardDownError(
+                    f"shard {self.spec.shard} at "
+                    f"{self.spec.host}:{self.spec.port} is unreachable: "
+                    f"{exc or type(exc).__name__}",
+                    shard=self.spec.shard,
+                ) from None
+            if reconnecting:
+                self._metrics.reconnects += 1
+
+    async def request(self, opcode: Opcode, payload: Any = None) -> Any:
+        """Forward one request; ``shard-down`` instead of a hang or a
+        silent mutation replay."""
+        if self._client is None or self._client._closed:
+            await self.connect()
+        client = self._client
+        assert client is not None
+        try:
+            return await client.request(opcode, payload)
+        except (ConnectionError, OSError) as exc:
+            self._metrics.shard_errors += 1
+            raise ShardDownError(
+                f"shard {self.spec.shard} connection failed mid-request: "
+                f"{exc}",
+                shard=self.spec.shard,
+            ) from None
+
+    async def close(self) -> None:
+        if self._client is not None:
+            await self._client.close()
+            self._client = None
+
+
+class ShardRouter:
+    """Serve the wire protocol by scatter-gathering over shard workers.
+
+    Duck-types the :class:`~repro.server.session.ServesSessions` surface
+    so :class:`~repro.server.session.Session` drives it exactly as it
+    drives a :class:`~repro.server.server.QueryServer`.
+    """
+
+    def __init__(
+        self,
+        manager: ShardManager | None = None,
+        *,
+        specs: Sequence[ShardSpec] | None = None,
+        boundaries: Sequence[int] | None = None,
+        codec: KeyCodec | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        session_pipeline: int = 16,
+        drain_timeout: float = 10.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if manager is not None:
+            specs = manager.specs if specs is None else specs
+            boundaries = (
+                manager.boundaries if boundaries is None else boundaries
+            )
+            if codec is None:
+                from repro.encoding import UIntEncoder
+
+                codec = KeyCodec([UIntEncoder(w) for w in manager.widths])
+        if specs is None or boundaries is None or codec is None:
+            raise ValueError(
+                "a router needs a manager, or specs + boundaries + codec"
+            )
+        if not specs:
+            raise ValueError("a router needs at least one shard")
+        self._specs = list(specs)
+        self._boundaries = list(boundaries)
+        self._codec = codec
+        self._widths = codec.widths
+        self._host = host
+        self._port = port
+        self.metrics = RouterMetrics()
+        self.admission = AdmissionController(max_inflight, session_pipeline)
+        self.drain_timeout = drain_timeout
+        self._connect_timeout = connect_timeout
+        self._links = [
+            _ShardLink(spec, self.metrics, connect_timeout)
+            for spec in self._specs
+        ]
+        self._server: asyncio.base_events.Server | None = None
+        self._sessions: set[Session] = set()
+        self._epoch = 1
+        self.draining = False
+        self._shut_down = False
+
+    # -- ServesSessions surface ----------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current topology epoch; bumped by :meth:`set_topology`."""
+        return self._epoch
+
+    def _session_done(self, session: Session) -> None:
+        self._sessions.discard(session)
+        self.metrics.connections_closed += 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise ProtocolError("router is not started", code="internal")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "ShardRouter":
+        for link in self._links:
+            await link.connect()
+        self._server = await asyncio.start_server(
+            self._on_connect, self._host, self._port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc: Any) -> None:
+        await self.shutdown()
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session(self, reader, writer)
+        self._sessions.add(session)
+        self.metrics.connections_opened += 1
+        await session.run()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain sessions, close the upstream links.
+        The workers themselves are the manager's to stop."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for session in list(self._sessions):
+            await session.drain(timeout=self.drain_timeout)
+        for session in list(self._sessions):
+            session.closed = True
+            await session._finish()
+        for link in self._links:
+            await link.close()
+
+    async def set_topology(
+        self,
+        specs: Sequence[ShardSpec],
+        boundaries: Sequence[int],
+    ) -> int:
+        """Install a new shard layout and bump the epoch.
+
+        Requests already in flight complete against the links they
+        resolved; every subsequent data request asserting the old epoch
+        is rejected with ``stale-topology`` and retried by the client
+        with the new one.
+        """
+        old_links = self._links
+        self._specs = list(specs)
+        self._boundaries = list(boundaries)
+        self._links = [
+            _ShardLink(spec, self.metrics, self._connect_timeout)
+            for spec in self._specs
+        ]
+        self._epoch += 1
+        for link in old_links:
+            await link.close()
+        return self._epoch
+
+    # -- routing -------------------------------------------------------------
+
+    def _z(self, key: Sequence[Any]) -> int:
+        codes = self._codec.encode(key)
+        return interleave(codes, self._widths)
+
+    def _link_for_key(self, key: Sequence[Any]) -> _ShardLink:
+        return self._links[shard_for(self._z(key), self._boundaries)]
+
+    def _split_by_shard(
+        self, keys: Sequence[Sequence[Any]]
+    ) -> dict[int, list[int]]:
+        """Input positions grouped by owning shard, preserving order."""
+        groups: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            shard = shard_for(self._z(key), self._boundaries)
+            groups.setdefault(shard, []).append(position)
+        return groups
+
+    async def _gather_by_shard(
+        self, calls: dict[int, Any]
+    ) -> dict[int, Any]:
+        """Run per-shard coroutines concurrently; re-raise the first
+        failure in shard order once every sub-request has settled (so a
+        partial failure never abandons in-flight work mid-gather)."""
+        shards = sorted(calls)
+        results = await asyncio.gather(
+            *(calls[s] for s in shards), return_exceptions=True
+        )
+        outcome = dict(zip(shards, results))
+        for shard in shards:
+            if isinstance(outcome[shard], BaseException):
+                raise outcome[shard]
+        return outcome
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def dispatch(
+        self, opcode: Opcode, payload: Any, epoch: int = 0
+    ) -> Any:
+        """Route one admitted request; returns the reply payload."""
+        if opcode == Opcode.PING:
+            return {
+                "pong": True,
+                "version": PROTOCOL_VERSION,
+                "versions": list(SUPPORTED_VERSIONS),
+                "role": "router",
+                "shards": len(self._links),
+            }
+        if opcode == Opcode.TOPOLOGY:
+            return self._topology()
+        if opcode == Opcode.ROUTE:
+            return self._route(payload)
+        # Data ops are fenced by the topology epoch: a client that
+        # observed epoch E must not write through a layout E' != E.
+        if epoch and epoch != self._epoch:
+            self.metrics.stale_rejections += 1
+            raise StaleTopologyError(
+                f"request asserted epoch {epoch}, topology is at "
+                f"{self._epoch}",
+                epoch=self._epoch,
+            )
+        if opcode in (Opcode.INSERT, Opcode.SEARCH, Opcode.DELETE):
+            key = key_field(payload)
+            self.metrics.point_ops_routed += 1
+            return await self._link_for_key(key).request(opcode, payload)
+        if opcode == Opcode.INSERT_MANY:
+            return await self._insert_many(payload)
+        if opcode in (Opcode.SEARCH_MANY, Opcode.DELETE_MANY):
+            return await self._keyed_many(opcode, payload)
+        if opcode == Opcode.RANGE:
+            return await self._range(payload)
+        if opcode == Opcode.STATS:
+            return await self._stats()
+        raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
+
+    def _topology(self) -> dict[str, Any]:
+        return {
+            "role": "router",
+            "epoch": self._epoch,
+            "boundaries": list(self._boundaries),
+            "shards": [spec.as_payload() for spec in self._specs],
+        }
+
+    def _route(self, payload: Any) -> dict[str, Any]:
+        key = key_field(payload)
+        try:
+            z = self._z(key)
+        except Exception as exc:
+            raise ProtocolError(
+                f"unroutable key {key!r}: {exc}", code="bad-key"
+            ) from None
+        shard = shard_for(z, self._boundaries)
+        spec = self._specs[shard]
+        return {
+            "epoch": self._epoch,
+            "shard": shard,
+            "z": z,
+            "host": spec.host,
+            "port": spec.port,
+        }
+
+    async def _insert_many(self, payload: Any) -> Any:
+        pairs = field(payload, "pairs", list)
+        for pair in pairs:
+            if not isinstance(pair, list) or len(pair) != 2:
+                raise ProtocolError(
+                    "pairs must be [[key, value], ...]", code="bad-payload"
+                )
+        groups = self._split_by_shard([pair[0] for pair in pairs])
+        self.metrics.batches_split += 1
+        outcome = await self._gather_by_shard(
+            {
+                shard: self._links[shard].request(
+                    Opcode.INSERT_MANY,
+                    {"pairs": [pairs[i] for i in positions]},
+                )
+                for shard, positions in groups.items()
+            }
+        )
+        inserted = 0
+        for reply in outcome.values():
+            inserted += field(reply, "inserted", int)
+        return {"inserted": inserted}
+
+    async def _keyed_many(self, opcode: Opcode, payload: Any) -> Any:
+        keys = field(payload, "keys", list)
+        for key in keys:
+            if not isinstance(key, list):
+                raise ProtocolError(
+                    "keys must be [key, ...]", code="bad-payload"
+                )
+        groups = self._split_by_shard(keys)
+        self.metrics.batches_split += 1
+        outcome = await self._gather_by_shard(
+            {
+                shard: self._links[shard].request(
+                    opcode, {"keys": [keys[i] for i in positions]}
+                )
+                for shard, positions in groups.items()
+            }
+        )
+        values: list[Any] = [None] * len(keys)
+        for shard, positions in groups.items():
+            shard_values = field(outcome[shard], "values", list)
+            if len(shard_values) != len(positions):
+                raise ProtocolError(
+                    f"shard {shard} returned {len(shard_values)} values "
+                    f"for {len(positions)} keys",
+                    code="bad-payload",
+                )
+            for position, value in zip(positions, shard_values):
+                values[position] = value
+        return {"values": values}
+
+    async def _range(self, payload: Any) -> Any:
+        lows = field(payload, "lows", list)
+        highs = field(payload, "highs", list)
+        try:
+            z_low = self._z(lows)
+            z_high = self._z(highs)
+        except Exception as exc:
+            raise ProtocolError(
+                f"unroutable range bounds: {exc}", code="bad-key"
+            ) from None
+        targets = [
+            spec.shard
+            for spec in self._specs
+            if spec.z_low <= z_high and z_low <= spec.z_high
+        ]
+        self.metrics.scatter_queries += 1
+        self.metrics.scatter_fanout += len(targets)
+        outcome = await self._gather_by_shard(
+            {
+                shard: self._links[shard].request(Opcode.RANGE, payload)
+                for shard in targets
+            }
+        )
+        # Order-preserving merge: per-shard items sorted by z, shards
+        # visited in ascending z-range order — the concatenation is the
+        # global z order because shard ranges are contiguous + disjoint.
+        items: list[Any] = []
+        for shard in sorted(targets):
+            shard_items = field(outcome[shard], "items", list)
+            try:
+                shard_items.sort(key=lambda item: self._z(item[0]))
+            except (TypeError, IndexError) as exc:
+                raise ProtocolError(
+                    f"shard {shard} returned malformed range items: {exc}",
+                    code="bad-payload",
+                ) from None
+            items.extend(shard_items)
+        return {"items": items, "count": len(items)}
+
+    async def _stats(self) -> Any:
+        outcome = await asyncio.gather(
+            *(link.request(Opcode.STATS) for link in self._links),
+            return_exceptions=True,
+        )
+        shards: list[Any] = []
+        keys = 0
+        scheme = None
+        dims = None
+        load_sum, load_count = 0.0, 0
+        for spec, reply in zip(self._specs, outcome):
+            if isinstance(reply, BaseException):
+                shards.append(
+                    {"shard": spec.shard, "error": str(reply)}
+                )
+                continue
+            if not isinstance(reply, dict):
+                shards.append(
+                    {"shard": spec.shard, "error": "malformed stats"}
+                )
+                continue
+            entry = {"shard": spec.shard, **reply}
+            shards.append(entry)
+            keys += int(reply.get("keys", 0))
+            scheme = scheme or reply.get("scheme")
+            dims = dims if dims is not None else reply.get("dims")
+            if isinstance(reply.get("load_factor"), (int, float)):
+                load_sum += float(reply["load_factor"])
+                load_count += 1
+        return {
+            "role": "router",
+            "epoch": self._epoch,
+            "scheme": scheme or "unknown",
+            "dims": dims if dims is not None else self._codec.dimensions,
+            "widths": list(self._widths),
+            "keys": keys,
+            "load_factor": load_sum / load_count if load_count else 0.0,
+            "boundaries": list(self._boundaries),
+            "shards": shards,
+            "server": self.metrics.snapshot(),
+            "admission": {
+                "inflight": self.admission.inflight,
+                "max_inflight": self.admission.max_inflight,
+                "per_session": self.admission.per_session,
+                "underflows": self.admission.underflows,
+            },
+        }

@@ -32,7 +32,9 @@ plain store flush.
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
@@ -48,6 +50,7 @@ from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     MUTATION_OPCODES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     Opcode,
     field,
     key_field,
@@ -117,6 +120,12 @@ class QueryServer:
     @property
     def aggregator(self) -> WriteAggregator:
         return self._aggregator
+
+    @property
+    def epoch(self) -> int:
+        """A plain server has no shard topology: always epoch 0, which
+        v2 clients read as "nothing to assert"."""
+        return 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -191,12 +200,28 @@ class QueryServer:
 
     # -- dispatch ------------------------------------------------------------
 
-    async def dispatch(self, opcode: Opcode, payload: Any) -> Any:
-        """Execute one admitted request; returns the reply payload."""
+    async def dispatch(
+        self, opcode: Opcode, payload: Any, epoch: int = 0
+    ) -> Any:
+        """Execute one admitted request; returns the reply payload.
+
+        ``epoch`` is the client's asserted topology epoch — meaningful
+        only behind a router; a plain server accepts any value.
+        """
         if opcode in MUTATION_OPCODES:
             return await self._aggregator.submit(opcode, payload)
         if opcode == Opcode.PING:
-            return {"pong": True, "version": PROTOCOL_VERSION}
+            return {
+                "pong": True,
+                "version": PROTOCOL_VERSION,
+                "versions": list(SUPPORTED_VERSIONS),
+                "role": "server",
+            }
+        if opcode == Opcode.TOPOLOGY:
+            return await self._run_read(self._topology, latched=False)
+        if opcode == Opcode.ROUTE:
+            key_field(payload)  # validate shape even though unrouted
+            return {"epoch": 0, "shard": 0, "role": "server"}
         if opcode == Opcode.SEARCH:
             key = key_field(payload)
             return await self._run_read(
@@ -272,6 +297,30 @@ class QueryServer:
             scan, latched=not (parallelism and parallelism > 1)
         )
 
+    def _topology(self) -> dict[str, Any]:
+        """The degenerate one-shard topology: a plain server owns the
+        whole z keyspace, so routing clients can treat it uniformly."""
+        index = self._file.index
+        z_high = (1 << sum(index.widths)) - 1
+        shard: dict[str, Any] = {
+            "shard": 0,
+            "z_low": 0,
+            "z_high": z_high,
+            "keys": len(index),
+        }
+        try:
+            host, port = self.address
+        except ProtocolError:
+            pass
+        else:
+            shard["host"], shard["port"] = host, port
+        return {
+            "role": "server",
+            "epoch": 0,
+            "boundaries": [],
+            "shards": [shard],
+        }
+
     def _stats(self) -> dict[str, Any]:
         index = self._file.index
         store = self._file.store
@@ -291,6 +340,18 @@ class QueryServer:
                 "backend_writes": store.backend_stats.writes,
             },
             "server": self.metrics.snapshot(),
+            "admission": {
+                "inflight": self.admission.inflight,
+                "max_inflight": self.admission.max_inflight,
+                "per_session": self.admission.per_session,
+                "underflows": self.admission.underflows,
+            },
+            # The sharded bench's critical-path metric: CPU consumed by
+            # this server's process, attributable per shard worker.
+            "process": {
+                "pid": os.getpid(),
+                "cpu_seconds": time.process_time(),
+            },
         }
         backend = store.backend
         if isinstance(backend, WALBackend):

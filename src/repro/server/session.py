@@ -14,19 +14,51 @@ fuzz suite's contract:
 * nothing a client sends can crash the server or leak a latch: request
   handlers release admission slots and latches in ``finally`` blocks,
   and every exception is mapped to a wire code.
+
+Sessions are shared between :class:`~repro.server.server.QueryServer`
+and :class:`~repro.server.router.ShardRouter` — anything satisfying the
+:class:`ServesSessions` protocol.  Replies are framed in the version the
+request arrived in; v2 replies carry the server's current topology
+epoch, which is how a router pushes topology changes to its clients for
+free.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import TYPE_CHECKING, Any
+from typing import Any, Protocol
 
 from repro.errors import ProtocolError
 from repro.server import protocol
+from repro.server.admission import AdmissionController
+from repro.server.metrics import ServerMetrics
 from repro.server.protocol import Opcode
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.server.server import QueryServer
+
+class ServesSessions(Protocol):
+    """The surface a :class:`Session` needs from its server.
+
+    Satisfied by :class:`~repro.server.server.QueryServer` and
+    :class:`~repro.server.router.ShardRouter`.
+    """
+
+    metrics: ServerMetrics
+    admission: AdmissionController
+    draining: bool
+    drain_timeout: float
+
+    @property
+    def epoch(self) -> int:
+        """Current topology epoch, stamped into every v2 reply."""
+        ...
+
+    async def dispatch(
+        self, opcode: Opcode, payload: Any, epoch: int = 0
+    ) -> Any:
+        ...
+
+    def _session_done(self, session: "Session") -> None:
+        ...
 
 
 class Session:
@@ -36,7 +68,7 @@ class Session:
 
     def __init__(
         self,
-        server: "QueryServer",
+        server: ServesSessions,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -63,9 +95,19 @@ class Session:
             except (ConnectionError, OSError):
                 self.closed = True
 
-    async def _send_error(self, request_id: int, code: str, message: str) -> None:
+    async def _send_error(
+        self, request_id: int, code: str, message: str, version: int = 1
+    ) -> None:
         self._server.metrics.replies_err += 1
-        await self._send(protocol.encode_error(request_id, code, message))
+        await self._send(
+            protocol.encode_error(
+                request_id,
+                code,
+                message,
+                version=version,
+                epoch=self._server.epoch,
+            )
+        )
 
     # -- inbound -------------------------------------------------------------
 
@@ -91,32 +133,39 @@ class Session:
     async def _dispatch_frame(self, body: bytes) -> None:
         metrics = self._server.metrics
         try:
-            opcode, request_id, payload = protocol.decode_body(body)
+            frame = protocol.decode_frame(body)
         except ProtocolError as exc:
             # The frame was delimited correctly — the stream is intact,
             # reply and keep serving.
             metrics.protocol_errors += 1
             await self._send_error(0, exc.code, str(exc))
             return
+        version, request_id = frame.version, frame.request_id
         try:
-            opcode = Opcode(opcode)
+            opcode = Opcode(frame.opcode)
         except ValueError:
             metrics.protocol_errors += 1
             await self._send_error(
-                request_id, "bad-opcode", f"unknown opcode {opcode}"
+                request_id,
+                "bad-opcode",
+                f"unknown opcode {frame.opcode}",
+                version,
             )
             return
         if opcode in (Opcode.REPLY_OK, Opcode.REPLY_ERR):
             metrics.protocol_errors += 1
             await self._send_error(
-                request_id, "bad-opcode", "reply opcodes are server-to-client"
+                request_id,
+                "bad-opcode",
+                "reply opcodes are server-to-client",
+                version,
             )
             return
         metrics.record_request(opcode.name)
         if self._server.draining:
             metrics.drain_rejections += 1
             await self._send_error(
-                request_id, "shutting-down", "server is draining"
+                request_id, "shutting-down", "server is draining", version
             )
             return
         rejection = self._server.admission.try_admit(self.session_id)
@@ -129,36 +178,48 @@ class Session:
                 request_id,
                 rejection,
                 "request rejected by admission control, retry",
+                version,
             )
             return
         task = asyncio.get_running_loop().create_task(
-            self._handle(opcode, request_id, payload)
+            self._handle(opcode, request_id, frame.payload, version, frame.epoch)
         )
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _handle(self, opcode: Opcode, request_id: int, payload: Any) -> None:
+    async def _handle(
+        self,
+        opcode: Opcode,
+        request_id: int,
+        payload: Any,
+        version: int,
+        epoch: int,
+    ) -> None:
         """Execute one admitted request and reply; never raises."""
         metrics = self._server.metrics
         try:
-            result = await self._server.dispatch(opcode, payload)
+            result = await self._server.dispatch(opcode, payload, epoch)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
             code = protocol.error_code(exc)
             if code == "latch-timeout":
                 metrics.latch_timeouts += 1
-            await self._send_error(request_id, code, str(exc))
+            await self._send_error(request_id, code, str(exc), version)
         else:
             try:
                 frame = protocol.encode_frame(
-                    Opcode.REPLY_OK, request_id, result
+                    Opcode.REPLY_OK,
+                    request_id,
+                    result,
+                    version=version,
+                    epoch=self._server.epoch,
                 )
             except Exception as exc:
                 # A codec decoded to something JSON cannot carry; the
                 # request still gets a structured reply.
                 await self._send_error(
-                    request_id, "internal", f"unencodable reply: {exc}"
+                    request_id, "internal", f"unencodable reply: {exc}", version
                 )
             else:
                 metrics.replies_ok += 1

@@ -1,0 +1,450 @@
+"""Range-partitioned shard workers over the z-order keyspace.
+
+The service layer of PR 5 multiplexes every client onto one process,
+so one GIL owns the whole index.  This module is the scale-out step:
+:class:`ShardManager` splits the interleaved (z-order) keyspace into
+``N`` contiguous ranges and runs one full :class:`~repro.server.server.
+QueryServer` — own :class:`~repro.core.facade.MultiKeyFile`, own page
+store, own WAL, own write aggregator — per range, each in its own
+``multiprocessing`` worker.  A :class:`~repro.server.router.ShardRouter`
+in the parent fronts the workers.
+
+**Boundary selection.**  Cuts are picked the way *Building a Balanced
+k-d Tree with MapReduce* picks median cuts: sample the workload's keys,
+interleave them, and place the ``N-1`` cuts at the sample's quantiles
+(:func:`boundaries_from_sample`).  Because a z-prefix is a dyadic box,
+contiguous z-ranges are unions of boxes — every shard owns a
+geometrically meaningful region, and a range query's z-interval
+``[z(lows), z(highs)]`` intersects exactly the shards the router
+scatters to.  With no sample (an empty cluster) the cuts fall back to
+:func:`uniform_boundaries`, which splits the z domain evenly.
+
+**Process model.**  Workers default to the ``fork`` start method
+(sub-second for four workers; override with ``REPRO_SHARD_START=spawn``
+when fork is unavailable).  Each worker reports ``(host, port)`` of its
+ephemeral listener through a pipe before the manager declares the
+cluster up.  ``SIGTERM`` triggers the worker's graceful drain — the
+``QueryServer`` shutdown path flushes the final write window and
+checkpoints the WAL — so a managed ``stop()`` leaves every shard
+recoverable; ``kill()`` (SIGKILL) is the crash path the degradation
+tests use.
+
+Start the manager from synchronous code, before any event loop is
+running in the calling thread: forking under a live loop duplicates its
+internals into the child.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+from bisect import bisect_right
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.bits import interleave
+from repro.errors import ShardDownError
+
+#: Start method when neither the constructor nor the environment says
+#: otherwise.  ``fork`` is an order of magnitude faster to boot than
+#: ``spawn`` and works from any caller; ``spawn`` additionally needs an
+#: importable ``__main__``.
+_START_ENV = "REPRO_SHARD_START"
+_DEFAULT_START = "fork"
+
+#: The topology sidecar a durable cluster writes into its workdir, so a
+#: restart re-derives the same partition without re-sampling.
+TOPOLOGY_FILE = "topology.json"
+
+
+# -- boundary selection -------------------------------------------------------
+
+
+def uniform_boundaries(shards: int, total_width: int) -> list[int]:
+    """``shards - 1`` evenly spaced cuts over the ``total_width``-bit
+    z domain."""
+    if shards < 1:
+        raise ValueError("shard count must be >= 1")
+    domain = 1 << total_width
+    return [(i * domain) // shards for i in range(1, shards)]
+
+
+def boundaries_from_sample(
+    zs: Sequence[int], shards: int, total_width: int
+) -> list[int]:
+    """Quantile cuts from a sample of z values (median-cut style).
+
+    Sorting the sample and cutting at the ``i/shards`` quantiles gives
+    each shard an equal share of the *sampled* distribution, which is
+    the MapReduce k-d construction's balancing argument transplanted to
+    one dimension (the z axis).  Degenerate samples — too few distinct
+    values to support ``shards - 1`` strictly increasing cuts — fall
+    back to :func:`uniform_boundaries` so the partition is always total.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be >= 1")
+    if shards == 1:
+        return []
+    ordered = sorted(zs)
+    if len(ordered) < shards:
+        return uniform_boundaries(shards, total_width)
+    cuts: list[int] = []
+    for i in range(1, shards):
+        cut = ordered[(i * len(ordered)) // shards]
+        if cuts and cut <= cuts[-1]:
+            return uniform_boundaries(shards, total_width)
+        cuts.append(cut)
+    if cuts and (cuts[0] <= 0 or cuts[-1] >= (1 << total_width)):
+        return uniform_boundaries(shards, total_width)
+    return cuts
+
+
+def shard_for(z: int, boundaries: Sequence[int]) -> int:
+    """The shard owning z value ``z``: shard ``i`` owns
+    ``[boundaries[i-1], boundaries[i])`` (0 and 2^W at the ends)."""
+    return bisect_right(boundaries, z)
+
+
+# -- worker configuration -----------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a shard worker needs, as picklable primitives (the
+    worker rebuilds codec/store/index itself, so ``spawn`` works too)."""
+
+    shard: int
+    dims: int
+    widths: tuple[int, ...]
+    page_capacity: int
+    wal_path: str | None
+    host: str
+    coalesce_window: float
+    max_batch: int
+    #: Generous admission: the router funnels its whole in-flight budget
+    #: through one pipelined session per shard, so the worker's
+    #: per-session limit must dominate the router's global one.
+    max_inflight: int
+    session_pipeline: int
+    read_workers: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One live shard: its z range and its worker's address."""
+
+    shard: int
+    z_low: int
+    z_high: int
+    host: str
+    port: int
+    pid: int
+
+    def as_payload(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _build_file(config: WorkerConfig) -> Any:
+    from repro.core.facade import MultiKeyFile
+    from repro.encoding import KeyCodec, UIntEncoder
+    from repro.storage import PageStore
+    from repro.storage.wal import WALBackend, recover_index
+
+    codec = KeyCodec([UIntEncoder(w) for w in config.widths])
+    if config.wal_path and os.path.exists(config.wal_path):
+        index = recover_index(config.wal_path)
+        if index is not None:
+            return MultiKeyFile.from_index(codec, index)
+    store = None
+    if config.wal_path:
+        store = PageStore(backend=WALBackend(config.wal_path))
+    return MultiKeyFile(
+        codec, page_capacity=config.page_capacity, store=store
+    )
+
+
+async def _serve_shard(config: WorkerConfig, conn: Connection) -> None:
+    from repro.server.server import QueryServer
+
+    server = QueryServer(
+        _build_file(config),
+        host=config.host,
+        port=0,
+        max_inflight=config.max_inflight,
+        session_pipeline=config.session_pipeline,
+        coalesce_window=config.coalesce_window,
+        max_batch=config.max_batch,
+        read_workers=config.read_workers,
+    )
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    async with server:
+        host, port = server.address
+        conn.send(("ready", host, port))
+        conn.close()
+        await stop.wait()
+        # __aexit__ drains sessions, flushes the last write window and
+        # checkpoints the WAL — the graceful half of the shard contract.
+
+
+def _worker_main(config: WorkerConfig, conn: Connection) -> None:
+    """Entry point of one shard worker process."""
+    try:
+        asyncio.run(_serve_shard(config, conn))
+    except Exception as exc:  # pragma: no cover - startup failures only
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+        except (OSError, ValueError):
+            pass
+        raise SystemExit(1)
+
+
+# -- the manager --------------------------------------------------------------
+
+
+class ShardManager:
+    """Spawn, address and stop one worker process per z range.
+
+    The manager is synchronous on purpose: it forks, so it must run
+    before (or outside) any event loop.  The async half of the cluster —
+    connections, routing, scatter-gather — lives in
+    :class:`~repro.server.router.ShardRouter`.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        dims: int = 2,
+        widths: Sequence[int] | int = 16,
+        page_capacity: int = 32,
+        workdir: str | os.PathLike[str] | None = None,
+        boundaries: Sequence[int] | None = None,
+        sample_keys: Sequence[Sequence[int]] | None = None,
+        host: str = "127.0.0.1",
+        coalesce_window: float = 0.002,
+        max_batch: int = 64,
+        worker_max_inflight: int = 256,
+        worker_pipeline: int = 256,
+        read_workers: int = 2,
+        start_method: str | None = None,
+        ready_timeout: float = 30.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shard count must be >= 1")
+        self.shards = shards
+        self.dims = dims
+        if isinstance(widths, int):
+            self.widths: tuple[int, ...] = (widths,) * dims
+        else:
+            self.widths = tuple(widths)
+        if len(self.widths) != dims:
+            raise ValueError("widths arity must match dims")
+        self.total_width = sum(self.widths)
+        self.page_capacity = page_capacity
+        self.workdir = Path(workdir) if workdir is not None else None
+        self._host = host
+        self._coalesce_window = coalesce_window
+        self._max_batch = max_batch
+        self._worker_max_inflight = worker_max_inflight
+        self._worker_pipeline = worker_pipeline
+        self._read_workers = read_workers
+        self._start_method = (
+            start_method
+            or os.environ.get(_START_ENV, "").strip()
+            or _DEFAULT_START
+        )
+        self._ready_timeout = ready_timeout
+        self.boundaries = self._resolve_boundaries(boundaries, sample_keys)
+        self._procs: list[Any] = []
+        self.specs: list[ShardSpec] = []
+
+    # -- partition ----------------------------------------------------------
+
+    def _resolve_boundaries(
+        self,
+        explicit: Sequence[int] | None,
+        sample_keys: Sequence[Sequence[int]] | None,
+    ) -> list[int]:
+        """Explicit cuts win, then a persisted topology, then sampled
+        quantiles, then the uniform fallback."""
+        if explicit is not None:
+            cuts = list(explicit)
+            if len(cuts) != self.shards - 1 or cuts != sorted(set(cuts)):
+                raise ValueError(
+                    f"need {self.shards - 1} strictly increasing cuts, "
+                    f"got {cuts}"
+                )
+            return cuts
+        persisted = self._load_topology()
+        if persisted is not None:
+            return persisted
+        if sample_keys:
+            zs = [interleave(tuple(k), self.widths) for k in sample_keys]
+            return boundaries_from_sample(zs, self.shards, self.total_width)
+        return uniform_boundaries(self.shards, self.total_width)
+
+    def _topology_path(self) -> Path | None:
+        if self.workdir is None:
+            return None
+        return self.workdir / TOPOLOGY_FILE
+
+    def _load_topology(self) -> list[int] | None:
+        path = self._topology_path()
+        if path is None or not path.exists():
+            return None
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            data.get("shards") != self.shards
+            or data.get("widths") != list(self.widths)
+        ):
+            raise ValueError(
+                f"{path} records a different cluster shape "
+                f"({data.get('shards')} shards over {data.get('widths')}); "
+                f"refusing to re-partition durable data"
+            )
+        return [int(b) for b in data["boundaries"]]
+
+    def _persist_topology(self) -> None:
+        path = self._topology_path()
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "shards": self.shards,
+                    "dims": self.dims,
+                    "widths": list(self.widths),
+                    "boundaries": self.boundaries,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def z_range(self, shard: int) -> tuple[int, int]:
+        """The inclusive ``[z_low, z_high]`` range shard ``shard`` owns."""
+        low = self.boundaries[shard - 1] if shard > 0 else 0
+        high = (
+            self.boundaries[shard] - 1
+            if shard < len(self.boundaries)
+            else (1 << self.total_width) - 1
+        )
+        return low, high
+
+    def shard_for_key(self, key: Sequence[int]) -> int:
+        return shard_for(interleave(tuple(key), self.widths), self.boundaries)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _worker_config(self, shard: int) -> WorkerConfig:
+        wal_path = None
+        if self.workdir is not None:
+            self.workdir.mkdir(parents=True, exist_ok=True)
+            wal_path = str(self.workdir / f"shard-{shard:03d}.pages")
+        return WorkerConfig(
+            shard=shard,
+            dims=self.dims,
+            widths=self.widths,
+            page_capacity=self.page_capacity,
+            wal_path=wal_path,
+            host=self._host,
+            coalesce_window=self._coalesce_window,
+            max_batch=self._max_batch,
+            max_inflight=self._worker_max_inflight,
+            session_pipeline=self._worker_pipeline,
+            read_workers=self._read_workers,
+        )
+
+    def start(self) -> list[ShardSpec]:
+        """Fork the workers and wait until every one is listening."""
+        if self._procs:
+            raise RuntimeError("shard workers already started")
+        ctx = multiprocessing.get_context(self._start_method)
+        pipes: list[Connection] = []
+        for shard in range(self.shards):
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self._worker_config(shard), child_conn),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            pipes.append(parent_conn)
+        try:
+            for shard, conn in enumerate(pipes):
+                if not conn.poll(self._ready_timeout):
+                    raise ShardDownError(
+                        f"shard {shard} did not report ready within "
+                        f"{self._ready_timeout:.0f}s",
+                        shard=shard,
+                    )
+                message = conn.recv()
+                if message[0] != "ready":
+                    raise ShardDownError(
+                        f"shard {shard} failed to start: {message[1]}",
+                        shard=shard,
+                    )
+                _, host, port = message
+                low, high = self.z_range(shard)
+                self.specs.append(
+                    ShardSpec(
+                        shard=shard,
+                        z_low=low,
+                        z_high=high,
+                        host=host,
+                        port=port,
+                        pid=self._procs[shard].pid or 0,
+                    )
+                )
+        except BaseException:
+            self.stop(timeout=2.0)
+            raise
+        finally:
+            for conn in pipes:
+                conn.close()
+        self._persist_topology()
+        return self.specs
+
+    def is_alive(self, shard: int) -> bool:
+        return bool(self._procs) and self._procs[shard].is_alive()
+
+    def kill(self, shard: int) -> None:
+        """SIGKILL one worker — the crash path (no drain, no checkpoint)."""
+        proc = self._procs[shard]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM every worker and wait for its graceful drain."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        self.specs = []
+
+    def __enter__(self) -> "ShardManager":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -38,7 +38,7 @@ class TestBenchRun:
         assert ("table2", "BMEHTree", "file") in cells
         assert ("table2", "BMEHTree", "file+pool") in cells
         modes = {r.get("mode", "single") for r in data["results"]}
-        assert modes == {"single", "batched", "rangepar", "served"}
+        assert modes == {"single", "batched", "rangepar", "served", "sharded"}
         for result in data["results"]:
             m = result["metrics"]
             mode = result.get("mode", "single")
@@ -51,6 +51,11 @@ class TestBenchRun:
             elif mode == "served":
                 assert m["served_mismatches"] == 0
                 assert 0 < m["served_commits"] < m["served_writes"]
+            elif mode == "sharded":
+                assert m["sharded_mismatches"] == 0
+                assert m["sharded_commits_per_write_max"] < 1.0
+                assert m["sharded_write_scaling"] >= 2.5
+                assert m["sharded_read_scaling"] >= 2.5
             else:
                 assert m["logical_reads"] > 0 and m["logical_writes"] > 0
                 assert m["sigma"] > 0

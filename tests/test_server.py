@@ -8,6 +8,7 @@ graceful-shutdown durability contract.
 
 import asyncio
 import pathlib
+import random
 import re
 import signal
 import socket
@@ -662,3 +663,207 @@ class TestShutdown:
         codec = KeyCodec([UIntEncoder(w) for w in index.widths])
         reopened = MultiKeyFile.from_index(codec, index)
         assert reopened.search((5, 6)) == 5
+
+
+# ---------------------------------------------------------------------------
+# bugfix regressions: request-id wraparound, admission underflow,
+# malformed-reply validation — the long-lived-cluster-traffic fixes
+
+
+class TestRequestIdWraparound:
+    def test_allocator_wraps_across_the_u32_boundary(self):
+        # Offline unit on the allocator: no connection required.
+        client = QueryClient.__new__(QueryClient)
+        client._pending = {}
+        client._next_id = (1 << 32) - 2
+        assert client._allocate_id() == (1 << 32) - 1
+        # the wire id is u32 and 0 is reserved for server-initiated
+        # errors, so the wrap lands on 1 — not 2^32, not 0
+        assert client._allocate_id() == 1
+        assert client._allocate_id() == 2
+
+    def test_allocator_skips_ids_still_in_flight(self):
+        client = QueryClient.__new__(QueryClient)
+        client._pending = {2: object(), 3: object()}
+        client._next_id = 1
+        assert client._allocate_id() == 4
+
+    def test_allocator_raises_when_every_id_is_pending(self):
+        client = QueryClient.__new__(QueryClient)
+        client._pending = {1: object(), 2: object(), 3: object()}
+        client._next_id = 0
+        # a synthetic full window: the scan must terminate with a
+        # structured error, not loop forever
+        import repro.server.client as client_mod
+
+        real_space = client_mod._ID_SPACE
+        client_mod._ID_SPACE = 4
+        try:
+            with pytest.raises(ProtocolError):
+                client._allocate_id()
+        finally:
+            client_mod._ID_SPACE = real_space
+
+    def test_live_connection_survives_the_wrap(self, tmp_path):
+        # Regression: pre-fix the counter grew past 2^32 and the next
+        # encode blew up, killing the connection mid-traffic.
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    client._next_id = (1 << 32) - 3
+                    for i in range(8):
+                        await client.insert((i, i), i)
+                    assert 0 < client._next_id < (1 << 32)
+                    got = await asyncio.gather(
+                        *(client.search((i, i)) for i in range(8))
+                    )
+                    assert got == list(range(8))
+
+        run(scenario())
+
+
+class TestAdmissionUnderflow:
+    def test_double_release_clamps_at_zero(self):
+        admission = AdmissionController(max_inflight=4, per_session=2)
+        assert admission.try_admit(1) is None
+        admission.release(1)
+        admission.release(1)  # the double release — must not underflow
+        assert admission.inflight == 0
+        assert admission.underflows == 1
+        # capacity is not corrupted: the full budget is still admittable
+        for session in (1, 2, 3, 4):
+            assert admission.try_admit(session) is None
+        assert admission.try_admit(5) == "busy"
+
+    def test_release_for_a_session_holding_nothing_is_ignored(self):
+        admission = AdmissionController(max_inflight=4, per_session=2)
+        assert admission.try_admit(1) is None
+        # session 2 never admitted anything; its spurious release must
+        # not steal session 1's slot
+        admission.release(2)
+        assert admission.inflight == 1
+        assert admission.underflows == 1
+        admission.release(1)
+        assert admission.inflight == 0
+
+    def test_seeded_interleaving_never_corrupts_the_budget(self):
+        # Reproducer for the production shape: racing session teardowns
+        # firing releases that sometimes lack a matching admit.
+        rng = random.Random(20260807)
+        admission = AdmissionController(max_inflight=8, per_session=4)
+        held = {session: 0 for session in range(4)}
+        for _ in range(5000):
+            session = rng.randrange(4)
+            if rng.random() < 0.48:
+                if admission.try_admit(session) is None:
+                    held[session] += 1
+            else:
+                admission.release(session)
+                if held[session] > 0:
+                    held[session] -= 1
+        # the controller's ledger must track the true holdings exactly —
+        # pre-fix, spurious releases drove inflight negative and the
+        # "full" gate never fired again
+        assert admission.inflight == sum(held.values())
+        assert 0 <= admission.inflight <= 8
+        assert admission.underflows > 0
+
+    def test_sanitized_runs_raise_on_underflow(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        from repro.errors import InvariantViolation
+
+        admission = AdmissionController(max_inflight=2, per_session=2)
+        assert admission.try_admit(1) is None
+        admission.release(1)
+        with pytest.raises(InvariantViolation):
+            admission.release(1)
+
+
+async def _canned_reply_server(replies):
+    """A fake peer answering every request with the next canned
+    ``REPLY_OK`` payload, malformed or not."""
+    from repro.server.protocol import read_frame
+    from repro.server import decode_frame
+
+    queue = list(replies)
+
+    async def handle(reader, writer):
+        try:
+            while queue:
+                body = await read_frame(reader)
+                if body is None:
+                    return
+                frame = decode_frame(body)
+                writer.write(
+                    encode_frame(
+                        Opcode.REPLY_OK, frame.request_id, queue.pop(0)
+                    )
+                )
+                await writer.drain()
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, host, port
+
+
+class TestMalformedReplyValidation:
+    # (call on the client, canned REPLY_OK payload the peer returns)
+    CASES = [
+        (lambda c: c.search((1, 1)), {"nothing": True}),       # no "value"
+        (lambda c: c.delete((1, 1)), []),                      # not an object
+        (lambda c: c.insert_many([((1, 1), "x")]),
+         {"inserted": "lots"}),                                # wrong type
+        (lambda c: c.search_many([(1, 1)]), {"values": 7}),    # not a list
+        (lambda c: c.delete_many([(1, 1)]), {"values": None}),
+        (lambda c: c.range_search((0, 0), (1, 1)),
+         {"items": [["unpaired"]]}),                           # bad items
+        (lambda c: c.range_search((0, 0), (1, 1)), {"items": 3}),
+        (lambda c: c.stats(), ["not", "an", "object"]),
+        (lambda c: c.ping(), 7),
+    ]
+
+    def test_malformed_ok_replies_raise_structured_errors(self):
+        # Regression: pre-fix these surfaced as raw TypeError/KeyError
+        # from payload indexing, tearing down the caller's pipeline.
+        async def scenario():
+            for call, payload in self.CASES:
+                server, host, port = await _canned_reply_server([payload])
+                try:
+                    async with await QueryClient.connect(
+                        host, port
+                    ) as client:
+                        with pytest.raises(ProtocolError) as caught:
+                            await call(client)
+                        assert caught.value.code in (
+                            "bad-payload",
+                            "bad-frame",
+                        ), payload
+                finally:
+                    server.close()
+                    await server.wait_closed()
+
+        run(scenario())
+
+    def test_well_formed_replies_still_pass(self):
+        async def scenario():
+            server, host, port = await _canned_reply_server(
+                [{"value": "v"}, {"values": [1]}, {"items": [[[3, 4], "r"]]}]
+            )
+            try:
+                async with await QueryClient.connect(host, port) as client:
+                    assert await client.search((1, 1)) == "v"
+                    assert await client.search_many([(1, 1)]) == [1]
+                    assert await client.range_search((0, 0), (9, 9)) == [
+                        ((3, 4), "r")
+                    ]
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
