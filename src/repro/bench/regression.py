@@ -58,11 +58,15 @@ from repro.bench.sharded import (
     run_sharded_cell,
     sharded_scaling_failures,
 )
+from repro.bench.migration import (
+    migration_loss_failures,
+    run_migration_cell,
+)
 from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
 BACKENDS = ("memory", "file", "file+pool", "file+wal")
-MODES = ("single", "batched", "rangepar", "served", "sharded")
+MODES = ("single", "batched", "rangepar", "served", "sharded", "migration")
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -96,6 +100,10 @@ _WORSE_IF_HIGHER = (
     # ratio are scheduling-dependent, so they are never diff-gated — the
     # absolute floors in ``sharded_scaling_failures`` gate them instead)
     "sharded_mismatches",
+    # migration cells (the loss count has its own absolute zero gate in
+    # ``migration_loss_failures``; diffing it as well costs nothing)
+    "migration_loss",
+    "migration_write_failures",
 )
 #: Gated metrics where a *smaller* current value is a regression.
 _WORSE_IF_LOWER = ("alpha", "hit_rate", "read_saving", "rangepar_records")
@@ -159,6 +167,9 @@ DEFAULT_CELLS = (
     # cluster burns >= 2.5x less CPU than the single shard, with every
     # shard's group commit still coalescing.
     BenchCell("table2", "BMEHTree", backend="file+wal", mode="sharded"),
+    # The rebalance layer's gated claim: an online split + merge under
+    # live concurrent writers loses zero acked writes.
+    BenchCell("table2", "BMEHTree", backend="file+wal", mode="migration"),
 )
 
 
@@ -251,6 +262,14 @@ def run_cell(
                 )
             if cell.mode == "sharded":
                 return run_sharded_cell(
+                    cell,
+                    experiment,
+                    make_workdir,
+                    n,
+                    concurrency=parallelism or DEFAULT_CONCURRENCY,
+                )
+            if cell.mode == "migration":
+                return run_migration_cell(
                     cell,
                     experiment,
                     make_workdir,
@@ -545,6 +564,7 @@ def compare_with_baseline(
     failures.extend(parallel_consistency_failures(current_results))
     failures.extend(served_coalescing_failures(current_results))
     failures.extend(sharded_scaling_failures(current_results))
+    failures.extend(migration_loss_failures(current_results))
     return failures, current_results
 
 
@@ -555,6 +575,7 @@ def format_results(results: Sequence[Mapping]) -> str:
     rangepar = [r for r in results if r.get("mode") == "rangepar"]
     served = [r for r in results if r.get("mode") == "served"]
     sharded = [r for r in results if r.get("mode") == "sharded"]
+    migration = [r for r in results if r.get("mode") == "migration"]
     sections: list[str] = []
     if singles:
         header = (
@@ -680,6 +701,30 @@ def format_results(results: Sequence[Mapping]) -> str:
                 f"{m['sharded_base_write_ops_per_s']:>7.0f}→"
                 f"{m['sharded_scaled_write_ops_per_s']:<7.0f}"
                 f"{'yes' if not m['sharded_mismatches'] else 'NO':>7}"
+            )
+        sections.append("\n".join(lines))
+    if migration:
+        header = (
+            f"{'migration cell':<44}{'writes':>8}{'moved':>8}{'loss':>6}"
+            f"{'stale→retry':>13}{'split/merge s':>15}{'epochs':>8}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in migration:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/c={result['parallelism']}"
+            )
+            lines.append(
+                f"{label:<44}"
+                f"{m['migration_writes']:>8d}"
+                f"{m['migration_moved_keys']:>8d}"
+                f"{m['migration_loss']:>6d}"
+                f"{m['migration_stale_retries']:>13d}"
+                f"{m['migration_split_seconds']:>7.3f}/"
+                f"{m['migration_merge_seconds']:<7.3f}"
+                f"{m['migration_epoch_bumps']:>8d}"
             )
         sections.append("\n".join(lines))
     return "\n\n".join(sections)

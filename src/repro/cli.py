@@ -32,6 +32,12 @@ Commands:
   its shape;
 * ``topology [--host H] --port P`` — print a served endpoint's shard
   topology (epoch, z-range cuts, worker addresses);
+* ``rebalance [--host H] --port P [split|merge|status] [--shard S]
+  [--cut Z]`` — drive an online shard split or merge against a running
+  sharded cluster (zero acked-write loss; see ``repro.server.migrate``)
+  or print the rebalance status.  ``serve --shards N --workdir DIR
+  --auto-split-keys K [--max-shards M]`` does the same automatically
+  whenever a shard outgrows ``K`` keys;
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``analyze [paths...] [--graph PATH]`` — the dataflow static analyzer:
@@ -173,6 +179,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.bench.served import served_coalescing_failures
     from repro.bench.sharded import sharded_scaling_failures
+    from repro.bench.migration import migration_loss_failures
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
@@ -254,6 +261,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures.extend(parallel_consistency_failures(results))
     failures.extend(served_coalescing_failures(results))
     failures.extend(sharded_scaling_failures(results))
+    failures.extend(migration_loss_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
@@ -363,6 +371,8 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             port=args.port,
             max_inflight=args.max_inflight,
             session_pipeline=args.pipeline,
+            auto_split_keys=args.auto_split_keys,
+            max_shards=args.max_shards,
         )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -420,6 +430,52 @@ def _cmd_topology(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except (ConnectionError, OSError) as exc:
         print(f"topology failed: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import QueryClient
+
+    async def run() -> int:
+        async with await QueryClient.connect(
+            args.host, args.port, negotiate=True
+        ) as client:
+            fields: dict = {}
+            if args.shard is not None:
+                fields["shard"] = args.shard
+            if args.cut is not None:
+                fields["cut"] = args.cut
+            reply = await client.migrate(args.action, **fields)
+        if args.action == "status":
+            state = "migrating" if reply.get("migrating") else "idle"
+            print(
+                f"epoch {reply.get('epoch', 0)}, "
+                f"{reply.get('shards', 0)} shard(s), {state}, "
+                f"{reply.get('migrations', 0)} migration(s) completed"
+            )
+            return 0
+        what = reply.get("action", args.action)
+        where = f"shard {reply.get('shard')}"
+        if what == "split":
+            where += f" at z = {reply.get('cut', 0):#x}"
+        else:
+            where += f" into shard {reply.get('absorber')}"
+        print(
+            f"{what} {where}: moved {reply.get('moved', 0)} key(s) in "
+            f"{reply.get('delta_rounds', 0)} delta round(s); now "
+            f"{reply.get('shards', 0)} shard(s) at epoch "
+            f"{reply.get('epoch', 0)}"
+        )
+        return 0
+
+    from repro.errors import ReproError
+
+    try:
+        return asyncio.run(run())
+    except (ConnectionError, OSError, ReproError) as exc:
+        print(f"rebalance failed: {exc}", file=sys.stderr)
         return 1
 
 
@@ -644,7 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--schemes", nargs="+", default=None)
     bench.add_argument("--modes", nargs="+", default=None,
                        choices=["single", "batched", "rangepar", "served",
-                                "sharded"],
+                                "sharded", "migration"],
                        help="measurement protocols for ad-hoc cells")
     bench.add_argument("--batch-size", type=int, default=None,
                        help="keys per measured batch in batched cells "
@@ -710,6 +766,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workdir", default=None, metavar="DIR",
                        help="durable cluster directory: per-shard WALs plus "
                             "the persisted partition (sharded mode only)")
+    serve.add_argument("--auto-split-keys", type=int, default=None,
+                       metavar="K",
+                       help="split the hottest shard online whenever it "
+                            "holds more than K keys (sharded durable mode "
+                            "only; default: no auto-split)")
+    serve.add_argument("--max-shards", type=int, default=8,
+                       help="auto-split ceiling (default 8)")
     serve.set_defaults(handler=_cmd_serve)
 
     ping = commands.add_parser(
@@ -725,6 +788,23 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--host", default="127.0.0.1")
     topology.add_argument("--port", type=int, required=True)
     topology.set_defaults(handler=_cmd_topology)
+
+    rebalance = commands.add_parser(
+        "rebalance",
+        help="online shard split/merge against a running cluster",
+    )
+    rebalance.add_argument("action", nargs="?", default="status",
+                           choices=["split", "merge", "status"],
+                           help="what to do (default: status)")
+    rebalance.add_argument("--host", default="127.0.0.1")
+    rebalance.add_argument("--port", type=int, required=True)
+    rebalance.add_argument("--shard", type=int, default=None,
+                           help="source shard (default: the hottest for "
+                                "split, the coldest for merge)")
+    rebalance.add_argument("--cut", type=int, default=None,
+                           help="split point in z space (default: the "
+                                "sampled median of the source shard)")
+    rebalance.set_defaults(handler=_cmd_rebalance)
 
     lint = commands.add_parser(
         "lint", help="repo-specific static checks (exit 1 on findings)"

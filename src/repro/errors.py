@@ -107,6 +107,21 @@ class StaleTopologyError(ReproError):
         super().__init__(message)
 
 
+class MigrationError(ReproError):
+    """An online shard split/merge could not be completed.
+
+    Carries ``code = "migration-failed"``.  Raised by the
+    :class:`~repro.server.migrate.ShardMigrator` when a rebalance step
+    fails *before* its commit point (the atomic topology replace): the
+    cluster is left exactly as it was — the target worker is killed, the
+    tap released, and no epoch is bumped — so the caller may simply
+    retry.  A failure after the commit point never raises this; the
+    new topology is live and only cleanup (orphan eviction) remains.
+    """
+
+    code = "migration-failed"
+
+
 class CrashError(StorageError):
     """A simulated power failure raised by the fault-injection harness.
 

@@ -48,9 +48,12 @@ __all__ = ["LintIssue", "lint_paths", "lint_source", "repo_source_root"]
 #: and the WAL wrapper that interposes between the store and the page file.
 BACKEND_ALLOWED = ("storage/disk.py", "storage/wal.py")
 
-#: The one service-layer file allowed to mutate an index: the write
-#: aggregator, where concurrent mutations coalesce into group commits.
-SERVER_MUTATION_ALLOWED = ("server/aggregator.py",)
+#: Service-layer files allowed to issue index mutations: the write
+#: aggregator, where concurrent mutations coalesce into group commits,
+#: and the shard migrator, which mutates no in-process index — its
+#: ``insert``/``delete`` calls are :class:`QueryClient` wire requests
+#: that the *receiving* worker routes through its own aggregator.
+SERVER_MUTATION_ALLOWED = ("server/aggregator.py", "server/migrate.py")
 
 _BACKEND_METHODS = frozenset({"load", "store", "discard"})
 _INDEX_MUTATORS = frozenset(

@@ -24,7 +24,10 @@ if concurrent requests can reach it.  This subpackage is that reach:
 * :mod:`repro.server.shard` — :class:`ShardManager`, range-partitioning
   the z-order keyspace into per-process shard workers;
 * :mod:`repro.server.router` — :class:`ShardRouter`, the protocol-v2
-  scatter-gather front end over the shard workers.
+  scatter-gather front end over the shard workers;
+* :mod:`repro.server.migrate` — :class:`ShardMigrator`, online shard
+  split/merge under live traffic (committed-window tailing, fenced
+  digest-verified cutover, zero acked-write loss).
 """
 
 from repro.server.admission import AdmissionController, ReadWriteGate
@@ -44,6 +47,7 @@ from repro.server.protocol import (
     negotiated_version,
     read_frame,
 )
+from repro.server.migrate import ShardMigrator
 from repro.server.router import RouterMetrics, ShardRouter
 from repro.server.server import QueryServer
 from repro.server.shard import (
@@ -76,6 +80,7 @@ __all__ = [
     "read_frame",
     "QueryServer",
     "ShardManager",
+    "ShardMigrator",
     "ShardSpec",
     "ShardRouter",
     "boundaries_from_sample",

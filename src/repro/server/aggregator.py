@@ -85,18 +85,24 @@ DEFAULT_MAX_BATCH = 64
 class _Op:
     """One pending mutation: a bound apply thunk plus its future."""
 
-    __slots__ = ("apply", "single", "future", "outcome")
+    __slots__ = ("apply", "single", "future", "outcome", "ops")
 
     def __init__(
         self,
         apply: Callable[[], Any],
         single: bool,
         future: "asyncio.Future[Any]",
+        ops: list[tuple[str, Any, Any]],
     ) -> None:
         self.apply = apply
         self.single = single
         self.future = future
         self.outcome: tuple[str, Any] | None = None
+        #: Key-level description of the mutation — ``("put", key, value)``
+        #: / ``("del", key, None)`` tuples in application order — so a
+        #: committed-window observer (migration tailing) can replay it
+        #: without re-parsing the payload.
+        self.ops = ops
 
 
 class WriteAggregator:
@@ -126,6 +132,54 @@ class WriteAggregator:
         self._queue: "asyncio.Queue[_Op | None]" = asyncio.Queue()
         self._drain_task: asyncio.Task | None = None
         self._stopping = False
+        #: Committed-window observers: ``fn(committed_ops, tainted)``
+        #: called on the event loop after a window's group commit
+        #: succeeds and *before* any of its futures resolve — whatever a
+        #: client has been acked, an observer has been shown first.
+        #: ``tainted`` flags a window whose committed key set may exceed
+        #: the published ops (a ``_many`` op failed after applying a
+        #: prefix); migration treats a tainted tap as "re-verify by
+        #: digest, do not trust the delta stream alone".
+        self._observers: list[Callable[[list[tuple[str, Any, Any]], bool], None]] = []
+
+    # -- committed-window observation (event loop side) ---------------------
+
+    def add_observer(
+        self, fn: Callable[[list[tuple[str, Any, Any]], bool], None]
+    ) -> None:
+        """Register a committed-window observer (see ``_observers``)."""
+        self._observers.append(fn)
+
+    def remove_observer(
+        self, fn: Callable[[list[tuple[str, Any, Any]], bool], None]
+    ) -> None:
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
+    def _publish_window(self, batch: list[_Op]) -> None:
+        """Show a committed window to observers before acking it.
+
+        Only ops whose outcome is ``ok`` are published — a key-level
+        failure applied nothing.  An errored ``_many`` op *may* have
+        applied a z-order prefix (the batch executors' partial-failure
+        contract), and a structurally-failed single op may have mutated
+        before raising; both taint the stream rather than guess.
+        """
+        if not self._observers:
+            return
+        committed: list[tuple[str, Any, Any]] = []
+        tainted = False
+        for op in batch:
+            status, result = op.outcome or ("err", None)
+            if status == "ok":
+                committed.extend(op.ops)
+            elif not op.single or not isinstance(result, _KEY_LEVEL_ERRORS):
+                tainted = True
+        if committed or tainted:
+            for observer in list(self._observers):
+                observer(committed, tainted)
 
     # -- submission (event loop side) ---------------------------------------
 
@@ -177,6 +231,7 @@ class WriteAggregator:
     def _parse(self, opcode: int, payload: Any) -> _Op:
         """Validate the payload and bind the apply thunk."""
         file = self._file
+        ops: list[tuple[str, Any, Any]]
         if opcode == Opcode.INSERT:
             key = protocol.key_field(payload)
             value = payload.get("value") if isinstance(payload, dict) else None
@@ -186,6 +241,7 @@ class WriteAggregator:
                 return {"ok": True}
 
             single = True
+            ops = [("put", key, value)]
         elif opcode == Opcode.DELETE:
             key = protocol.key_field(payload)
 
@@ -193,6 +249,7 @@ class WriteAggregator:
                 return {"value": file.delete(key)}
 
             single = True
+            ops = [("del", key, None)]
         elif opcode == Opcode.INSERT_MANY:
             pairs = protocol.field(payload, "pairs", list)
             for pair in pairs:
@@ -209,6 +266,7 @@ class WriteAggregator:
                 )}
 
             single = False
+            ops = [("put", key, value) for key, value in pairs]
         elif opcode == Opcode.DELETE_MANY:
             keys = protocol.field(payload, "keys", list)
             for key in keys:
@@ -221,6 +279,7 @@ class WriteAggregator:
                 return {"values": file.delete_many(keys)}
 
             single = False
+            ops = [("del", key, None) for key in keys]
         else:
             raise ProtocolError(
                 f"opcode {opcode} is not a mutation", code="bad-opcode"
@@ -228,7 +287,7 @@ class WriteAggregator:
         future: "asyncio.Future[Any]" = (
             asyncio.get_running_loop().create_future()
         )
-        return _Op(apply, single, future)
+        return _Op(apply, single, future, ops)
 
     # -- the drain loop -------------------------------------------------------
 
@@ -261,6 +320,9 @@ class WriteAggregator:
                 except BaseException as exc:  # commit failure: fail all
                     for op in batch:
                         op.outcome = ("err", exc)
+            # Publish the committed window *before* resolving futures:
+            # an acked write has always been shown to every observer.
+            self._publish_window(batch)
             applied = 0
             for op in batch:
                 status, result = op.outcome or (

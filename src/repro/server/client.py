@@ -387,3 +387,18 @@ class QueryClient:
                 code="bad-payload",
             )
         return reply
+
+    async def migrate(self, action: str, **fields: Any) -> dict:
+        """One MIGRATE admin request (see
+        :meth:`repro.server.router.ShardRouter._migrate_admin` for the
+        router verbs — ``split``/``merge``/``status`` — and
+        :meth:`repro.server.server.QueryServer._migrate` for the worker
+        verbs the migrator drives)."""
+        reply = await self.request(Opcode.MIGRATE, {"action": action, **fields})
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"MIGRATE reply must be an object, "
+                f"got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply

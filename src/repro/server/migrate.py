@@ -1,0 +1,517 @@
+"""Online shard split/merge with zero acked-write loss.
+
+:class:`ShardMigrator` turns the static cluster of PR 7 into an elastic
+one: it moves a contiguous z range between shard workers *under live
+traffic*, using only machinery the cluster already trusts —
+
+1. **Cut selection** — sample the hot shard's z values over the wire
+   (``MIGRATE sample``) and cut at the sampled median, the MapReduce
+   median-cut rule that also places boot-time boundaries; an
+   unsampleable shard falls back to the uniform midpoint.
+2. **Fork** — :meth:`~repro.server.shard.ShardManager.spawn_worker`
+   forks a fresh worker with a fresh stable worker id and an empty WAL,
+   outside the routed topology (in an executor: the ready-pipe wait
+   must not block the router's event loop).
+3. **Stream** — a committed-window *tap* is registered on the source
+   (``MIGRATE begin``), the service-level analogue of tailing the
+   committed WAL for the moving range; every acked write is published
+   to the tap before its client sees the acknowledgement.  A paged
+   snapshot copy (``fetch`` → ``insert_many``) moves the bulk, then
+   bounded ``delta`` rounds drain the tail while writes keep landing.
+4. **Cut over** — under the router's write fence (every in-flight
+   scatter-gather settled, new requests queued) the final delta is
+   drained, both sides are digest-verified (count + CRC over the
+   z-sorted canonical items; mismatch or a tainted tap triggers a
+   full-fetch reconcile), the manager commits the new partition with
+   one atomic ``topology.json`` replace — *the* commit point — and the
+   router installs the new links and epoch in the same fenced step.
+   Stale clients are rejected with ``stale-topology`` on their next
+   data request and retry transparently with the new epoch.
+5. **Clean up** — outside the fence, the moved range is evicted from
+   the source through its aggregator.  Until then the router's range
+   merge filters every item through its shard's *owned* z range, so the
+   orphans are invisible.
+
+A failure anywhere before the commit point aborts cleanly: the target
+worker is killed and its WAL removed, the tap released, no epoch is
+bumped — the cluster is exactly as it was and the split can simply be
+retried (:class:`~repro.errors.MigrationError`).  After the commit
+point, the new topology is authoritative and only cleanup remains; a
+crash there recovers by restart
+(:meth:`~repro.server.shard.ShardManager.from_workdir`), with the
+orphan filter masking any eviction that never ran.
+
+The symmetric :meth:`ShardMigrator.merge` folds a cold shard into its
+neighbour with the same copy/tail/fence/verify pipeline, then retires
+the vacated worker.
+
+**Deviation from WAL shipping.**  A "real" system would stream physical
+WAL records; here the tap replays *logical* committed ops and the
+fenced digest is the correctness anchor — simpler, codec-agnostic, and
+byte-stable across both processes, at the cost of a second pass over
+the moving range.  PR 3's replay rules still apply: delta application
+is idempotent and order-preserving (``put`` over an existing key
+re-applies; ``del`` of a missing key is a no-op), so tap/snapshot
+overlap is harmless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.errors import DuplicateKeyError, KeyNotFoundError, MigrationError
+from repro.server.client import QueryClient
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.router import ShardRouter
+    from repro.server.shard import ShardManager, ShardSpec
+
+#: Records per snapshot-copy page (bounded so a page's JSON reply stays
+#: far under the 1 MiB frame cap).
+FETCH_PAGE = 512
+#: Tap ops drained per delta round.
+DELTA_LIMIT = 2048
+#: Pre-fence delta rounds before fencing regardless of backlog — under
+#: sustained writes the tail never reaches zero, it only has to get
+#: small enough that the fenced drain is quick.
+MAX_DELTA_ROUNDS = 12
+#: A pre-fence round at or below this backlog is "settled": fence now.
+SETTLE_THRESHOLD = 32
+
+
+def _stop_process(proc: Any, timeout: float = 5.0) -> None:
+    """SIGKILL + join (sync; run in an executor from async code)."""
+    try:
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=timeout)
+    except (OSError, ValueError):  # pragma: no cover - already-reaped proc
+        pass
+
+
+class ShardMigrator:
+    """Drive online splits and merges against one router + manager."""
+
+    def __init__(self, router: "ShardRouter", manager: "ShardManager") -> None:
+        self._router = router
+        self._manager = manager
+        #: One migration at a time: splits and merges rewrite the same
+        #: topology and the tap protocol assumes a single driver.
+        self._lock = asyncio.Lock()
+        self.in_progress = False
+        self.completed = 0
+        #: Fault-injection hook for the chaos suite: called with a phase
+        #: label ("spawned", "copied", "fenced", "persisted",
+        #: "installed"); a raising hook simulates a crash there.
+        self.failpoint: Callable[[str], None] | None = None
+
+    def _fail(self, label: str) -> None:
+        if self.failpoint is not None:
+            self.failpoint(label)
+
+    # -- public verbs --------------------------------------------------------
+
+    async def split(
+        self, shard: int | None = None, cut: int | None = None
+    ) -> dict[str, Any]:
+        """Split one shard (the hottest, if unspecified) at ``cut`` (the
+        sampled median, if unspecified).  Returns a summary payload."""
+        async with self._lock:
+            self.in_progress = True
+            try:
+                return await self._split(shard, cut)
+            finally:
+                self.in_progress = False
+
+    async def merge(self, shard: int | None = None) -> dict[str, Any]:
+        """Fold one shard (the coldest, if unspecified) into its
+        neighbour and retire its worker."""
+        async with self._lock:
+            self.in_progress = True
+            try:
+                return await self._merge(shard)
+            finally:
+                self.in_progress = False
+
+    # -- split ---------------------------------------------------------------
+
+    async def _split(
+        self, shard: int | None, cut: int | None
+    ) -> dict[str, Any]:
+        router, manager = self._router, self._manager
+        loop = asyncio.get_running_loop()
+        if shard is None:
+            shard = await self._rank_by_keys(hottest=True)
+        specs: list[ShardSpec] = router._specs
+        if not 0 <= shard < len(specs):
+            raise MigrationError(f"no shard {shard} to split")
+        spec = specs[shard]
+        if spec.z_low >= spec.z_high:
+            raise MigrationError(
+                f"shard {shard}'s z range [{spec.z_low}, {spec.z_high}] "
+                f"is a single value; nothing to split"
+            )
+        src = await QueryClient.connect(spec.host, spec.port)
+        tgt: QueryClient | None = None
+        tap: int | None = None
+        worker: tuple[int, Any, tuple[str, int, int]] | None = None
+        committed = False
+        try:
+            if cut is None:
+                cut = await self._pick_cut(src, spec)
+            if not spec.z_low < cut <= spec.z_high:
+                raise MigrationError(
+                    f"cut {cut} outside shard {shard}'s splittable range "
+                    f"({spec.z_low}, {spec.z_high}]"
+                )
+            # Fork the target outside the topology.  The fork itself is
+            # fast; the ready-pipe wait is the blocking part, so the
+            # whole spawn runs in an executor.
+            worker = await loop.run_in_executor(None, manager.spawn_worker)
+            worker_id, proc, endpoint = worker
+            self._fail("spawned")
+            tgt = await QueryClient.connect(endpoint[0], endpoint[1])
+            # Tap before snapshot: anything committed from here on is
+            # either in a later snapshot page, in the tap, or both —
+            # idempotent delta application resolves the overlap.
+            begin = await src.migrate(
+                "begin", z_low=cut, z_high=spec.z_high
+            )
+            tap = int(begin["tap"])
+            moved = await self._bulk_copy(src, tgt, cut, spec.z_high)
+            self._fail("copied")
+            tainted, rounds = await self._settle(src, tgt, tap)
+            async with router.fence():
+                self._fail("fenced")
+                # The fence guarantees every router-acked write has
+                # been published to the tap; drain it dry.
+                tainted = await self._drain_tap(src, tgt, tap) or tainted
+                await self._ensure_converged(
+                    src, tgt, cut, spec.z_high, tainted
+                )
+                new_epoch = max(router.epoch, manager.epoch) + 1
+                manager.apply_split(
+                    shard,
+                    cut,
+                    worker_id=worker_id,
+                    proc=proc,
+                    endpoint=endpoint,
+                    epoch=new_epoch,
+                )
+                # -- commit point: the topology replace is durable.  The
+                # manager owns the target process now; the abort path
+                # below must not touch it.
+                committed = True
+                worker = None
+                self._fail("persisted")
+                old_links = router.install_topology(
+                    manager.specs, manager.boundaries, epoch=new_epoch
+                )
+                self._fail("installed")
+            for link in old_links:
+                await link.close()
+            evicted = await self._cleanup_source(src, tap, cut, spec.z_high)
+            tap = None
+            self.completed += 1
+            return {
+                "action": "split",
+                "shard": shard,
+                "cut": cut,
+                "epoch": new_epoch,
+                "moved": moved,
+                "evicted": evicted,
+                "delta_rounds": rounds,
+                "shards": len(manager.specs),
+            }
+        finally:
+            if not committed:
+                if tap is not None:
+                    try:
+                        await src.migrate("abort", tap=tap)
+                    except Exception:
+                        pass
+                if worker is not None:
+                    await loop.run_in_executor(
+                        None, _stop_process, worker[1]
+                    )
+                    wal = manager.wal_path(worker[0])
+                    if wal is not None and os.path.exists(wal):
+                        os.unlink(wal)
+            await src.close()
+            if tgt is not None:
+                await tgt.close()
+
+    # -- merge ---------------------------------------------------------------
+
+    async def _merge(self, shard: int | None) -> dict[str, Any]:
+        router, manager = self._router, self._manager
+        loop = asyncio.get_running_loop()
+        specs: list[ShardSpec] = router._specs
+        if len(specs) < 2:
+            raise MigrationError("a single-shard cluster has nothing to merge")
+        if shard is None:
+            shard = await self._rank_by_keys(hottest=False)
+        if not 0 <= shard < len(specs):
+            raise MigrationError(f"no shard {shard} to merge")
+        spec = specs[shard]
+        absorber = specs[shard - 1 if shard > 0 else 1]
+        src = await QueryClient.connect(spec.host, spec.port)
+        dst = await QueryClient.connect(absorber.host, absorber.port)
+        tap: int | None = None
+        committed = False
+        try:
+            begin = await src.migrate(
+                "begin", z_low=spec.z_low, z_high=spec.z_high
+            )
+            tap = int(begin["tap"])
+            moved = await self._bulk_copy(src, dst, spec.z_low, spec.z_high)
+            self._fail("copied")
+            tainted, rounds = await self._settle(src, dst, tap)
+            async with router.fence():
+                self._fail("fenced")
+                tainted = await self._drain_tap(src, dst, tap) or tainted
+                await self._ensure_converged(
+                    src, dst, spec.z_low, spec.z_high, tainted
+                )
+                new_epoch = max(router.epoch, manager.epoch) + 1
+                proc, wal = manager.apply_merge(shard, epoch=new_epoch)
+                committed = True
+                self._fail("persisted")
+                old_links = router.install_topology(
+                    manager.specs, manager.boundaries, epoch=new_epoch
+                )
+                self._fail("installed")
+            for link in old_links:
+                await link.close()
+            # Retire the vacated worker; its WAL is stale data now (the
+            # absorber owns the range), so drop it for a clean restart.
+            try:
+                await src.migrate("end", tap=tap)
+            except Exception:
+                pass
+            tap = None
+            await src.close()
+            await loop.run_in_executor(None, manager.retire, proc)
+            if wal is not None and os.path.exists(wal):
+                os.unlink(wal)
+            self.completed += 1
+            return {
+                "action": "merge",
+                "shard": shard,
+                "absorber": absorber.shard,
+                "epoch": new_epoch,
+                "moved": moved,
+                "delta_rounds": rounds,
+                "shards": len(manager.specs),
+            }
+        finally:
+            if not committed and tap is not None:
+                try:
+                    await src.migrate("abort", tap=tap)
+                except Exception:
+                    pass
+            await src.close()
+            await dst.close()
+
+    # -- shared machinery ----------------------------------------------------
+
+    async def _rank_by_keys(self, hottest: bool) -> int:
+        """The busiest (or idlest) shard by per-shard STATS key count."""
+        stats = await self._router._stats()
+        best, best_keys = None, None
+        for entry in stats["shards"]:
+            if "error" in entry:
+                continue
+            keys = int(entry.get("keys", 0))
+            if (
+                best_keys is None
+                or (hottest and keys > best_keys)
+                or (not hottest and keys < best_keys)
+            ):
+                best, best_keys = int(entry["shard"]), keys
+        if best is None:
+            raise MigrationError(
+                "no shard is reachable; cannot choose a migration source"
+            )
+        return best
+
+    async def _pick_cut(self, src: QueryClient, spec: "ShardSpec") -> int:
+        """Sampled median cut; uniform midpoint when unsampleable."""
+        cut: int | None = None
+        try:
+            reply = await src.migrate(
+                "sample", z_low=spec.z_low, z_high=spec.z_high, limit=1024
+            )
+            zs = reply.get("zs") or []
+        except Exception:
+            zs = []
+        if len(zs) >= 8:
+            cut = int(zs[len(zs) // 2])
+        if cut is None or not spec.z_low < cut <= spec.z_high:
+            cut = spec.z_low + (spec.z_high - spec.z_low + 1) // 2
+        return cut
+
+    async def _bulk_copy(
+        self, src: QueryClient, dst: QueryClient, z_low: int, z_high: int
+    ) -> int:
+        """Paged snapshot copy of ``[z_low, z_high]`` from src to dst.
+
+        The z cursor makes pages disjoint (a key's z never changes), so
+        within one copy pass ``insert_many`` never collides; collisions
+        with tap deltas are resolved by the deltas' tolerant apply.
+        """
+        moved = 0
+        after = -1
+        while True:
+            page = await src.migrate(
+                "fetch",
+                z_low=z_low,
+                z_high=z_high,
+                after_z=after,
+                limit=FETCH_PAGE,
+            )
+            items = page["items"]
+            if items:
+                await dst.insert_many(
+                    [(key, value) for key, value in items]
+                )
+                moved += len(items)
+            if page["done"]:
+                return moved
+            after = int(page["next_z"])
+
+    async def _apply_delta(
+        self, dst: QueryClient, ops: list[list[Any]]
+    ) -> None:
+        """Replay tap ops idempotently, in order: a duplicate ``put`` is
+        re-applied (delete + insert), a missing ``del`` is a no-op —
+        PR 3's idempotent-replay rules at the service level."""
+        for op in ops:
+            kind, key = op[0], op[1]
+            value = op[2] if len(op) > 2 else None
+            if kind == "put":
+                try:
+                    await dst.insert(key, value)
+                except DuplicateKeyError:
+                    await dst.delete(key)
+                    await dst.insert(key, value)
+            else:
+                try:
+                    await dst.delete(key)
+                except KeyNotFoundError:
+                    pass
+
+    async def _settle(
+        self, src: QueryClient, dst: QueryClient, tap: int
+    ) -> tuple[bool, int]:
+        """Pre-fence delta rounds: chase the tap until the backlog is
+        small (or the round budget runs out — the fenced drain finishes
+        whatever is left)."""
+        tainted = False
+        rounds = 0
+        for _ in range(MAX_DELTA_ROUNDS):
+            delta = await src.migrate("delta", tap=tap, limit=DELTA_LIMIT)
+            tainted = tainted or bool(delta.get("tainted"))
+            await self._apply_delta(dst, delta["ops"])
+            rounds += 1
+            if len(delta["ops"]) <= SETTLE_THRESHOLD and not delta["more"]:
+                break
+        return tainted, rounds
+
+    async def _drain_tap(
+        self, src: QueryClient, dst: QueryClient, tap: int
+    ) -> bool:
+        """Drain the tap to empty (only sound under the fence, when no
+        new acked write can land in the moving range)."""
+        tainted = False
+        while True:
+            delta = await src.migrate("delta", tap=tap, limit=DELTA_LIMIT)
+            tainted = tainted or bool(delta.get("tainted"))
+            await self._apply_delta(dst, delta["ops"])
+            if not delta["ops"] and not delta["more"]:
+                return tainted
+
+    async def _verify(
+        self, src: QueryClient, dst: QueryClient, z_low: int, z_high: int
+    ) -> bool:
+        src_digest, dst_digest = await asyncio.gather(
+            src.migrate("digest", z_low=z_low, z_high=z_high),
+            dst.migrate("digest", z_low=z_low, z_high=z_high),
+        )
+        return (
+            src_digest["count"] == dst_digest["count"]
+            and src_digest["crc"] == dst_digest["crc"]
+        )
+
+    async def _ensure_converged(
+        self,
+        src: QueryClient,
+        dst: QueryClient,
+        z_low: int,
+        z_high: int,
+        tainted: bool,
+    ) -> None:
+        """The correctness anchor: both sides must agree on the moving
+        range before the commit point.  A digest mismatch (or a tainted
+        tap) triggers one full-fetch reconcile, then a re-verify; still
+        disagreeing aborts the migration pre-commit."""
+        if not tainted and await self._verify(src, dst, z_low, z_high):
+            return
+        await self._reconcile(src, dst, z_low, z_high)
+        if not await self._verify(src, dst, z_low, z_high):
+            raise MigrationError(
+                "source and target disagree on the moving range after "
+                "reconciliation; aborting before the commit point"
+            )
+
+    async def _fetch_all(
+        self, client: QueryClient, z_low: int, z_high: int
+    ) -> dict[tuple[Any, ...], Any]:
+        out: dict[tuple[Any, ...], Any] = {}
+        after = -1
+        while True:
+            page = await client.migrate(
+                "fetch",
+                z_low=z_low,
+                z_high=z_high,
+                after_z=after,
+                limit=FETCH_PAGE,
+            )
+            for key, value in page["items"]:
+                out[tuple(key)] = value
+            if page["done"]:
+                return out
+            after = int(page["next_z"])
+
+    async def _reconcile(
+        self, src: QueryClient, dst: QueryClient, z_low: int, z_high: int
+    ) -> None:
+        """Make dst's ``[z_low, z_high]`` contents equal src's, key by
+        key (the slow path behind a tainted tap or digest mismatch)."""
+        want, have = await asyncio.gather(
+            self._fetch_all(src, z_low, z_high),
+            self._fetch_all(dst, z_low, z_high),
+        )
+        for key, value in want.items():
+            if key not in have or have[key] != value:
+                await self._apply_delta(dst, [["put", list(key), value]])
+        for key in have:
+            if key not in want:
+                await self._apply_delta(dst, [["del", list(key), None]])
+
+    async def _cleanup_source(
+        self, src: QueryClient, tap: int, z_low: int, z_high: int
+    ) -> int | None:
+        """Post-commit cleanup: release the tap, evict the orphaned
+        range.  Best-effort — the topology is already live, and the
+        router's ownership filter masks unevicted orphans; ``None``
+        means the eviction did not run (retried by a later migration or
+        invisible forever)."""
+        try:
+            await src.migrate("end", tap=tap)
+            reply = await src.migrate("evict", z_low=z_low, z_high=z_high)
+            return int(reply["evicted"])
+        except Exception:
+            return None

@@ -104,6 +104,7 @@ class Opcode(enum.IntEnum):
     STATS = 9
     TOPOLOGY = 10
     ROUTE = 11
+    MIGRATE = 12
     REPLY_OK = 128
     REPLY_ERR = 129
 

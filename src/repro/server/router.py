@@ -43,9 +43,14 @@ from typing import Any, Sequence
 
 from repro.bits import interleave
 from repro.encoding import KeyCodec
-from repro.errors import ProtocolError, ShardDownError, StaleTopologyError
+from repro.errors import (
+    MigrationError,
+    ProtocolError,
+    ShardDownError,
+    StaleTopologyError,
+)
 from repro.server import protocol
-from repro.server.admission import AdmissionController
+from repro.server.admission import AdmissionController, ReadWriteGate
 from repro.server.client import QueryClient
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
@@ -170,6 +175,9 @@ class ShardRouter:
         session_pipeline: int = 16,
         drain_timeout: float = 10.0,
         connect_timeout: float = 5.0,
+        auto_split_keys: int | None = None,
+        max_shards: int = 8,
+        auto_split_interval: float = 1.0,
     ) -> None:
         if manager is not None:
             specs = manager.specs if specs is None else specs
@@ -202,9 +210,21 @@ class ShardRouter:
         ]
         self._server: asyncio.base_events.Server | None = None
         self._sessions: set[Session] = set()
-        self._epoch = 1
+        self._epoch = manager.epoch if manager is not None else 1
         self.draining = False
         self._shut_down = False
+        self._manager = manager
+        #: The topology quiesce gate: every data request holds the read
+        #: side for its whole scatter-gather, a cutover holds the write
+        #: side.  Swapping the link table therefore never interleaves
+        #: with an in-flight fan-out — a range merge is always
+        #: single-epoch (writer preference keeps cutovers from starving).
+        self._topo_gate = ReadWriteGate()
+        self._migrator: Any = None
+        self._auto_split_keys = auto_split_keys
+        self._max_shards = max_shards
+        self._auto_split_interval = auto_split_interval
+        self._auto_split_task: asyncio.Task | None = None
 
     # -- ServesSessions surface ----------------------------------------------
 
@@ -225,12 +245,32 @@ class ShardRouter:
             raise ProtocolError("router is not started", code="internal")
         return self._server.sockets[0].getsockname()[:2]
 
+    @property
+    def migrator(self) -> Any:
+        """The lazily-built :class:`~repro.server.migrate.ShardMigrator`
+        (requires a manager: migration forks workers and rewrites the
+        persisted topology)."""
+        if self._migrator is None:
+            if self._manager is None:
+                raise MigrationError(
+                    "this router has no shard manager; online "
+                    "split/merge needs one"
+                )
+            from repro.server.migrate import ShardMigrator
+
+            self._migrator = ShardMigrator(self, self._manager)
+        return self._migrator
+
     async def start(self) -> "ShardRouter":
         for link in self._links:
             await link.connect()
         self._server = await asyncio.start_server(
             self._on_connect, self._host, self._port
         )
+        if self._auto_split_keys is not None and self._manager is not None:
+            self._auto_split_task = asyncio.get_running_loop().create_task(
+                self._auto_split_loop(), name="repro-auto-split"
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -263,6 +303,13 @@ class ShardRouter:
             return
         self._shut_down = True
         self.draining = True
+        if self._auto_split_task is not None:
+            self._auto_split_task.cancel()
+            try:
+                await self._auto_split_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._auto_split_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -274,18 +321,29 @@ class ShardRouter:
         for link in self._links:
             await link.close()
 
-    async def set_topology(
+    def fence(self) -> Any:
+        """The topology write fence, as an async context manager.
+
+        Entering waits for every in-flight data request to finish and
+        blocks new ones (they queue on the gate's read side); inside,
+        the holder may mutate routing state and :meth:`install_topology`
+        atomically.  The migrator holds this around its final delta +
+        digest + commit step, so the cutover happens against a quiesced
+        router.
+        """
+        return self._topo_gate.write_locked()
+
+    def install_topology(
         self,
         specs: Sequence[ShardSpec],
         boundaries: Sequence[int],
-    ) -> int:
-        """Install a new shard layout and bump the epoch.
-
-        Requests already in flight complete against the links they
-        resolved; every subsequent data request asserting the old epoch
-        is rejected with ``stale-topology`` and retried by the client
-        with the new one.
-        """
+        epoch: int | None = None,
+    ) -> list[_ShardLink]:
+        """Swap the routing tables and bump the epoch — synchronously,
+        so a fence holder installs with no awaits in between.  Returns
+        the superseded links; the caller closes them once the fence is
+        released (closing awaits, and nothing routes through them any
+        more)."""
         old_links = self._links
         self._specs = list(specs)
         self._boundaries = list(boundaries)
@@ -293,10 +351,55 @@ class ShardRouter:
             _ShardLink(spec, self.metrics, self._connect_timeout)
             for spec in self._specs
         ]
-        self._epoch += 1
+        self._epoch = (
+            self._epoch + 1 if epoch is None else max(epoch, self._epoch + 1)
+        )
+        return old_links
+
+    async def set_topology(
+        self,
+        specs: Sequence[ShardSpec],
+        boundaries: Sequence[int],
+    ) -> int:
+        """Install a new shard layout and bump the epoch.
+
+        Quiesces first: the write fence waits for every in-flight
+        scatter-gather to settle before the link table is swapped, so no
+        fan-out ever merges results from two epochs.  Every subsequent
+        data request asserting the old epoch is rejected with
+        ``stale-topology`` and retried by the client with the new one.
+        """
+        async with self.fence():
+            old_links = self.install_topology(specs, boundaries)
         for link in old_links:
             await link.close()
         return self._epoch
+
+    async def _auto_split_loop(self) -> None:
+        """Split the hottest shard whenever it outgrows the threshold
+        (``--auto-split-keys``), up to ``max_shards`` — the serve-time
+        elasticity knob.  Failures are counted in metrics and retried on
+        the next tick; a failed split leaves the cluster unchanged."""
+        while True:
+            await asyncio.sleep(self._auto_split_interval)
+            if self.draining or len(self._specs) >= self._max_shards:
+                continue
+            try:
+                async with self._topo_gate.read_locked():
+                    stats = await self._stats()
+                hottest, keys = None, -1
+                for entry in stats["shards"]:
+                    if "error" in entry:
+                        continue
+                    if int(entry.get("keys", 0)) > keys:
+                        hottest, keys = int(entry["shard"]), int(entry["keys"])
+                if hottest is None or keys < (self._auto_split_keys or 0):
+                    continue
+                await self.migrator.split(shard=hottest)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.metrics.shard_errors += 1
 
     # -- routing -------------------------------------------------------------
 
@@ -338,7 +441,17 @@ class ShardRouter:
     async def dispatch(
         self, opcode: Opcode, payload: Any, epoch: int = 0
     ) -> Any:
-        """Route one admitted request; returns the reply payload."""
+        """Route one admitted request; returns the reply payload.
+
+        Admin opcodes (PING/TOPOLOGY/ROUTE/MIGRATE) never take the
+        topology gate — MIGRATE in particular *acquires* the write
+        fence internally, so routing it through the read side would
+        deadlock against itself.  Every data op holds the gate's read
+        side for its whole fan-out, with the epoch check *inside*: a
+        request that queued behind a cutover re-checks against the
+        epoch that cutover installed, so it can never run new-table
+        routing while asserting the old epoch.
+        """
         if opcode == Opcode.PING:
             return {
                 "pong": True,
@@ -351,28 +464,66 @@ class ShardRouter:
             return self._topology()
         if opcode == Opcode.ROUTE:
             return self._route(payload)
-        # Data ops are fenced by the topology epoch: a client that
-        # observed epoch E must not write through a layout E' != E.
-        if epoch and epoch != self._epoch:
-            self.metrics.stale_rejections += 1
-            raise StaleTopologyError(
-                f"request asserted epoch {epoch}, topology is at "
-                f"{self._epoch}",
-                epoch=self._epoch,
-            )
-        if opcode in (Opcode.INSERT, Opcode.SEARCH, Opcode.DELETE):
-            key = key_field(payload)
-            self.metrics.point_ops_routed += 1
-            return await self._link_for_key(key).request(opcode, payload)
-        if opcode == Opcode.INSERT_MANY:
-            return await self._insert_many(payload)
-        if opcode in (Opcode.SEARCH_MANY, Opcode.DELETE_MANY):
-            return await self._keyed_many(opcode, payload)
-        if opcode == Opcode.RANGE:
-            return await self._range(payload)
-        if opcode == Opcode.STATS:
-            return await self._stats()
+        if opcode == Opcode.MIGRATE:
+            return await self._migrate_admin(payload)
+        async with self._topo_gate.read_locked():
+            # Data ops are fenced by the topology epoch: a client that
+            # observed epoch E must not write through a layout E' != E.
+            # Raising here — before any shard link is contacted — is
+            # what makes the client's transparent retry safe for
+            # ``_many`` batches: a rejected request has applied nothing.
+            if epoch and epoch != self._epoch:
+                self.metrics.stale_rejections += 1
+                raise StaleTopologyError(
+                    f"request asserted epoch {epoch}, topology is at "
+                    f"{self._epoch}",
+                    epoch=self._epoch,
+                )
+            if opcode in (Opcode.INSERT, Opcode.SEARCH, Opcode.DELETE):
+                key = key_field(payload)
+                self.metrics.point_ops_routed += 1
+                return await self._link_for_key(key).request(opcode, payload)
+            if opcode == Opcode.INSERT_MANY:
+                return await self._insert_many(payload)
+            if opcode in (Opcode.SEARCH_MANY, Opcode.DELETE_MANY):
+                return await self._keyed_many(opcode, payload)
+            if opcode == Opcode.RANGE:
+                return await self._range(payload)
+            if opcode == Opcode.STATS:
+                return await self._stats()
         raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
+
+    async def _migrate_admin(self, payload: Any) -> Any:
+        """The router half of MIGRATE: operator-facing rebalance verbs
+        (the worker half — taps, fetch, evict — lives in
+        :class:`~repro.server.server.QueryServer`)."""
+        action = field(payload, "action", str)
+        if action == "status":
+            migrating = (
+                self._migrator is not None and self._migrator.in_progress
+            )
+            return {
+                "epoch": self._epoch,
+                "shards": len(self._specs),
+                "migrating": migrating,
+                "migrations": (
+                    self._migrator.completed
+                    if self._migrator is not None else 0
+                ),
+            }
+        shard = None
+        if isinstance(payload, dict) and payload.get("shard") is not None:
+            shard = field(payload, "shard", int)
+        if action == "split":
+            cut = None
+            if isinstance(payload, dict) and payload.get("cut") is not None:
+                cut = field(payload, "cut", int)
+            return await self.migrator.split(shard=shard, cut=cut)
+        if action == "merge":
+            return await self.migrator.merge(shard=shard)
+        raise ProtocolError(
+            f"unknown migration action {action!r}", code="bad-payload"
+        )
 
     def _topology(self) -> dict[str, Any]:
         return {
@@ -479,17 +630,28 @@ class ShardRouter:
         # Order-preserving merge: per-shard items sorted by z, shards
         # visited in ascending z-range order — the concatenation is the
         # global z order because shard ranges are contiguous + disjoint.
+        # Each item is also filtered to its shard's *owned* z range:
+        # between a split's commit and the source's orphan eviction the
+        # source still physically holds the moved records, and without
+        # the ownership filter a scatter would return them twice.
         items: list[Any] = []
         for shard in sorted(targets):
+            spec = self._specs[shard]
             shard_items = field(outcome[shard], "items", list)
             try:
-                shard_items.sort(key=lambda item: self._z(item[0]))
+                keyed = sorted(
+                    ((self._z(item[0]), item) for item in shard_items),
+                    key=lambda pair: pair[0],
+                )
             except (TypeError, IndexError) as exc:
                 raise ProtocolError(
                     f"shard {shard} returned malformed range items: {exc}",
                     code="bad-payload",
                 ) from None
-            items.extend(shard_items)
+            items.extend(
+                item for z, item in keyed
+                if spec.z_low <= z <= spec.z_high
+            )
         return {"items": items, "count": len(items)}
 
     async def _stats(self) -> Any:

@@ -32,12 +32,15 @@ plain store flush.
 from __future__ import annotations
 
 import asyncio
+import json
 import os
 import threading
 import time
+import zlib
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from repro.bits import interleave
 from repro.core.facade import MultiKeyFile
 from repro.errors import ProtocolError
 from repro.server.admission import AdmissionController, ReadWriteGate
@@ -57,6 +60,49 @@ from repro.server.protocol import (
 )
 from repro.server.session import Session
 from repro.storage.wal import WALBackend, checkpoint
+
+
+class _MigrationTap:
+    """A committed-window tail of one z range.
+
+    Registered as a :class:`~repro.server.aggregator.WriteAggregator`
+    observer, it accumulates every *committed* mutation whose key falls
+    in ``[z_low, z_high]`` — published before the write is acked, so the
+    tap never misses an acknowledged write.  This is the service-level
+    equivalent of tailing the committed WAL for the moving range: the
+    migrator drains it with ``delta`` rounds while bulk-copying, then
+    once more under the router's fence.
+
+    A window whose committed key set could not be fully described (a
+    partially-applied ``_many`` op) sets ``tainted``; the migrator then
+    falls back to the digest/reconcile path instead of trusting the
+    delta stream.
+    """
+
+    def __init__(
+        self, z_low: int, z_high: int, z_of: Callable[[Sequence[Any]], int]
+    ) -> None:
+        self.z_low = z_low
+        self.z_high = z_high
+        self._z_of = z_of
+        self.ops: list[list[Any]] = []
+        self.tainted = False
+
+    def __call__(
+        self, committed: list[tuple[str, Any, Any]], tainted: bool
+    ) -> None:
+        if tainted:
+            self.tainted = True
+        for kind, key, value in committed:
+            try:
+                z = self._z_of(key)
+            except Exception:
+                # An unroutable key cannot belong to the moving range,
+                # but be conservative: force the digest path.
+                self.tainted = True
+                continue
+            if self.z_low <= z <= self.z_high:
+                self.ops.append([kind, list(key), value])
 
 
 class QueryServer:
@@ -110,6 +156,9 @@ class QueryServer:
         self._sessions: set[Session] = set()
         self.draining = False
         self._shut_down = False
+        #: Live migration taps by id (see :class:`_MigrationTap`).
+        self._taps: dict[int, _MigrationTap] = {}
+        self._next_tap = 1
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -241,6 +290,8 @@ class QueryServer:
             return await self._range(payload)
         if opcode == Opcode.STATS:
             return await self._run_read(self._stats)
+        if opcode == Opcode.MIGRATE:
+            return await self._migrate(payload)
         raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
 
     async def _run_read(
@@ -296,6 +347,113 @@ class QueryServer:
         return await self._run_read(
             scan, latched=not (parallelism and parallelism > 1)
         )
+
+    # -- migration (worker side) ----------------------------------------------
+
+    def _z_key(self, key: Sequence[Any]) -> int:
+        codec = self._file.codec
+        return interleave(codec.encode(key), codec.widths)
+
+    def _migration_snapshot(self) -> list[tuple[int, list[Any], Any]]:
+        """Every record as ``(z, key, value)`` — runs on the executor
+        under the same latch + mutex discipline as any point read, so
+        the snapshot is a consistent index state."""
+        codec = self._file.codec
+        widths = codec.widths
+        out: list[tuple[int, list[Any], Any]] = []
+        for codes, value in self._file.index.items():
+            out.append(
+                (interleave(tuple(codes), widths), list(codec.decode(codes)),
+                 value)
+            )
+        return out
+
+    async def _migrate(self, payload: Any) -> Any:
+        """The worker half of online migration: taps, paged snapshot
+        reads and range eviction, driven over the wire by a
+        :class:`~repro.server.migrate.ShardMigrator`.
+
+        Tap bookkeeping happens on the event loop (no locks needed);
+        snapshot reads run through :meth:`_run_read`; eviction is a
+        plain ``DELETE_MANY`` through the aggregator, so it obeys every
+        durability and latch rule an external delete would.
+        """
+        action = field(payload, "action", str)
+        if action == "begin":
+            z_low = field(payload, "z_low", int)
+            z_high = field(payload, "z_high", int)
+            tap_id = self._next_tap
+            self._next_tap += 1
+            tap = _MigrationTap(z_low, z_high, self._z_key)
+            self._taps[tap_id] = tap
+            self._aggregator.add_observer(tap)
+            return {"tap": tap_id}
+        if action in ("end", "abort"):
+            tap = self._taps.pop(field(payload, "tap", int), None)
+            if tap is not None:
+                self._aggregator.remove_observer(tap)
+            return {"ok": True, "released": tap is not None}
+        if action == "delta":
+            tap = self._taps.get(field(payload, "tap", int))
+            if tap is None:
+                raise ProtocolError(
+                    "unknown migration tap", code="bad-payload"
+                )
+            limit = 4096
+            if isinstance(payload, dict) and payload.get("limit") is not None:
+                limit = field(payload, "limit", int)
+            ops = tap.ops[:limit]
+            del tap.ops[: len(ops)]
+            return {"ops": ops, "more": bool(tap.ops), "tainted": tap.tainted}
+        if action not in ("fetch", "digest", "sample", "evict"):
+            raise ProtocolError(
+                f"unknown migration action {action!r}", code="bad-payload"
+            )
+        z_low = field(payload, "z_low", int)
+        z_high = field(payload, "z_high", int)
+        snapshot = await self._run_read(self._migration_snapshot)
+        in_range = sorted(
+            (entry for entry in snapshot if z_low <= entry[0] <= z_high),
+            key=lambda entry: entry[0],
+        )
+        if action == "fetch":
+            after_z = -1
+            if isinstance(payload, dict) and payload.get("after_z") is not None:
+                after_z = field(payload, "after_z", int)
+            limit = 512
+            if isinstance(payload, dict) and payload.get("limit") is not None:
+                limit = field(payload, "limit", int)
+            pending = [entry for entry in in_range if entry[0] > after_z]
+            page = pending[:limit]
+            return {
+                "items": [[key, value] for _, key, value in page],
+                "next_z": page[-1][0] if page else after_z,
+                "done": len(pending) <= limit,
+            }
+        if action == "digest":
+            crc = 0
+            for z, key, value in in_range:
+                blob = json.dumps(
+                    [key, value], separators=(",", ":"), sort_keys=True
+                ).encode("utf-8")
+                crc = zlib.crc32(blob, crc)
+            return {"count": len(in_range), "crc": crc}
+        if action == "sample":
+            limit = 1024
+            if isinstance(payload, dict) and payload.get("limit") is not None:
+                limit = field(payload, "limit", int)
+            zs = [entry[0] for entry in in_range]
+            if len(zs) > limit:
+                stride = len(zs) / limit
+                zs = [zs[int(i * stride)] for i in range(limit)]
+            return {"zs": zs, "keys": len(in_range)}
+        # evict: delete every in-range record through the aggregator —
+        # the post-cutover cleanup of the moved (now orphaned) range.
+        keys = [key for _, key, _ in in_range]
+        if not keys:
+            return {"evicted": 0}
+        await self._aggregator.submit(Opcode.DELETE_MANY, {"keys": keys})
+        return {"evicted": len(keys)}
 
     def _topology(self) -> dict[str, Any]:
         """The degenerate one-shard topology: a plain server owns the

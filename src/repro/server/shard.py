@@ -116,9 +116,15 @@ def shard_for(z: int, boundaries: Sequence[int]) -> int:
 @dataclasses.dataclass(frozen=True)
 class WorkerConfig:
     """Everything a shard worker needs, as picklable primitives (the
-    worker rebuilds codec/store/index itself, so ``spawn`` works too)."""
+    worker rebuilds codec/store/index itself, so ``spawn`` works too).
 
-    shard: int
+    ``worker`` is the *stable worker id*, not the shard position: shard
+    positions shift when a split inserts a new range, but a worker's WAL
+    file must keep naming the same data across restarts, so durability
+    artifacts are keyed by worker id (``shard-{worker:03d}.pages``).
+    """
+
+    worker: int
     dims: int
     widths: tuple[int, ...]
     page_capacity: int
@@ -263,9 +269,46 @@ class ShardManager:
             or _DEFAULT_START
         )
         self._ready_timeout = ready_timeout
+        self._persisted = self._read_topology()
         self.boundaries = self._resolve_boundaries(boundaries, sample_keys)
+        if self._persisted is not None:
+            self.worker_ids = [
+                int(w) for w in self._persisted.get(
+                    "workers", range(self.shards)
+                )
+            ]
+            self.epoch = int(self._persisted.get("epoch", 1))
+        else:
+            self.worker_ids = list(range(self.shards))
+            self.epoch = 1
+        if len(self.worker_ids) != self.shards:
+            raise ValueError(
+                f"topology lists {len(self.worker_ids)} workers for "
+                f"{self.shards} shards"
+            )
+        self._next_worker_id = max(self.worker_ids, default=-1) + 1
         self._procs: list[Any] = []
+        self._endpoints: list[tuple[str, int, int]] = []
         self.specs: list[ShardSpec] = []
+
+    @classmethod
+    def from_workdir(
+        cls, workdir: str | os.PathLike[str], **kwargs: Any
+    ) -> "ShardManager":
+        """Rebuild a manager from a workdir's persisted topology.
+
+        The restart path for an elastic cluster: the shard count is
+        whatever the last committed split/merge left behind, so callers
+        (chaos recovery, ``repro serve`` restarts) must not have to
+        guess it.
+        """
+        path = Path(workdir) / TOPOLOGY_FILE
+        if not path.exists():
+            raise ValueError(f"{path} does not exist; nothing to restart")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        kwargs.setdefault("dims", int(data.get("dims", 2)))
+        kwargs.setdefault("widths", [int(w) for w in data["widths"]])
+        return cls(int(data["shards"]), workdir=workdir, **kwargs)
 
     # -- partition ----------------------------------------------------------
 
@@ -284,9 +327,8 @@ class ShardManager:
                     f"got {cuts}"
                 )
             return cuts
-        persisted = self._load_topology()
-        if persisted is not None:
-            return persisted
+        if self._persisted is not None:
+            return [int(b) for b in self._persisted["boundaries"]]
         if sample_keys:
             zs = [interleave(tuple(k), self.widths) for k in sample_keys]
             return boundaries_from_sample(zs, self.shards, self.total_width)
@@ -297,7 +339,7 @@ class ShardManager:
             return None
         return self.workdir / TOPOLOGY_FILE
 
-    def _load_topology(self) -> list[int] | None:
+    def _read_topology(self) -> dict[str, Any] | None:
         path = self._topology_path()
         if path is None or not path.exists():
             return None
@@ -311,26 +353,40 @@ class ShardManager:
                 f"({data.get('shards')} shards over {data.get('widths')}); "
                 f"refusing to re-partition durable data"
             )
-        return [int(b) for b in data["boundaries"]]
+        return data
 
     def _persist_topology(self) -> None:
+        """Atomically replace the topology sidecar.
+
+        The WAL compaction idiom (tmp + fsync + ``os.replace``): a crash
+        at any instant leaves either the complete old file or the
+        complete new one, never a torn JSON that bricks the next
+        restart.  This write *is* the commit point of an online
+        split/merge — after the replace, a restart runs the new
+        partition; before it, the old one.
+        """
         path = self._topology_path()
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(
-                {
-                    "shards": self.shards,
-                    "dims": self.dims,
-                    "widths": list(self.widths),
-                    "boundaries": self.boundaries,
-                },
-                indent=2,
-            )
-            + "\n",
-            encoding="utf-8",
-        )
+        payload = json.dumps(
+            {
+                "version": 2,
+                "shards": self.shards,
+                "dims": self.dims,
+                "widths": list(self.widths),
+                "boundaries": list(self.boundaries),
+                "workers": list(self.worker_ids),
+                "epoch": self.epoch,
+            },
+            indent=2,
+        ) + "\n"
+        tmp = path.parent / (path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
 
     def z_range(self, shard: int) -> tuple[int, int]:
         """The inclusive ``[z_low, z_high]`` range shard ``shard`` owns."""
@@ -347,17 +403,21 @@ class ShardManager:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def _worker_config(self, shard: int) -> WorkerConfig:
-        wal_path = None
+    def wal_path(self, worker_id: int) -> str | None:
+        """The WAL file of worker ``worker_id`` (stable across splits)."""
+        if self.workdir is None:
+            return None
+        return str(self.workdir / f"shard-{worker_id:03d}.pages")
+
+    def _worker_config(self, worker_id: int) -> WorkerConfig:
         if self.workdir is not None:
             self.workdir.mkdir(parents=True, exist_ok=True)
-            wal_path = str(self.workdir / f"shard-{shard:03d}.pages")
         return WorkerConfig(
-            shard=shard,
+            worker=worker_id,
             dims=self.dims,
             widths=self.widths,
             page_capacity=self.page_capacity,
-            wal_path=wal_path,
+            wal_path=self.wal_path(worker_id),
             host=self._host,
             coalesce_window=self._coalesce_window,
             max_batch=self._max_batch,
@@ -366,49 +426,63 @@ class ShardManager:
             read_workers=self._read_workers,
         )
 
+    def _launch(self, worker_id: int) -> tuple[Any, Connection]:
+        """Fork one worker process; the caller awaits its ready pipe."""
+        ctx = multiprocessing.get_context(self._start_method)
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(self._worker_config(worker_id), child_conn),
+            name=f"repro-shard-w{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
+
+    def _await_ready(
+        self, label: str, conn: Connection, shard: int | None = None
+    ) -> tuple[str, int]:
+        if not conn.poll(self._ready_timeout):
+            raise ShardDownError(
+                f"{label} did not report ready within "
+                f"{self._ready_timeout:.0f}s",
+                shard=shard,
+            )
+        message = conn.recv()
+        if message[0] != "ready":
+            raise ShardDownError(
+                f"{label} failed to start: {message[1]}", shard=shard
+            )
+        return message[1], message[2]
+
+    def _rebuild_specs(self) -> None:
+        self.specs = []
+        for shard, (host, port, pid) in enumerate(self._endpoints):
+            low, high = self.z_range(shard)
+            self.specs.append(
+                ShardSpec(
+                    shard=shard, z_low=low, z_high=high,
+                    host=host, port=port, pid=pid,
+                )
+            )
+
     def start(self) -> list[ShardSpec]:
         """Fork the workers and wait until every one is listening."""
         if self._procs:
             raise RuntimeError("shard workers already started")
-        ctx = multiprocessing.get_context(self._start_method)
         pipes: list[Connection] = []
-        for shard in range(self.shards):
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(self._worker_config(shard), child_conn),
-                name=f"repro-shard-{shard}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
+        for worker_id in self.worker_ids:
+            proc, parent_conn = self._launch(worker_id)
             self._procs.append(proc)
             pipes.append(parent_conn)
         try:
             for shard, conn in enumerate(pipes):
-                if not conn.poll(self._ready_timeout):
-                    raise ShardDownError(
-                        f"shard {shard} did not report ready within "
-                        f"{self._ready_timeout:.0f}s",
-                        shard=shard,
-                    )
-                message = conn.recv()
-                if message[0] != "ready":
-                    raise ShardDownError(
-                        f"shard {shard} failed to start: {message[1]}",
-                        shard=shard,
-                    )
-                _, host, port = message
-                low, high = self.z_range(shard)
-                self.specs.append(
-                    ShardSpec(
-                        shard=shard,
-                        z_low=low,
-                        z_high=high,
-                        host=host,
-                        port=port,
-                        pid=self._procs[shard].pid or 0,
-                    )
+                host, port = self._await_ready(
+                    f"shard {shard}", conn, shard=shard
+                )
+                self._endpoints.append(
+                    (host, port, self._procs[shard].pid or 0)
                 )
         except BaseException:
             self.stop(timeout=2.0)
@@ -416,8 +490,97 @@ class ShardManager:
         finally:
             for conn in pipes:
                 conn.close()
+        self._rebuild_specs()
         self._persist_topology()
         return self.specs
+
+    # -- elastic membership (online split/merge) -----------------------------
+
+    def spawn_worker(self) -> tuple[int, Any, tuple[str, int, int]]:
+        """Fork one *extra* worker outside the current topology.
+
+        Allocates a fresh stable worker id, removes any stale WAL file a
+        previously-aborted migration left under that id (its contents
+        were never part of a committed topology), forks, and waits for
+        the listener.  The worker serves an empty index; it joins the
+        partition only when :meth:`apply_split` commits it.  Blocking
+        (the ready-pipe wait) — callers on an event loop run this in an
+        executor.
+        """
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        wal = self.wal_path(worker_id)
+        if wal is not None and os.path.exists(wal):
+            os.unlink(wal)
+        proc, conn = self._launch(worker_id)
+        try:
+            host, port = self._await_ready(f"worker {worker_id}", conn)
+        except BaseException:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+            raise
+        finally:
+            conn.close()
+        return worker_id, proc, (host, port, proc.pid or 0)
+
+    def apply_split(
+        self,
+        shard: int,
+        cut: int,
+        *,
+        worker_id: int,
+        proc: Any,
+        endpoint: tuple[str, int, int],
+        epoch: int | None = None,
+    ) -> list[ShardSpec]:
+        """Commit a split: shard ``shard`` keeps ``[low, cut)``, the new
+        worker takes ``[cut, high]``.  The atomic topology persist at
+        the end is the migration's durability commit point."""
+        low, high = self.z_range(shard)
+        if not low < cut <= high:
+            raise ValueError(
+                f"cut {cut} outside shard {shard}'s range [{low}, {high}]"
+            )
+        self.boundaries[shard:shard] = [cut]
+        self.worker_ids[shard + 1:shard + 1] = [worker_id]
+        self._procs[shard + 1:shard + 1] = [proc]
+        self._endpoints[shard + 1:shard + 1] = [endpoint]
+        self.shards += 1
+        self.epoch = self.epoch + 1 if epoch is None else epoch
+        self._rebuild_specs()
+        self._persist_topology()
+        return self.specs
+
+    def apply_merge(
+        self, shard: int, *, epoch: int | None = None
+    ) -> tuple[Any, str | None]:
+        """Commit a merge: shard ``shard`` leaves the partition and its
+        range folds into the adjacent shard (the one below, or above for
+        shard 0).  The caller has already copied the data over; the
+        removed worker's process is returned for retirement."""
+        if self.shards < 2:
+            raise ValueError("cannot merge a single-shard cluster")
+        worker_id = self.worker_ids.pop(shard)
+        proc = self._procs.pop(shard)
+        self._endpoints.pop(shard)
+        # Dropping the cut between the merged shard and its absorber
+        # extends the neighbour's range over the vacated one.
+        self.boundaries.pop(shard - 1 if shard > 0 else 0)
+        self.shards -= 1
+        self.epoch = self.epoch + 1 if epoch is None else epoch
+        self._rebuild_specs()
+        self._persist_topology()
+        return proc, self.wal_path(worker_id)
+
+    def retire(self, proc: Any, timeout: float = 10.0) -> None:
+        """Gracefully stop one worker that left the partition."""
+        if proc.is_alive():
+            proc.terminate()
+        proc.join(timeout=timeout)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.kill()
+            proc.join(timeout=5.0)
 
     def is_alive(self, shard: int) -> bool:
         return bool(self._procs) and self._procs[shard].is_alive()
@@ -440,6 +603,7 @@ class ShardManager:
                 proc.kill()
                 proc.join(timeout=5.0)
         self._procs.clear()
+        self._endpoints = []
         self.specs = []
 
     def __enter__(self) -> "ShardManager":

@@ -38,7 +38,9 @@ class TestBenchRun:
         assert ("table2", "BMEHTree", "file") in cells
         assert ("table2", "BMEHTree", "file+pool") in cells
         modes = {r.get("mode", "single") for r in data["results"]}
-        assert modes == {"single", "batched", "rangepar", "served", "sharded"}
+        assert modes == {
+            "single", "batched", "rangepar", "served", "sharded", "migration"
+        }
         for result in data["results"]:
             m = result["metrics"]
             mode = result.get("mode", "single")
@@ -56,6 +58,12 @@ class TestBenchRun:
                 assert m["sharded_commits_per_write_max"] < 1.0
                 assert m["sharded_write_scaling"] >= 2.5
                 assert m["sharded_read_scaling"] >= 2.5
+            elif mode == "migration":
+                assert m["migration_loss"] == 0
+                assert m["migration_write_failures"] == 0
+                assert m["migration_count"] >= 2
+                assert m["migration_epoch_bumps"] >= 2
+                assert m["migration_moved_keys"] > 0
             else:
                 assert m["logical_reads"] > 0 and m["logical_writes"] > 0
                 assert m["sigma"] > 0

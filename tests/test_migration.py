@@ -1,0 +1,482 @@
+"""Online shard split/merge: zero acked-write loss under live traffic.
+
+Covers the tentpole and its load-bearing bugfixes:
+
+* a live split and merge driven over the wire (``MIGRATE`` admin verbs)
+  while 8 concurrent clients keep writing — every acknowledged write
+  reads back with its acked value afterwards, point and ranged, and the
+  rebalanced cluster survives a graceful restart
+  (:class:`~repro.server.shard.ShardManager.from_workdir`);
+* the atomic topology persist: a crash injected into ``fsync`` or
+  ``replace`` mid-persist leaves the *complete old* ``topology.json``
+  (migration rewrites this file on every epoch bump — a torn write
+  would brick every future restart);
+* exactly-once ``_many`` batches across an epoch bump: the router
+  rejects a stale batch *before contacting any shard*, which is the
+  invariant that makes the client's transparent retry safe (a rejected
+  request has applied nothing, so retrying cannot double-apply);
+* the router's topology swap quiesces: ``set_topology`` waits for every
+  in-flight scatter-gather to settle before swapping the link table, so
+  a long range scan racing a cutover is always served by a single epoch.
+"""
+
+import asyncio
+import json
+import os
+import random
+
+import pytest
+
+from repro import KeyCodec, UIntEncoder
+from repro.bits import interleave
+from repro.errors import CrashError, MigrationError, StaleTopologyError
+from repro.server import QueryClient, ShardManager
+from repro.server.protocol import Opcode
+from repro.server.router import ShardRouter
+from repro.server.shard import ShardSpec, TOPOLOGY_FILE
+
+DIMS = 2
+WIDTH = 16
+WIDTHS = (WIDTH,) * DIMS
+Z_MAX = (1 << (DIMS * WIDTH)) - 1
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def seeded_keys(n, seed=11):
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n:
+        seen.add((rng.randrange(1 << WIDTH), rng.randrange(1 << WIDTH)))
+    return sorted(seen)
+
+
+def make_manager(tmp_path=None, shards=2, sample=None, **kwargs):
+    return ShardManager(
+        shards,
+        dims=DIMS,
+        widths=WIDTH,
+        page_capacity=8,
+        workdir=tmp_path,
+        sample_keys=sample,
+        **kwargs,
+    )
+
+
+def make_codec():
+    return KeyCodec([UIntEncoder(WIDTH) for _ in range(DIMS)])
+
+
+# ---------------------------------------------------------------------------
+# the tentpole: live split + merge, oracle-checked, restart-durable
+
+
+class TestLiveSplitMerge:
+    def test_split_and_merge_under_live_writers_lose_nothing(self, tmp_path):
+        clients_n = 8
+        preload = seeded_keys(160, seed=61)
+        live = [k for k in seeded_keys(260, seed=62) if k not in set(preload)]
+        live = live[: clients_n * 10]
+        values = {key: i for i, key in enumerate(preload + live)}
+
+        manager = make_manager(tmp_path, shards=2, sample=preload)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager, max_inflight=256) as router:
+                    host, port = router.address
+                    admin = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    writers = [
+                        await QueryClient.connect(host, port, negotiate=True)
+                        for _ in range(clients_n)
+                    ]
+                    try:
+                        await admin.insert_many(
+                            [(key, values[key]) for key in preload]
+                        )
+                        shares = [
+                            live[c::clients_n] for c in range(clients_n)
+                        ]
+
+                        async def one_writer(client, share):
+                            for key in share:
+                                await client.insert(key, values[key])
+                                await asyncio.sleep(0)
+
+                        # The split runs while all 8 writers are live;
+                        # the cutover's epoch bump lands mid-stream and
+                        # the v2 clients absorb it via transparent retry.
+                        write_tasks = [
+                            asyncio.ensure_future(one_writer(c, s))
+                            for c, s in zip(writers, shares)
+                        ]
+                        split = await admin.migrate("split")
+                        await asyncio.gather(*write_tasks)
+
+                        assert split["action"] == "split"
+                        assert split["shards"] == 3
+                        assert split["epoch"] == router.epoch == 2
+                        status = await admin.migrate("status")
+                        assert status["migrations"] == 1
+                        assert not status["migrating"]
+
+                        # Zero acked-write loss, point and ranged (the
+                        # range catches an orphan double-return the
+                        # point reads cannot see).
+                        every = sorted(values)
+                        assert await admin.search_many(every) == [
+                            values[key] for key in every
+                        ]
+                        ranged = await admin.range_search(
+                            (0, 0), ((1 << WIDTH) - 1, (1 << WIDTH) - 1)
+                        )
+                        assert sorted(
+                            (tuple(k), v) for k, v in ranged
+                        ) == sorted(values.items())
+
+                        merge = await admin.migrate("merge")
+                        assert merge["action"] == "merge"
+                        assert merge["shards"] == 2
+                        assert merge["epoch"] == router.epoch == 3
+                        assert await admin.search_many(every) == [
+                            values[key] for key in every
+                        ]
+                    finally:
+                        await admin.close()
+                        for client in writers:
+                            await client.close()
+
+            run(scenario())
+        finally:
+            manager.stop()
+
+        # The rebalanced partition is what restarts: the v2 topology
+        # (stable worker ids, bumped epoch) plus every worker's WAL.
+        topo = json.loads((tmp_path / TOPOLOGY_FILE).read_text())
+        assert topo["version"] == 2
+        assert topo["shards"] == 2
+        assert topo["epoch"] == 3
+        second = ShardManager.from_workdir(tmp_path, page_capacity=8)
+        assert second.epoch == 3
+        second.start()
+        try:
+
+            async def readback():
+                async with ShardRouter(second) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        every = sorted(values)
+                        assert await client.search_many(every) == [
+                            values[key] for key in every
+                        ]
+
+            run(readback())
+        finally:
+            second.stop()
+
+    def test_explicit_cut_and_bad_cuts_are_validated(self, tmp_path):
+        keys = seeded_keys(64, seed=67)
+        manager = make_manager(tmp_path, shards=2, sample=keys)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        await client.insert_many(
+                            [(key, i) for i, key in enumerate(keys)]
+                        )
+                        spec = manager.specs[0]
+                        with pytest.raises(MigrationError):
+                            await router.migrator.split(
+                                shard=0, cut=spec.z_high + 10
+                            )
+                        # a failed validation left the cluster unchanged
+                        assert router.epoch == 1
+                        assert len(manager.specs) == 2
+                        cut = (spec.z_low + spec.z_high) // 2 + 1
+                        split = await router.migrator.split(shard=0, cut=cut)
+                        assert split["cut"] == cut
+                        assert manager.boundaries[0] == cut
+                        assert await client.search_many(keys) == list(
+                            range(len(keys))
+                        )
+
+            run(scenario())
+        finally:
+            manager.stop()
+
+
+# ---------------------------------------------------------------------------
+# satellite: the topology sidecar must persist atomically
+
+
+class TestAtomicTopologyPersist:
+    def _manager_with_topology(self, tmp_path):
+        manager = make_manager(tmp_path, shards=2)  # never started
+        manager._persist_topology()
+        return manager, tmp_path / TOPOLOGY_FILE
+
+    def test_crash_in_fsync_leaves_the_old_file_complete(
+        self, tmp_path, monkeypatch
+    ):
+        manager, path = self._manager_with_topology(tmp_path)
+        before = json.loads(path.read_text())
+
+        def torn(fd):
+            raise CrashError("power failure during topology fsync")
+
+        monkeypatch.setattr(os, "fsync", torn)
+        manager.epoch = 7
+        manager.boundaries = [Z_MAX // 3]
+        with pytest.raises(CrashError):
+            manager._persist_topology()
+        # the commit point never happened: the old file is complete and
+        # loadable, not a torn half-write
+        assert json.loads(path.read_text()) == before
+
+    def test_crash_in_replace_leaves_the_old_file_complete(
+        self, tmp_path, monkeypatch
+    ):
+        manager, path = self._manager_with_topology(tmp_path)
+        before = json.loads(path.read_text())
+
+        def torn(src, dst):
+            raise CrashError("power failure during topology replace")
+
+        monkeypatch.setattr(os, "replace", torn)
+        manager.epoch = 9
+        with pytest.raises(CrashError):
+            manager._persist_topology()
+        assert json.loads(path.read_text()) == before
+        # a leftover .tmp from the crash must not confuse a restart
+        assert (tmp_path / (TOPOLOGY_FILE + ".tmp")).exists()
+        again = make_manager(tmp_path, shards=2)
+        assert again.epoch == before["epoch"]
+        assert again.boundaries == before["boundaries"]
+
+    def test_v2_topology_round_trips_workers_and_epoch(self, tmp_path):
+        manager, path = self._manager_with_topology(tmp_path)
+        manager.epoch = 4
+        manager.worker_ids = [0, 7]
+        manager._persist_topology()
+        data = json.loads(path.read_text())
+        assert data["version"] == 2
+        assert data["workers"] == [0, 7]
+        assert data["epoch"] == 4
+        again = make_manager(tmp_path, shards=2)
+        assert again.worker_ids == [0, 7]
+        assert again.epoch == 4
+        assert again._next_worker_id == 8
+
+
+# ---------------------------------------------------------------------------
+# satellite: _many batches are exactly-once across an epoch bump
+
+
+class TestStaleBatchExactlyOnce:
+    def test_stale_many_is_rejected_before_any_shard_contact(self):
+        # A router over stub links: the unit-level statement of the
+        # invariant the full-stack test below relies on.
+        contacts = []
+
+        class StubLink:
+            def __init__(self, spec):
+                self.spec = spec
+
+            async def request(self, opcode, payload=None):
+                contacts.append((self.spec.shard, opcode))
+                if opcode == Opcode.INSERT_MANY:
+                    return {"inserted": len(payload["pairs"])}
+                return {"values": [None] * len(payload["keys"])}
+
+            async def close(self):
+                pass
+
+        cut = Z_MAX // 2 + 1
+        specs = [
+            ShardSpec(0, 0, cut - 1, "127.0.0.1", 1, 0),
+            ShardSpec(1, cut, Z_MAX, "127.0.0.1", 2, 0),
+        ]
+        router = ShardRouter(
+            specs=specs, boundaries=[cut], codec=make_codec()
+        )
+        router._links = [StubLink(spec) for spec in specs]
+        router._epoch = 5
+        pairs = [[[1, 2], "a"], [[60000, 60000], "b"]]  # straddles the cut
+
+        async def scenario():
+            # stale epoch: rejected with zero upstream traffic — the
+            # acked prefix a retry could double-apply cannot exist
+            with pytest.raises(StaleTopologyError) as caught:
+                await router.dispatch(
+                    Opcode.INSERT_MANY, {"pairs": pairs}, epoch=3
+                )
+            assert caught.value.epoch == 5
+            assert contacts == []
+            assert router.metrics.stale_rejections == 1
+            # the same batch stamped with the current epoch fans out
+            reply = await router.dispatch(
+                Opcode.INSERT_MANY, {"pairs": pairs}, epoch=5
+            )
+            assert reply == {"inserted": 2}
+            assert sorted(shard for shard, _ in contacts) == [0, 1]
+
+        run(scenario())
+
+    def test_full_stack_stale_batch_applies_exactly_once(self, tmp_path):
+        keys = seeded_keys(40, seed=71)
+        manager = make_manager(tmp_path, shards=2, sample=keys)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        await client.ping()
+                        assert client.epoch == 1
+                        # same layout, new epoch: the client's next data
+                        # request asserts a stale epoch
+                        assert await router.set_topology(
+                            manager.specs, manager.boundaries
+                        ) == 2
+                        # the batch straddles both shards; the stale
+                        # first attempt applied nothing, so the retry is
+                        # exactly-once: full count, no duplicate-key
+                        assert await client.insert_many(
+                            [(key, i) for i, key in enumerate(keys)]
+                        ) == len(keys)
+                        assert router.metrics.stale_rejections >= 1
+                        assert client.epoch == 2
+                        assert await client.search_many(keys) == list(
+                            range(len(keys))
+                        )
+                        stats = await client.stats()
+                        assert stats["keys"] == len(keys)
+
+            run(scenario())
+        finally:
+            manager.stop()
+
+
+# ---------------------------------------------------------------------------
+# satellite: set_topology quiesces in-flight scatter-gathers
+
+
+class TestTopologySwapQuiesces:
+    def test_cutover_waits_for_inflight_range_scan(self):
+        events = []
+        cut = Z_MAX // 2 + 1
+        specs = [
+            ShardSpec(0, 0, cut - 1, "127.0.0.1", 1, 0),
+            ShardSpec(1, cut, Z_MAX, "127.0.0.1", 2, 0),
+        ]
+
+        class SlowLink:
+            def __init__(self, spec):
+                self.spec = spec
+
+            async def request(self, opcode, payload=None):
+                events.append(("scan-start", self.spec.shard))
+                await asyncio.sleep(0.15)
+                events.append(("scan-end", self.spec.shard))
+                return {"items": [], "count": 0}
+
+            async def close(self):
+                events.append(("closed", self.spec.shard))
+
+        router = ShardRouter(
+            specs=specs, boundaries=[cut], codec=make_codec()
+        )
+        router._links = [SlowLink(spec) for spec in specs]
+
+        async def scenario():
+            scan = asyncio.ensure_future(
+                router.dispatch(
+                    Opcode.RANGE,
+                    {
+                        "lows": [0, 0],
+                        "highs": [(1 << WIDTH) - 1, (1 << WIDTH) - 1],
+                    },
+                    epoch=1,
+                )
+            )
+            # let the scan fan out and block inside its links
+            while len([e for e in events if e[0] == "scan-start"]) < 2:
+                await asyncio.sleep(0.01)
+            assert not scan.done()
+            new_epoch = await router.set_topology(specs, [cut])
+            events.append(("swap-done", new_epoch))
+            reply = await scan
+            assert reply == {"items": [], "count": 0}
+
+        run(scenario())
+        # every in-flight sub-request finished before the link table was
+        # swapped and the old links were closed: the scan was served by
+        # exactly one epoch
+        scan_ends = [i for i, e in enumerate(events) if e[0] == "scan-end"]
+        swap = events.index(("swap-done", 2))
+        closes = [i for i, e in enumerate(events) if e[0] == "closed"]
+        assert max(scan_ends) < min(closes) <= swap
+        assert router.epoch == 2
+
+    def test_queued_request_rechecks_epoch_after_the_swap(self):
+        # A data request that queues behind a cutover must be judged
+        # against the *new* epoch once it gets the gate (the check is
+        # inside the read side).
+        cut = Z_MAX // 2 + 1
+        specs = [
+            ShardSpec(0, 0, cut - 1, "127.0.0.1", 1, 0),
+            ShardSpec(1, cut, Z_MAX, "127.0.0.1", 2, 0),
+        ]
+
+        class IdleLink:
+            def __init__(self, spec):
+                self.spec = spec
+
+            async def request(self, opcode, payload=None):
+                return {"values": [None]}
+
+            async def close(self):
+                pass
+
+        router = ShardRouter(
+            specs=specs, boundaries=[cut], codec=make_codec()
+        )
+        router._links = [IdleLink(spec) for spec in specs]
+
+        async def scenario():
+            async with router.fence():
+                # queue a request asserting the pre-swap epoch while the
+                # fence is held, then install a new topology before
+                # releasing it
+                queued = asyncio.ensure_future(
+                    router.dispatch(
+                        Opcode.SEARCH_MANY, {"keys": [[1, 2]]}, epoch=1
+                    )
+                )
+                await asyncio.sleep(0.02)
+                assert not queued.done()
+                old = router.install_topology(specs, [cut])
+            for link in old:
+                await link.close()
+            with pytest.raises(StaleTopologyError):
+                await queued
+
+        run(scenario())

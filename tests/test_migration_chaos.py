@@ -1,0 +1,381 @@
+"""Chaos suite: kill an online migration at every swept phase.
+
+The :class:`~repro.server.migrate.ShardMigrator` exposes a fault-
+injection hook called at each phase of a split — after the target
+worker is forked (``spawned``), after the bulk snapshot copy
+(``copied``), inside the router's write fence (``fenced``), right after
+the atomic topology replace (``persisted``) and right after the new
+links are installed (``installed``).  Each scenario here crashes the
+migration driver at one of those points, or SIGKILLs the source/target
+worker mid-copy, and requires:
+
+* a failure **before** the commit point (the ``topology.json``
+  replace) leaves the cluster exactly as it was — same epoch, same
+  shard count, every acked write still served — and the split can
+  simply be retried;
+* a failure **after** the commit point leaves the *new* topology
+  authoritative: a cluster restart
+  (:meth:`~repro.server.shard.ShardManager.from_workdir`) comes up on
+  the rebalanced partition;
+* in every case, restart recovery is exact — each acked write reads
+  back with its acked value, once (the ranged check would double-count
+  an orphan leaking past the router's ownership filter) — and each
+  worker's WAL replays offline into a sanitizer-clean index whose
+  moving-range contents carry the acked values.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import CrashError, ReproError
+from repro.sanitize import check_structure
+from repro.server import QueryClient, ShardManager
+from repro.server.router import ShardRouter
+from repro.storage import recover_index
+
+DIMS = 2
+WIDTH = 16
+
+#: Phases before the atomic topology replace: a crash there must be a
+#: clean no-op abort.
+PRE_COMMIT = ("spawned", "copied", "fenced")
+#: Phases at or after the commit point: the new topology is live.
+POST_COMMIT = ("persisted", "installed")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def seeded_keys(n, seed):
+    rng = random.Random(seed)
+    seen = set()
+    while len(seen) < n:
+        seen.add((rng.randrange(1 << WIDTH), rng.randrange(1 << WIDTH)))
+    return sorted(seen)
+
+
+def make_manager(tmp_path, shards=2, sample=None):
+    return ShardManager(
+        shards,
+        dims=DIMS,
+        widths=WIDTH,
+        page_capacity=8,
+        workdir=tmp_path,
+        sample_keys=sample,
+    )
+
+
+async def _oracle_readback(router, values, maybe=None):
+    """Every acked write, point-read and range-read, exactly once.
+
+    ``maybe`` holds writes whose ack never reached the client (the
+    connection died mid-request): those are allowed to be present with
+    the written value — a write can be durable without being acked —
+    but nothing else may appear, and nothing may appear twice.
+    """
+    maybe = maybe or {}
+    host, port = router.address
+    client = await QueryClient.connect(host, port, negotiate=True)
+    async with client:
+        every = sorted(values)
+        assert await client.search_many(every) == [
+            values[key] for key in every
+        ]
+        ranged = await client.range_search(
+            (0, 0), ((1 << WIDTH) - 1, (1 << WIDTH) - 1)
+        )
+        got = {}
+        for key, value in ranged:
+            got[tuple(key)] = value
+        assert len(got) == len(ranged), "a key was returned twice"
+        for key, value in got.items():
+            expected = values.get(key, maybe.get(key))
+            assert expected == value, (
+                f"key {key} served as {value!r}, expected {expected!r}"
+            )
+        assert set(values) <= set(got)
+
+
+def _restart_and_verify(tmp_path, values, expect_shards, maybe=None):
+    """The recovery path: reboot the cluster from its workdir and
+    require the exact acked state on the expected topology."""
+    manager = ShardManager.from_workdir(tmp_path, page_capacity=8)
+    assert manager.shards == expect_shards
+    manager.start()
+    try:
+
+        async def scenario():
+            async with ShardRouter(manager) as router:
+                await _oracle_readback(router, values, maybe)
+
+        run(scenario())
+    finally:
+        manager.stop()
+
+
+def _offline_wal_check(tmp_path, values, maybe=None):
+    """Each worker WAL must replay into a sanitizer-clean index, and the
+    union of the replayed contents must carry every acked value (a
+    not-yet-evicted orphan is a duplicate with the same value — never a
+    lost or torn write).  ``maybe`` keys (unacked, outcome unknown) may
+    or may not be present, but never with a torn value."""
+    maybe = maybe or {}
+    wals = sorted(tmp_path.glob("shard-*.pages"))
+    assert wals
+    recovered = {}
+    for wal in wals:
+        index = recover_index(str(wal))
+        if index is None:
+            continue
+        check_structure(index)
+        try:
+            for key, acked in list(values.items()) + list(maybe.items()):
+                if key in index:
+                    found = index.search(key)
+                    assert found == acked, (
+                        f"{wal.name}: key {key} recovered as {found!r}, "
+                        f"written as {acked!r}"
+                    )
+                    if key in values:
+                        recovered[key] = found
+        finally:
+            index.store.close()
+    assert recovered == values
+
+
+class TestCrashDuringSplit:
+    @pytest.mark.parametrize("label", PRE_COMMIT)
+    def test_pre_commit_crash_is_a_clean_abort(self, tmp_path, label):
+        keys = seeded_keys(96, seed=83)
+        values = {key: i for i, key in enumerate(keys)}
+        manager = make_manager(tmp_path, shards=2, sample=keys)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager, max_inflight=256) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        await client.insert_many(
+                            [(key, values[key]) for key in keys]
+                        )
+
+                        def crash(phase):
+                            if phase == label:
+                                raise CrashError(f"driver died at {phase}")
+
+                        router.migrator.failpoint = crash
+                        with pytest.raises(CrashError):
+                            await router.migrator.split(shard=0)
+                        # the cluster is exactly as it was: no epoch
+                        # bump, no extra shard, nothing lost
+                        assert router.epoch == 1
+                        assert manager.epoch == 1
+                        assert len(manager.specs) == 2
+                        await _oracle_readback(router, values)
+                        # and the abort is retryable: the same split,
+                        # un-sabotaged, now lands
+                        router.migrator.failpoint = None
+                        split = await router.migrator.split(shard=0)
+                        assert split["shards"] == 3
+                        assert router.epoch == 2
+                        await _oracle_readback(router, values)
+
+            run(scenario())
+        finally:
+            manager.stop()
+        _restart_and_verify(tmp_path, values, expect_shards=3)
+        _offline_wal_check(tmp_path, values)
+
+    @pytest.mark.parametrize("label", POST_COMMIT)
+    def test_post_commit_crash_recovers_to_the_new_topology(
+        self, tmp_path, label
+    ):
+        keys = seeded_keys(96, seed=89)
+        values = {key: i for i, key in enumerate(keys)}
+        manager = make_manager(tmp_path, shards=2, sample=keys)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager, max_inflight=256) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        await client.insert_many(
+                            [(key, values[key]) for key in keys]
+                        )
+
+                        def crash(phase):
+                            if phase == label:
+                                raise CrashError(f"driver died at {phase}")
+
+                        router.migrator.failpoint = crash
+                        # the topology replace already happened: the
+                        # crash is after the commit point, so the split
+                        # is durable even though the driver died
+                        with pytest.raises(CrashError):
+                            await router.migrator.split(shard=0)
+                        assert manager.epoch == 2
+                        assert len(manager.specs) == 3
+
+            run(scenario())
+        finally:
+            # SIGTERM everything — including the committed target, which
+            # checkpoints the moved range it now owns
+            manager.stop()
+        _restart_and_verify(tmp_path, values, expect_shards=3)
+        _offline_wal_check(tmp_path, values)
+
+
+class TestKillWorkerDuringSplit:
+    def test_source_worker_fail_stop_mid_copy(self, tmp_path):
+        clients_n = 4
+        preload = seeded_keys(80, seed=97)
+        live = [k for k in seeded_keys(140, seed=98)
+                if k not in set(preload)][: clients_n * 8]
+        values = {key: i for i, key in enumerate(preload)}
+        live_values = {key: 1000 + i for i, key in enumerate(live)}
+        maybe = {}
+        manager = make_manager(tmp_path, shards=2, sample=preload)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(
+                    manager, max_inflight=256, connect_timeout=2.0
+                ) as router:
+                    host, port = router.address
+                    admin = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    writers = [
+                        await QueryClient.connect(host, port, negotiate=True)
+                        for _ in range(clients_n)
+                    ]
+                    try:
+                        await admin.insert_many(
+                            [(key, values[key]) for key in preload]
+                        )
+
+                        def crash(phase):
+                            if phase == "copied":
+                                manager.kill(0)  # fail-stop the source
+
+                        router.migrator.failpoint = crash
+
+                        async def one_writer(client, share):
+                            # An errored insert was never acked, so it
+                            # is not owed — but it may still have been
+                            # group-committed before the kill, so its
+                            # outcome is unknown rather than absent.
+                            acked, unknown = {}, {}
+                            for key in share:
+                                try:
+                                    await client.insert(
+                                        key, live_values[key]
+                                    )
+                                except (ReproError, ConnectionError,
+                                        OSError):
+                                    unknown[key] = live_values[key]
+                                    continue
+                                acked[key] = live_values[key]
+                            return acked, unknown
+
+                        shares = [
+                            live[c::clients_n] for c in range(clients_n)
+                        ]
+                        write_tasks = [
+                            asyncio.ensure_future(one_writer(c, s))
+                            for c, s in zip(writers, shares)
+                        ]
+                        with pytest.raises(
+                            (ReproError, ConnectionError, OSError)
+                        ):
+                            await asyncio.wait_for(
+                                router.migrator.split(shard=0), timeout=30.0
+                            )
+                        for acked, unknown in await asyncio.gather(
+                            *write_tasks
+                        ):
+                            values.update(acked)
+                            maybe.update(unknown)
+                        # no commit happened: the topology is unchanged
+                        assert manager.epoch == 1
+                        assert len(manager.specs) == 2
+                    finally:
+                        await admin.close()
+                        for client in writers:
+                            await client.close()
+
+            run(scenario())
+        finally:
+            manager.stop()
+        # Every write acked before or during the crash was group-
+        # committed to the source WAL before its future resolved, so a
+        # restart serves all of it — fail-stop loses nothing acked.
+        _restart_and_verify(tmp_path, values, expect_shards=2, maybe=maybe)
+        _offline_wal_check(tmp_path, values, maybe=maybe)
+
+    def test_target_worker_fail_stop_mid_copy(self, tmp_path):
+        keys = seeded_keys(96, seed=101)
+        values = {key: i for i, key in enumerate(keys)}
+        manager = make_manager(tmp_path, shards=2, sample=keys)
+        manager.start()
+        spawned = {}
+        real_spawn = manager.spawn_worker
+
+        def spying_spawn():
+            out = real_spawn()
+            spawned["proc"] = out[1]
+            return out
+
+        manager.spawn_worker = spying_spawn
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager, max_inflight=256) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        await client.insert_many(
+                            [(key, values[key]) for key in keys]
+                        )
+
+                        def crash(phase):
+                            if phase == "copied":
+                                spawned["proc"].kill()  # fail-stop target
+
+                        router.migrator.failpoint = crash
+                        with pytest.raises(
+                            (ReproError, ConnectionError, OSError)
+                        ):
+                            await asyncio.wait_for(
+                                router.migrator.split(shard=0), timeout=30.0
+                            )
+                        # pre-commit: clean abort, nothing changed
+                        assert manager.epoch == 1
+                        assert len(manager.specs) == 2
+                        await _oracle_readback(router, values)
+                        # the dead target's WAL was discarded, so the
+                        # retry forks a fresh worker and succeeds
+                        router.migrator.failpoint = None
+                        split = await router.migrator.split(shard=0)
+                        assert split["shards"] == 3
+                        await _oracle_readback(router, values)
+
+            run(scenario())
+        finally:
+            manager.stop()
+        _restart_and_verify(tmp_path, values, expect_shards=3)
+        _offline_wal_check(tmp_path, values)
