@@ -1,0 +1,81 @@
+"""The ``repro profile`` harness: cProfile over bench cells.
+
+Performance work in this repo is profile-driven: rather than guessing
+at hot loops, run the same workloads the regression bench measures
+under :mod:`cProfile` and read the cumulative-time report.  The report
+committed as ``PROFILE_pr9.txt`` is the artifact behind PR 9's hot-loop
+changes (struct page codecs, table-driven Morton, the aggregator's
+adaptive window, buffered session replies) — regenerate it with::
+
+    repro profile --n 2000 --out PROFILE.txt
+
+and diff the top entries before and after a change.
+
+Profiling instrumentation costs real time (every Python call is
+intercepted), so the numbers here are for *ranking* work, never for
+reporting throughput — the uninstrumented ``repro bench`` owns that.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Callable, Sequence
+
+from repro.bench.regression import BenchCell, run_cell
+
+__all__ = ["DEFAULT_PROFILE_CELLS", "profile_cells"]
+
+#: The cells worth profiling: the embedded single-op path (descent and
+#: page codecs), the batched path (Morton interleave and the batch
+#: executors), and the served path (wire codecs, session dispatch and
+#: the aggregator window).  Multi-process modes are excluded — the
+#: profiler only sees the parent.
+DEFAULT_PROFILE_CELLS: "tuple[BenchCell, ...]" = (
+    BenchCell("table2", "BMEHTree", 8, "memory", "single"),
+    BenchCell("table2", "BMEHTree", 8, "file+wal", "single"),
+    BenchCell("table2", "BMEHTree", 8, "memory", "batched"),
+    BenchCell("table2", "BMEHTree", 8, "file+wal", "served"),
+)
+
+
+def profile_cells(
+    cells: Sequence[BenchCell],
+    n: int,
+    *,
+    top: int = 25,
+    pool_capacity: int = 256,
+    page_size: int = 8192,
+    sort: str = "cumulative",
+    progress: "Callable[[str], None] | None" = None,
+) -> str:
+    """Run each cell under cProfile; return the concatenated reports.
+
+    Each section is the cell's label followed by the top ``top``
+    functions by ``sort`` order (``cumulative`` ranks by inclusive
+    time, which is what points at the loop *owning* the cost;
+    ``tottime`` ranks by self time, which points at the body to
+    rewrite).
+    """
+    sections = []
+    for cell in cells:
+        if progress is not None:
+            progress(cell.label)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            run_cell(
+                cell,
+                n=n,
+                pool_capacity=pool_capacity,
+                page_size=page_size,
+            )
+        finally:
+            profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats(sort).print_stats(top)
+        sections.append(f"== {cell.label} (n={n}, sort={sort}) ==\n"
+                        f"{stream.getvalue()}")
+    return "\n".join(sections)

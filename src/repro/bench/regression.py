@@ -194,8 +194,14 @@ def _make_store(
             pool=BufferPool(pool_capacity),
         )
     if backend == "file+wal":
+        # The crash-safe path runs behind the pool too: group commit
+        # flushes buffered write-backs before the COMMIT record, so
+        # durability is unchanged while reads stop paying a decode per
+        # access.  Logical metrics stay byte-identical to plain "file"
+        # (the WAL-transparency gate), only the physical ledger shrinks.
         return PageStore(
-            WALBackend(path, page_size=page_size, checkpoint_every=1024)
+            WALBackend(path, page_size=page_size, checkpoint_every=1024),
+            pool=BufferPool(pool_capacity),
         )
     raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
@@ -566,6 +572,57 @@ def compare_with_baseline(
     failures.extend(sharded_scaling_failures(current_results))
     failures.extend(migration_loss_failures(current_results))
     return failures, current_results
+
+
+def binary_speedup_failures(
+    results: Sequence[Mapping],
+    reference: Mapping,
+    min_ratio: float = 5.0,
+) -> list[str]:
+    """The binary fast path's headline gate.
+
+    Every served cell present in both the current run and the
+    ``reference`` baseline (matched on cell + ``n``) must beat the
+    reference throughput by ``min_ratio`` in *both* directions — acked
+    writes and verifying reads.  The reference is a frozen pre-binary
+    baseline (``BENCH_pr5.json``: JSON payloads, pickle-framed pages),
+    so unlike the ±tolerance diff gate this is an absolute claim about
+    the struct codecs + v3 payloads + hot-loop work, not "no worse
+    than yesterday".  Matching no cell at all is itself a failure — a
+    renamed cell must not silently disable the gate.
+    """
+    by_cell = {
+        (_cell_of(base).label, base["n"]): base
+        for base in reference["results"]
+        if base.get("mode") == "served"
+    }
+    failures: list[str] = []
+    matched = False
+    for result in results:
+        if result.get("mode") != "served":
+            continue
+        base = by_cell.get((_cell_of(result).label, result["n"]))
+        if base is None:
+            continue
+        matched = True
+        label = f"{_cell_of(result).label}/n={result['n']}"
+        for name in ("served_write_ops_per_s", "served_read_ops_per_s"):
+            old = base["metrics"].get(name)
+            new = result["metrics"].get(name)
+            if not old or new is None:
+                continue
+            if new < min_ratio * old:
+                failures.append(
+                    f"{label}: {name} {new} is only {new / old:.2f}x the "
+                    f"pre-binary baseline's {old} — the binary fast path "
+                    f"must hold >= {min_ratio}x"
+                )
+    if not matched:
+        failures.append(
+            "binary speedup gate matched no served cell between the "
+            "current run and the reference baseline"
+        )
+    return failures
 
 
 def format_results(results: Sequence[Mapping]) -> str:

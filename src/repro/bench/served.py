@@ -43,15 +43,25 @@ _PIPELINE_CHUNK = 16
 async def _drive_writes(
     clients: Sequence[Any], shares: Sequence[Sequence], values: dict
 ) -> None:
-    """Each client pipelines its share of inserts in admission-sized
-    chunks; ``values`` records what each key was acknowledged with."""
+    """Each client keeps a sliding window of inserts in flight;
+    ``values`` records what each key was acknowledged with.
+
+    A window, not chunked gathers: chunking drains the whole pipeline
+    at every chunk boundary, so the server sees bursts separated by
+    idle gaps and the cell under-measures both throughput and
+    coalescing.  Here each of ``_PIPELINE_CHUNK`` workers per client
+    always has one request in flight, so the connection's pipeline
+    depth stays at the admission limit for the whole arm.
+    """
 
     async def one_client(client: Any, share: Sequence) -> None:
-        for start in range(0, len(share), _PIPELINE_CHUNK):
-            chunk = share[start:start + _PIPELINE_CHUNK]
-            await asyncio.gather(
-                *(client.insert(key, values[key]) for key in chunk)
-            )
+        pending = iter(share)
+
+        async def worker() -> None:
+            for key in pending:
+                await client.insert(key, values[key])
+
+        await asyncio.gather(*(worker() for _ in range(_PIPELINE_CHUNK)))
 
     await asyncio.gather(
         *(one_client(c, s) for c, s in zip(clients, shares))
@@ -61,26 +71,27 @@ async def _drive_writes(
 async def _drive_reads(
     clients: Sequence[Any], shares: Sequence[Sequence], values: dict
 ) -> int:
-    """Each client reads back its own keys; returns the mismatch count."""
-    mismatches = 0
+    """Each client reads back its own keys through the same sliding
+    window; returns the mismatch count."""
 
     async def one_client(client: Any, share: Sequence) -> int:
+        pending = iter(share)
         wrong = 0
-        for start in range(0, len(share), _PIPELINE_CHUNK):
-            chunk = share[start:start + _PIPELINE_CHUNK]
-            got = await asyncio.gather(
-                *(client.search(key) for key in chunk)
-            )
-            for key, value in zip(chunk, got):
-                if value != values[key]:
+
+        async def worker() -> None:
+            nonlocal wrong
+            for key in pending:
+                if await client.search(key) != values[key]:
                     wrong += 1
+
+        await asyncio.gather(*(worker() for _ in range(_PIPELINE_CHUNK)))
         return wrong
 
-    for wrong in await asyncio.gather(
-        *(one_client(c, s) for c, s in zip(clients, shares))
-    ):
-        mismatches += wrong
-    return mismatches
+    return sum(
+        await asyncio.gather(
+            *(one_client(c, s) for c, s in zip(clients, shares))
+        )
+    )
 
 
 def run_served_cell(
@@ -110,11 +121,13 @@ def run_served_cell(
             # Admission sized to the offered load: the cell measures
             # coalescing, not backpressure (the stress tests cover that).
             async with QueryServer(
-                file, max_inflight=concurrency * _PIPELINE_CHUNK
+                file,
+                max_inflight=concurrency * _PIPELINE_CHUNK,
+                session_pipeline=_PIPELINE_CHUNK,
             ) as server:
                 host, port = server.address
                 clients = [
-                    await QueryClient.connect(host, port)
+                    await QueryClient.connect(host, port, negotiate=True)
                     for _ in range(concurrency)
                 ]
                 try:

@@ -49,6 +49,13 @@ DEFAULT_CONCURRENCY = 8
 #: Minimum busiest-shard CPU speedup required of the scaled arm, for
 #: both the write and the read phase.
 SCALING_FLOOR = 2.5
+#: The floor applied below :data:`SCALING_FULL_N` keys.  Per-phase fixed
+#: CPU (aggregator window timers, STATS serving) stops being negligible
+#: once the binary fast path cut the per-op cost, so a smoke-sized cell
+#: only has to prove the partition balances at all; the full 2.5x claim
+#: is gated at the committed n=2000 scale.
+SCALING_SMOKE_FLOOR = 1.2
+SCALING_FULL_N = 1000
 #: Pseudo-key bits per dimension (the served cell's convention).
 _WIDTH = 31
 
@@ -271,8 +278,10 @@ def sharded_scaling_failures(results: Sequence[Mapping]) -> list[str]:
 
     For every ``mode == "sharded"`` cell: the busiest-shard CPU speedup
     of the scaled arm must reach :data:`SCALING_FLOOR` for both phases
-    (near-linear range-partition scaling), every shard must keep its
-    group commit coalesced (< 1 WAL commit per acknowledged write), and
+    (near-linear range-partition scaling; smoke-sized cells below
+    :data:`SCALING_FULL_N` keys only have to clear
+    :data:`SCALING_SMOKE_FLOOR`), every shard must keep its group
+    commit coalesced (< 1 WAL commit per acknowledged write), and
     reads must observe exactly what was acknowledged.
     """
     failures = []
@@ -285,12 +294,17 @@ def sharded_scaling_failures(results: Sequence[Mapping]) -> list[str]:
         )
         m = result["metrics"]
         arms = result.get("shard_arms", DEFAULT_SHARD_ARMS)
+        floor = (
+            SCALING_FLOOR
+            if result.get("n", SCALING_FULL_N) >= SCALING_FULL_N
+            else SCALING_SMOKE_FLOOR
+        )
         for phase in ("write", "read"):
             value = m.get(f"sharded_{phase}_scaling")
-            if value is not None and value < SCALING_FLOOR:
+            if value is not None and value < floor:
                 failures.append(
                     f"{label}: {phase} critical-path speedup {value}x at "
-                    f"{arms[-1]} shards is below the {SCALING_FLOOR}x "
+                    f"{arms[-1]} shards is below the {floor}x "
                     "floor — the partition is not balancing the work"
                 )
         ratio = m.get("sharded_commits_per_write_max")

@@ -108,9 +108,11 @@ def from_bitstring(bits: str) -> tuple[int, int]:
 
 
 #: Widest dimensionality served by the table-driven Morton fast path.
-#: Beyond d=4 the spread tables stop paying for their cache footprint
-#: and the generic loop takes over.
-_TABLE_DIMS = 4
+#: Each distinct d costs one 256-entry spread table plus a d x 256
+#: gather wheel, built lazily on first use; past this bound a key is
+#: exotic enough that the generic bit loop is acceptable and the table
+#: memory is not.
+_TABLE_DIMS = 64
 _SPREAD_TABLES: "dict[int, tuple[int, ...]]" = {}
 _GATHER_TABLES: "dict[int, tuple[tuple[int, ...], ...]]" = {}
 
@@ -185,6 +187,63 @@ def _deinterleave_bytes(value: int, dims: int, width: int) -> "tuple[int, ...]":
     return tuple(codes)
 
 
+def _interleave_segments(
+    codes: "tuple[int, ...]", widths: "tuple[int, ...]"
+) -> int:
+    """Unequal-width interleave as a cascade of equal-width segments.
+
+    For the first ``m = min(live widths)`` rounds every live dimension
+    contributes a bit, which is exactly an equal-width interleave of
+    each dimension's top ``m`` bits — one table pass.  Dimensions whose
+    width is exhausted then drop out of the rotation (the split rule's
+    exhausted-axis skipping) and the remaining suffixes recurse.  The
+    cascade runs at most ``len(set(widths))`` table passes instead of
+    one Python-loop iteration per bit.
+    """
+    live = [(code, width) for code, width in zip(codes, widths) if width > 0]
+    result = 0
+    while live:
+        if len(live) == 1:
+            code, width = live[0]
+            return (result << width) | code
+        m = min(width for _, width in live)
+        heads = tuple(code >> (width - m) for code, width in live)
+        result = (result << (m * len(live))) | _interleave_bytes(
+            heads, len(live)
+        )
+        live = [
+            (code & low_mask(width - m), width - m)
+            for code, width in live
+            if width > m
+        ]
+    return result
+
+
+def _deinterleave_segments(
+    value: int, widths: "tuple[int, ...]"
+) -> "tuple[int, ...]":
+    """Invert :func:`_interleave_segments` segment by segment."""
+    codes = [0] * len(widths)
+    remaining = list(widths)
+    live = [j for j, width in enumerate(widths) if width > 0]
+    total = sum(widths)
+    consumed = 0
+    while live:
+        m = min(remaining[j] for j in live)
+        dims = len(live)
+        consumed += m * dims
+        segment = (value >> (total - consumed)) & low_mask(m * dims)
+        heads = (
+            (segment,) if dims == 1
+            else _deinterleave_bytes(segment, dims, m)
+        )
+        for j, head in zip(live, heads):
+            codes[j] = (codes[j] << m) | head
+            remaining[j] -= m
+        live = [j for j in live if remaining[j] > 0]
+    return tuple(codes)
+
+
 def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
     """Bit-interleave key components into one z-order value.
 
@@ -197,15 +256,19 @@ def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
     the natural input order for streaming loads (and the batch order of
     the ``*_many`` executors).
 
-    Equal-width keys of up to :data:`_TABLE_DIMS` dimensions take a
-    byte-at-a-time path over precomputed spread tables; unequal widths
-    (where exhausted axes drop out of the rotation) use the bit loop.
+    Keys of up to :data:`_TABLE_DIMS` dimensions take byte-at-a-time
+    paths over precomputed spread tables — directly for equal widths,
+    as a cascade of equal-width segments for unequal ones (exhausted
+    axes drop out of the rotation at segment boundaries).  The generic
+    bit loop remains as the reference and the exotic-``d`` fallback.
     """
     if len(codes) != len(widths):
         raise ValueError("one code per width required")
     dims = len(widths)
-    if 1 <= dims <= _TABLE_DIMS and min(widths) == max(widths):
-        return _interleave_bytes(codes, dims)
+    if 1 <= dims <= _TABLE_DIMS:
+        if min(widths) == max(widths):
+            return _interleave_bytes(codes, dims)
+        return _interleave_segments(codes, widths)
     result = 0
     for position in range(1, max(widths) + 1):
         for code, width in zip(codes, widths):
@@ -217,8 +280,10 @@ def interleave(codes: "tuple[int, ...]", widths: "tuple[int, ...]") -> int:
 def deinterleave(value: int, widths: "tuple[int, ...]") -> "tuple[int, ...]":
     """Invert :func:`interleave`."""
     dims = len(widths)
-    if 1 <= dims <= _TABLE_DIMS and min(widths) == max(widths):
-        return _deinterleave_bytes(value, dims, widths[0])
+    if 1 <= dims <= _TABLE_DIMS:
+        if min(widths) == max(widths):
+            return _deinterleave_bytes(value, dims, widths[0])
+        return _deinterleave_segments(value, widths)
     total = sum(widths)
     codes = [0] * len(widths)
     consumed = 0

@@ -8,6 +8,7 @@ Commands:
 * ``stats --scheme S --workload W [--n N] [-b B]`` — build one index and
   print its structural profile;
 * ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]
+  [--speedup-vs BASELINE [--speedup-min R]]
   [--modes single batched rangepar served sharded] [--batch-size K]
   [--parallelism P]``
   — run the benchmark suite over memory / file / file+pool / file+wal
@@ -172,6 +173,31 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.profiling import DEFAULT_PROFILE_CELLS, profile_cells
+
+    cells = DEFAULT_PROFILE_CELLS
+    if args.modes:
+        cells = tuple(c for c in cells if c.mode in args.modes)
+        if not cells:
+            print(f"no profile cells for modes {args.modes}",
+                  file=sys.stderr)
+            return 2
+
+    def progress(label: str) -> None:
+        print(f"profiling {label} ...", file=sys.stderr, flush=True)
+
+    report = profile_cells(
+        cells, args.n, top=args.top, sort=args.sort, progress=progress
+    )
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.batched import (
         batched_efficiency_failures,
@@ -183,6 +209,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
+        binary_speedup_failures,
         compare_with_baseline,
         format_results,
         load_baseline,
@@ -195,6 +222,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     def progress(label: str) -> None:
         print(f"running {label} ...", file=sys.stderr, flush=True)
+
+    def speedup_failures(results) -> list:
+        if not args.speedup_vs:
+            return []
+        try:
+            reference = load_baseline(args.speedup_vs)
+        except (OSError, ValueError) as exc:
+            return [
+                f"cannot load speedup reference {args.speedup_vs}: {exc}"
+            ]
+        return binary_speedup_failures(
+            results, reference, min_ratio=args.speedup_min
+        )
 
     if args.compare:
         try:
@@ -215,6 +255,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 page_size=baseline.get("page_size", 8192),
             )
             print(f"\nwrote {args.out}")
+        failures.extend(speedup_failures(results))
         if failures:
             print(
                 f"\n{len(failures)} regression(s) vs {args.compare}:",
@@ -262,6 +303,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures.extend(served_coalescing_failures(results))
     failures.extend(sharded_scaling_failures(results))
     failures.extend(migration_loss_failures(results))
+    failures.extend(speedup_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
@@ -278,13 +320,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core import MultiKeyFile
     from repro.encoding import KeyCodec, UIntEncoder
     from repro.server import QueryServer
-    from repro.storage import PageStore
+    from repro.storage import BufferPool, PageStore
     from repro.storage.wal import WALBackend, recover_index
 
     if args.shards > 1:
         return _serve_sharded(args)
     if args.wal and os.path.exists(args.wal):
-        index = recover_index(args.wal)
+        index = recover_index(args.wal, pool_capacity=args.pool_pages or None)
         codec = KeyCodec([UIntEncoder(w) for w in index.widths])
         file = MultiKeyFile.from_index(codec, index)
         print(
@@ -294,7 +336,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     else:
         codec = KeyCodec([UIntEncoder(args.widths) for _ in range(args.dims)])
-        store = PageStore(backend=WALBackend(args.wal)) if args.wal else None
+        store = None
+        if args.wal:
+            pool = BufferPool(args.pool_pages) if args.pool_pages else None
+            store = PageStore(backend=WALBackend(args.wal), pool=pool)
         file = MultiKeyFile(
             codec, page_capacity=args.page_capacity, store=store
         )
@@ -721,7 +766,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-run a baseline's cells and flag regressions")
     bench.add_argument("--tolerance", type=float, default=0.05,
                        help="relative regression tolerance (default 0.05)")
+    bench.add_argument("--speedup-vs", default=None, metavar="BASELINE",
+                       help="absolute gate: served cells must beat this "
+                            "(pre-binary) baseline's throughput by "
+                            "--speedup-min in both directions")
+    bench.add_argument("--speedup-min", type=float, default=5.0,
+                       help="required served ops/s ratio for "
+                            "--speedup-vs (default 5.0)")
     bench.set_defaults(handler=_cmd_bench)
+
+    profile = commands.add_parser(
+        "profile",
+        help="cProfile the bench workloads (hot-loop ranking report)",
+    )
+    profile.add_argument("--n", type=int, default=2000,
+                         help="insertions per profiled cell (default 2000)")
+    profile.add_argument("--modes", nargs="+", default=None,
+                         choices=["single", "batched", "rangepar", "served"],
+                         help="restrict to these measurement protocols "
+                              "(default: the standard profile suite)")
+    profile.add_argument("--top", type=int, default=25,
+                         help="functions per report section (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=["cumulative", "tottime"],
+                         help="ranking order (default cumulative)")
+    profile.add_argument("--out", default=None,
+                         help="also write the report to this path")
+    profile.set_defaults(handler=_cmd_profile)
 
     stats = commands.add_parser("stats", help="profile one built index")
     stats.add_argument(
@@ -755,6 +826,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 2.0)")
     serve.add_argument("--max-batch", type=int, default=64,
                        help="mutations per coalesced commit (default 64)")
+    serve.add_argument("--pool-pages", type=int, default=256,
+                       help="buffer-pool frames in front of the WAL store "
+                            "(default 256; 0 disables the pool)")
     serve.add_argument("--max-inflight", type=int, default=64,
                        help="global in-flight request budget (default 64)")
     serve.add_argument("--pipeline", type=int, default=16,

@@ -146,14 +146,15 @@ class HashTreeBase(MultidimensionalIndex):
         """Address a node cell from the *unstripped* codes: the node reads
         bits ``consumed[j]+1 .. consumed[j]+H_j`` of each component."""
         index = []
-        for j in range(self._dims):
-            width, spent, take = self._widths[j], consumed[j], depths[j]
+        for code, width, spent, take in zip(
+            codes, self._widths, consumed, depths
+        ):
             if spent + take > width:
                 raise StorageError(
                     f"directory wants bit {spent + take} of a "
-                    f"{width}-bit component (axis {j})"
+                    f"{width}-bit component (axis {len(index)})"
                 )
-            index.append((codes[j] >> (width - spent - take)) & low_mask(take))
+            index.append((code >> (width - spent - take)) & ((1 << take) - 1))
         return tuple(index)
 
     def _descend(self, codes: KeyCodes) -> list[_Step]:
@@ -184,6 +185,7 @@ class HashTreeBase(MultidimensionalIndex):
         node_id = self._root_id
         consumed = (0,) * self._dims
         live = True
+        widths = self._widths
         while True:
             depth = len(path)
             if live and depth < len(cache) and cache[depth].node_id == node_id:
@@ -191,13 +193,28 @@ class HashTreeBase(MultidimensionalIndex):
             else:
                 live = False
                 node = self._store.read(node_id)
-            anchor = self._cell_index(codes, consumed, node.array.depths)
+            # _cell_index, inlined: this is the descent's inner loop and
+            # the call/validation overhead is measurable at bench scale.
+            depths = node.array.depths
+            anchor = []
+            for code, width, spent, take in zip(
+                codes, widths, consumed, depths
+            ):
+                if spent + take > width:
+                    raise StorageError(
+                        f"directory wants bit {spent + take} of a "
+                        f"{width}-bit component (axis {len(anchor)})"
+                    )
+                anchor.append(
+                    (code >> (width - spent - take)) & ((1 << take) - 1)
+                )
+            anchor = tuple(anchor)
             entry = node.array[anchor]
             path.append(_Step(node_id, node, anchor, entry, consumed))
             if not entry.is_node:
                 return path
             consumed = tuple(
-                consumed[j] + entry.h[j] for j in range(self._dims)
+                spent + taken for spent, taken in zip(consumed, entry.h)
             )
             node_id = entry.ptr
 

@@ -96,17 +96,24 @@ class Node:
         return f"Node(level={self.level}, H={self.depths}, xi={self.xi})"
 
 
-class NodeCodec(PageCodec):
-    """Byte image for directory nodes.
+#: Format-version byte leading every v2 node image (tag 0x12); the
+#: legacy tag 0x02 layout has no version byte and stays decode-only.
+_NODE_FORMAT_VERSION = 1
 
-    ``u8 level | u8 dims | dims*u8 xi | u8 steps | steps*u8 axes`` then
-    one record per distinct region entry
+
+class NodeCodec(PageCodec):
+    """Byte image for directory nodes (v2, tag 0x12).
+
+    ``u8 format-version | u8 level | u8 dims | dims*u8 xi | u8 steps |
+    steps*u8 axes`` then one record per distinct region entry
     (``dims*u8 h | u8 m | i64 ptr | u8 is_node | u32 cell-count | cells``)
     where cells are u32 linear addresses.  Replaying the growth axes
-    reconstructs the array's addressing history exactly.
+    reconstructs the array's addressing history exactly.  Decoding works
+    over a ``memoryview`` of the page slot without copying it.
     """
 
-    tag = 0x02
+    tag = 0x12
+    _versioned = True
 
     def handles(self, obj: object) -> bool:
         return isinstance(obj, Node)
@@ -114,6 +121,7 @@ class NodeCodec(PageCodec):
     def encode_body(self, node: Node) -> bytes:
         history_axes = [axis for axis, _ in node.array.history()]
         parts = [
+            b"\x01" if self._versioned else b"",
             struct.pack(
                 f"<BB{node.dims}BB",
                 node.level,
@@ -128,6 +136,7 @@ class NodeCodec(PageCodec):
             entry = node.array.get_at(address)
             if entry is None:
                 raise SerializationError("cannot serialize a node with holes")
+
             groups.setdefault(id(entry), (entry, []))[1].append(address)
         parts.append(struct.pack("<I", len(groups)))
         for entry, addresses in groups.values():
@@ -145,15 +154,24 @@ class NodeCodec(PageCodec):
             parts.append(struct.pack(f"<{len(addresses)}I", *addresses))
         return b"".join(parts)
 
-    def decode_body(self, data: bytes) -> Node:
+    def decode_body(self, data: bytes | memoryview) -> Node:
         try:
-            level, dims = struct.unpack_from("<BB", data, 0)
-            offset = 2
+            offset = 0
+            if self._versioned:
+                if data[0] != _NODE_FORMAT_VERSION:
+                    raise SerializationError(
+                        f"unsupported node format version {data[0]}"
+                    )
+                offset = 1
+            level, dims = struct.unpack_from("<BB", data, offset)
+            offset += 2
             xi = struct.unpack_from(f"<{dims}B", data, offset)
             offset += dims
             (steps,) = struct.unpack_from("<B", data, offset)
             offset += 1
             axes = data[offset : offset + steps]
+            if len(axes) < steps:
+                raise SerializationError("truncated node growth history")
             offset += steps
             node = Node(dims, xi, level)
             for axis in axes:
@@ -172,5 +190,15 @@ class NodeCodec(PageCodec):
                 for address in addresses:
                     node.array.set_at(address, entry)
             return node
-        except struct.error as exc:
+        except (struct.error, IndexError) as exc:
             raise SerializationError(f"corrupt node image: {exc}") from exc
+
+
+class LegacyNodeCodec(NodeCodec):
+    """Decode-only support for pre-version-byte node images (tag 0x02)."""
+
+    tag = 0x02
+    _versioned = False
+
+    def handles(self, obj: object) -> bool:
+        return False  # encode always uses the current format

@@ -22,7 +22,14 @@ class ExtendibleArray:
     ``t`` occupies addresses ``[2^t, 2^{t+1})``.
     """
 
-    __slots__ = ("_dims", "_depths", "_cells", "_history", "_axis_steps")
+    __slots__ = (
+        "_dims",
+        "_depths",
+        "_cells",
+        "_history",
+        "_axis_steps",
+        "_addr_cache",
+    )
 
     def __init__(self, dims: int, fill: Any = None) -> None:
         if dims < 1:
@@ -34,6 +41,10 @@ class ExtendibleArray:
         self._history: list[tuple[int, tuple[int, ...]]] = []
         # Per axis: global step number of each of its doublings.
         self._axis_steps: list[list[int]] = [[] for _ in range(dims)]
+        # Lazily built {index tuple: address} map; the mapping only
+        # changes when the shape does, so growth/shrink drop it and the
+        # next :meth:`address` call rebuilds it in one pass.
+        self._addr_cache: dict[tuple[int, ...], int] | None = None
 
     # -- shape ---------------------------------------------------------------
 
@@ -56,22 +67,40 @@ class ExtendibleArray:
     # -- addressing ----------------------------------------------------------
 
     def address(self, index: Sequence[int]) -> int:
-        """Linear address of a cell; raises IndexError when out of range."""
+        """Linear address of a cell; raises IndexError when out of range.
+
+        This is the innermost call of every directory descent.  Valid
+        addresses change only at a doubling, so the first lookup after a
+        growth step builds a flat ``{index: address}`` map and every
+        descent until the next doubling is a dict hit; the history scan
+        below survives as the rebuild step and the error path.
+        """
+        cache = self._addr_cache
+        if cache is None:
+            cache = self._addr_cache = {
+                self.index_of(a): a for a in range(len(self._cells))
+            }
+        found = cache.get(index if type(index) is tuple else tuple(index))
+        if found is not None:
+            return found
+        # Not a valid index: re-derive the precise complaint.
         if len(index) != self._dims:
             raise IndexError(f"index {index!r} is not a {self._dims}-tuple")
-        for j, i in enumerate(index):
-            if not 0 <= i < (1 << self._depths[j]):
-                raise IndexError(
-                    f"coordinate {i} outside [0, {1 << self._depths[j]}) "
-                    f"on axis {j}"
-                )
-        if max(index) == 0:
-            return 0
-        # The creating step is the latest doubling any coordinate needed.
+        depths = self._depths
+        axis_steps = self._axis_steps
         step = -1
         for j, i in enumerate(index):
-            if i > 0:
-                step = max(step, self._axis_steps[j][i.bit_length() - 1])
+            if not 0 <= i < (1 << depths[j]):
+                raise IndexError(
+                    f"coordinate {i} outside [0, {1 << depths[j]}) "
+                    f"on axis {j}"
+                )
+            if i:
+                creating = axis_steps[j][i.bit_length() - 1]
+                if creating > step:
+                    step = creating
+        if step < 0:
+            return 0
         axis, before = self._history[step]
         base = 1 << step  # total cells before the creating step
         s = before[axis]
@@ -155,8 +184,14 @@ class ExtendibleArray:
         old_size = len(self._cells)
         top = 1 << before[axis]
         self._cells.extend([None] * old_size)
+        # Appending never moves a cell, so an existing address cache
+        # stays valid — extend it with the new block instead of
+        # invalidating (the new index tuples fall out of the loop).
+        cache = self._addr_cache
         for address in range(old_size, 2 * old_size):
             index = list(self.index_of(address))
+            if cache is not None:
+                cache[tuple(index)] = address
             index[axis] -= top
             buddy = self._cells[self.address(index)]
             self._cells[address] = buddy if clone is None else clone(buddy)
@@ -176,6 +211,7 @@ class ExtendibleArray:
         """
         if not 0 <= axis < self._dims:
             raise ValueError(f"axis {axis} outside [0, {self._dims})")
+        self._addr_cache = None
         old_values = list(self._cells)
         old_address = self.address  # addresses of old-shape tuples are stable
         before = tuple(self._depths)
@@ -199,6 +235,7 @@ class ExtendibleArray:
         """
         if not self._history:
             raise ValueError("cannot shrink a single-cell array")
+        self._addr_cache = None
         axis = self._history[-1][0]
         old_values = list(self._cells)
         old_index_of = [self.index_of(a) for a in range(len(self._cells))]
@@ -225,6 +262,7 @@ class ExtendibleArray:
         """
         if not self._history:
             raise ValueError("cannot shrink a single-cell array")
+        self._addr_cache = None
         axis, _before = self._history.pop()
         self._axis_steps[axis].pop()
         self._depths[axis] -= 1

@@ -31,6 +31,16 @@ Four rules, each guarding an invariant the runtime sanitizer cannot see:
   the aggregator so concurrent writes coalesce into one group commit
   and the latch discipline holds; a session or handler mutating the
   index directly races the aggregator's batches and splits commits.
+* **REP107 hot-path-json** — calling ``json.dumps`` / ``json.loads``
+  (or their file-object forms) from service-layer code outside the two
+  modules that own the textual fallback: ``server/protocol.py`` (the
+  v1/v2 frame body and negotiation) and ``server/binpayload.py`` (the
+  v3 JSON escape hatch).  The binary fast path exists so that no hot
+  request pays a JSON round-trip; a stray ``json.*`` call in a session,
+  aggregator, router or client quietly reintroduces the cost the v3
+  negotiation removed.  ``server/shard.py`` is also exempt: its JSON is
+  the on-disk topology file, written once per topology change — an
+  administrative cold path, not wire traffic.
 
 Run via ``repro lint`` (exit 1 on findings) or ``repro check``.
 """
@@ -55,7 +65,18 @@ BACKEND_ALLOWED = ("storage/disk.py", "storage/wal.py")
 #: that the *receiving* worker routes through its own aggregator.
 SERVER_MUTATION_ALLOWED = ("server/aggregator.py", "server/migrate.py")
 
+#: Service-layer files allowed to call ``json.*``: the protocol module
+#: (v1/v2 frame bodies and version negotiation), the payload codec's
+#: JSON escape hatch, and the shard manager (whose JSON is the on-disk
+#: topology file — administrative cold path, not per-op wire traffic).
+SERVER_JSON_ALLOWED = (
+    "server/protocol.py",
+    "server/binpayload.py",
+    "server/shard.py",
+)
+
 _BACKEND_METHODS = frozenset({"load", "store", "discard"})
+_JSON_CODEC_FUNCS = frozenset({"dumps", "loads", "dump", "load"})
 _INDEX_MUTATORS = frozenset(
     {"insert", "delete", "insert_many", "delete_many"}
 )
@@ -99,15 +120,37 @@ def _terminal_name(node: ast.expr) -> str | None:
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, *, check_backend: bool,
                  check_annotations: bool,
-                 check_server_mutation: bool = False) -> None:
+                 check_server_mutation: bool = False,
+                 check_hot_json: bool = False) -> None:
         self.path = path
         self.check_backend = check_backend
         self.check_annotations = check_annotations
         self.check_server_mutation = check_server_mutation
+        self.check_hot_json = check_hot_json
         self.issues: list[LintIssue] = []
         # Nesting stack of 'class' / 'function' scopes: REP104 applies to
         # module-level functions and methods, not to nested helpers.
         self._scopes: list[str] = []
+        # REP107 alias tracking: names bound to the json module
+        # (``import json [as j]``) and to its codec functions
+        # (``from json import dumps [as d]``).
+        self._json_modules: set[str] = set()
+        self._json_funcs: set[str] = set()
+
+    # -- REP107 import tracking ------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "json":
+                self._json_modules.add(alias.asname or "json")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "json":
+            for alias in node.names:
+                if alias.name in _JSON_CODEC_FUNCS:
+                    self._json_funcs.add(alias.asname or alias.name)
+        self.generic_visit(node)
 
     def _issue(self, node: ast.AST, code: str, message: str) -> None:
         self.issues.append(
@@ -153,6 +196,26 @@ class _Linter(ast.NodeVisitor):
                 "(server/aggregator.py) so concurrent writes coalesce "
                 "into one group commit",
             )
+        if self.check_hot_json:
+            hot_json = (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _JSON_CODEC_FUNCS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in self._json_modules
+            ) or (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._json_funcs
+            )
+            if hot_json:
+                name = _terminal_name(node.func)
+                self._issue(
+                    node,
+                    "REP107",
+                    f"json.{name}() on the service hot path — binary "
+                    "payloads (server/binpayload.py) carry v3 traffic; "
+                    "JSON belongs only in protocol.py's v1/v2 fallback "
+                    "and negotiation",
+                )
         self.generic_visit(node)
 
     # -- REP102: float equality ------------------------------------------------
@@ -254,6 +317,7 @@ def lint_source(
     check_backend: bool = True,
     check_annotations: bool = False,
     check_server_mutation: bool = False,
+    check_hot_json: bool = False,
 ) -> list[LintIssue]:
     """Lint one module's source text; returns findings (possibly empty)."""
     try:
@@ -270,6 +334,7 @@ def lint_source(
         check_backend=check_backend,
         check_annotations=check_annotations,
         check_server_mutation=check_server_mutation,
+        check_hot_json=check_hot_json,
     )
     linter.visit(tree)
     return sorted(linter.issues, key=lambda i: (i.line, i.col, i.code))
@@ -280,7 +345,8 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
 
     Rule scoping: REP101 everywhere except the accounting layer itself;
     REP104 only under ``core/``; REP102/REP103 everywhere; REP106 under
-    ``server/`` except the write aggregator.
+    ``server/`` except the write aggregator; REP107 under ``server/``
+    except the protocol/payload codecs and the topology file.
     """
     roots = [Path(p) for p in paths] if paths else [repo_source_root()]
     files: list[Path] = []
@@ -294,9 +360,13 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
         posix = file.as_posix()
         check_backend = not any(posix.endswith(a) for a in BACKEND_ALLOWED)
         check_annotations = "/core/" in posix or "\\core\\" in str(file)
-        check_server_mutation = (
-            "/server/" in posix or "\\server\\" in str(file)
-        ) and not any(posix.endswith(a) for a in SERVER_MUTATION_ALLOWED)
+        in_server = "/server/" in posix or "\\server\\" in str(file)
+        check_server_mutation = in_server and not any(
+            posix.endswith(a) for a in SERVER_MUTATION_ALLOWED
+        )
+        check_hot_json = in_server and not any(
+            posix.endswith(a) for a in SERVER_JSON_ALLOWED
+        )
         try:
             source = file.read_text(encoding="utf-8")
         except OSError as exc:
@@ -311,6 +381,7 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
                 check_backend=check_backend,
                 check_annotations=check_annotations,
                 check_server_mutation=check_server_mutation,
+                check_hot_json=check_hot_json,
             )
         )
     return issues

@@ -146,3 +146,14 @@ class ReadWriteGate:
     @property
     def active_readers(self) -> int:
         return self._readers
+
+    @property
+    def writer_idle(self) -> bool:
+        """True when the exclusive side is neither held nor requested.
+
+        The inline read path checks this synchronously on the event
+        loop: with no writer active or queued, a read completing within
+        the same callback cannot overlap a commit window, so it may skip
+        the full gate protocol.
+        """
+        return not (self._writer_active or self._writers_waiting)

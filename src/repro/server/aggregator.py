@@ -81,6 +81,10 @@ DEFAULT_WINDOW = 0.002
 #: Mutations per coalesced group commit, at most.
 DEFAULT_MAX_BATCH = 64
 
+#: The one INSERT success reply — goes straight to the frame encoder,
+#: so one shared instance saves a dict allocation per acked insert.
+_INSERT_OK = {"ok": True}
+
 
 class _Op:
     """One pending mutation: a bound apply thunk plus its future."""
@@ -211,12 +215,15 @@ class WriteAggregator:
                     )
                 )
 
-    async def submit(self, opcode: int, payload: Any) -> Any:
-        """Enqueue one mutation; resolves with its reply payload.
+    def submit_nowait(self, opcode: int, payload: Any) -> "asyncio.Future[Any]":
+        """Enqueue one mutation; the returned future resolves with its
+        reply payload.
 
         Payload shape errors raise immediately (before the op enters a
         commit window); apply-time errors resolve the future with the
-        exception, exactly as the index would have raised it.
+        exception, exactly as the index would have raised it.  This is
+        the session fast path: no wrapping coroutine, the reply is
+        framed straight from the future's done-callback.
         """
         if self._stopping:
             raise ProtocolError(
@@ -225,8 +232,12 @@ class WriteAggregator:
         op = self._parse(opcode, payload)
         self._metrics.mutations_submitted += 1
         self.start()
-        await self._queue.put(op)
-        return await op.future
+        self._queue.put_nowait(op)
+        return op.future
+
+    async def submit(self, opcode: int, payload: Any) -> Any:
+        """Enqueue one mutation and await its reply payload."""
+        return await self.submit_nowait(opcode, payload)
 
     def _parse(self, opcode: int, payload: Any) -> _Op:
         """Validate the payload and bind the apply thunk."""
@@ -235,10 +246,11 @@ class WriteAggregator:
         if opcode == Opcode.INSERT:
             key = protocol.key_field(payload)
             value = payload.get("value") if isinstance(payload, dict) else None
+            ok = _INSERT_OK  # shared reply: encoded, never mutated
 
             def apply() -> Any:
                 file.insert(key, value)
-                return {"ok": True}
+                return ok
 
             single = True
             ops = [("put", key, value)]
@@ -298,9 +310,11 @@ class WriteAggregator:
             if first is None:
                 return
             batch = [first]
-            if self._window > 0 and len(batch) < self._max_batch:
+            if self._window > 0 and self._queue.empty():
                 # The micro-batch window: let concurrently-arriving
-                # mutations join this commit.
+                # mutations join this commit.  Skipped when the queue
+                # already holds company for this op — sleeping would
+                # only add latency, not coalescing.
                 await asyncio.sleep(self._window)
             stop_after = False
             while len(batch) < self._max_batch:

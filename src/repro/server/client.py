@@ -55,6 +55,11 @@ _ID_SPACE = 1 << 32
 #: round normally suffices; the bound guards against a flapping router.
 _STALE_RETRIES = 3
 
+#: Socket write-buffer size past which a request awaits ``drain()``.
+#: Below it, requests are fire-and-forget writes — a pipelined gather
+#: burst costs no per-request suspension.
+_WRITE_HIGH_WATER = 256 * 1024
+
 
 class RemoteError(ReproError):
     """A structured error reply the client has no local class for.
@@ -105,16 +110,25 @@ class QueryClient:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._reader = reader
+        self._frames = protocol.FrameReader(reader)
         self._writer = writer
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
-        #: Protocol version used for outgoing frames; raised to 2 by
-        #: :meth:`negotiate` when the peer advertises it.
+        #: Protocol version used for outgoing frames; raised to the
+        #: highest shared version (2 or 3) by :meth:`negotiate`.
         self._version = 1
-        #: Last topology epoch seen in any v2 reply header (0 = none).
+        #: Frame-size cap agreed at negotiation (None = protocol default).
+        self._max_frame: int | None = None
+        #: Last topology epoch seen in any v2+ reply header (0 = none).
         self._epoch = 0
-        self._reader_task = asyncio.get_running_loop().create_task(
+        #: Outgoing frames buffered for one coalesced ``write()`` per
+        #: loop tick — a pipelined gather burst becomes one syscall on
+        #: this side and one large ``recv`` on the server's.
+        self._out: list[bytes] = []
+        self._flush_scheduled = False
+        self._loop = asyncio.get_running_loop()
+        self._reader_task = self._loop.create_task(
             self._read_replies(), name="repro-client-reader"
         )
 
@@ -130,8 +144,15 @@ class QueryClient:
 
     @property
     def protocol_version(self) -> int:
-        """The frame version this client currently speaks (1 or 2)."""
+        """The frame version this client currently speaks (1, 2 or 3)."""
         return self._version
+
+    @property
+    def max_frame(self) -> int:
+        """The frame-size cap in force on this connection."""
+        return (
+            protocol.MAX_FRAME if self._max_frame is None else self._max_frame
+        )
 
     @property
     def epoch(self) -> int:
@@ -147,6 +168,7 @@ class QueryClient:
     async def close(self) -> None:
         if self._closed:
             return
+        self._flush_out()  # last queued frames, before _closed drops them
         self._closed = True
         self._reader_task.cancel()
         try:
@@ -185,10 +207,30 @@ class QueryClient:
 
     # -- plumbing ------------------------------------------------------------
 
+    def _send_frame(self, data: bytes) -> None:
+        """Queue one frame; all frames queued this tick share a write.
+
+        Order is preserved (one FIFO list), so pipelined requests still
+        hit the wire in submission order.
+        """
+        self._out.append(data)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush_out)
+
+    def _flush_out(self) -> None:
+        self._flush_scheduled = False
+        if not self._out or self._closed:
+            self._out.clear()
+            return
+        data = b"".join(self._out)
+        self._out.clear()
+        self._writer.write(data)
+
     async def _read_replies(self) -> None:
         try:
             while True:
-                body = await protocol.read_frame(self._reader)
+                body = await self._frames.next_frame(self._max_frame)
                 if body is None:
                     self._abandon(
                         ConnectionError("server closed the connection")
@@ -265,18 +307,24 @@ class QueryClient:
         if self._closed:
             raise ConnectionError("client is closed")
         request_id = self._allocate_id()
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        future: asyncio.Future = self._loop.create_future()
         self._pending[request_id] = future
-        self._writer.write(
+        self._send_frame(
             protocol.encode_frame(
                 opcode,
                 request_id,
                 payload,
                 version=self._version,
                 epoch=self._epoch,
+                max_frame=self._max_frame,
             )
         )
-        await self._writer.drain()
+        transport = self._writer.transport
+        if (
+            transport is not None
+            and transport.get_write_buffer_size() > _WRITE_HIGH_WATER
+        ):
+            await self._writer.drain()
         return await future
 
     # Kept as the historical private name; tests and subclasses reach it.
@@ -289,10 +337,13 @@ class QueryClient:
 
         Sends a v1 ``PING`` (every server speaks v1) and inspects the
         advertised ``versions`` list.  Returns the agreed version and
-        switches this connection to it for all subsequent frames.
+        switches this connection to it for all subsequent frames; a
+        peer that advertises a ``max_frame`` also fixes this
+        connection's frame-size cap in both directions.
         """
         reply = await self._request_once(Opcode.PING)
         self._version = protocol.negotiated_version(reply)
+        self._max_frame = protocol.negotiated_max_frame(reply)
         return self._version
 
     # -- the MultiKeyFile API, served ---------------------------------------

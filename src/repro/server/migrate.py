@@ -153,7 +153,7 @@ class ShardMigrator:
                 f"shard {shard}'s z range [{spec.z_low}, {spec.z_high}] "
                 f"is a single value; nothing to split"
             )
-        src = await QueryClient.connect(spec.host, spec.port)
+        src = await QueryClient.connect(spec.host, spec.port, negotiate=True)
         tgt: QueryClient | None = None
         tap: int | None = None
         worker: tuple[int, Any, tuple[str, int, int]] | None = None
@@ -172,7 +172,9 @@ class ShardMigrator:
             worker = await loop.run_in_executor(None, manager.spawn_worker)
             worker_id, proc, endpoint = worker
             self._fail("spawned")
-            tgt = await QueryClient.connect(endpoint[0], endpoint[1])
+            tgt = await QueryClient.connect(
+                endpoint[0], endpoint[1], negotiate=True
+            )
             # Tap before snapshot: anything committed from here on is
             # either in a later snapshot page, in the tap, or both —
             # idempotent delta application resolves the overlap.
@@ -257,8 +259,10 @@ class ShardMigrator:
             raise MigrationError(f"no shard {shard} to merge")
         spec = specs[shard]
         absorber = specs[shard - 1 if shard > 0 else 1]
-        src = await QueryClient.connect(spec.host, spec.port)
-        dst = await QueryClient.connect(absorber.host, absorber.port)
+        src = await QueryClient.connect(spec.host, spec.port, negotiate=True)
+        dst = await QueryClient.connect(
+            absorber.host, absorber.port, negotiate=True
+        )
         tap: int | None = None
         committed = False
         try:

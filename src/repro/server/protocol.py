@@ -51,6 +51,16 @@ never fatal, never queued unboundedly on the server.  ``shard-down``
 and ``stale-topology`` are the routing layer's structured failures:
 the first is a dead upstream surfaced instead of a hang, the second is
 handled transparently by the client as described above.
+
+Version 3 keeps the v2 header and replaces the payload *encoding*: the
+body after the header starts with a format byte — ``0x02`` for the
+tagged binary encoding of :mod:`repro.server.binpayload`, ``0x01`` for
+the JSON fallback — so the hot operations stop paying
+``json.dumps``/``loads`` per frame while anything the binary codec
+cannot carry still travels as JSON.  A ``PING`` reply additionally
+advertises ``max_frame``, the server's frame-body cap; after
+negotiation both endpoints frame and accept bodies up to that size
+instead of the default :data:`MAX_FRAME`.
 """
 
 from __future__ import annotations
@@ -74,14 +84,21 @@ from repro.errors import (
     SerializationError,
     StorageError,
 )
+# A submodule import (not an attribute of the package) so the circular
+# ``repro.server`` package init resolves; binpayload imports nothing
+# from this module.
+from repro.server import binpayload
 
 PROTOCOL_VERSION = 1
 #: Highest protocol version this build speaks (v2 adds the epoch field
-#: and the TOPOLOGY/ROUTE opcodes).
-PROTOCOL_VERSION_MAX = 2
+#: and the TOPOLOGY/ROUTE opcodes; v3 adds binary payload bodies).
+PROTOCOL_VERSION_MAX = 3
 #: Every version both endpoints of this build can frame.
-SUPPORTED_VERSIONS: tuple[int, ...] = (1, 2)
-#: Hard cap on a frame body; larger length prefixes are garbage.
+SUPPORTED_VERSIONS: tuple[int, ...] = (1, 2, 3)
+#: Default cap on a frame body; larger length prefixes are garbage.
+#: Endpoints may negotiate a different cap (the server's ``max_frame``
+#: config, advertised in its PING reply) — every framing entry point
+#: below takes an optional override.
 MAX_FRAME = 1 << 20
 
 _LEN = struct.Struct("<I")
@@ -162,11 +179,15 @@ def encode_frame(
     *,
     version: int = PROTOCOL_VERSION,
     epoch: int = 0,
+    max_frame: int | None = None,
 ) -> bytes:
     """Serialize one frame (length prefix included).
 
     ``version=1`` produces the legacy header; ``version=2`` appends the
-    topology ``epoch``.  Request ids and epochs must fit ``u32``.
+    topology ``epoch``; ``version=3`` keeps the v2 header and encodes
+    the payload through :mod:`repro.server.binpayload`.  Request ids
+    and epochs must fit ``u32``.  ``max_frame`` overrides the default
+    body cap when the endpoints negotiated one.
     """
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
@@ -181,11 +202,15 @@ def encode_frame(
     else:
         body = _HEAD2.pack(version, opcode, request_id, epoch % _ID_LIMIT)
     if payload is not None:
-        body += json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME:
+        if version >= 3:
+            body += binpayload.encode_payload(payload)
+        else:
+            body += json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    limit = MAX_FRAME if max_frame is None else max_frame
+    if len(body) > limit:
         raise ProtocolError(
             f"frame body of {len(body)} bytes exceeds the "
-            f"{MAX_FRAME}-byte limit",
+            f"{limit}-byte limit",
             code="oversized",
         )
     return _LEN.pack(len(body)) + body
@@ -198,6 +223,7 @@ def encode_error(
     *,
     version: int = PROTOCOL_VERSION,
     epoch: int = 0,
+    max_frame: int | None = None,
 ) -> bytes:
     """Serialize a structured error reply."""
     return encode_frame(
@@ -206,6 +232,7 @@ def encode_error(
         {"code": code, "message": message},
         version=version,
         epoch=epoch,
+        max_frame=max_frame,
     )
 
 
@@ -253,12 +280,15 @@ def decode_frame(body: bytes) -> Frame:
     raw = body[head.size :]
     payload: Any = None
     if raw:
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ProtocolError(
-                f"undecodable frame payload: {exc}", code="bad-payload"
-            ) from None
+        if version >= 3:
+            payload = binpayload.decode_payload(raw)
+        else:
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"undecodable frame payload: {exc}", code="bad-payload"
+                ) from None
     return Frame(version, opcode, request_id, payload, epoch)
 
 
@@ -287,23 +317,110 @@ def negotiated_version(ping_reply: Any) -> int:
     return max(shared, default=1)
 
 
-async def read_frame(reader: asyncio.StreamReader) -> bytes | None:
+def negotiated_max_frame(ping_reply: Any) -> int:
+    """The frame-body cap a peer advertises in its ``PING`` reply.
+
+    A peer that advertises nothing (or garbage) runs at the default
+    :data:`MAX_FRAME` — exactly what every pre-v3 build enforces.
+    """
+    if not isinstance(ping_reply, dict):
+        return MAX_FRAME
+    advertised = ping_reply.get("max_frame")
+    if not isinstance(advertised, int) or advertised < 1:
+        return MAX_FRAME
+    return advertised
+
+
+class FrameReader:
+    """Buffered frame splitter for a connection's read loop.
+
+    :func:`read_frame` suspends twice per frame (prefix, body); under a
+    pipelined burst the peer delivers many frames per TCP segment, so a
+    per-connection buffer turns those suspensions into one ``read()``
+    per segment and plain slicing per frame.  Error semantics match
+    :func:`read_frame` exactly: ``None`` on clean EOF at a frame
+    boundary, ``bad-frame`` on truncation, ``oversized`` past the cap.
+    """
+
+    __slots__ = ("_reader", "_buf", "_pos")
+
+    #: Bytes requested per stream read — large enough to swallow a
+    #: whole pipelined burst in one syscall.
+    _CHUNK = 1 << 16
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._buf = bytearray()
+        self._pos = 0
+
+    async def next_frame(self, max_frame: int | None = None) -> bytes | None:
+        """One frame body (``max_frame`` may change between calls: the
+        session tightens it after negotiation)."""
+        limit = MAX_FRAME if max_frame is None else max_frame
+        buf = self._buf
+        prefix_size = _LEN.size
+        while True:
+            avail = len(buf) - self._pos
+            if avail >= prefix_size:
+                (length,) = _LEN.unpack_from(buf, self._pos)
+                if length == 0 or length > limit:
+                    raise ProtocolError(
+                        f"frame length {length} outside (0, {limit}]",
+                        code="oversized" if length else "bad-frame",
+                    )
+                if avail >= prefix_size + length:
+                    start = self._pos + prefix_size
+                    end = start + length
+                    body = bytes(buf[start:end])
+                    if end == len(buf):
+                        buf.clear()
+                        self._pos = 0
+                    elif end >= self._CHUNK:
+                        del buf[:end]
+                        self._pos = 0
+                    else:
+                        self._pos = end
+                    return body
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                if avail == 0:
+                    return None  # clean EOF at a frame boundary
+                raise ProtocolError(
+                    "truncated frame body"
+                    if avail >= prefix_size
+                    else "truncated length prefix",
+                    code="bad-frame",
+                )
+            buf += chunk
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int | None = None
+) -> bytes | None:
     """Read one frame body from the stream.
 
     Returns ``None`` on a clean EOF at a frame boundary.  Raises
     :class:`~repro.errors.ProtocolError` on an oversized or zero length
     prefix or a mid-frame truncation — the connection cannot be resynced
-    after either, so the session replies once and closes.
+    after either, so the session replies once and closes.  ``max_frame``
+    overrides the default body cap when the endpoints negotiated one.
     """
-    prefix = await reader.read(_LEN.size)
-    if not prefix:
-        return None
-    if len(prefix) < _LEN.size:
-        raise ProtocolError("truncated length prefix", code="bad-frame")
-    (length,) = _LEN.unpack(prefix)
-    if length == 0 or length > MAX_FRAME:
+    limit = MAX_FRAME if max_frame is None else max_frame
+    try:
+        # readexactly, not read(n): a length prefix may straddle a TCP
+        # segment boundary (routine once peers batch many frames into
+        # one write), and a short read here is not a protocol error.
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF at a frame boundary
         raise ProtocolError(
-            f"frame length {length} outside (0, {MAX_FRAME}]",
+            "truncated length prefix", code="bad-frame"
+        ) from None
+    (length,) = _LEN.unpack(prefix)
+    if length == 0 or length > limit:
+        raise ProtocolError(
+            f"frame length {length} outside (0, {limit}]",
             code="oversized" if length else "bad-frame",
         )
     try:

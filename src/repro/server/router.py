@@ -54,6 +54,7 @@ from repro.server.admission import AdmissionController, ReadWriteGate
 from repro.server.client import QueryClient
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
+    MAX_FRAME,
     MUTATION_OPCODES,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
@@ -115,8 +116,13 @@ class _ShardLink:
                 return
             reconnecting = self._client is not None
             try:
+                # Negotiated links: a worker that speaks v3 serves the
+                # router's forwarded traffic (and the migration copy
+                # stream riding these links) in binary payloads.
                 self._client = await asyncio.wait_for(
-                    QueryClient.connect(self.spec.host, self.spec.port),
+                    QueryClient.connect(
+                        self.spec.host, self.spec.port, negotiate=True
+                    ),
                     timeout=self._connect_timeout,
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
@@ -175,6 +181,7 @@ class ShardRouter:
         session_pipeline: int = 16,
         drain_timeout: float = 10.0,
         connect_timeout: float = 5.0,
+        max_frame: int = MAX_FRAME,
         auto_split_keys: int | None = None,
         max_shards: int = 8,
         auto_split_interval: float = 1.0,
@@ -203,6 +210,8 @@ class ShardRouter:
         self.metrics = RouterMetrics()
         self.admission = AdmissionController(max_inflight, session_pipeline)
         self.drain_timeout = drain_timeout
+        #: Frame-size cap advertised in PING and enforced per frame.
+        self.max_frame = max_frame
         self._connect_timeout = connect_timeout
         self._links = [
             _ShardLink(spec, self.metrics, connect_timeout)
@@ -294,7 +303,13 @@ class ShardRouter:
         session = Session(self, reader, writer)
         self._sessions.add(session)
         self.metrics.connections_opened += 1
-        await session.run()
+        try:
+            await session.run()
+        except (ConnectionError, OSError):
+            # A peer that dies during teardown can surface a reset from
+            # transport internals after the session's own handlers ran;
+            # a dead connection is this callback's normal end state.
+            pass
 
     async def shutdown(self) -> None:
         """Stop accepting, drain sessions, close the upstream links.
@@ -457,6 +472,7 @@ class ShardRouter:
                 "pong": True,
                 "version": PROTOCOL_VERSION,
                 "versions": list(SUPPORTED_VERSIONS),
+                "max_frame": self.max_frame,
                 "role": "router",
                 "shards": len(self._links),
             }

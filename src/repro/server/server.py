@@ -32,7 +32,6 @@ plain store flush.
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 import threading
 import time
@@ -42,15 +41,17 @@ from typing import Any, Callable, Sequence
 
 from repro.bits import interleave
 from repro.core.facade import MultiKeyFile
-from repro.errors import ProtocolError
+from repro.errors import LatchTimeout, ProtocolError
 from repro.server.admission import AdmissionController, ReadWriteGate
 from repro.server.aggregator import (
     DEFAULT_MAX_BATCH,
     DEFAULT_WINDOW,
     WriteAggregator,
 )
+from repro.server.binpayload import canonical_blob
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
+    MAX_FRAME,
     MUTATION_OPCODES,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
@@ -58,8 +59,12 @@ from repro.server.protocol import (
     field,
     key_field,
 )
-from repro.server.session import Session
+from repro.server.session import INLINE_MISS, Session
 from repro.storage.wal import WALBackend, checkpoint
+
+#: Largest SEARCH_MANY batch answered synchronously on the event loop;
+#: bigger batches take the executor path so the loop never stalls.
+_INLINE_BATCH_LIMIT = 128
 
 
 class _MigrationTap:
@@ -121,10 +126,14 @@ class QueryServer:
         latch_timeout: float | None = 5.0,
         drain_timeout: float = 10.0,
         range_parallelism: int | None = None,
+        max_frame: int = MAX_FRAME,
     ) -> None:
         self._file = file
         self._host = host
         self._port = port
+        #: Frame-body cap, advertised in PING replies; sessions read and
+        #: write frames up to this size once a v3 client negotiates.
+        self.max_frame = max_frame
         self.metrics = ServerMetrics()
         self.admission = AdmissionController(max_inflight, session_pipeline)
         self._gate = ReadWriteGate()
@@ -211,7 +220,13 @@ class QueryServer:
         session = Session(self, reader, writer)
         self._sessions.add(session)
         self.metrics.connections_opened += 1
-        await session.run()
+        try:
+            await session.run()
+        except (ConnectionError, OSError):
+            # A peer that dies during teardown can surface a reset from
+            # transport internals after the session's own handlers ran;
+            # a dead connection is this callback's normal end state.
+            pass
 
     def _session_done(self, session: Session) -> None:
         self._sessions.discard(session)
@@ -260,12 +275,7 @@ class QueryServer:
         if opcode in MUTATION_OPCODES:
             return await self._aggregator.submit(opcode, payload)
         if opcode == Opcode.PING:
-            return {
-                "pong": True,
-                "version": PROTOCOL_VERSION,
-                "versions": list(SUPPORTED_VERSIONS),
-                "role": "server",
-            }
+            return self._ping_reply()
         if opcode == Opcode.TOPOLOGY:
             return await self._run_read(self._topology, latched=False)
         if opcode == Opcode.ROUTE:
@@ -293,6 +303,78 @@ class QueryServer:
         if opcode == Opcode.MIGRATE:
             return await self._migrate(payload)
         raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
+
+    def _ping_reply(self) -> dict[str, Any]:
+        return {
+            "pong": True,
+            "version": PROTOCOL_VERSION,
+            "versions": list(SUPPORTED_VERSIONS),
+            "max_frame": self.max_frame,
+            "role": "server",
+        }
+
+    # -- the inline fast path -------------------------------------------------
+
+    def try_dispatch_inline(self, opcode: Opcode, payload: Any) -> Any:
+        """Answer an uncontended point read synchronously on the event
+        loop; returns :data:`~repro.server.session.INLINE_MISS` when the
+        request must take the task path.
+
+        Safety argument: nothing here awaits, so between the gate check
+        and the return no other event-loop callback runs — the write
+        aggregator (which takes the gate's exclusive side *on the loop*)
+        cannot start a window mid-read, which is exactly the exclusion
+        ``read_locked`` buys the task path.  Non-service writers are
+        excluded by the store latch's shared side, acquired
+        non-blockingly — writer contention is a miss, never a stall on
+        the loop.  Executor-thread readers are excluded by the read
+        mutex, taken in the same latch-then-mutex order as
+        ``_latched_read`` (so the two read paths cannot deadlock) and
+        held only for the one point read — a bounded, sub-millisecond
+        wait.
+        """
+        if opcode is Opcode.PING:
+            return self._ping_reply()
+        if opcode is Opcode.SEARCH:
+            key = key_field(payload)
+            reader = lambda: {"value": self._file.search(key)}  # noqa: E731
+        elif opcode is Opcode.SEARCH_MANY:
+            keys = field(payload, "keys", list)
+            if len(keys) > _INLINE_BATCH_LIMIT:
+                return INLINE_MISS
+            for key in keys:
+                if not isinstance(key, list):
+                    raise ProtocolError(
+                        "keys must be [key, ...]", code="bad-payload"
+                    )
+            reader = lambda: {  # noqa: E731
+                "values": self._file.search_many(keys)
+            }
+        else:
+            return INLINE_MISS
+        if not self._gate.writer_idle:
+            return INLINE_MISS
+        # Same order as ``_latched_read`` (latch, then read mutex) so the
+        # two read paths can never deadlock against each other.
+        store = self._file.store
+        try:
+            store.latch.acquire_read(timeout=0)
+        except LatchTimeout:
+            return INLINE_MISS
+        try:
+            with self._read_mutex:
+                result = reader()
+        finally:
+            store.latch.release_read()
+        self.metrics.reads_served += 1
+        return result
+
+    def submit_mutation_nowait(
+        self, opcode: Opcode, payload: Any
+    ) -> "asyncio.Future[Any]":
+        """Enqueue a mutation without a wrapping task; the session frames
+        the reply from the returned future's done-callback."""
+        return self._aggregator.submit_nowait(opcode, payload)
 
     async def _run_read(
         self, fn: Callable[[], Any], latched: bool = True
@@ -433,10 +515,7 @@ class QueryServer:
         if action == "digest":
             crc = 0
             for z, key, value in in_range:
-                blob = json.dumps(
-                    [key, value], separators=(",", ":"), sort_keys=True
-                ).encode("utf-8")
-                crc = zlib.crc32(blob, crc)
+                crc = zlib.crc32(canonical_blob(key, value), crc)
             return {"count": len(in_range), "crc": crc}
         if action == "sample":
             limit = 1024

@@ -138,6 +138,10 @@ class WorkerConfig:
     max_inflight: int
     session_pipeline: int
     read_workers: int
+    #: Buffer-pool frames in front of the worker's WAL-backed store.
+    #: Group commit flushes the pool before the COMMIT record, so acked
+    #: writes stay durable; reads stop paying a page decode per access.
+    pool_pages: int = 256
 
 
 @dataclasses.dataclass(frozen=True)
@@ -161,14 +165,19 @@ def _build_file(config: WorkerConfig) -> Any:
     from repro.storage import PageStore
     from repro.storage.wal import WALBackend, recover_index
 
+    from repro.storage.buffer import BufferPool
+
     codec = KeyCodec([UIntEncoder(w) for w in config.widths])
     if config.wal_path and os.path.exists(config.wal_path):
-        index = recover_index(config.wal_path)
+        index = recover_index(
+            config.wal_path, pool_capacity=config.pool_pages or None
+        )
         if index is not None:
             return MultiKeyFile.from_index(codec, index)
     store = None
     if config.wal_path:
-        store = PageStore(backend=WALBackend(config.wal_path))
+        pool = BufferPool(config.pool_pages) if config.pool_pages else None
+        store = PageStore(backend=WALBackend(config.wal_path), pool=pool)
     return MultiKeyFile(
         codec, page_capacity=config.page_capacity, store=store
     )

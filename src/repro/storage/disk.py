@@ -119,7 +119,10 @@ class FileBackend(Backend):
                 )
             self._file.seek(0, os.SEEK_END)
             payload = self._file.tell() - self._HEADER.size
-            self._slots = max(payload, 0) // self._page_size
+            # Ceiling division: the final slot may be written unpadded
+            # (store_image stops at the image's last byte), so a partial
+            # trailing slot is still a live slot.
+            self._slots = -(-max(payload, 0) // self._page_size)
             self._scan_live_slots()
         else:
             self._file.write(self._HEADER.pack(self._MAGIC, page_size))
@@ -159,12 +162,15 @@ class FileBackend(Backend):
     def store(self, page_id: int, obj: Any) -> None:
         self.store_image(page_id, self._registry.encode(obj))
 
-    def store_image(self, page_id: int, image: bytes) -> None:
+    def store_image(self, page_id: int, image: bytes | memoryview) -> None:
         """Write an already-encoded image into its slot.
 
         The write path of :meth:`store`, split out so the write-ahead
         log can apply committed images at checkpoint/recovery without
-        re-encoding (or even being able to decode) them.
+        re-encoding (or even being able to decode) them.  The slot is
+        written unpadded (header + image in one ``write()``): readers
+        bound decoding by the stored length, so stale tail bytes are
+        inert and the page-size pad copy is saved.
         """
         if len(image) > self.payload_capacity:
             raise SerializationError(
@@ -172,8 +178,7 @@ class FileBackend(Backend):
                 f"{self._page_size}-byte slot"
             )
         self._file.seek(self._offset(page_id))
-        record = self._SLOT.pack(len(image)) + image
-        self._file.write(record.ljust(self._page_size, b"\x00"))
+        self._file.write(b"".join((self._SLOT.pack(len(image)), image)))
         if page_id >= self._slots:
             self._slots = page_id + 1
         self._live.add(page_id)
@@ -192,7 +197,12 @@ class FileBackend(Backend):
                 f"exceeds the {self._page_size - self._SLOT.size}-byte "
                 "slot payload"
             )
-        return self._registry.decode(slot[self._SLOT.size : self._SLOT.size + length])
+        # Zero-copy decode: the codecs slice the slot through a
+        # memoryview instead of copying the image out of it.
+        view = memoryview(slot)
+        return self._registry.decode(
+            view[self._SLOT.size : self._SLOT.size + length]
+        )
 
     def discard(self, page_id: int) -> None:
         if page_id not in self._live:

@@ -16,7 +16,13 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.errors import SerializationError
+from repro.storage import binval
 from repro.storage.page import DataPage
+
+#: Format-version byte carried by every v2 page image (tags >= 0x10).
+#: Legacy tags (0x01-0x03) have no version byte and stay decodable, so
+#: snapshots and WALs written before the struct layouts keep working.
+PAGE_FORMAT_VERSION = 1
 
 
 class ValueCodec(ABC):
@@ -115,8 +121,66 @@ class DataPageCodec(PageCodec):
             raise SerializationError(f"corrupt data page image: {exc}") from exc
 
 
+class DataPageCodecV2(PageCodec):
+    """v2 struct layout for :class:`~repro.storage.page.DataPage`.
+
+    ``u8 format-version | u32 capacity | u32 count | u16 dims`` then per
+    record ``dims * u64`` pseudo-key codes followed by the record value
+    in the tagged binary encoding of :mod:`repro.storage.binval` — no
+    pickle round-trip for the common scalar values, and the decode path
+    slices a ``memoryview`` instead of copying the image.
+    """
+
+    tag = 0x11
+    _HEADER = struct.Struct("<IIH")
+
+    def handles(self, obj: Any) -> bool:
+        return isinstance(obj, DataPage)
+
+    def encode_body(self, page: DataPage) -> bytes:
+        records = list(page.items())
+        dims = len(records[0][0]) if records else 0
+        out = bytearray()
+        out.append(PAGE_FORMAT_VERSION)
+        out += self._HEADER.pack(page.capacity, len(records), dims)
+        pack = struct.Struct(f"<{dims}Q").pack if dims else None
+        encode_value = binval.encode_into
+        for codes, value in records:
+            if len(codes) != dims:
+                raise SerializationError("mixed key arity within one page")
+            if pack is not None:
+                out += pack(*codes)
+            encode_value(out, value)
+        return bytes(out)
+
+    def decode_body(self, data: bytes | memoryview) -> DataPage:
+        try:
+            if data[0] != PAGE_FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported data-page format version {data[0]}"
+                )
+            capacity, count, dims = self._HEADER.unpack_from(data, 1)
+            offset = 1 + self._HEADER.size
+            page = DataPage(capacity)
+            packer = struct.Struct(f"<{dims}Q")
+            for _ in range(count):
+                codes = packer.unpack_from(data, offset)
+                offset += packer.size
+                value, offset = binval.decode_from(data, offset)
+                page.put(codes, value)
+            return page
+        except (struct.error, IndexError) as exc:
+            raise SerializationError(f"corrupt data page image: {exc}") from exc
+
+
 class CodecRegistry:
-    """Dispatches page objects to codecs by type, and images by tag."""
+    """Dispatches page objects to codecs by type, and images by tag.
+
+    Encoding picks the first registered codec whose ``handles()`` claims
+    the object (registration order is priority order — current formats
+    first, legacy decoders after); decoding dispatches on the leading
+    tag byte and hands the codec a zero-copy ``memoryview`` of the body.
+    """
 
     def __init__(self) -> None:
         self._by_tag: dict[int, PageCodec] = {}
@@ -132,24 +196,40 @@ class CodecRegistry:
                 return bytes([codec.tag]) + codec.encode_body(obj)
         raise SerializationError(f"no codec for {type(obj).__name__}")
 
-    def decode(self, image: bytes) -> Any:
-        if not image:
+    def decode(self, image: bytes | memoryview) -> Any:
+        if not len(image):
             raise SerializationError("empty page image")
-        codec = self._by_tag.get(image[0])
+        view = image if isinstance(image, memoryview) else memoryview(image)
+        codec = self._by_tag.get(view[0])
         if codec is None:
-            raise SerializationError(f"unknown page tag {image[0]:#x}")
-        return codec.decode_body(image[1:])
+            raise SerializationError(f"unknown page tag {view[0]:#x}")
+        return codec.decode_body(view[1:])
 
 
 def default_registry(value_codec: ValueCodec | None = None) -> CodecRegistry:
-    """A registry with the data-page codec plus the directory-node codec
-    (imported lazily to keep storage independent of the index layer)."""
+    """A registry with the data-page codecs plus the directory-node and
+    region-page codecs (imported lazily to keep storage independent of
+    the index layer).
+
+    v2 struct codecs are registered first, so they serve every encode;
+    the legacy codecs stay registered decode-only, keeping pre-existing
+    snapshots and WALs readable.  A custom ``value_codec`` opts the data
+    pages back into the legacy pickle-framed layout (the tagged v2
+    encoding fixes its own value format).
+    """
     registry = CodecRegistry()
-    registry.register(DataPageCodec(value_codec))
+    if value_codec is None:
+        registry.register(DataPageCodecV2())
+        registry.register(DataPageCodec())
+    else:
+        registry.register(DataPageCodec(value_codec))
+        registry.register(DataPageCodecV2())
     # Late imports: the index layers depend on storage, not vice versa.
-    from repro.core.node import NodeCodec
-    from repro.kdb.kdbtree import RegionPageCodec
+    from repro.core.node import LegacyNodeCodec, NodeCodec
+    from repro.kdb.kdbtree import LegacyRegionPageCodec, RegionPageCodec
 
     registry.register(NodeCodec())
+    registry.register(LegacyNodeCodec())
     registry.register(RegionPageCodec())
+    registry.register(LegacyRegionPageCodec())
     return registry

@@ -100,6 +100,11 @@ class WALBackend(Backend):
         self.checkpoints = 0
         self.replayed_ops = 0
         self.discarded_tail_ops = 0
+        #: Reusable record staging buffer: the append path assembles
+        #: head | payload | crc in place, so committing a page allocates
+        #: no intermediate ``bytes`` copy of the payload (the buffer
+        #: grows to the largest record seen and is then reused).
+        self._scratch = bytearray()
         self._wal = self._recover()
 
     # -- recovery ----------------------------------------------------------
@@ -159,7 +164,7 @@ class WALBackend(Backend):
             crc = wal.read(_REC_CRC.size)
             if len(crc) < _REC_CRC.size:
                 break
-            if _REC_CRC.unpack(crc)[0] != zlib.crc32(head + payload):
+            if _REC_CRC.unpack(crc)[0] != zlib.crc32(payload, zlib.crc32(head)):
                 break  # torn record: this and everything after is void
             if op in (_OP_STORE, _OP_DISCARD):
                 txn.append((op, page_id, payload))
@@ -195,14 +200,32 @@ class WALBackend(Backend):
     # -- WAL records -------------------------------------------------------
 
     @staticmethod
-    def _record(op: int, page_id: int, payload: bytes = b"") -> bytes:
-        body = _REC_HEAD.pack(op, page_id, len(payload)) + payload
-        return body + _REC_CRC.pack(zlib.crc32(body))
+    def _record(
+        op: int, page_id: int, payload: bytes | memoryview = b""
+    ) -> bytes:
+        head = _REC_HEAD.pack(op, page_id, len(payload))
+        crc = zlib.crc32(payload, zlib.crc32(head))
+        return b"".join((head, payload, _REC_CRC.pack(crc)))
 
-    def _append(self, op: int, page_id: int, payload: bytes = b"") -> None:
-        # One write() call per record: a torn write can cut a record
-        # short but never interleave two.
-        self._wal.write(self._record(op, page_id, payload))
+    def _append(
+        self, op: int, page_id: int, payload: bytes | memoryview = b""
+    ) -> None:
+        # Assemble the record in the reusable scratch buffer: the CRC is
+        # computed incrementally over head then payload, so the append
+        # path never builds a ``head + payload`` bytes copy.
+        total = _REC_HEAD.size + len(payload) + _REC_CRC.size
+        if len(self._scratch) < total:
+            self._scratch = bytearray(total)
+        buf = self._scratch
+        _REC_HEAD.pack_into(buf, 0, op, page_id, len(payload))
+        end = _REC_HEAD.size + len(payload)
+        buf[_REC_HEAD.size:end] = payload
+        with memoryview(buf) as view:
+            crc = zlib.crc32(view[:end])
+            _REC_CRC.pack_into(buf, end, crc)
+            # One write() call per record: a torn write can cut a record
+            # short but never interleave two.
+            self._wal.write(view[:total])
         self.wal_records += 1
 
     # -- Backend API -------------------------------------------------------
@@ -411,7 +434,10 @@ def checkpoint(index: Any) -> None:
 
 
 def recover_index(
-    path: str, page_size: int = 4096, registry: Any | None = None
+    path: str,
+    page_size: int = 4096,
+    registry: Any | None = None,
+    pool_capacity: int | None = None,
 ) -> Any | None:
     """Reopen a crashed (or cleanly closed) WAL-backed index.
 
@@ -420,6 +446,9 @@ def recover_index(
     last durable :func:`checkpoint`.  Returns ``None`` when no
     checkpoint ever committed (crash before the first commit: there is
     no index to recover, and no data was ever guaranteed durable).
+    ``pool_capacity`` attaches an LRU buffer pool in front of the WAL
+    (the served configuration); durability is unaffected — group commit
+    flushes the pool before every COMMIT.
     """
     from repro.storage.snapshot import restore_from_metadata
 
@@ -431,7 +460,12 @@ def recover_index(
     (meta_len,) = struct.unpack_from("<I", blob, 0)
     meta = json.loads(blob[4 : 4 + meta_len].decode("utf-8"))
     directory = blob[4 + meta_len :] or None
-    store = PageStore(backend)
+    pool = None
+    if pool_capacity is not None:
+        from repro.storage.buffer import BufferPool
+
+        pool = BufferPool(pool_capacity)
+    store = PageStore(backend, pool=pool)
     index = restore_from_metadata(meta, store, directory)
     # The recovered store serves this index alone: enable the
     # sanitizer's page-leak census over it.

@@ -190,13 +190,48 @@ class TestMortonFastPath:
         assert deinterleave(interleave(codes, widths), widths) == codes
 
     @given(data=st.data())
-    def test_unequal_widths_take_the_loop(self, data):
-        """d <= 4 with unequal widths must still agree with the loop —
-        the dispatch condition, not just the table math."""
+    def test_unequal_widths_take_the_segment_cascade(self, data):
+        """Unequal widths dispatch to the segment cascade (equal-width
+        runs interleaved table-wise, then concatenated); it must stay
+        bit-identical to the generic loop."""
         from repro.bits import deinterleave, interleave
 
         widths = tuple(
             data.draw(st.integers(1, 16)) for _ in range(3)
+        )
+        codes = tuple(
+            data.draw(st.integers(0, low_mask(w))) for w in widths
+        )
+        assert interleave(codes, widths) == self.loop_interleave(
+            codes, widths
+        )
+        assert deinterleave(interleave(codes, widths), widths) == codes
+
+    @pytest.mark.parametrize("dims", [5, 7, 9, 16])
+    @given(data=st.data())
+    def test_matches_loop_beyond_four_dims(self, dims, data):
+        """Equal widths past d=4 use the generated per-d tables too —
+        the PR 9 generalisation, checked against the same loop."""
+        from repro.bits import deinterleave, interleave
+
+        width = data.draw(st.integers(1, 16))
+        codes = tuple(
+            data.draw(st.integers(0, low_mask(width))) for _ in range(dims)
+        )
+        widths = (width,) * dims
+        assert interleave(codes, widths) == self.loop_interleave(
+            codes, widths
+        )
+        assert deinterleave(interleave(codes, widths), widths) == codes
+
+    @pytest.mark.parametrize("dims", [2, 4, 6, 8])
+    @given(data=st.data())
+    def test_unequal_widths_any_dims(self, dims, data):
+        """The cascade covers every d, not just the d<=4 fast path."""
+        from repro.bits import deinterleave, interleave
+
+        widths = tuple(
+            data.draw(st.integers(1, 12)) for _ in range(dims)
         )
         codes = tuple(
             data.draw(st.integers(0, low_mask(w))) for w in widths

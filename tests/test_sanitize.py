@@ -510,6 +510,49 @@ class TestLint:
         )
         assert issues and {i.code for i in issues} == {"REP106"}
 
+    def test_hot_path_json_flagged(self):
+        # REP107: every spelling that reaches the json codec functions.
+        for snippet in (
+            "import json\njson.dumps(payload)\n",
+            "import json\njson.loads(body)\n",
+            "import json as j\nj.dumps(payload)\n",
+            "from json import dumps\ndumps(payload)\n",
+            "from json import loads as parse\nparse(body)\n",
+            "import json\njson.dump(payload, fh)\n",
+        ):
+            issues = lint_source(snippet, "x.py", check_hot_json=True)
+            assert [i.code for i in issues] == ["REP107"], snippet
+
+    def test_hot_path_json_not_flagged_without_flag(self):
+        assert lint_source(
+            "import json\njson.dumps(payload)\n", "x.py"
+        ) == []
+
+    def test_hot_path_json_ignores_other_modules(self):
+        # pickle.loads, struct.pack, a local loads() helper: not json.
+        for snippet in (
+            "import pickle\npickle.loads(blob)\n",
+            "def loads(x):\n    return x\nloads(body)\n",
+            "obj.dumps(payload)\n",
+        ):
+            assert lint_source(
+                snippet, "x.py", check_hot_json=True
+            ) == [], snippet
+
+    def test_hot_path_json_scoping(self):
+        # lint_paths exempts exactly the textual-fallback owners: the
+        # frame codec, the payload codec's JSON escape hatch, and the
+        # topology file — every other server module is hot path.
+        import pathlib
+
+        from repro.sanitize import lint_paths
+
+        root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        assert lint_paths([str(root / "server")]) == []
+        source = (root / "server" / "protocol.py").read_text()
+        issues = lint_source(source, "protocol.py", check_hot_json=True)
+        assert issues and {i.code for i in issues} == {"REP107"}
+
     def test_syntax_error_reported(self):
         issues = lint_source("def broken(:\n", "x.py")
         assert [i.code for i in issues] == ["REP100"]

@@ -4,12 +4,20 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.directory import DirEntry
-from repro.core.node import Node, NodeCodec
+from repro.core.node import LegacyNodeCodec, Node, NodeCodec
 from repro.errors import SerializationError
-from repro.storage import DataPage
+from repro.kdb.kdbtree import (
+    LegacyRegionPageCodec,
+    RegionPageCodec,
+    _Box,
+    _Entry,
+    _RegionPage,
+)
+from repro.storage import DataPage, binval
 from repro.storage.serializer import (
     CodecRegistry,
     DataPageCodec,
+    DataPageCodecV2,
     PickleValueCodec,
     RawBytesValueCodec,
     default_registry,
@@ -138,3 +146,264 @@ class TestCodecRegistry:
         registry.register(DataPageCodec())
         with pytest.raises(SerializationError):
             registry.register(DataPageCodec())
+
+
+# --- PR 9: struct layouts under hypothesis ------------------------------
+
+#: Every value shape the tagged binary encoding covers natively.  The
+#: integer range deliberately straddles the INT64/BIGINT split and the
+#: recursion nests containers inside containers.
+binval_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=16),
+    st.binary(max_size=16),
+)
+binval_values = st.recursive(
+    binval_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=6), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+def exact(value):
+    """repr() distinguishes 1/True/1.0 and (1,)/[1], so comparing reprs
+    checks the roundtrip preserved types, not just equality."""
+    return repr(value)
+
+
+class TestBinval:
+    @given(binval_values)
+    def test_roundtrip_identity(self, value):
+        assert exact(binval.decode(binval.encode(value))) == exact(value)
+
+    @given(binval_values)
+    def test_native_values_never_pickle(self, value):
+        out = bytearray()
+        binval.encode_into(out, value, pickle_fallback=False)
+        assert exact(binval.decode(out, allow_pickle=False)) == exact(value)
+
+    def test_encode_refuses_pickle_when_disabled(self):
+        with pytest.raises(SerializationError):
+            binval.encode_into(bytearray(), {1, 2}, pickle_fallback=False)
+
+    def test_decode_refuses_pickle_tag(self):
+        blob = binval.encode({1, 2})  # falls back to the pickle tag
+        assert binval.decode(blob) == {1, 2}
+        with pytest.raises(SerializationError):
+            binval.decode(blob, allow_pickle=False)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SerializationError):
+            binval.decode(binval.encode(7) + b"\x00")
+
+    @given(binval_values)
+    def test_truncation_rejected(self, value):
+        blob = binval.encode(value)
+        for cut in range(len(blob)):
+            with pytest.raises(SerializationError):
+                binval.decode(blob[:cut])
+
+
+class TestDataPageCodecV2:
+    def roundtrip(self, page):
+        codec = DataPageCodecV2()
+        return codec.decode_body(memoryview(codec.encode_body(page)))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.tuples(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1)),
+                binval_values,
+            ),
+            max_size=8,
+            unique_by=lambda kv: kv[0],
+        )
+    )
+    def test_roundtrip_property(self, records):
+        page = DataPage(max(len(records), 1))
+        for codes, value in records:
+            page.put(codes, value)
+        back = self.roundtrip(page)
+        assert back.capacity == page.capacity
+        assert exact(dict(back.items())) == exact(dict(page.items()))
+
+    def test_bad_format_version(self):
+        codec = DataPageCodecV2()
+        image = bytearray(codec.encode_body(DataPage(4)))
+        image[0] = 99
+        with pytest.raises(SerializationError):
+            codec.decode_body(bytes(image))
+
+    @given(
+        st.lists(
+            st.tuples(st.tuples(st.integers(0, 2**20)), binval_values),
+            max_size=4,
+            unique_by=lambda kv: kv[0],
+        )
+    )
+    def test_every_truncation_rejected(self, records):
+        page = DataPage(max(len(records), 1))
+        for codes, value in records:
+            page.put(codes, value)
+        registry = default_registry()
+        image = registry.encode(page)
+        assert image[0] == DataPageCodecV2.tag
+        for cut in range(len(image)):
+            with pytest.raises(SerializationError):
+                registry.decode(image[:cut])
+
+
+@st.composite
+def nodes(draw):
+    """A hole-free directory node: random shape, random entry pool, and
+    a random cell→entry assignment (so buddy-sharing groups vary)."""
+    dims = draw(st.integers(1, 3))
+    xi = tuple(draw(st.integers(1, 4)) for _ in range(dims))
+    node = Node(dims, xi, level=draw(st.integers(1, 255)))
+    for axis in draw(st.lists(st.integers(0, dims - 1), max_size=3)):
+        node.array.grow(axis)
+    pool = [
+        DirEntry(
+            [draw(st.integers(0, 255)) for _ in range(dims)],
+            draw(st.integers(0, 255)),
+            draw(st.one_of(st.none(), st.integers(0, 2**40))),
+            draw(st.booleans()),
+        )
+        for _ in range(draw(st.integers(1, 4)))
+    ]
+    size = 2 ** sum(node.array.depths)
+    for address in range(size):
+        index = node.array.index_of(address)
+        node.array[index] = pool[draw(st.integers(0, len(pool) - 1))]
+    return node
+
+
+class TestNodeCodecProperties:
+    @given(nodes())
+    def test_roundtrip_property(self, node):
+        codec = NodeCodec()
+        back = codec.decode_body(memoryview(codec.encode_body(node)))
+        assert back.level == node.level
+        assert back.xi == node.xi
+        assert back.array.depths == node.array.depths
+        size = 2 ** sum(node.array.depths)
+        for address in range(size):
+            index = node.array.index_of(address)
+            a, b = node.array[index], back.array[index]
+            assert (a.h, a.m, a.ptr, a.is_node) == (b.h, b.m, b.ptr, b.is_node)
+        # Sharing partition: addresses that aliased one entry still do.
+        for lhs in range(size):
+            for rhs in range(lhs + 1, size):
+                li, ri = node.array.index_of(lhs), node.array.index_of(rhs)
+                assert (node.array[li] is node.array[ri]) == (
+                    back.array[li] is back.array[ri]
+                )
+
+    def test_every_truncation_rejected(self):
+        registry = default_registry()
+        image = registry.encode(build_node())
+        assert image[0] == NodeCodec.tag
+        for cut in range(len(image)):
+            with pytest.raises(SerializationError):
+                registry.decode(image[:cut])
+
+    def test_bad_format_version(self):
+        body = bytearray(NodeCodec().encode_body(build_node()))
+        body[0] = 99
+        with pytest.raises(SerializationError):
+            NodeCodec().decode_body(bytes(body))
+
+
+@st.composite
+def region_pages(draw):
+    dims = draw(st.integers(1, 3))
+    page = _RegionPage(draw(st.integers(0, 255)))
+    for _ in range(draw(st.integers(0, 6))):
+        lows, highs = [], []
+        for _ in range(dims):
+            a = draw(st.integers(0, 2**64 - 1))
+            b = draw(st.integers(0, 2**64 - 1))
+            lows.append(min(a, b))
+            highs.append(max(a, b))
+        page.entries.append(
+            _Entry(
+                _Box(tuple(lows), tuple(highs)),
+                draw(st.one_of(st.none(), st.integers(0, 2**40))),
+                draw(st.booleans()),
+                draw(st.integers(0, 255)),
+            )
+        )
+    return page
+
+
+def build_region_page():
+    page = _RegionPage(3)
+    page.entries.append(_Entry(_Box((0, 0), (7, 3)), 11, True, 2))
+    page.entries.append(_Entry(_Box((8, 0), (15, 3)), None, False, 0))
+    return page
+
+
+class TestRegionPageCodecProperties:
+    @given(region_pages())
+    def test_roundtrip_property(self, page):
+        codec = RegionPageCodec()
+        back = codec.decode_body(memoryview(codec.encode_body(page)))
+        assert back.level == page.level
+        assert len(back.entries) == len(page.entries)
+        for a, b in zip(page.entries, back.entries):
+            assert (a.box.lows, a.box.highs) == (b.box.lows, b.box.highs)
+            assert (a.ptr, a.is_region, a.m) == (b.ptr, b.is_region, b.m)
+
+    def test_every_truncation_rejected(self):
+        registry = default_registry()
+        image = registry.encode(build_region_page())
+        assert image[0] == RegionPageCodec.tag
+        for cut in range(len(image)):
+            with pytest.raises(SerializationError):
+                registry.decode(image[:cut])
+
+    def test_bad_format_version(self):
+        body = bytearray(RegionPageCodec().encode_body(build_region_page()))
+        body[0] = 99
+        with pytest.raises(SerializationError):
+            RegionPageCodec().decode_body(bytes(body))
+
+
+class TestLegacyCoexistence:
+    """Images written before the version-byte layouts stay decodable
+    through the same registry that now encodes the v2 formats."""
+
+    def test_legacy_data_page_decodes(self):
+        page = DataPage(4)
+        page.put((1, 2), {"k": [1, 2]})
+        legacy = bytes([DataPageCodec.tag]) + DataPageCodec().encode_body(page)
+        back = default_registry().decode(legacy)
+        assert back.get((1, 2)) == {"k": [1, 2]}
+
+    def test_legacy_node_decodes(self):
+        legacy = bytes([LegacyNodeCodec.tag]) + LegacyNodeCodec().encode_body(
+            build_node()
+        )
+        back = default_registry().decode(legacy)
+        assert back.level == 2 and back.array[(0, 0)].ptr == 17
+
+    def test_legacy_region_page_decodes(self):
+        codec = LegacyRegionPageCodec()
+        legacy = bytes([codec.tag]) + codec.encode_body(build_region_page())
+        back = default_registry().decode(legacy)
+        assert back.entries[0].ptr == 11 and back.entries[1].ptr is None
+
+    def test_encode_always_picks_v2(self):
+        registry = default_registry()
+        page = DataPage(1)
+        page.put((9,), "v")
+        assert registry.encode(page)[0] == DataPageCodecV2.tag
+        assert registry.encode(build_node())[0] == NodeCodec.tag
+        assert registry.encode(build_region_page())[0] == RegionPageCodec.tag

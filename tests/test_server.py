@@ -867,3 +867,199 @@ class TestMalformedReplyValidation:
                 await server.wait_closed()
 
         run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# PR 9: buffered framing, negotiated frame caps, v1/v2/v3 coexistence
+
+
+from repro.server import protocol as proto
+
+
+def feed_reader(*chunks, eof=True):
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+class TestFrameReader:
+    def test_many_frames_in_one_chunk_then_clean_eof(self):
+        async def scenario():
+            frames = [encode_frame(Opcode.PING, i) for i in range(3)]
+            frames.append(encode_frame(Opcode.INSERT, 3, {"key": [1, 2]}))
+            reader = feed_reader(b"".join(frames))
+            frs = proto.FrameReader(reader)
+            for i, frame in enumerate(frames):
+                body = await frs.next_frame()
+                assert body == frame[4:]
+                assert decode_body(body)[1] == i
+            assert await frs.next_frame() is None
+            # EOF is sticky.
+            assert await frs.next_frame() is None
+
+        run(scenario())
+
+    def test_byte_at_a_time_delivery(self):
+        async def scenario():
+            frame = encode_frame(Opcode.SEARCH, 9, {"key": [4, 5]})
+            reader = asyncio.StreamReader()
+            frs = proto.FrameReader(reader)
+            task = asyncio.ensure_future(frs.next_frame())
+            for i in range(len(frame)):
+                reader.feed_data(frame[i : i + 1])
+                await asyncio.sleep(0)
+            assert await task == frame[4:]
+            reader.feed_eof()
+            assert await frs.next_frame() is None
+
+        run(scenario())
+
+    def test_truncated_length_prefix_rejected(self):
+        async def scenario():
+            frs = proto.FrameReader(feed_reader(b"\x05\x00"))
+            with pytest.raises(ProtocolError) as caught:
+                await frs.next_frame()
+            assert caught.value.code == "bad-frame"
+
+        run(scenario())
+
+    def test_truncated_body_rejected(self):
+        async def scenario():
+            frame = encode_frame(Opcode.PING, 1)
+            frs = proto.FrameReader(feed_reader(frame[:-1]))
+            with pytest.raises(ProtocolError) as caught:
+                await frs.next_frame()
+            assert caught.value.code == "bad-frame"
+
+        run(scenario())
+
+    def test_zero_length_frame_rejected(self):
+        async def scenario():
+            frs = proto.FrameReader(feed_reader(struct.pack("<I", 0)))
+            with pytest.raises(ProtocolError) as caught:
+                await frs.next_frame()
+            assert caught.value.code == "bad-frame"
+
+        run(scenario())
+
+    def test_oversized_honours_the_passed_cap(self):
+        async def scenario():
+            frame = encode_frame(Opcode.INSERT, 1, {"key": [1] * 50})
+            assert len(frame) - 4 > 64
+            frs = proto.FrameReader(feed_reader(frame + frame))
+            with pytest.raises(ProtocolError) as caught:
+                await frs.next_frame(64)
+            assert caught.value.code == "oversized"
+            # The same stream parses fine under the default cap.
+            frs2 = proto.FrameReader(feed_reader(frame + frame))
+            assert await frs2.next_frame() == frame[4:]
+            assert await frs2.next_frame(None) == frame[4:]
+
+        run(scenario())
+
+
+class TestFrameCapNegotiation:
+    def test_client_adopts_the_advertised_cap(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file, max_frame=4096) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    assert client.max_frame == MAX_FRAME  # pre-negotiation
+                    pong = await client.ping()
+                    assert pong["max_frame"] == 4096
+                    assert await client.negotiate() == 3
+                    assert client.max_frame == 4096
+
+        run(scenario())
+
+    def test_un_negotiated_connection_keeps_the_default(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    await client.insert((1, 1), "v")
+                    assert client.max_frame == MAX_FRAME
+                    pong = await client.ping()
+                    assert pong["max_frame"] == MAX_FRAME
+
+        run(scenario())
+
+    def test_client_refuses_an_oversized_send(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file, max_frame=1024) as server:
+                host, port = server.address
+                client = await QueryClient.connect(host, port, negotiate=True)
+                async with client:
+                    with pytest.raises(ProtocolError) as caught:
+                        await client.insert((2, 2), "x" * 4000)
+                    assert caught.value.code == "oversized"
+                    # The connection itself is still healthy.
+                    await client.insert((2, 2), "small")
+                    assert await client.search((2, 2)) == "small"
+
+        run(scenario())
+
+    def test_server_enforces_its_cap_on_the_wire(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file, max_frame=1024) as server:
+                host, port = server.address
+                blob = struct.pack("<I", 2000) + b"\x01" * 2000
+                payload = parse_error_reply(await send_raw(host, port, blob))
+                assert payload["code"] == "oversized"
+
+        run(scenario())
+
+
+class TestWireCoexistence:
+    def test_frame_version_matrix(self):
+        payload = {"key": [1, 2], "value": "café"}
+        for version in (1, 2, 3):
+            blob = encode_frame(
+                Opcode.INSERT, 9, payload, version=version, epoch=4
+            )
+            frame = proto.decode_frame(blob[4:])
+            assert frame.version == version
+            assert frame.opcode == Opcode.INSERT
+            assert frame.request_id == 9
+            assert frame.payload == payload
+            assert frame.epoch == (4 if version >= 2 else 0)
+
+    def test_v1_and_v3_clients_share_one_server(self, tmp_path):
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                plain = await QueryClient.connect(host, port)
+                keen = await QueryClient.connect(host, port, negotiate=True)
+                async with plain, keen:
+                    assert plain.protocol_version == 1
+                    assert keen.protocol_version == 3
+                    await keen.insert((1, 2), "from-v3")
+                    assert await plain.search((1, 2)) == "from-v3"
+                    await plain.insert((3, 4), [1, {"k": None}])
+                    assert await keen.search((3, 4)) == [1, {"k": None}]
+
+        run(scenario())
+
+    def test_v3_carries_values_json_cannot(self, tmp_path):
+        """bytes survive a v3 round-trip verbatim — proof the binary
+        payload codec (not the JSON fallback) carried the frames."""
+
+        async def scenario():
+            file = make_file(tmp_path)
+            async with QueryServer(file) as server:
+                host, port = server.address
+                client = await QueryClient.connect(host, port, negotiate=True)
+                async with client:
+                    value = b"\x00\xff\xfe" * 5
+                    await client.insert((7, 7), value)
+                    assert await client.search((7, 7)) == value
+
+        run(scenario())

@@ -304,8 +304,8 @@ class TestProtocolV2:
                     client = await QueryClient.connect(host, port)
                     async with client:
                         assert client.protocol_version == 1
-                        assert await client.negotiate() == 2
-                        assert client.protocol_version == 2
+                        assert await client.negotiate() == 3
+                        assert client.protocol_version == 3
                         topo = await client.topology()
                         assert topo["role"] == "router"
                         assert topo["epoch"] == router.epoch == 1
@@ -330,6 +330,29 @@ class TestProtocolV2:
         finally:
             manager.stop()
 
+    def test_router_advertises_its_frame_cap(self, tmp_path):
+        manager = make_manager(tmp_path, shards=2)
+        manager.start()
+        try:
+
+            async def scenario():
+                async with ShardRouter(manager, max_frame=8192) as router:
+                    host, port = router.address
+                    client = await QueryClient.connect(
+                        host, port, negotiate=True
+                    )
+                    async with client:
+                        pong = await client.ping()
+                        assert pong["max_frame"] == 8192
+                        assert client.max_frame == 8192
+                        # Routed traffic still flows under the tight cap.
+                        await client.insert((1, 2), "capped")
+                        assert await client.search((1, 2)) == "capped"
+
+            run(scenario())
+        finally:
+            manager.stop()
+
     def test_plain_server_speaks_v2_with_degenerate_topology(self):
         codec = KeyCodec([UIntEncoder(WIDTH) for _ in range(DIMS)])
         file = MultiKeyFile(codec, page_capacity=8)
@@ -341,7 +364,7 @@ class TestProtocolV2:
                     host, port, negotiate=True
                 )
                 async with client:
-                    assert client.protocol_version == 2
+                    assert client.protocol_version == 3
                     topo = await client.topology()
                     assert topo["role"] == "server"
                     assert topo["boundaries"] == []
