@@ -62,11 +62,23 @@ from repro.bench.migration import (
     migration_loss_failures,
     run_migration_cell,
 )
+from repro.bench.replication import (
+    replication_scaling_failures,
+    run_replication_cell,
+)
 from repro.storage import BufferPool, FileBackend, PageStore, WALBackend
 
 BASELINE_VERSION = 1
 BACKENDS = ("memory", "file", "file+pool", "file+wal")
-MODES = ("single", "batched", "rangepar", "served", "sharded", "migration")
+MODES = (
+    "single",
+    "batched",
+    "rangepar",
+    "served",
+    "sharded",
+    "migration",
+    "replication",
+)
 
 #: Gated metrics where a *larger* current value is a regression.
 _WORSE_IF_HIGHER = (
@@ -104,6 +116,11 @@ _WORSE_IF_HIGHER = (
     # ``migration_loss_failures``; diffing it as well costs nothing)
     "migration_loss",
     "migration_write_failures",
+    # replication cells (the fan-out scaling ratio and latch-timeout
+    # count are scheduling-dependent / absolute-gated in
+    # ``replication_scaling_failures``; the oracle count diffs for free)
+    "replication_mismatches",
+    "replication_latch_timeouts",
 )
 #: Gated metrics where a *smaller* current value is a regression.
 _WORSE_IF_LOWER = ("alpha", "hit_rate", "read_saving", "rangepar_records")
@@ -170,6 +187,11 @@ DEFAULT_CELLS = (
     # The rebalance layer's gated claim: an online split + merge under
     # live concurrent writers loses zero acked writes.
     BenchCell("table2", "BMEHTree", backend="file+wal", mode="migration"),
+    # The replication layer's gated claims: reads fan out across
+    # followers (>= 1.8x busiest-process CPU from 1 to 3 replicas at
+    # full scale), every read matches its acked write, and a write
+    # storm cannot latch-time-out an MVCC snapshot scan.
+    BenchCell("table2", "BMEHTree", backend="file+wal", mode="replication"),
 )
 
 
@@ -276,6 +298,14 @@ def run_cell(
                 )
             if cell.mode == "migration":
                 return run_migration_cell(
+                    cell,
+                    experiment,
+                    make_workdir,
+                    n,
+                    concurrency=parallelism or DEFAULT_CONCURRENCY,
+                )
+            if cell.mode == "replication":
+                return run_replication_cell(
                     cell,
                     experiment,
                     make_workdir,
@@ -571,6 +601,7 @@ def compare_with_baseline(
     failures.extend(served_coalescing_failures(current_results))
     failures.extend(sharded_scaling_failures(current_results))
     failures.extend(migration_loss_failures(current_results))
+    failures.extend(replication_scaling_failures(current_results))
     return failures, current_results
 
 
@@ -633,6 +664,7 @@ def format_results(results: Sequence[Mapping]) -> str:
     served = [r for r in results if r.get("mode") == "served"]
     sharded = [r for r in results if r.get("mode") == "sharded"]
     migration = [r for r in results if r.get("mode") == "migration"]
+    replication = [r for r in results if r.get("mode") == "replication"]
     sections: list[str] = []
     if singles:
         header = (
@@ -782,6 +814,34 @@ def format_results(results: Sequence[Mapping]) -> str:
                 f"{m['migration_split_seconds']:>7.3f}/"
                 f"{m['migration_merge_seconds']:<7.3f}"
                 f"{m['migration_epoch_bumps']:>8d}"
+            )
+        sections.append("\n".join(lines))
+    if replication:
+        header = (
+            f"{'replication cell':<44}{'writes':>8}{'scaling':>9}"
+            f"{'miss':>6}{'latch-TO':>10}{'repl reads 1/3':>16}"
+            f"{'scans':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for result in replication:
+            m = result["metrics"]
+            label = (
+                f"{result['experiment']}/{result['scheme']}"
+                f"/b={result['b']}/{result['backend']}"
+                f"/c={result['parallelism']}"
+            )
+            fanout = (
+                f"{m['replication_base_replica_reads']}/"
+                f"{m['replication_scaled_replica_reads']}"
+            )
+            lines.append(
+                f"{label:<44}"
+                f"{m['replication_writes']:>8d}"
+                f"{m['replication_read_scaling']:>8.2f}x"
+                f"{m['replication_mismatches']:>6d}"
+                f"{m['replication_latch_timeouts']:>10d}"
+                f"{fanout:>16}"
+                f"{m['replication_storm_scans']:>7d}"
             )
         sections.append("\n".join(lines))
     return "\n\n".join(sections)

@@ -9,7 +9,8 @@ Commands:
   print its structural profile;
 * ``bench [--n N] [--out PATH] [--compare BASELINE [--tolerance T]]
   [--speedup-vs BASELINE [--speedup-min R]]
-  [--modes single batched rangepar served sharded] [--batch-size K]
+  [--modes single batched rangepar served sharded migration replication]
+  [--batch-size K]
   [--parallelism P]``
   — run the benchmark suite over memory / file / file+pool / file+wal
   storage configurations, including the batched-execution cells
@@ -33,12 +34,15 @@ Commands:
   its shape;
 * ``topology [--host H] --port P`` — print a served endpoint's shard
   topology (epoch, z-range cuts, worker addresses);
-* ``rebalance [--host H] --port P [split|merge|status] [--shard S]
-  [--cut Z]`` — drive an online shard split or merge against a running
-  sharded cluster (zero acked-write loss; see ``repro.server.migrate``)
-  or print the rebalance status.  ``serve --shards N --workdir DIR
-  --auto-split-keys K [--max-shards M]`` does the same automatically
-  whenever a shard outgrows ``K`` keys;
+* ``rebalance [--host H] --port P [split|merge|promote|status]
+  [--shard S] [--cut Z]`` — drive an online shard split or merge
+  against a running sharded cluster (zero acked-write loss; see
+  ``repro.server.migrate``), promote a dead shard's most-caught-up
+  read replica to primary (``promote --shard S``; see
+  ``repro.server.replica``), or print the rebalance status.  ``serve
+  --shards N --workdir DIR --auto-split-keys K [--max-shards M]`` does
+  the split automatically whenever a shard outgrows ``K`` keys, and
+  ``--auto-failover`` promotes automatically when a primary dies;
 * ``lint [paths...]`` — the repo-specific static pass (backend bypasses,
   float equality, mutable defaults, missing core annotations);
 * ``analyze [paths...] [--graph PATH]`` — the dataflow static analyzer:
@@ -206,6 +210,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.served import served_coalescing_failures
     from repro.bench.sharded import sharded_scaling_failures
     from repro.bench.migration import migration_loss_failures
+    from repro.bench.replication import replication_scaling_failures
     from repro.bench.regression import (
         BenchCell,
         DEFAULT_CELLS,
@@ -303,6 +308,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     failures.extend(served_coalescing_failures(results))
     failures.extend(sharded_scaling_failures(results))
     failures.extend(migration_loss_failures(results))
+    failures.extend(replication_scaling_failures(results))
     failures.extend(speedup_failures(results))
     if failures:
         print(f"\n{len(failures)} problem(s):", file=sys.stderr)
@@ -323,7 +329,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.storage import BufferPool, PageStore
     from repro.storage.wal import WALBackend, recover_index
 
-    if args.shards > 1:
+    # Replicas and the failover watchdog need worker processes to ship
+    # from / promote over, so they force the cluster path even at one
+    # shard (a plain in-process server has nothing to replicate).
+    if args.shards > 1 or args.replicas or args.auto_failover:
         return _serve_sharded(args)
     if args.wal and os.path.exists(args.wal):
         index = recover_index(args.wal, pool_capacity=args.pool_pages or None)
@@ -390,6 +399,13 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.replicas and not args.workdir:
+        print(
+            "--replicas needs --workdir: WAL shipping replicates the "
+            "durable per-shard WALs",
+            file=sys.stderr,
+        )
+        return 2
     manager = ShardManager(
         args.shards,
         dims=args.dims,
@@ -408,6 +424,19 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             file=sys.stderr,
             flush=True,
         )
+    replicas = None
+    if args.replicas:
+        from repro.server.replica import ReplicaManager
+
+        replicas = ReplicaManager(manager, args.replicas)
+        for shard, rspecs in replicas.start().items():
+            for rspec in rspecs:
+                print(
+                    f"shard {shard} replica {rspec.replica}: pid "
+                    f"{rspec.pid} on {rspec.host}:{rspec.port}",
+                    file=sys.stderr,
+                    flush=True,
+                )
 
     async def run() -> None:
         router = ShardRouter(
@@ -418,6 +447,8 @@ def _serve_sharded(args: argparse.Namespace) -> int:
             session_pipeline=args.pipeline,
             auto_split_keys=args.auto_split_keys,
             max_shards=args.max_shards,
+            replicas=replicas,
+            auto_failover=args.auto_failover,
         )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
@@ -435,6 +466,9 @@ def _serve_sharded(args: argparse.Namespace) -> int:
     try:
         asyncio.run(run())
     finally:
+        if replicas is not None:
+            print("stopping replicas ...", file=sys.stderr, flush=True)
+            replicas.stop()
         print("stopping shard workers ...", file=sys.stderr, flush=True)
         manager.stop()
     print("cluster state is durable, exiting", file=sys.stderr, flush=True)
@@ -499,6 +533,20 @@ def _cmd_rebalance(args: argparse.Namespace) -> int:
                 f"epoch {reply.get('epoch', 0)}, "
                 f"{reply.get('shards', 0)} shard(s), {state}, "
                 f"{reply.get('migrations', 0)} migration(s) completed"
+            )
+            return 0
+        if args.action == "promote":
+            chosen = reply.get("chosen")
+            source = (
+                f"replica {chosen} (lsn {reply.get('chosen_lsn')})"
+                if chosen is not None
+                else "the primary's durable WAL alone"
+            )
+            print(
+                f"promoted shard {reply.get('shard')}: worker "
+                f"{reply.get('old_worker')} -> {reply.get('worker')} from "
+                f"{source}, {reply.get('pages', 0)} page(s) caught up, "
+                f"now at epoch {reply.get('epoch', 0)}"
             )
             return 0
         what = reply.get("action", args.action)
@@ -745,7 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--schemes", nargs="+", default=None)
     bench.add_argument("--modes", nargs="+", default=None,
                        choices=["single", "batched", "rangepar", "served",
-                                "sharded", "migration"],
+                                "sharded", "migration", "replication"],
                        help="measurement protocols for ad-hoc cells")
     bench.add_argument("--batch-size", type=int, default=None,
                        help="keys per measured batch in batched cells "
@@ -847,6 +895,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "only; default: no auto-split)")
     serve.add_argument("--max-shards", type=int, default=8,
                        help="auto-split ceiling (default 8)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="WAL-shipped read replicas per shard (sharded "
+                            "durable mode only; default 0)")
+    serve.add_argument("--auto-failover", action="store_true",
+                       help="promote a shard's most-caught-up replica "
+                            "automatically when its primary dies")
     serve.set_defaults(handler=_cmd_serve)
 
     ping = commands.add_parser(
@@ -868,7 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="online shard split/merge against a running cluster",
     )
     rebalance.add_argument("action", nargs="?", default="status",
-                           choices=["split", "merge", "status"],
+                           choices=["split", "merge", "promote", "status"],
                            help="what to do (default: status)")
     rebalance.add_argument("--host", default="127.0.0.1")
     rebalance.add_argument("--port", type=int, required=True)

@@ -147,13 +147,13 @@ class MultiKeyFile:
     def items(self) -> Iterator[tuple[tuple[Any, ...], Any]]:
         """Every stored record, decoded, from a point-in-time snapshot.
 
-        The whole index iteration runs under the store latch's shared
-        side, so a concurrent writer that honours the latch discipline
-        (the service layer's write aggregator, a pool flush, a group
-        commit) can never interleave a split mid-scan: the snapshot is a
-        consistent state of the index, taken when iteration starts.
+        Built on :meth:`PageStore.snapshot` (MVCC): opening the snapshot
+        briefly takes the latch's exclusive side to align with an
+        operation boundary, but the iteration itself reads preserved
+        page versions latch-free — a concurrent writer is never blocked
+        by a long scan, and the scan sees exactly the open-time state.
         """
-        with self.store.latch.read():
+        with self.store.snapshot() as snap, snap.reading():
             snapshot = list(self._index.items())
         for codes, value in snapshot:
             yield self._codec.decode(codes), value

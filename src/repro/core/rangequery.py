@@ -132,6 +132,14 @@ def scan_parallel(
     checked = index._check_key(lows), index._check_key(highs)
     lows, highs = checked
     store = index.store
+    # A snapshot overlay active on this thread (see
+    # ``StoreSnapshot.reading``) must follow the scan into the pool's
+    # worker threads: thread-locals do not propagate, so capture the
+    # handle here and re-enter it around every per-page task.
+    snap = None
+    current = getattr(store, "current_snapshot", None)
+    if current is not None:
+        snap = current()
     with store.operation():
         tasks = list(leaf_tasks(lows, highs))
     if not tasks:
@@ -140,7 +148,11 @@ def scan_parallel(
 
     def scan(task: tuple[int, tuple[int, ...], tuple[int, ...]]):
         ptr, task_lows, task_highs = task
-        page = store.read_shared(ptr)
+        if snap is not None:
+            with snap.reading():
+                page = snap.read(ptr)
+        else:
+            page = store.read_shared(ptr)
         return [
             (codes, value)
             for codes, value in page.items()

@@ -41,6 +41,15 @@ Four rules, each guarding an invariant the runtime sanitizer cannot see:
   negotiation removed.  ``server/shard.py`` is also exempt: its JSON is
   the on-disk topology file, written once per topology change — an
   administrative cold path, not wire traffic.
+* **REP108 replica-mutation** — follower code (``server/replica.py``)
+  calling an index mutator (``insert`` / ``delete`` / ``*_many``), a
+  store mutator (``allocate`` / ``free`` / ``mark_dirty``), or
+  ``.write()`` on a store/index-named receiver.  A read replica's state
+  must change **only** by applying the primary's committed WAL batches
+  through ``WALBackend.apply_replicated`` — any other mutation forks
+  the follower's state from the primary's history, and the divergence
+  survives promotion.  The mirror of REP106: that rule keeps served
+  mutations inside the aggregator; this one keeps replicas read-only.
 
 Run via ``repro lint`` (exit 1 on findings) or ``repro check``.
 """
@@ -80,6 +89,11 @@ _JSON_CODEC_FUNCS = frozenset({"dumps", "loads", "dump", "load"})
 _INDEX_MUTATORS = frozenset(
     {"insert", "delete", "insert_many", "delete_many"}
 )
+#: REP108: beyond the index mutators, the store-level mutation surface a
+#: replica must never touch directly (``apply_replicated`` is the one
+#: sanctioned channel — replicated state changes only by replaying the
+#: primary's committed batches).
+_REPLICA_STORE_MUTATORS = frozenset({"allocate", "free", "mark_dirty"})
 #: Constructor names (terminal identifier, so dotted forms like
 #: ``collections.defaultdict`` match) whose call as a default argument
 #: shares one mutable object across every call.
@@ -121,12 +135,14 @@ class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, *, check_backend: bool,
                  check_annotations: bool,
                  check_server_mutation: bool = False,
-                 check_hot_json: bool = False) -> None:
+                 check_hot_json: bool = False,
+                 check_replica_mutation: bool = False) -> None:
         self.path = path
         self.check_backend = check_backend
         self.check_annotations = check_annotations
         self.check_server_mutation = check_server_mutation
         self.check_hot_json = check_hot_json
+        self.check_replica_mutation = check_replica_mutation
         self.issues: list[LintIssue] = []
         # Nesting stack of 'class' / 'function' scopes: REP104 applies to
         # module-level functions and methods, not to nested helpers.
@@ -196,6 +212,29 @@ class _Linter(ast.NodeVisitor):
                 "(server/aggregator.py) so concurrent writes coalesce "
                 "into one group commit",
             )
+        if self.check_replica_mutation and isinstance(
+            node.func, ast.Attribute
+        ):
+            receiver = _terminal_name(node.func.value)
+            lowered = receiver.lower() if receiver is not None else ""
+            method = node.func.attr
+            store_write = method == "write" and (
+                "store" in lowered or "index" in lowered
+            )
+            if (
+                method in _INDEX_MUTATORS
+                or method in _REPLICA_STORE_MUTATORS
+                or store_write
+            ):
+                self._issue(
+                    node,
+                    "REP108",
+                    f"replica code calls .{method}() — a read replica's "
+                    "state changes only by replaying the primary's "
+                    "committed batches through "
+                    "WALBackend.apply_replicated(); any direct mutation "
+                    "forks the follower from the primary's history",
+                )
         if self.check_hot_json:
             hot_json = (
                 isinstance(node.func, ast.Attribute)
@@ -318,6 +357,7 @@ def lint_source(
     check_annotations: bool = False,
     check_server_mutation: bool = False,
     check_hot_json: bool = False,
+    check_replica_mutation: bool = False,
 ) -> list[LintIssue]:
     """Lint one module's source text; returns findings (possibly empty)."""
     try:
@@ -335,6 +375,7 @@ def lint_source(
         check_annotations=check_annotations,
         check_server_mutation=check_server_mutation,
         check_hot_json=check_hot_json,
+        check_replica_mutation=check_replica_mutation,
     )
     linter.visit(tree)
     return sorted(linter.issues, key=lambda i: (i.line, i.col, i.code))
@@ -346,7 +387,8 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
     Rule scoping: REP101 everywhere except the accounting layer itself;
     REP104 only under ``core/``; REP102/REP103 everywhere; REP106 under
     ``server/`` except the write aggregator; REP107 under ``server/``
-    except the protocol/payload codecs and the topology file.
+    except the protocol/payload codecs and the topology file; REP108
+    only in ``server/replica.py`` (the follower code path).
     """
     roots = [Path(p) for p in paths] if paths else [repo_source_root()]
     files: list[Path] = []
@@ -367,6 +409,7 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
         check_hot_json = in_server and not any(
             posix.endswith(a) for a in SERVER_JSON_ALLOWED
         )
+        check_replica_mutation = posix.endswith("server/replica.py")
         try:
             source = file.read_text(encoding="utf-8")
         except OSError as exc:
@@ -382,6 +425,7 @@ def lint_paths(paths: Sequence[str | Path] | None = None) -> list[LintIssue]:
                 check_annotations=check_annotations,
                 check_server_mutation=check_server_mutation,
                 check_hot_json=check_hot_json,
+                check_replica_mutation=check_replica_mutation,
             )
         )
     return issues

@@ -4,7 +4,12 @@ Builds a static *acquisition graph*: a node per lock, an edge A → B
 whenever some code path acquires B while holding A.  If every thread
 acquires locks consistently with one global order the graph is acyclic;
 a cycle is a potential deadlock (including self-edges — the latch and
-the plain mutexes here are non-reentrant).
+the plain mutexes here are non-reentrant).  A lock *assigned from*
+``threading.RLock()`` is tracked as reentrant: self-edges on it are by
+design (the MVCC frame lock is held across ``snapshot()`` →
+``_preserve()`` re-entry) and are not findings, while multi-lock cycles
+through it still are — reentrancy changes nothing about cross-lock
+ordering.
 
 Lock nodes:
 
@@ -57,6 +62,16 @@ _EXECUTOR_DISPATCH = frozenset({"run_in_executor", "submit", "map"})
 FuncKey = tuple[str, str, str]  # ("cls"|"mod", class-or-path, name)
 
 
+def _is_rlock_call(expr: ast.expr) -> bool:
+    """``threading.RLock()`` / ``RLock()`` (any dotted spelling)."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Attribute):
+        return func.attr == "RLock"
+    return isinstance(func, ast.Name) and func.id == "RLock"
+
+
 @dataclass
 class _Acq:
     lock: str
@@ -87,6 +102,9 @@ class LockOrderGraph:
         self.nodes: set[str] = set()
         #: (src, dst) → first witness "path:line".
         self.edges: dict[tuple[str, str], str] = {}
+        #: Nodes assigned from ``threading.RLock()``: self-edges on
+        #: these are legal re-entry, not deadlocks.
+        self.reentrant: set[str] = set()
 
     def add_edge(self, src: str, dst: str, witness: str) -> None:
         self.nodes.add(src)
@@ -98,7 +116,7 @@ class LockOrderGraph:
         (plus self-loops), nodes in sorted order for stable output."""
         out: list[list[str]] = []
         for src, dst in sorted(self.edges):
-            if src == dst:
+            if src == dst and src not in self.reentrant:
                 out.append([src])
         adjacency: dict[str, list[str]] = {n: [] for n in self.nodes}
         for src, dst in self.edges:
@@ -198,10 +216,16 @@ class LockOrderAnalyzer:
 
     def __init__(self) -> None:
         self._funcs: dict[FuncKey, _FuncInfo] = {}
+        self._reentrant: set[str] = set()
 
     # -- collection --------------------------------------------------------
 
     def add_module(self, tree: ast.Module, path: str) -> None:
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign) and _is_rlock_call(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._reentrant.add(target.id)
         self._visit(tree, path, None)
 
     def _visit(
@@ -226,6 +250,20 @@ class LockOrderAnalyzer:
             ("cls", cls.name, func.name) if cls else ("mod", path, func.name)
         )
         info = _FuncInfo(key)
+        if cls is not None:
+            for stmt in ast.walk(func):
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and _is_rlock_call(stmt.value)
+                ):
+                    continue
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._reentrant.add(f"{cls.name}.{target.attr}")
         evaluator = FactEvaluator(cls)
         scanner = _Scanner(info, evaluator, path, cls)
         scanner.scan_body(func.body, [])
@@ -248,6 +286,7 @@ class LockOrderAnalyzer:
                             acq[key] |= extra
                             changed = True
         graph = LockOrderGraph()
+        graph.reentrant = set(self._reentrant)
         for info in self._funcs.values():
             for a in info.acqs:
                 graph.nodes.add(a.lock)

@@ -453,3 +453,17 @@ class QueryClient:
                 code="bad-payload",
             )
         return reply
+
+    async def repl(self, action: str, **fields: Any) -> dict:
+        """One REPL stream-control request (``hello``/``checkpoint``/
+        ``tail``/``bye`` — see
+        :meth:`repro.server.server.QueryServer._repl`).  Page images are
+        raw bytes, so the connection must have negotiated protocol v3.
+        """
+        reply = await self.request(Opcode.REPL, {"action": action, **fields})
+        if not isinstance(reply, dict):
+            raise ProtocolError(
+                f"REPL reply must be an object, got {type(reply).__name__}",
+                code="bad-payload",
+            )
+        return reply

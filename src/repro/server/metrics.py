@@ -28,6 +28,11 @@ class ServerMetrics:
         self.drain_rejections = 0
         self.latch_timeouts = 0
         self.reads_served = 0
+        #: Reads answered through the MVCC snapshot path (range scans,
+        #: migration snapshots) — latch-free, never blocking a writer.
+        self.snapshot_reads = 0
+        #: Committed WAL batches shipped to replication streams.
+        self.repl_batches_shipped = 0
         self.mutations_submitted = 0
         self.mutations_applied = 0
         self.mutation_errors = 0
@@ -61,6 +66,8 @@ class ServerMetrics:
             "drain_rejections": self.drain_rejections,
             "latch_timeouts": self.latch_timeouts,
             "reads_served": self.reads_served,
+            "snapshot_reads": self.snapshot_reads,
+            "repl_batches_shipped": self.repl_batches_shipped,
             "mutations_submitted": self.mutations_submitted,
             "mutations_applied": self.mutations_applied,
             "mutation_errors": self.mutation_errors,

@@ -122,6 +122,12 @@ class Opcode(enum.IntEnum):
     TOPOLOGY = 10
     ROUTE = 11
     MIGRATE = 12
+    #: Replication stream control (v3): ``hello`` attaches a WAL tap
+    #: and reports the checkpoint size, ``checkpoint`` pages committed
+    #: images to a bootstrapping follower, ``tail`` drains committed
+    #: batches, ``bye`` detaches.  Read-side: never enters the write
+    #: aggregator.
+    REPL = 13
     REPLY_OK = 128
     REPLY_ERR = 129
 

@@ -34,6 +34,20 @@ Upstream failures do not silently retry mutations: a connection that
 dies mid-request may or may not have applied the write, and replaying
 it could double-apply.  The link is marked dead, the caller gets
 ``shard-down``, and the next request attempts one fresh connection.
+**Idempotent reads** (``SEARCH``/``SEARCH_MANY``/``RANGE``/``STATS``)
+are the exception: a read that dies mid-request is retried exactly once
+on an alternate link for the same shard (a replica if the primary died,
+the primary if a replica died) — re-running a read cannot double-apply
+anything, so the retry is free and masks a single link death.
+
+With a :class:`~repro.server.replica.ReplicaManager` attached, data
+reads prefer the shard's replicas (round-robin) and fall back to the
+primary when a replica declines as ``replica-stale`` (lag-aware
+routing: the replica itself knows its applied-vs-primary LSN gap) or is
+down; ``repro rebalance promote`` and the auto-failover loop replace a
+dead primary with its most-caught-up follower through
+:func:`~repro.server.replica.promote`, re-fencing the topology at the
+bumped epoch.
 """
 
 from __future__ import annotations
@@ -51,7 +65,7 @@ from repro.errors import (
 )
 from repro.server import protocol
 from repro.server.admission import AdmissionController, ReadWriteGate
-from repro.server.client import QueryClient
+from repro.server.client import QueryClient, RemoteError
 from repro.server.metrics import ServerMetrics
 from repro.server.protocol import (
     MAX_FRAME,
@@ -78,6 +92,15 @@ class RouterMetrics(ServerMetrics):
         self.shard_errors = 0
         self.reconnects = 0
         self.stale_rejections = 0
+        #: Data reads answered by a replica instead of the primary.
+        self.replica_reads = 0
+        #: Reads a replica declined (stale / read-only) that fell back.
+        self.replica_fallbacks = 0
+        #: Idempotent reads retried once on an alternate link after a
+        #: mid-request connection death.
+        self.read_retries = 0
+        #: Completed primary failovers (manual or automatic).
+        self.promotions = 0
 
     def snapshot(self) -> dict[str, Any]:
         snap = super().snapshot()
@@ -90,6 +113,10 @@ class RouterMetrics(ServerMetrics):
                 "shard_errors": self.shard_errors,
                 "reconnects": self.reconnects,
                 "stale_rejections": self.stale_rejections,
+                "replica_reads": self.replica_reads,
+                "replica_fallbacks": self.replica_fallbacks,
+                "read_retries": self.read_retries,
+                "promotions": self.promotions,
             }
         )
         return snap
@@ -185,6 +212,9 @@ class ShardRouter:
         auto_split_keys: int | None = None,
         max_shards: int = 8,
         auto_split_interval: float = 1.0,
+        replicas: Any = None,
+        auto_failover: bool = False,
+        failover_interval: float = 0.25,
     ) -> None:
         if manager is not None:
             specs = manager.specs if specs is None else specs
@@ -234,6 +264,19 @@ class ShardRouter:
         self._max_shards = max_shards
         self._auto_split_interval = auto_split_interval
         self._auto_split_task: asyncio.Task | None = None
+        #: The :class:`~repro.server.replica.ReplicaManager` (if reads
+        #: are replicated), its per-shard link tables, and the
+        #: round-robin cursors spreading reads across each shard's pool.
+        self._replicas = replicas
+        self._replica_links: dict[int, list[_ShardLink]] = {}
+        self._replica_rr: dict[int, int] = {}
+        if replicas is not None:
+            self.install_replicas(replicas.all_specs())
+        self._auto_failover = auto_failover
+        self._failover_interval = failover_interval
+        self._failover_task: asyncio.Task | None = None
+        #: Serializes promotions (auto loop vs. operator verb).
+        self._promote_lock = asyncio.Lock()
 
     # -- ServesSessions surface ----------------------------------------------
 
@@ -280,6 +323,10 @@ class ShardRouter:
             self._auto_split_task = asyncio.get_running_loop().create_task(
                 self._auto_split_loop(), name="repro-auto-split"
             )
+        if self._auto_failover and self._manager is not None:
+            self._failover_task = asyncio.get_running_loop().create_task(
+                self._failover_loop(), name="repro-auto-failover"
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -318,13 +365,15 @@ class ShardRouter:
             return
         self._shut_down = True
         self.draining = True
-        if self._auto_split_task is not None:
-            self._auto_split_task.cancel()
-            try:
-                await self._auto_split_task
-            except (asyncio.CancelledError, Exception):
-                pass
-            self._auto_split_task = None
+        for task in (self._auto_split_task, self._failover_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._auto_split_task = None
+        self._failover_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -335,6 +384,9 @@ class ShardRouter:
             await session._finish()
         for link in self._links:
             await link.close()
+        for links in self._replica_links.values():
+            for link in links:
+                await link.close()
 
     def fence(self) -> Any:
         """The topology write fence, as an async context manager.
@@ -370,6 +422,29 @@ class ShardRouter:
             self._epoch + 1 if epoch is None else max(epoch, self._epoch + 1)
         )
         return old_links
+
+    def install_replicas(
+        self, specs_by_shard: dict[int, Sequence[Any]]
+    ) -> list[_ShardLink]:
+        """Swap the replica link tables (whole-table, like
+        :meth:`install_topology`; call under the fence when the router
+        is live).  Returns the superseded links for the caller to
+        close."""
+        old = [
+            link
+            for links in self._replica_links.values()
+            for link in links
+        ]
+        self._replica_links = {
+            shard: [
+                _ShardLink(spec, self.metrics, self._connect_timeout)
+                for spec in specs
+            ]
+            for shard, specs in specs_by_shard.items()
+            if specs
+        }
+        self._replica_rr = {}
+        return old
 
     async def set_topology(
         self,
@@ -424,6 +499,81 @@ class ShardRouter:
 
     def _link_for_key(self, key: Sequence[Any]) -> _ShardLink:
         return self._links[shard_for(self._z(key), self._boundaries)]
+
+    def _shard_for_key(self, key: Sequence[Any]) -> int:
+        return shard_for(self._z(key), self._boundaries)
+
+    def _read_candidates(
+        self, shard: int, prefer_replica: bool
+    ) -> list[_ShardLink]:
+        """Links to try for an idempotent read, preference first.
+
+        With replicas and ``prefer_replica``: round-robin replica, then
+        the primary, then the remaining replicas.  Without (or for
+        stats, which should describe the authoritative copy): primary
+        first, replicas as spares.  The caller walks this list on
+        ``replica-stale`` fallback and on the one permitted
+        dead-link retry.
+        """
+        primary = self._links[shard]
+        pool = self._replica_links.get(shard, [])
+        if not pool:
+            return [primary]
+        if not prefer_replica:
+            return [primary, *pool]
+        cursor = self._replica_rr.get(shard, 0)
+        self._replica_rr[shard] = cursor + 1
+        rotated = [pool[(cursor + i) % len(pool)] for i in range(len(pool))]
+        return [rotated[0], primary, *rotated[1:]]
+
+    async def _read_request(
+        self,
+        shard: int,
+        opcode: Opcode,
+        payload: Any = None,
+        *,
+        prefer_replica: bool = True,
+    ) -> Any:
+        """One idempotent read against shard ``shard``.
+
+        Two distinct failure handoffs, both bounded:
+
+        * a replica that *answers* but declines (``replica-stale`` past
+          its lag bound, or ``read-only`` right after a promotion made
+          it the primary's stale twin) costs nothing — move down the
+          candidate list;
+        * a link that *dies mid-request* (``shard-down``) consumes the
+          single retry: re-running a read is safe precisely because it
+          is idempotent, which is why mutations get no such retry
+          anywhere in this router.
+        """
+        primary = self._links[shard]
+        retried = False
+        last_exc: Exception | None = None
+        for link in self._read_candidates(shard, prefer_replica):
+            if last_exc is not None and isinstance(
+                last_exc, ShardDownError
+            ):
+                if retried:
+                    break
+                retried = True
+                self.metrics.read_retries += 1
+            try:
+                reply = await link.request(opcode, payload)
+            except ShardDownError as exc:
+                last_exc = exc
+                continue
+            except RemoteError as exc:
+                if exc.code in ("replica-stale", "read-only"):
+                    self.metrics.replica_fallbacks += 1
+                    last_exc = exc
+                    continue
+                raise
+            if link is not primary:
+                self.metrics.replica_reads += 1
+            return reply
+        assert last_exc is not None
+        raise last_exc
 
     def _split_by_shard(
         self, keys: Sequence[Sequence[Any]]
@@ -495,7 +645,13 @@ class ShardRouter:
                     f"{self._epoch}",
                     epoch=self._epoch,
                 )
-            if opcode in (Opcode.INSERT, Opcode.SEARCH, Opcode.DELETE):
+            if opcode == Opcode.SEARCH:
+                key = key_field(payload)
+                self.metrics.point_ops_routed += 1
+                return await self._read_request(
+                    self._shard_for_key(key), opcode, payload
+                )
+            if opcode in (Opcode.INSERT, Opcode.DELETE):
                 key = key_field(payload)
                 self.metrics.point_ops_routed += 1
                 return await self._link_for_key(key).request(opcode, payload)
@@ -537,9 +693,80 @@ class ShardRouter:
             return await self.migrator.split(shard=shard, cut=cut)
         if action == "merge":
             return await self.migrator.merge(shard=shard)
+        if action == "promote":
+            if shard is None:
+                raise ProtocolError(
+                    "promote needs a shard", code="bad-payload"
+                )
+            failpoint = None
+            if isinstance(payload, dict) and payload.get("failpoint"):
+                failpoint = field(payload, "failpoint", str)
+            return await self.promote(shard, failpoint=failpoint)
         raise ProtocolError(
             f"unknown migration action {action!r}", code="bad-payload"
         )
+
+    async def promote(
+        self, shard: int, *, failpoint: str | None = None
+    ) -> dict[str, Any]:
+        """Replace shard ``shard``'s (dead) primary with its
+        most-caught-up follower and re-fence the topology.
+
+        The blocking promotion (kill → choose → catch up → fork) runs
+        on an executor thread *outside* the topology gate — reads on
+        the surviving shards keep flowing the whole time.  Only the
+        final link swap takes the write fence, exactly like a
+        migration cutover, and installs the bumped epoch so straggler
+        clients of the old primary are fenced off.
+        """
+        if self._manager is None:
+            raise MigrationError(
+                "this router has no shard manager; promotion needs one"
+            )
+        from repro.server.replica import promote as run_promotion
+
+        manager = self._manager
+        async with self._promote_lock:
+            loop = asyncio.get_running_loop()
+            summary = await loop.run_in_executor(
+                None,
+                lambda: run_promotion(
+                    manager, self._replicas, shard, failpoint=failpoint
+                ),
+            )
+            async with self.fence():
+                old_links = self.install_topology(
+                    manager.specs, manager.boundaries, epoch=manager.epoch
+                )
+                if self._replicas is not None:
+                    old_links += self.install_replicas(
+                        self._replicas.all_specs()
+                    )
+            for link in old_links:
+                await link.close()
+            self.metrics.promotions += 1
+            summary["epoch"] = self._epoch
+            return summary
+
+    async def _failover_loop(self) -> None:
+        """Auto-promote: watch every primary's liveness and run the
+        promotion state machine the moment one dies.  Same error
+        discipline as the auto-split loop — a failed attempt counts a
+        shard error and retries on the next tick."""
+        assert self._manager is not None
+        while True:
+            await asyncio.sleep(self._failover_interval)
+            if self.draining:
+                continue
+            for spec in list(self._specs):
+                try:
+                    if self._manager.is_alive(spec.shard):
+                        continue
+                    await self.promote(spec.shard)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    self.metrics.shard_errors += 1
 
     def _topology(self) -> dict[str, Any]:
         return {
@@ -547,6 +774,11 @@ class ShardRouter:
             "epoch": self._epoch,
             "boundaries": list(self._boundaries),
             "shards": [spec.as_payload() for spec in self._specs],
+            "replicas": [
+                link.spec.as_payload()
+                for shard in sorted(self._replica_links)
+                for link in self._replica_links[shard]
+            ],
         }
 
     def _route(self, payload: Any) -> dict[str, Any]:
@@ -599,14 +831,21 @@ class ShardRouter:
                 )
         groups = self._split_by_shard(keys)
         self.metrics.batches_split += 1
-        outcome = await self._gather_by_shard(
-            {
+        if opcode == Opcode.SEARCH_MANY:
+            calls = {
+                shard: self._read_request(
+                    shard, opcode, {"keys": [keys[i] for i in positions]}
+                )
+                for shard, positions in groups.items()
+            }
+        else:
+            calls = {
                 shard: self._links[shard].request(
                     opcode, {"keys": [keys[i] for i in positions]}
                 )
                 for shard, positions in groups.items()
             }
-        )
+        outcome = await self._gather_by_shard(calls)
         values: list[Any] = [None] * len(keys)
         for shard, positions in groups.items():
             shard_values = field(outcome[shard], "values", list)
@@ -639,7 +878,7 @@ class ShardRouter:
         self.metrics.scatter_fanout += len(targets)
         outcome = await self._gather_by_shard(
             {
-                shard: self._links[shard].request(Opcode.RANGE, payload)
+                shard: self._read_request(shard, Opcode.RANGE, payload)
                 for shard in targets
             }
         )
@@ -671,8 +910,15 @@ class ShardRouter:
         return {"items": items, "count": len(items)}
 
     async def _stats(self) -> Any:
+        # Primary-preferred: stats should describe the authoritative
+        # copy; a replica answers only when its primary's link died.
         outcome = await asyncio.gather(
-            *(link.request(Opcode.STATS) for link in self._links),
+            *(
+                self._read_request(
+                    spec.shard, Opcode.STATS, prefer_replica=False
+                )
+                for spec in self._specs
+            ),
             return_exceptions=True,
         )
         shards: list[Any] = []

@@ -168,6 +168,10 @@ class QueryServer:
         #: Live migration taps by id (see :class:`_MigrationTap`).
         self._taps: dict[int, _MigrationTap] = {}
         self._next_tap = 1
+        #: Live replication streams by id: each holds a WAL tap (see
+        #: :class:`repro.storage.wal.ReplicationTap`) a follower drains.
+        self._repl_streams: dict[int, Any] = {}
+        self._next_repl = 1
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -302,6 +306,8 @@ class QueryServer:
             return await self._run_read(self._stats)
         if opcode == Opcode.MIGRATE:
             return await self._migrate(payload)
+        if opcode == Opcode.REPL:
+            return await self._repl(payload)
         raise ProtocolError(f"unknown opcode {opcode}", code="bad-opcode")
 
     def _ping_reply(self) -> dict[str, Any]:
@@ -412,6 +418,9 @@ class QueryServer:
                 )
         if parallelism is None:
             parallelism = self._range_parallelism
+        use_snapshot = True
+        if isinstance(payload, dict) and payload.get("snapshot") is not None:
+            use_snapshot = bool(payload["snapshot"])
 
         def scan() -> Any:
             records = [
@@ -422,6 +431,10 @@ class QueryServer:
             ]
             return {"items": records, "count": len(records)}
 
+        if use_snapshot:
+            return await self._read_at_snapshot(scan)
+        # Legacy gated path (``snapshot: false``): the scan holds the
+        # gate's shared side for its whole duration, blocking writers.
         # A fanned-out scan takes the latch's shared side per page read
         # (scan_parallel -> read_shared) from its own workers; holding
         # the outer latch here as well could deadlock against a
@@ -430,6 +443,33 @@ class QueryServer:
             scan, latched=not (parallelism and parallelism > 1)
         )
 
+    async def _read_at_snapshot(self, fn: Callable[[], Any]) -> Any:
+        """The MVCC read path: pin a snapshot at a committed window
+        boundary (the gate's shared side covers only the *open*, which
+        is cheap), then run ``fn`` latch-free against the pinned page
+        versions with the gate released — a long scan never blocks the
+        write aggregator, and a write storm can never turn the scan into
+        a ``latch-timeout``."""
+        loop = asyncio.get_running_loop()
+        store = self._file.store
+        async with self._gate.read_locked():
+            snap = await loop.run_in_executor(
+                self._executor,
+                lambda: store.snapshot(timeout=self._latch_timeout),
+            )
+        try:
+
+            def run() -> Any:
+                with snap.reading():
+                    return fn()
+
+            result = await loop.run_in_executor(self._executor, run)
+        finally:
+            snap.close()
+        self.metrics.reads_served += 1
+        self.metrics.snapshot_reads += 1
+        return result
+
     # -- migration (worker side) ----------------------------------------------
 
     def _z_key(self, key: Sequence[Any]) -> int:
@@ -437,9 +477,9 @@ class QueryServer:
         return interleave(codec.encode(key), codec.widths)
 
     def _migration_snapshot(self) -> list[tuple[int, list[Any], Any]]:
-        """Every record as ``(z, key, value)`` — runs on the executor
-        under the same latch + mutex discipline as any point read, so
-        the snapshot is a consistent index state."""
+        """Every record as ``(z, key, value)`` — run through
+        :meth:`_read_at_snapshot`, so the iteration sees one pinned MVCC
+        state and never blocks (or is blocked by) the write window."""
         codec = self._file.codec
         widths = codec.widths
         out: list[tuple[int, list[Any], Any]] = []
@@ -493,7 +533,7 @@ class QueryServer:
             )
         z_low = field(payload, "z_low", int)
         z_high = field(payload, "z_high", int)
-        snapshot = await self._run_read(self._migration_snapshot)
+        snapshot = await self._read_at_snapshot(self._migration_snapshot)
         in_range = sorted(
             (entry for entry in snapshot if z_low <= entry[0] <= z_high),
             key=lambda entry: entry[0],
@@ -533,6 +573,99 @@ class QueryServer:
             return {"evicted": 0}
         await self._aggregator.submit(Opcode.DELETE_MANY, {"keys": keys})
         return {"evicted": len(keys)}
+
+    # -- replication (primary side) -------------------------------------------
+
+    async def _repl(self, payload: Any) -> Any:
+        """The primary half of WAL shipping, driven over the wire by a
+        :class:`~repro.server.replica.ReplicaManager` follower.
+
+        ``hello`` attaches a :class:`~repro.storage.wal.ReplicationTap`
+        (which also takes a compaction floor, so ``compact()`` cannot
+        drop records the stream still needs); ``checkpoint`` pages the
+        committed images to a bootstrapping follower; ``tail`` drains
+        the committed batches published since the last drain; ``bye``
+        detaches.  Requires a WAL backend and protocol v3 (page images
+        are raw bytes).  Everything here is read-side: replication can
+        never enter the write aggregator.
+        """
+        action = field(payload, "action", str)
+        backend = self._file.store.backend
+        if not isinstance(backend, WALBackend):
+            raise ProtocolError(
+                "replication requires a WAL-backed server", code="no-wal"
+            )
+        if action == "hello":
+            stream_id = self._next_repl
+            self._next_repl += 1
+            self._repl_streams[stream_id] = backend.attach_tap()
+            pages = await self._run_read(
+                lambda: sum(1 for _ in backend.inner.page_ids()),
+                latched=False,
+            )
+            return {
+                "stream": stream_id,
+                "lsn": backend.lsn,
+                "pages": pages,
+                "meta": backend.metadata,
+            }
+        stream_id = field(payload, "stream", int)
+        tap = self._repl_streams.get(stream_id)
+        if tap is None:
+            raise ProtocolError(
+                f"unknown replication stream {stream_id}", code="bad-payload"
+            )
+        if action == "bye":
+            del self._repl_streams[stream_id]
+            backend.detach_tap(tap.tap_id)
+            return {"ok": True}
+        if action == "checkpoint":
+            after = -1
+            if isinstance(payload, dict) and payload.get("after") is not None:
+                after = field(payload, "after", int)
+            limit = 64
+            if isinstance(payload, dict) and payload.get("limit") is not None:
+                limit = field(payload, "limit", int)
+
+            def chunk() -> Any:
+                # Under the store's io_lock: the committed-image reads
+                # share the page file's seeking handle with the pool's
+                # and the snapshot machinery's backend hops.
+                items: list[list[Any]] = []
+                done = True
+                with self._file.store.io_lock:
+                    for pid, image in backend.committed_pages():
+                        if pid <= after:
+                            continue
+                        if len(items) >= limit:
+                            done = False
+                            break
+                        items.append([pid, image])
+                return {
+                    "pages": items,
+                    "next": items[-1][0] if items else after,
+                    "done": done,
+                }
+
+            # Under the gate's shared side: the commit window applies
+            # pending images to the inner file, so excluding it keeps
+            # the enumeration on one committed state.
+            return await self._run_read(chunk, latched=False)
+        if action == "tail":
+            batches = [
+                [b["lsn"], [[op, pid, image] for op, pid, image in b["ops"]],
+                 b["meta"]]
+                for b in tap.drain()
+            ]
+            self.metrics.repl_batches_shipped += len(batches)
+            return {
+                "batches": batches,
+                "lsn": backend.lsn,
+                "overflowed": tap.overflowed,
+            }
+        raise ProtocolError(
+            f"unknown replication action {action!r}", code="bad-payload"
+        )
 
     def _topology(self) -> dict[str, Any]:
         """The degenerate one-shard topology: a plain server owns the
@@ -596,5 +729,7 @@ class QueryServer:
                 "commits": backend.checkpoints,
                 "records": backend.wal_records,
                 "replayed_ops": backend.replayed_ops,
+                "lsn": backend.lsn,
+                "taps": backend.tap_count,
             }
         return stats

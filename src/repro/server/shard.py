@@ -505,21 +505,33 @@ class ShardManager:
 
     # -- elastic membership (online split/merge) -----------------------------
 
-    def spawn_worker(self) -> tuple[int, Any, tuple[str, int, int]]:
-        """Fork one *extra* worker outside the current topology.
-
-        Allocates a fresh stable worker id, removes any stale WAL file a
-        previously-aborted migration left under that id (its contents
-        were never part of a committed topology), forks, and waits for
-        the listener.  The worker serves an empty index; it joins the
-        partition only when :meth:`apply_split` commits it.  Blocking
-        (the ready-pipe wait) — callers on an event loop run this in an
-        executor.
-        """
+    def allocate_worker_id(self) -> int:
+        """Claim the next stable worker id (for callers that prepare a
+        worker's durable files — a promoted follower's — before
+        forking)."""
         worker_id = self._next_worker_id
         self._next_worker_id += 1
+        return worker_id
+
+    def spawn_worker(
+        self, worker_id: int | None = None, *, fresh: bool = True
+    ) -> tuple[int, Any, tuple[str, int, int]]:
+        """Fork one *extra* worker outside the current topology.
+
+        Allocates a fresh stable worker id (unless one is passed in),
+        removes any stale WAL file a previously-aborted migration left
+        under that id (its contents were never part of a committed
+        topology), forks, and waits for the listener.  The worker serves
+        an empty index; it joins the partition only when
+        :meth:`apply_split` (or :meth:`apply_promote`, with
+        ``fresh=False`` so a promoted follower's caught-up WAL survives)
+        commits it.  Blocking (the ready-pipe wait) — callers on an
+        event loop run this in an executor.
+        """
+        if worker_id is None:
+            worker_id = self.allocate_worker_id()
         wal = self.wal_path(worker_id)
-        if wal is not None and os.path.exists(wal):
+        if fresh and wal is not None and os.path.exists(wal):
             os.unlink(wal)
         proc, conn = self._launch(worker_id)
         try:
@@ -581,6 +593,35 @@ class ShardManager:
         self._rebuild_specs()
         self._persist_topology()
         return proc, self.wal_path(worker_id)
+
+    def apply_promote(
+        self,
+        shard: int,
+        *,
+        worker_id: int,
+        proc: Any,
+        endpoint: tuple[str, int, int],
+        epoch: int | None = None,
+    ) -> list[ShardSpec]:
+        """Commit a failover: the worker at position ``shard`` (dead or
+        dying) is replaced by a promoted follower serving the *same* z
+        range under a new stable worker id.  Boundaries are untouched;
+        the epoch bump plus the atomic topology persist is the fencing
+        commit point — a router that installs the new specs at this
+        epoch will reject any client still asserting the old one."""
+        old = self._procs[shard]
+        if old.is_alive():  # the primary must be dead before its
+            raise ValueError(  # replacement claims the range
+                f"shard {shard}'s worker is still alive; kill it before "
+                "promoting a follower over its range"
+            )
+        self.worker_ids[shard] = worker_id
+        self._procs[shard] = proc
+        self._endpoints[shard] = endpoint
+        self.epoch = self.epoch + 1 if epoch is None else epoch
+        self._rebuild_specs()
+        self._persist_topology()
+        return self.specs
 
     def retire(self, proc: Any, timeout: float = 10.0) -> None:
         """Gracefully stop one worker that left the partition."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import copy
 import os
 import struct
 import threading
@@ -235,6 +236,91 @@ class FileBackend(Backend):
         self._file.close()
 
 
+class StoreSnapshot:
+    """A pinned, consistent view of a :class:`PageStore` at open time.
+
+    Returned by :meth:`PageStore.snapshot`.  Reads through it resolve to
+    the page contents as of the snapshot's open — copy-on-write version
+    entries preserved by later writers, or the live page when it has not
+    changed since — with **no read latch held**: a writer is never
+    blocked by a snapshot scan, and a snapshot scan never times out
+    waiting on a writer.  Reads are charged to the store's logical
+    ledger exactly like :meth:`PageStore.read`.
+
+    The returned page objects are shared, frozen views: callers must
+    not mutate them.  Use as a context manager (closing releases the
+    pinned version epoch so the store can retire preserved copies), and
+    wrap index traversals in :meth:`reading` so their internal
+    ``store.read()`` calls transparently resolve against this snapshot.
+    """
+
+    __slots__ = ("_store", "epoch", "_live", "_closed")
+
+    def __init__(
+        self, store: "PageStore", epoch: int, live_ids: frozenset[int]
+    ) -> None:
+        self._store = store
+        #: The pinned version epoch: every page whose content was
+        #: committed at or before this epoch is visible.
+        self.epoch = epoch
+        self._live = live_ids
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._live
+
+    def page_ids(self) -> Iterator[int]:
+        """The pages that were live when the snapshot opened."""
+        return iter(sorted(self._live))
+
+    def read(self, page_id: int) -> Any:
+        """The page's content as of the snapshot; charged like a read."""
+        if self._closed:
+            raise StorageError("snapshot is closed")
+        if page_id not in self._live:
+            raise StorageError(
+                f"page {page_id} is not part of this snapshot"
+            )
+        return self._store._snapshot_read(page_id, self.epoch)
+
+    @contextlib.contextmanager
+    def reading(self) -> Iterator["StoreSnapshot"]:
+        """Route this thread's ``store.read()`` calls through the
+        snapshot for the scope of the block.
+
+        The overlay is thread-local, so concurrent writers in other
+        threads keep reading (and preserving) live state; fan-out
+        helpers (:func:`~repro.core.rangequery.scan_parallel`) re-enter
+        the overlay in their worker threads via
+        :meth:`PageStore.current_snapshot`.
+        """
+        store = self._store
+        previous = getattr(store._tls, "snapshot", None)
+        store._tls.snapshot = self
+        try:
+            yield self
+        finally:
+            store._tls.snapshot = previous
+
+    def close(self) -> None:
+        """Release the pinned epoch; idempotent.  Once the last snapshot
+        pinning an epoch closes, the store retires every preserved page
+        version no remaining snapshot can see."""
+        if not self._closed:
+            self._closed = True
+            self._store._release_snapshot(self.epoch)
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 class PageStore:
     """Allocation + charged access on top of a backend.
 
@@ -272,7 +358,25 @@ class PageStore:
         #: Reader/mutator discipline for multi-threaded scans; see
         #: :mod:`repro.storage.latch` and :meth:`read_shared`.
         self._latch = ReadWriteLatch()
-        self._frame_lock = threading.Lock()
+        #: The store-internal mutex (reentrant: a shared read holds it
+        #: across the pool *and* the backend hop).  Serializes buffer
+        #: LRU movement, ledger dedup sets, the byte backends' seeking
+        #: file handle, and all MVCC version bookkeeping.
+        self._frame_lock = threading.RLock()
+        #: MVCC state.  ``_mvcc_epoch`` bumps once per snapshot open;
+        #: ``_page_stamp[pid]`` is the epoch at which a page's content
+        #: last changed; ``_pinned_epochs`` maps a pinned epoch to its
+        #: open-snapshot refcount; ``_versions[pid]`` holds preserved
+        #: ``(valid_from_stamp, frozen object)`` copies — appended by
+        #: writers (copy-on-write) before they supersede content some
+        #: open snapshot still needs, retired when the last snapshot
+        #: that could see them closes.
+        self._mvcc_epoch = 0
+        self._page_stamp: dict[int, int] = {}
+        self._pinned_epochs: dict[int, int] = {}
+        self._versions: dict[int, list[tuple[int, Any]]] = {}
+        #: Thread-local snapshot overlay (see :meth:`StoreSnapshot.reading`).
+        self._tls = threading.local()
         existing = list(self._backend.page_ids())
         self._next_id = max(existing) + 1 if existing else 0
         self._live = len(existing)
@@ -292,6 +396,14 @@ class PageStore:
         """The attached buffer pool, if any."""
         return self._pool
 
+    @property
+    def io_lock(self) -> threading.RLock:
+        """The store-internal mutex, for callers that must touch the
+        physical backend directly (the replication checkpoint transfer
+        enumerating committed images) without racing the pool's or the
+        snapshot machinery's backend hops."""
+        return self._frame_lock
+
     def attach_pool(self, pool: "BufferPool") -> "BufferPool":
         """Install ``pool`` between this store and its backend.
 
@@ -306,27 +418,34 @@ class PageStore:
         return pool
 
     def _backend_load(self, page_id: int) -> Any:
-        obj = self._backend.load(page_id)
-        self.backend_stats.reads += 1
+        # Under the frame lock: byte backends share one seeking file
+        # handle, and latch-free snapshot reads may hit it concurrently.
+        with self._frame_lock:
+            obj = self._backend.load(page_id)
+            self.backend_stats.reads += 1
         return obj
 
     def _backend_store(self, page_id: int, obj: Any) -> None:
-        self._backend.store(page_id, obj)
-        self.backend_stats.writes += 1
+        with self._frame_lock:
+            self._backend.store(page_id, obj)
+            self.backend_stats.writes += 1
 
     def flush(self) -> None:
         """Write back every dirty frame and flush the backend.
 
         Holds the exclusive latch side: a flush restructures frame and
         backend state and must never interleave with in-flight
-        :meth:`read_shared` calls from scan workers.
+        :meth:`read_shared` calls from scan workers.  The frame lock is
+        additionally held across the pool write-back so a latch-free
+        snapshot read never interleaves with eviction traffic.
         """
         with self._latch.write():
-            if self._pool is not None:
-                self._pool.flush()
-            backend_flush = getattr(self._backend, "flush", None)
-            if backend_flush is not None:
-                backend_flush()
+            with self._frame_lock:
+                if self._pool is not None:
+                    self._pool.flush()
+                backend_flush = getattr(self._backend, "flush", None)
+                if backend_flush is not None:
+                    backend_flush()
 
     @contextlib.contextmanager
     def group(
@@ -354,7 +473,8 @@ class PageStore:
         try:
             yield
         except BaseException:
-            self._backend.end_group(commit=False)
+            with self._frame_lock:
+                self._backend.end_group(commit=False)
             raise
         else:
             try:
@@ -363,9 +483,16 @@ class PageStore:
                 # stages the batch's remaining dirty frames.
                 self.flush()
             except BaseException:
-                self._backend.end_group(commit=False)
+                with self._frame_lock:
+                    self._backend.end_group(commit=False)
                 raise
-            self._backend.end_group(commit=True, metadata=metadata)
+            # Committing checkpoints the batch into the inner page file
+            # — seeking writes on the handle latch-free snapshot reads
+            # also seek, so the frame lock must cover it.  Taken only
+            # here, never around ``self.flush()`` above (flush acquires
+            # latch then frame lock; inverting that order deadlocks).
+            with self._frame_lock:
+                self._backend.end_group(commit=True, metadata=metadata)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -394,6 +521,11 @@ class PageStore:
         self._backend_store(page_id, obj)
         if self._pool is not None:
             self._pool.admit_clean(page_id, obj)
+        if self._pinned_epochs:
+            # A page born after a snapshot opened is stamped past that
+            # snapshot's epoch (and is outside its live set anyway).
+            with self._frame_lock:
+                self._page_stamp[page_id] = self._mvcc_epoch
         self._charge_write(page_id)
         return page_id
 
@@ -408,14 +540,44 @@ class PageStore:
         """
         if page_id in self._pinned:
             raise StorageError(f"cannot free pinned page {page_id}")
-        if self._pool is not None:
-            self._pool.drop(page_id)
-        self._backend.discard(page_id)
+        if self._pinned_epochs:
+            with self._frame_lock:
+                # Preserve the doomed content for open snapshots before
+                # the slot disappears.
+                self._preserve(page_id)
+                self._page_stamp[page_id] = self._mvcc_epoch
+                if self._pool is not None:
+                    self._pool.drop(page_id)
+                self._backend.discard(page_id)
+        else:
+            with self._frame_lock:
+                if self._pool is not None:
+                    self._pool.drop(page_id)
+                # A WAL discard can trip the checkpoint threshold and
+                # rewrite the inner file; keep it off the seeking handle
+                # while a snapshot read is mid-``load``.
+                self._backend.discard(page_id)
         self._live -= 1
 
     # -- access ------------------------------------------------------------
 
     def read(self, page_id: int) -> Any:
+        snap = getattr(self._tls, "snapshot", None)
+        if snap is not None:
+            # The thread entered a snapshot overlay: resolve against the
+            # pinned version instead of live state (latch-free).
+            return snap.read(page_id)
+        if self._pinned_epochs:
+            # Copy-on-first-access: the caller may mutate the returned
+            # object in place (the memory-backend idiom), so a version
+            # an open snapshot still needs must be preserved *now*,
+            # before the read returns.
+            with self._frame_lock:
+                self._preserve(page_id)
+                return self._read_live(page_id)
+        return self._read_live(page_id)
+
+    def _read_live(self, page_id: int) -> Any:
         if self._pool is not None:
             obj = self._pool.read(page_id)
         else:
@@ -438,8 +600,12 @@ class PageStore:
         counters, and the logical ledger's dedup sets.  Accounting is
         identical to :meth:`read`.  Single-threaded code should keep
         calling :meth:`read`; concurrent readers must all come through
-        here.
+        here.  A thread inside a snapshot overlay skips the latch
+        entirely — snapshot reads are consistent by construction and
+        must never wait on (or be timed out by) a writer.
         """
+        if getattr(self._tls, "snapshot", None) is not None:
+            return self.read(page_id)
         with self._latch.read():
             with self._frame_lock:
                 return self.read(page_id)
@@ -462,6 +628,20 @@ class PageStore:
         """
         if page_id not in self._backend:
             raise StorageError(f"page {page_id} does not exist")
+        if self._pinned_epochs:
+            with self._frame_lock:
+                # Blind replacement path (obj without a prior read):
+                # the superseded content may still be the version an
+                # open snapshot needs — preserve before overwriting.
+                # No-op when the writer's own read() already did.
+                self._preserve(page_id)
+                self._page_stamp[page_id] = self._mvcc_epoch
+                self._write_live(page_id, obj)
+        else:
+            self._write_live(page_id, obj)
+        self._charge_write(page_id)
+
+    def _write_live(self, page_id: int, obj: Any | None) -> None:
         if obj is not None:
             if self._pool is not None:
                 self._pool.write(page_id, obj)
@@ -473,7 +653,6 @@ class PageStore:
             )
         elif self._pool is not None:
             self._pool.mark_dirty(page_id)
-        self._charge_write(page_id)
 
     def peek(self, page_id: int) -> Any:
         """Uncharged read, for invariant checks and analysis tooling.
@@ -486,7 +665,8 @@ class PageStore:
             frame = self._pool.peek(page_id, _MISSING)
             if frame is not _MISSING:
                 return frame
-        return self._backend.load(page_id)
+        with self._frame_lock:
+            return self._backend.load(page_id)
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._backend
@@ -497,6 +677,161 @@ class PageStore:
     def close(self) -> None:
         self.flush()
         self._backend.close()
+
+    # -- MVCC snapshots ----------------------------------------------------
+
+    def snapshot(self, timeout: float | None = None) -> StoreSnapshot:
+        """Open a consistent point-in-time view of the store.
+
+        Bumps the version epoch and pins the previous one: from here on,
+        any writer about to supersede content stamped at or before the
+        pinned epoch first preserves a copy (copy-on-write), so reads
+        through the returned :class:`StoreSnapshot` see exactly the
+        open-time state — with no latch held during the reads and zero
+        writer blocking.  Preserved copies are retired when the last
+        snapshot pinning them closes.
+
+        Opening holds the exclusive latch side *briefly* (never during
+        the snapshot's reads), so it aligns with operation boundaries
+        under the same convention checkpoints use: callers that mutate
+        from other threads must wrap whole index operations in
+        ``latch.write()`` (the service layer's aggregator discipline)
+        or a snapshot could capture a half-applied split.
+        """
+        with self._latch.write(timeout=timeout):
+            with self._frame_lock:
+                epoch = self._mvcc_epoch
+                self._mvcc_epoch = epoch + 1
+                self._pinned_epochs[epoch] = (
+                    self._pinned_epochs.get(epoch, 0) + 1
+                )
+                live = frozenset(self.page_ids())
+                # Pinned pages (the root) may be mutated through a
+                # retained reference before any store access re-touches
+                # them; preserve their open-time state eagerly.
+                for page_id in self._pinned:
+                    self._preserve(page_id)
+        return StoreSnapshot(self, epoch, live)
+
+    def current_snapshot(self) -> StoreSnapshot | None:
+        """The snapshot overlay active on *this* thread, if any (set by
+        :meth:`StoreSnapshot.reading`; fan-out helpers propagate it to
+        their worker threads)."""
+        return getattr(self._tls, "snapshot", None)
+
+    @property
+    def open_snapshots(self) -> int:
+        """Number of currently pinned snapshot handles."""
+        return sum(self._pinned_epochs.values())
+
+    @property
+    def preserved_versions(self) -> int:
+        """Preserved page-version copies currently retained (testing and
+        sanitizer visibility into retirement)."""
+        with self._frame_lock:
+            return sum(len(v) for v in self._versions.values())
+
+    def _preserve(self, page_id: int) -> None:
+        """Copy-on-write hook; caller holds the frame lock.
+
+        If some open snapshot can still see the page's current content
+        (its last-change stamp is at or before a pinned epoch) and no
+        copy for that stamp exists yet, capture one now — before the
+        caller mutates, replaces or frees the live page.
+        """
+        if not self._pinned_epochs:
+            return
+        stamp = self._page_stamp.get(page_id, 0)
+        if not any(epoch >= stamp for epoch in self._pinned_epochs):
+            return
+        entries = self._versions.get(page_id)
+        if entries is not None and any(v == stamp for v, _ in entries):
+            return
+        if page_id not in self._backend:
+            return
+        frozen = self._capture_live(page_id)
+        self._versions.setdefault(page_id, []).append((stamp, frozen))
+
+    def _capture_live(self, page_id: int) -> Any:
+        """A private copy of the page's live content (frame lock held).
+
+        Pool frames and memory-backend pages are live objects a writer
+        will mutate in place — deep-copy them; a byte backend decodes a
+        fresh object per load, which is already private.
+        """
+        if self._pool is not None:
+            frame = self._pool.peek(page_id, _MISSING)
+            if frame is not _MISSING:
+                return copy.deepcopy(frame)
+        obj = self._backend.load(page_id)
+        if isinstance(self._backend, MemoryBackend):
+            return copy.deepcopy(obj)
+        return obj
+
+    def _snapshot_read(self, page_id: int, epoch: int) -> Any:
+        """Resolve one page at a pinned epoch (charged)."""
+        with self._frame_lock:
+            stamp = self._page_stamp.get(page_id, 0)
+            if stamp <= epoch:
+                # The live content has not changed since the snapshot
+                # opened: it *is* the snapshot's version.  Memoize a
+                # frozen copy (the same entry a writer would preserve)
+                # so later mutations cannot reach what we return.
+                self._preserve(page_id)
+                for v, obj in self._versions.get(page_id, ()):
+                    if v == stamp:
+                        self._charge_read(page_id)
+                        return obj
+                raise StorageError(
+                    f"page {page_id} vanished while a snapshot at epoch "
+                    f"{epoch} was reading it"
+                )
+            best: tuple[int, Any] | None = None
+            for v, obj in self._versions.get(page_id, ()):
+                if v <= epoch and (best is None or v > best[0]):
+                    best = (v, obj)
+            if best is None:
+                raise StorageError(
+                    f"page {page_id}: no version visible at snapshot "
+                    f"epoch {epoch}"
+                )
+            self._charge_read(page_id)
+            return best[1]
+
+    def _release_snapshot(self, epoch: int) -> None:
+        """Unpin one snapshot handle; retire unreachable versions."""
+        with self._frame_lock:
+            count = self._pinned_epochs.get(epoch, 0) - 1
+            if count > 0:
+                self._pinned_epochs[epoch] = count
+                return
+            self._pinned_epochs.pop(epoch, None)
+            if not self._pinned_epochs:
+                # Last snapshot gone: every preserved copy (and every
+                # stamp — an absent stamp reads as "ancient", which only
+                # causes a fresh preserve on the next snapshot) retires.
+                self._versions.clear()
+                self._page_stamp.clear()
+                return
+            pinned = sorted(self._pinned_epochs)
+            for page_id in list(self._versions):
+                entries = self._versions[page_id]
+                stamp = self._page_stamp.get(page_id, 0)
+                keep: set[int] = set()
+                for pin in pinned:
+                    if stamp <= pin:
+                        keep.add(stamp)  # the memoized live-state entry
+                        continue
+                    best = max(
+                        (v for v, _ in entries if v <= pin), default=None
+                    )
+                    if best is not None:
+                        keep.add(best)
+                kept = [(v, obj) for v, obj in entries if v in keep]
+                if kept:
+                    self._versions[page_id] = kept
+                else:
+                    del self._versions[page_id]
 
     # -- accounting --------------------------------------------------------
 

@@ -41,9 +41,11 @@ harnesses keep it off and checkpoint explicitly between operations.
 
 from __future__ import annotations
 
+import collections
 import json
 import os
 import struct
+import threading
 import zlib
 from typing import Any, Callable, Iterator
 
@@ -58,6 +60,56 @@ _OPS = frozenset((_OP_STORE, _OP_DISCARD, _OP_COMMIT, _OP_CHECKPOINT))
 #: Upper bound on a record payload we are willing to buffer while
 #: scanning: garbage read as a length field must not allocate gigabytes.
 _MAX_PAYLOAD = 1 << 28
+
+
+class ReplicationTap:
+    """A bounded subscription to a WAL's committed batches.
+
+    Attached via :meth:`WALBackend.attach_tap`; every checkpoint cycle
+    publishes its batch *after* the COMMIT record's durability flush, so
+    a tap only ever sees committed (acked-capturable) state — the PR 8
+    capture==acked contract carries over to replication unchanged.
+
+    The buffer is bounded: a follower that stops draining does not pin
+    unbounded memory on the primary.  On overflow the tap drops its
+    backlog and latches :attr:`overflowed`; the follower must
+    re-bootstrap (fresh checkpoint transfer) because the tail it missed
+    is gone.  While attached, the tap holds a compaction floor on the
+    backend, so :meth:`WALBackend.compact` cannot drop records out from
+    under a live stream.
+    """
+
+    #: Batches buffered before the tap declares overflow.
+    LIMIT = 4096
+
+    def __init__(self, tap_id: int, floor_token: int) -> None:
+        self.tap_id = tap_id
+        self.floor_token = floor_token
+        self.overflowed = False
+        self._batches: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+
+    def publish(self, batch: dict) -> None:
+        with self._lock:
+            if self.overflowed:
+                return  # backlog already lost; buffering more is pointless
+            if len(self._batches) >= self.LIMIT:
+                self._batches.clear()
+                self.overflowed = True
+                return
+            self._batches.append(batch)
+
+    def drain(self) -> list[dict]:
+        """All buffered batches, in commit order (empties the buffer)."""
+        with self._lock:
+            batches = list(self._batches)
+            self._batches.clear()
+            return batches
+
+    @property
+    def backlog(self) -> int:
+        with self._lock:
+            return len(self._batches)
 
 
 class WALBackend(Backend):
@@ -105,6 +157,20 @@ class WALBackend(Backend):
         #: no intermediate ``bytes`` copy of the payload (the buffer
         #: grows to the largest record seen and is then reused).
         self._scratch = bytearray()
+        #: Commit sequence number: bumped once per durable COMMIT, so a
+        #: replication stream can order batches and measure follower
+        #: lag.  In-memory (per-process lifetime): a follower that
+        #: reconnects after a primary restart re-bootstraps rather than
+        #: resuming mid-stream, so the LSN never needs to be durable.
+        self._lsn = 0
+        #: Attached replication taps, by tap id.
+        self._taps: dict[int, ReplicationTap] = {}
+        self._next_tap = 0
+        #: Outstanding compaction floors (tokens).  While any is held,
+        #: :meth:`compact` refuses: a reader (replication tap, mid-replay
+        #: scan) still depends on the current sidecar's records.
+        self._floors: set[int] = set()
+        self._next_floor = 0
         self._wal = self._recover()
 
     # -- recovery ----------------------------------------------------------
@@ -372,6 +438,19 @@ class WALBackend(Backend):
         self._wal.flush()  # durability point: the batch is now committed
         self._meta = meta
         self._staged_meta = None
+        self._lsn += 1
+        if self._taps:
+            # Publish strictly after the durability flush: a tap never
+            # sees a batch that a crash could still roll back.
+            ops = [
+                ("discard", page_id, None)
+                if image is None
+                else ("store", page_id, image)
+                for page_id, image in sorted(self._pending.items())
+            ]
+            batch = {"lsn": self._lsn, "ops": ops, "meta": meta}
+            for tap in list(self._taps.values()):
+                tap.publish(batch)
         for page_id in sorted(self._pending):
             image = self._pending[page_id]
             if image is None:
@@ -384,6 +463,111 @@ class WALBackend(Backend):
         self._pending.clear()
         self._ops_since_checkpoint = 0
         self.checkpoints += 1
+
+    # -- replication -------------------------------------------------------
+
+    @property
+    def lsn(self) -> int:
+        """Sequence number of the last durable COMMIT (0 if none yet
+        this process)."""
+        return self._lsn
+
+    def attach_tap(self) -> ReplicationTap:
+        """Subscribe to committed batches (and hold a compaction floor
+        for the stream's lifetime).  Pair with :meth:`detach_tap`."""
+        tap_id = self._next_tap
+        self._next_tap += 1
+        tap = ReplicationTap(tap_id, self.acquire_floor())
+        self._taps[tap_id] = tap
+        return tap
+
+    def detach_tap(self, tap_id: int) -> None:
+        tap = self._taps.pop(tap_id, None)
+        if tap is not None:
+            self.release_floor(tap.floor_token)
+
+    @property
+    def tap_count(self) -> int:
+        return len(self._taps)
+
+    def committed_pages(self) -> Iterator[tuple[int, bytes]]:
+        """Encoded images of every page in the *committed* page file, for
+        a checkpoint transfer.
+
+        Reads the inner file only: callers must invoke it outside the
+        commit window (the served path runs it under the read side of
+        the write gate, which excludes `flush()`), when the pending
+        overlay is empty and the inner file is exactly the last durable
+        commit.
+        """
+        for page_id in self._inner.page_ids():
+            yield page_id, self._registry.encode(self._inner.load(page_id))
+
+    def apply_replicated(
+        self,
+        ops: list[tuple[str, int, bytes | None]],
+        metadata: bytes | None = None,
+    ) -> None:
+        """Apply one shipped batch on a follower: append the records to
+        *this* WAL, stage the batch metadata, and commit.
+
+        Full-image ops are idempotent, so replaying a batch (checkpoint
+        chunk overlapping a tail, or a re-bootstrap) converges.  The
+        follower's durable state is thereby a standard WAL page file —
+        promotion reopens it through the stock :func:`recover_index`
+        path, no special follower format.
+        """
+        for op, page_id, image in ops:
+            if op == "store":
+                if image is None:
+                    raise StorageError("replicated store without an image")
+                image = bytes(image)
+                self._append(_OP_STORE, page_id, image)
+                self._pending[page_id] = image
+            elif op == "discard":
+                self._append(_OP_DISCARD, page_id)
+                self._pending[page_id] = None
+            else:
+                raise StorageError(f"unknown replicated op {op!r}")
+        if metadata is not None:
+            self.stage_metadata(metadata)
+        if self._pending or self._staged_meta is not None:
+            self.flush()
+
+    # -- compaction floors -------------------------------------------------
+
+    def acquire_floor(self) -> int:
+        """Declare that a reader depends on the current sidecar records;
+        :meth:`compact` refuses until the returned token is released."""
+        token = self._next_floor
+        self._next_floor += 1
+        self._floors.add(token)
+        return token
+
+    def release_floor(self, token: int) -> None:
+        self._floors.discard(token)
+
+    @property
+    def floors_held(self) -> int:
+        return len(self._floors)
+
+    def compact(self) -> None:
+        """Checkpoint, then rewrite the sidecar down to its minimal form
+        (header + last commit).
+
+        Refuses with :class:`StorageError` while any compaction floor is
+        held: a reader mid-replay (or a live replication tap) still
+        needs the records the rewrite would drop.  Callers retry after
+        the reader releases its floor.
+        """
+        if self._floors:
+            raise StorageError(
+                f"compact() refused: {len(self._floors)} reader floor(s) "
+                "held on the WAL sidecar"
+            )
+        self.flush()
+        self._wal.close()
+        self._wal = self._compact(self._meta)
 
     def close(self) -> None:
         self.flush()
@@ -413,6 +597,17 @@ def metadata_blob(index: Any) -> bytes:
 
 #: Backwards-compatible alias (pre-batching name).
 _metadata_blob = metadata_blob
+
+
+def decode_metadata_blob(blob: bytes) -> tuple[dict, bytes | None]:
+    """Split a commit-record metadata blob back into the snapshot header
+    dict and the (optional) encoded directory tail — the inverse of
+    :func:`metadata_blob`.  Shared by :func:`recover_index` and the
+    replica bootstrap path."""
+    (meta_len,) = struct.unpack_from("<I", blob, 0)
+    meta = json.loads(blob[4 : 4 + meta_len].decode("utf-8"))
+    directory = blob[4 + meta_len :] or None
+    return meta, directory
 
 
 def checkpoint(index: Any) -> None:
@@ -457,9 +652,7 @@ def recover_index(
     if blob is None:
         backend.close()
         return None
-    (meta_len,) = struct.unpack_from("<I", blob, 0)
-    meta = json.loads(blob[4 : 4 + meta_len].decode("utf-8"))
-    directory = blob[4 + meta_len :] or None
+    meta, directory = decode_metadata_blob(blob)
     pool = None
     if pool_capacity is not None:
         from repro.storage.buffer import BufferPool

@@ -39,7 +39,8 @@ class TestBenchRun:
         assert ("table2", "BMEHTree", "file+pool") in cells
         modes = {r.get("mode", "single") for r in data["results"]}
         assert modes == {
-            "single", "batched", "rangepar", "served", "sharded", "migration"
+            "single", "batched", "rangepar", "served", "sharded",
+            "migration", "replication",
         }
         for result in data["results"]:
             m = result["metrics"]
@@ -69,6 +70,17 @@ class TestBenchRun:
                 assert m["migration_count"] >= 2
                 assert m["migration_epoch_bumps"] >= 2
                 assert m["migration_moved_keys"] > 0
+            elif mode == "replication":
+                from repro.bench.replication import READ_SCALING_SMOKE_FLOOR
+
+                # The full 1.8x floor is gated at the committed n=2000
+                # scale (see READ_SCALING_FULL_N); the absolute gates
+                # hold at any n.
+                assert m["replication_mismatches"] == 0
+                assert m["replication_latch_timeouts"] == 0
+                assert m["replication_read_scaling"] >= READ_SCALING_SMOKE_FLOOR
+                assert m["replication_base_replica_reads"] > 0
+                assert m["replication_scaled_replica_reads"] > 0
             else:
                 assert m["logical_reads"] > 0 and m["logical_writes"] > 0
                 assert m["sigma"] > 0

@@ -1,0 +1,258 @@
+"""MVCC snapshot reads: version lifecycle and the concurrency property.
+
+The headline property (PR 10): a snapshot scan taken at version ``v``
+while a multi-writer storm is mutating the index is **bit-identical**
+to a serial scan of the state after exactly the first ``v`` committed
+operations.  Commit order is made observable with marker keys: every
+writer, inside the same ``latch.write()`` block as its payload
+mutation, inserts ``(MARKER, i)`` where ``i`` is the global commit
+index — so the markers visible in a snapshot identify precisely which
+oplog prefix it must equal.
+"""
+
+import random
+import shutil
+import tempfile
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KeyCodec, UIntEncoder
+from repro.core import MultiKeyFile
+from repro.errors import StorageError
+from repro.storage import DataPage, FileBackend, PageStore, WALBackend
+
+
+def page(*records):
+    p = DataPage(capacity=max(4, len(records)))
+    for key, value in records:
+        p.put(key, value)
+    return p
+
+
+def make_store(kind: str, root: str) -> PageStore:
+    if kind == "memory":
+        return PageStore()
+    if kind == "file":
+        return PageStore(FileBackend(root + "/pages.db"))
+    assert kind == "wal"
+    return PageStore(WALBackend(root + "/pages.db"))
+
+
+BACKENDS = ("memory", "file", "wal")
+
+
+class TestSnapshotLifecycle:
+    def test_snapshot_sees_open_time_state_across_overwrite(self):
+        store = PageStore()
+        pid = store.allocate(page(((1, 1), "old")))
+        with store.snapshot() as snap:
+            store.write(pid, page(((1, 1), "new")))
+            assert dict(snap.read(pid).items()) == {(1, 1): "old"}
+            assert dict(store.read(pid).items()) == {(1, 1): "new"}
+            assert store.preserved_versions == 1
+        assert store.preserved_versions == 0
+
+    def test_in_place_mutation_is_copied_on_first_access(self):
+        # The memory-backend idiom: read the object, mutate it in
+        # place, then write(pid) with no object.  The copy must be
+        # taken at read time or the snapshot would alias the mutation.
+        store = PageStore()
+        pid = store.allocate(page(((1, 1), "old")))
+        with store.snapshot() as snap:
+            obj = store.read(pid)
+            obj.put((2, 2), "x")
+            store.write(pid)
+            assert dict(snap.read(pid).items()) == {(1, 1): "old"}
+            assert dict(store.read(pid).items()) == {
+                (1, 1): "old",
+                (2, 2): "x",
+            }
+
+    def test_freed_page_stays_readable_through_snapshot(self):
+        store = PageStore()
+        pid = store.allocate(page(((7, 7), "doomed")))
+        snap = store.snapshot()
+        store.free(pid)
+        assert pid not in store
+        assert dict(snap.read(pid).items()) == {(7, 7): "doomed"}
+        snap.close()
+        assert store.preserved_versions == 0
+
+    def test_pages_born_after_open_are_invisible(self):
+        store = PageStore()
+        first = store.allocate(page(((1, 1), "a")))
+        with store.snapshot() as snap:
+            late = store.allocate(page(((2, 2), "b")))
+            assert first in snap
+            assert late not in snap
+            with pytest.raises(StorageError, match="not part"):
+                snap.read(late)
+
+    def test_epochs_pin_distinct_versions(self):
+        store = PageStore()
+        pid = store.allocate(page(((1, 1), "v0")))
+        s0 = store.snapshot()
+        store.write(pid, page(((1, 1), "v1")))
+        s1 = store.snapshot()
+        store.write(pid, page(((1, 1), "v2")))
+        assert dict(s0.read(pid).items()) == {(1, 1): "v0"}
+        assert dict(s1.read(pid).items()) == {(1, 1): "v1"}
+        assert dict(store.read(pid).items()) == {(1, 1): "v2"}
+        s0.close()
+        assert store.preserved_versions > 0  # s1 still pins v1
+        s1.close()
+        assert store.preserved_versions == 0
+        assert store.open_snapshots == 0
+
+    def test_closed_snapshot_rejects_reads(self):
+        store = PageStore()
+        pid = store.allocate(page(((1, 1), "a")))
+        snap = store.snapshot()
+        snap.close()
+        snap.close()  # idempotent
+        with pytest.raises(StorageError, match="closed"):
+            snap.read(pid)
+
+    def test_writer_is_never_blocked_by_snapshot_scan(self):
+        # Zero writer blocking is structural: snapshot reads hold no
+        # latch, so a writer can take the exclusive side mid-scan.
+        store = PageStore()
+        pids = [store.allocate(page(((i, i), i))) for i in range(10)]
+        snap = store.snapshot()
+        acquired = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with store.latch.write(timeout=2.0):
+                acquired.set()
+                release.wait(2.0)
+
+        thread = threading.Thread(target=writer)
+        with snap, snap.reading():
+            thread.start()
+            assert acquired.wait(2.0), "writer timed out behind a snapshot"
+            for pid in pids:  # scan proceeds while the latch is held
+                assert dict(store.read(pid).items()) == {(pid - pids[0],) * 2: pid - pids[0]}
+            release.set()
+        thread.join()
+
+    def test_index_scan_under_snapshot_excludes_later_writes(self):
+        codec = KeyCodec([UIntEncoder(16), UIntEncoder(16)])
+        store = PageStore()
+        file = MultiKeyFile(codec, page_capacity=4, store=store)
+        for i in range(12):
+            file.insert((i, i), i)
+        with store.snapshot() as snap:
+            for i in range(12, 24):
+                file.insert((i, i), i)
+            with snap.reading():
+                frozen = sorted(value for _, value in file.index.items())
+            assert frozen == list(range(12))
+        live = sorted(value for _, value in file.items())
+        assert live == list(range(24))
+        assert store.preserved_versions == 0
+
+
+# -- the concurrency property ---------------------------------------------
+
+MARKER = 9999  # first key coordinate reserved for commit markers
+N_WRITERS = 3
+OPS_PER_WRITER = 8
+SCANS = 6
+
+
+def _check_prefix(observed, oplog, initial):
+    """Assert ``observed`` equals initial + replay of an oplog prefix."""
+    marker_ids = sorted(key[1] for key in observed if key[0] == MARKER)
+    k = len(marker_ids)
+    # Commit markers are assigned and inserted inside the latch, so a
+    # consistent snapshot must contain a gapless prefix of them.
+    assert marker_ids == list(range(k)), f"non-prefix markers: {marker_ids}"
+    expected = dict(initial)
+    for kind, key, value in oplog[:k]:
+        if kind == "ins":
+            expected[key] = value
+        else:
+            expected.pop(key)
+    for i in range(k):
+        expected[(MARKER, i)] = i
+    assert sorted(observed.items()) == sorted(expected.items())
+    return k
+
+
+def _run_storm(kind: str, seed: int) -> None:
+    root = tempfile.mkdtemp(prefix="mvcc-")
+    rng = random.Random(seed)
+    codec = KeyCodec([UIntEncoder(16), UIntEncoder(16)])
+    store = make_store(kind, root)
+    file = MultiKeyFile(codec, page_capacity=4, store=store)
+    try:
+        initial = {(w, 500): w for w in range(N_WRITERS)}
+        for key, value in initial.items():
+            file.insert(key, value)
+
+        oplog: list[tuple[str, tuple[int, int], int | None]] = []
+        errors: list[BaseException] = []
+        plans = [
+            [rng.random() < 0.3 for _ in range(OPS_PER_WRITER)]
+            for _ in range(N_WRITERS)
+        ]
+        start = threading.Barrier(N_WRITERS + 1)
+
+        def writer(w: int) -> None:
+            live: list[tuple[int, int]] = []
+            try:
+                start.wait(5.0)
+                for j, want_delete in enumerate(plans[w]):
+                    # One latched block per logical op: marker + payload
+                    # commit atomically with respect to snapshot opens.
+                    with store.latch.write():
+                        i = len(oplog)
+                        file.insert((MARKER, i), i)
+                        if want_delete and live:
+                            key = live.pop()
+                            file.delete(key)
+                            oplog.append(("del", key, None))
+                        else:
+                            key = (w, j)
+                            file.insert(key, i)
+                            live.append(key)
+                            oplog.append(("ins", key, i))
+            except BaseException as exc:  # surfaced by the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,))
+            for w in range(N_WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait(5.0)
+        for _ in range(SCANS):
+            _check_prefix(dict(file.items()), oplog, initial)
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+
+        total = _check_prefix(dict(file.items()), oplog, initial)
+        assert total == len(oplog) == N_WRITERS * OPS_PER_WRITER
+        assert store.open_snapshots == 0
+        assert store.preserved_versions == 0
+    finally:
+        store.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_snapshot_scan_equals_serial_replay(kind, seed):
+    """Snapshot at version v == serial replay of the first v ops."""
+    _run_storm(kind, seed)

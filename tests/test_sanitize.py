@@ -553,6 +553,69 @@ class TestLint:
         issues = lint_source(source, "protocol.py", check_hot_json=True)
         assert issues and {i.code for i in issues} == {"REP107"}
 
+    def test_replica_mutation_flagged(self):
+        # REP108: the full mutation surface a follower must not touch —
+        # index mutators, store-level mutators, and .write() on a
+        # store/index-named receiver.
+        for call in (
+            "self._file.insert(key, value)",
+            "file.delete(key)",
+            "index.insert_many(pairs)",
+            "self._store.allocate(page)",
+            "store.free(pid)",
+            "self._store.mark_dirty(pid)",
+            "store.write(pid, page)",
+            "self._index.write(pid, page)",
+        ):
+            issues = lint_source(
+                f"{call}\n", "x.py", check_replica_mutation=True
+            )
+            assert "REP108" in [i.code for i in issues], call
+
+    def test_replica_replication_channel_not_flagged(self):
+        # apply_replicated is the one sanctioned mutation channel, and
+        # reads plus non-store .write() receivers stay clean.
+        for call in (
+            "backend.apply_replicated(ops, meta)",
+            "self._backend.apply_replicated(ops, None)",
+            "file.search(key)",
+            "file.range_search(lo, hi)",
+            "store.read(pid)",
+            "writer.write(frame)",  # a socket, not a store
+            "conn.write(data)",
+        ):
+            assert lint_source(
+                f"{call}\n", "x.py", check_replica_mutation=True
+            ) == [], call
+
+    def test_replica_mutation_scoped_to_replica_module(self):
+        # lint_paths applies REP108 only to server/replica.py; the same
+        # mutation in another server file is REP106's business, and the
+        # real replica module must be clean under its own rule — while a
+        # seeded mutation in replica.py source would be caught.
+        import pathlib
+
+        from repro.sanitize import lint_paths
+
+        root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+        assert lint_paths([str(root / "server" / "replica.py")]) == []
+        source = (root / "server" / "replica.py").read_text()
+        seeded = source + (
+            "\n\ndef _rogue(self):\n"
+            "    self._store.allocate({})\n"
+        )
+        issues = lint_source(
+            seeded, "server/replica.py", check_replica_mutation=True
+        )
+        assert "REP108" in {i.code for i in issues}
+        # The unseeded module is REP108-clean by construction.
+        assert "REP108" not in {
+            i.code
+            for i in lint_source(
+                source, "server/replica.py", check_replica_mutation=True
+            )
+        }
+
     def test_syntax_error_reported(self):
         issues = lint_source("def broken(:\n", "x.py")
         assert [i.code for i in issues] == ["REP100"]
